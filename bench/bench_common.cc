@@ -1,0 +1,152 @@
+#include "bench_common.h"
+
+#include <cmath>
+
+namespace pcmap::bench {
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+void
+rule(unsigned width)
+{
+    for (unsigned i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+void
+banner(const char *title, const char *paper_ref, const HarnessConfig &hc)
+{
+    std::printf("== %s ==\n", title);
+    std::printf("   reproduces: %s\n", paper_ref);
+    std::printf("   run: %llu insts/core, seed %llu\n\n",
+                static_cast<unsigned long long>(hc.insts),
+                static_cast<unsigned long long>(hc.seed));
+}
+
+namespace {
+
+/** One sweep row: per-mode metric values for one workload. */
+std::vector<double>
+sweepRow(const HarnessConfig &hc, const std::string &workload,
+         Metric metric)
+{
+    std::vector<double> vals;
+    for (const SystemMode mode : kAllModes)
+        vals.push_back(metric(runPoint(hc, mode, workload)));
+    return vals;
+}
+
+void
+printRow(const std::string &label, const std::vector<double> &vals,
+         bool normalize)
+{
+    std::printf("%-14s", label.c_str());
+    if (normalize) {
+        std::printf(" %9.2f", vals[0]);
+        for (std::size_t m = 1; m < vals.size(); ++m)
+            std::printf(" %9.3f", vals[0] != 0.0 ? vals[m] / vals[0]
+                                                 : 0.0);
+    } else {
+        for (const double v : vals)
+            std::printf(" %9.2f", v);
+    }
+    std::printf("\n");
+}
+
+/** Element-wise accumulate b into a. */
+void
+accumulate(std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.empty())
+        a.assign(b.size(), 0.0);
+    for (std::size_t i = 0; i < b.size(); ++i)
+        a[i] += b[i];
+}
+
+void
+scale(std::vector<double> &a, double f)
+{
+    for (double &v : a)
+        v *= f;
+}
+
+} // namespace
+
+void
+figureSweep(const HarnessConfig &hc, Metric metric, bool normalize)
+{
+    std::printf("%-14s", "workload");
+    if (normalize)
+        std::printf(" %9s", "base-abs");
+    else
+        std::printf(" %9s", systemModeName(kAllModes[0]));
+    for (std::size_t m = 1; m < std::size(kAllModes); ++m)
+        std::printf(" %9s", systemModeName(kAllModes[m]));
+    std::printf("\n");
+    rule(74);
+
+    // --- Multi-threaded workloads + Average(MT) over all of PARSEC ---
+    for (const std::string &w : workload::evaluatedMtWorkloads())
+        printRow(w, sweepRow(hc, w, metric), normalize);
+
+    std::vector<double> mt_avg;
+    for (const std::string &w : workload::parsecPrograms()) {
+        std::vector<double> vals = sweepRow(hc, w, metric);
+        if (normalize && vals[0] != 0.0) {
+            const double base = vals[0];
+            for (std::size_t m = 1; m < vals.size(); ++m)
+                vals[m] /= base;
+        }
+        accumulate(mt_avg, vals);
+    }
+    scale(mt_avg, 1.0 / static_cast<double>(
+                      workload::parsecPrograms().size()));
+    // Average rows are already normalized per workload; print raw.
+    std::printf("%-14s", "Average(MT)");
+    for (const double v : mt_avg)
+        std::printf(" %9.3f", v);
+    std::printf("\n");
+    rule(74);
+
+    // --- Multiprogrammed mixes + Average(MP) ---
+    std::vector<double> mp_avg;
+    for (const std::string &w : workload::evaluatedMpWorkloads()) {
+        std::vector<double> vals = sweepRow(hc, w, metric);
+        printRow(w, vals, normalize);
+        if (normalize && vals[0] != 0.0) {
+            const double base = vals[0];
+            for (std::size_t m = 1; m < vals.size(); ++m)
+                vals[m] /= base;
+        }
+        accumulate(mp_avg, vals);
+    }
+    scale(mp_avg, 1.0 / static_cast<double>(
+                      workload::evaluatedMpWorkloads().size()));
+    std::printf("%-14s", "Average(MP)");
+    for (const double v : mp_avg)
+        std::printf(" %9.3f", v);
+    std::printf("\n");
+}
+
+} // namespace pcmap::bench

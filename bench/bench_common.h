@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Shared infrastructure for the figure/table reproduction harnesses.
+ *
+ * Every harness accepts "key=value" arguments:
+ *   insts=N   instructions per core per run (default 600000)
+ *   seed=N    simulation seed (default 1)
+ * plus harness-specific keys documented in each binary.
+ */
+
+#ifndef PCMAP_BENCH_COMMON_H
+#define PCMAP_BENCH_COMMON_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "sim/config.h"
+#include "workload/mixes.h"
+#include "workload/profile.h"
+
+namespace pcmap::bench {
+
+/** Common harness parameters parsed from the command line. */
+struct HarnessConfig
+{
+    std::uint64_t insts = 600'000;
+    std::uint64_t seed = 1;
+    Config raw;
+
+    static HarnessConfig
+    parse(int argc, char **argv)
+    {
+        HarnessConfig hc;
+        hc.raw = Config::fromArgs(argc, argv);
+        hc.insts = hc.raw.getUint("insts", hc.insts);
+        hc.seed = hc.raw.getUint("seed", hc.seed);
+        return hc;
+    }
+
+    /** Base system configuration for one run. */
+    SystemConfig
+    system(SystemMode mode) const
+    {
+        SystemConfig cfg;
+        cfg.mode = mode;
+        cfg.instructionsPerCore = insts;
+        cfg.seed = seed;
+        return cfg;
+    }
+};
+
+/** Run one (mode, workload) point. */
+inline SystemResults
+runPoint(const HarnessConfig &hc, SystemMode mode,
+         const std::string &workload)
+{
+    return runWorkload(hc.system(mode), workload);
+}
+
+/** The five PCMap systems compared against the baseline. */
+inline const std::vector<SystemMode> &
+pcmapModes()
+{
+    static const std::vector<SystemMode> modes = {
+        SystemMode::WoW_NR, SystemMode::RoW_NR, SystemMode::RWoW_NR,
+        SystemMode::RWoW_RD, SystemMode::RWoW_RDE};
+    return modes;
+}
+
+/** Geometric mean of a vector of positive ratios. */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean. */
+double mean(const std::vector<double> &values);
+
+/** Print a horizontal rule sized for @p width columns. */
+void rule(unsigned width);
+
+/** Print the standard harness banner. */
+void banner(const char *title, const char *paper_ref,
+            const HarnessConfig &hc);
+
+/** Metric extracted from one run for the figure sweeps. */
+using Metric = double (*)(const SystemResults &);
+
+/**
+ * Run the evaluation sweep of Figures 8-11: the six multi-threaded
+ * workloads plus Average(MT) over the 13 PARSEC programs, then the
+ * six multiprogrammed mixes plus Average(MP), across system modes.
+ *
+ * @param metric     Value reported per run.
+ * @param normalize  When true, report metric / baseline-metric per
+ *                   workload (the paper's "normalized to baseline"
+ *                   presentation) and print baseline absolutes in the
+ *                   first column.
+ */
+void figureSweep(const HarnessConfig &hc, Metric metric,
+                 bool normalize);
+
+} // namespace pcmap::bench
+
+#endif // PCMAP_BENCH_COMMON_H

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Figure 10: effective read latency normalized to the baseline
+ * (lower is better).
+ *
+ * Paper anchors: RoW-NR alone cuts effective read latency by 6-14%;
+ * adding WoW and the rotations keeps reducing it; RWoW-RDE reaches
+ * roughly half the baseline latency on both workload classes.
+ */
+
+#include "bench_common.h"
+
+namespace {
+
+double
+readLatencyMetric(const pcmap::SystemResults &r)
+{
+    return r.avgReadLatencyNs; // absolute ns (base-abs column)
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace pcmap::bench;
+    const HarnessConfig hc = HarnessConfig::parse(argc, argv);
+    banner("Figure 10: effective read latency (normalized, lower is "
+           "better)",
+           "Fig. 10 — RoW-NR 0.86-0.94x; RWoW-RDE approaches ~0.5x "
+           "(base-abs column is ns)",
+           hc);
+    figureSweep(hc, readLatencyMetric, /*normalize=*/true);
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the ECC substrate: the
+ * SECDED codec and PCC parity operations sit on the controller's
+ * per-read/per-write paths, so their throughput bounds simulation
+ * speed.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "ecc/line_codec.h"
+#include "ecc/secded.h"
+#include "sim/rng.h"
+
+namespace {
+
+using namespace pcmap;
+
+void
+BM_SecdedEncode(benchmark::State &state)
+{
+    Rng rng(1);
+    std::uint64_t v = rng.next();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ecc::secdedEncode(v));
+        v = v * 6364136223846793005ull + 1442695040888963407ull;
+    }
+}
+BENCHMARK(BM_SecdedEncode);
+
+void
+BM_SecdedDecodeClean(benchmark::State &state)
+{
+    Rng rng(2);
+    const std::uint64_t v = rng.next();
+    const std::uint8_t c = ecc::secdedEncode(v);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ecc::secdedDecode(v, c));
+}
+BENCHMARK(BM_SecdedDecodeClean);
+
+void
+BM_SecdedDecodeCorrect(benchmark::State &state)
+{
+    Rng rng(3);
+    const std::uint64_t v = rng.next();
+    const std::uint8_t c = ecc::secdedEncode(v);
+    const std::uint64_t bad = v ^ (1ull << 21);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ecc::secdedDecode(bad, c));
+}
+BENCHMARK(BM_SecdedDecodeCorrect);
+
+void
+BM_ComputeEccWord(benchmark::State &state)
+{
+    Rng rng(4);
+    CacheLine line;
+    for (auto &w : line.w)
+        w = rng.next();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ecc::computeEccWord(line));
+}
+BENCHMARK(BM_ComputeEccWord);
+
+void
+BM_CheckLineClean(benchmark::State &state)
+{
+    Rng rng(5);
+    CacheLine line;
+    for (auto &w : line.w)
+        w = rng.next();
+    const std::uint64_t ecc = ecc::computeEccWord(line);
+    for (auto _ : state) {
+        CacheLine probe = line;
+        benchmark::DoNotOptimize(ecc::checkLine(probe, ecc));
+    }
+}
+BENCHMARK(BM_CheckLineClean);
+
+void
+BM_ReconstructWord(benchmark::State &state)
+{
+    Rng rng(6);
+    CacheLine line;
+    for (auto &w : line.w)
+        w = rng.next();
+    const std::uint64_t pcc = ecc::computePccWord(line);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ecc::reconstructWord(line, 3, pcc));
+}
+BENCHMARK(BM_ReconstructWord);
+
+void
+BM_DiffMask(benchmark::State &state)
+{
+    Rng rng(7);
+    CacheLine a;
+    for (auto &w : a.w)
+        w = rng.next();
+    CacheLine b = a;
+    b.w[2] ^= 5;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a.diffMask(b));
+}
+BENCHMARK(BM_DiffMask);
+
+} // namespace
+
+BENCHMARK_MAIN();

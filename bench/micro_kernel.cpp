@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Microbenchmarks for the simulation kernel: event queue throughput
+ * and the RNG/distribution primitives on the generator hot path.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+
+namespace {
+
+using namespace pcmap;
+
+void
+BM_EventScheduleFire(benchmark::State &state)
+{
+    EventQueue eq;
+    std::uint64_t count = 0;
+    for (auto _ : state) {
+        eq.scheduleIn(1, [&count] { ++count; });
+        eq.step();
+    }
+    benchmark::DoNotOptimize(count);
+}
+BENCHMARK(BM_EventScheduleFire);
+
+void
+BM_EventQueueDepth(benchmark::State &state)
+{
+    const auto depth = static_cast<std::uint64_t>(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        EventQueue eq;
+        std::uint64_t count = 0;
+        for (std::uint64_t i = 0; i < depth; ++i)
+            eq.schedule(i * 7919 % 100000, [&count] { ++count; });
+        state.ResumeTiming();
+        eq.run();
+        benchmark::DoNotOptimize(count);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(depth));
+}
+BENCHMARK(BM_EventQueueDepth)->Arg(64)->Arg(1024)->Arg(16384);
+
+void
+BM_EventCancel(benchmark::State &state)
+{
+    EventQueue eq;
+    for (auto _ : state) {
+        EventHandle h = eq.scheduleIn(1000, [] {});
+        benchmark::DoNotOptimize(eq.cancel(h));
+    }
+}
+BENCHMARK(BM_EventCancel);
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_RngBelow(benchmark::State &state)
+{
+    Rng rng(2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.below(1000003));
+}
+BENCHMARK(BM_RngBelow);
+
+void
+BM_RngGeometric(benchmark::State &state)
+{
+    Rng rng(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.geometric(0.1));
+}
+BENCHMARK(BM_RngGeometric);
+
+void
+BM_RngWeighted9(benchmark::State &state)
+{
+    Rng rng(4);
+    const std::vector<double> weights{17.2, 29.5, 14.1, 7.2, 12.9,
+                                      5.8,  1.8,  2.3,  9.2};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.weighted(weights));
+}
+BENCHMARK(BM_RngWeighted9);
+
+} // namespace
+
+BENCHMARK_MAIN();

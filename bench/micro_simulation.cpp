@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Microbenchmarks of end-to-end simulation speed: generator op rate
+ * and full-system simulated instructions per wall second (the figure
+ * harness cost model).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/system.h"
+#include "mem/backing_store.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace pcmap;
+
+void
+BM_GeneratorOps(benchmark::State &state)
+{
+    BackingStore store;
+    workload::SyntheticGenerator gen(
+        workload::findProfile("canneal"), store, 1);
+    MemOp op;
+    for (auto _ : state) {
+        gen.next(op);
+        if (op.isWrite) {
+            const std::uint64_t line = op.addr / kLineBytes;
+            store.writeWords(line, op.data,
+                             store.essentialWords(line, op.data));
+        }
+        benchmark::DoNotOptimize(op.addr);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GeneratorOps);
+
+void
+BM_FullSystem(benchmark::State &state)
+{
+    const auto mode = static_cast<SystemMode>(state.range(0));
+    constexpr std::uint64_t kInsts = 50'000;
+    for (auto _ : state) {
+        SystemConfig cfg;
+        cfg.mode = mode;
+        cfg.instructionsPerCore = kInsts;
+        cfg.seed = 1;
+        const SystemResults r = runWorkload(cfg, "MP1");
+        benchmark::DoNotOptimize(r.ipcSum);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(kInsts * 8));
+}
+BENCHMARK(BM_FullSystem)
+    ->Arg(static_cast<int>(SystemMode::Baseline))
+    ->Arg(static_cast<int>(SystemMode::RWoW_RDE))
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

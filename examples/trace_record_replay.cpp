@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Trace workflow demo: record a PCM-level trace from a built-in
+ * application profile, inspect it, then replay it through the full
+ * memory system — the path a user with real gem5/PIN traces follows.
+ *
+ * Usage:
+ *   trace_record_replay [app=astar] [ops=100000] [format=binary|text]
+ *                       [file=/tmp/pcmap_demo.trace] [mode=RWoW-RDE]
+ */
+
+#include <cstdio>
+
+#include "core/memory_system.h"
+#include "cpu/core_model.h"
+#include "sim/config.h"
+#include "workload/analysis.h"
+#include "workload/generator.h"
+#include "workload/trace.h"
+
+namespace {
+
+pcmap::SystemMode
+modeByName(const std::string &name)
+{
+    for (const pcmap::SystemMode m : pcmap::kAllModes) {
+        if (name == pcmap::systemModeName(m))
+            return m;
+    }
+    pcmap::fatal("unknown system mode '", name, "'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace pcmap;
+    using namespace pcmap::workload;
+
+    const Config args = Config::fromArgs(argc, argv);
+    const std::string app = args.getString("app", "astar");
+    const std::uint64_t ops = args.getUint("ops", 100'000);
+    const std::string path =
+        args.getString("file", "/tmp/pcmap_demo.trace");
+    const auto format = args.getString("format", "binary") == "text"
+                            ? TraceWriter::Format::Text
+                            : TraceWriter::Format::Binary;
+    const SystemMode mode =
+        modeByName(args.getString("mode", "RWoW-RDE"));
+
+    // --- Record ------------------------------------------------------
+    {
+        BackingStore shadow;
+        SyntheticGenerator gen(findProfile(app), shadow,
+                               args.getUint("seed", 1));
+        TraceWriter writer(path, format);
+        MemOp op;
+        std::uint64_t reads = 0;
+        std::uint64_t writes = 0;
+        for (std::uint64_t i = 0; i < ops; ++i) {
+            gen.next(op);
+            writer.append(op);
+            if (op.isWrite) {
+                const std::uint64_t line = op.addr / kLineBytes;
+                shadow.writeWords(line, op.data,
+                                  shadow.essentialWords(line, op.data));
+                ++writes;
+            } else {
+                ++reads;
+            }
+        }
+        std::printf("recorded %llu ops (%llu reads, %llu writes) "
+                    "from profile '%s' to %s\n",
+                    static_cast<unsigned long long>(ops),
+                    static_cast<unsigned long long>(reads),
+                    static_cast<unsigned long long>(writes),
+                    app.c_str(), path.c_str());
+    }
+
+    // --- Fit a profile from the trace (the reverse workflow) ---------
+    {
+        BackingStore shadow;
+        TraceReplaySource replay(path, shadow);
+        const StreamAnalysis analysis =
+            analyzeStream(replay, shadow, ops);
+        const AppProfile fitted = fitProfile(analysis, "from-trace");
+        std::printf("fitted profile: rpki %.2f wpki %.2f, mean dirty "
+                    "words %.2f, seq locality %.2f, footprint %llu "
+                    "lines\n",
+                    fitted.rpki, fitted.wpki, fitted.meanDirtyWords(),
+                    fitted.rowHitRate,
+                    static_cast<unsigned long long>(
+                        fitted.footprintLines));
+    }
+
+    // --- Replay ------------------------------------------------------
+    {
+        EventQueue eq;
+        MemGeometry geom;
+        MainMemory memory(ControllerConfig::forMode(mode), geom, eq);
+        TraceReplaySource replay(path, memory.backingStore());
+
+        CoreConfig core_cfg;
+        // Generous instruction budget: the run ends when the trace is
+        // exhausted and the remaining budget is pure compute.
+        CoreModel core(0, core_cfg, eq, memory, replay,
+                       /*target_insts=*/ops * 400);
+        memory.setRetryCallback([&core] { core.onRetry(); });
+        memory.setVerifyCallback(
+            [&core](ReqId id, unsigned, bool fault) {
+                core.onVerify(id, fault);
+            });
+
+        core.start();
+        // Run until the trace is fully consumed and memory drains.
+        eq.runUntil([&] {
+            return core.stats().readsIssued +
+                           core.stats().writesIssued >=
+                       ops &&
+                   memory.idle();
+        });
+        memory.finalize(eq.now());
+        (void)core.finished();
+
+        std::uint64_t reads = 0;
+        std::uint64_t writes = 0;
+        double lat = 0.0;
+        for (unsigned ch = 0; ch < memory.channels(); ++ch) {
+            const ControllerStats &s = memory.controller(ch).stats();
+            reads += s.readsCompleted;
+            writes += s.writesCompleted;
+            lat += s.readLatencySum;
+        }
+        std::printf("replayed on %s: %llu reads (%.1f ns effective "
+                    "latency), %llu write-backs, %.2f ms simulated\n",
+                    systemModeName(mode),
+                    static_cast<unsigned long long>(reads),
+                    reads ? ticksToNs(static_cast<Tick>(
+                                lat / static_cast<double>(reads)))
+                          : 0.0,
+                    static_cast<unsigned long long>(writes),
+                    static_cast<double>(eq.now()) /
+                        static_cast<double>(kMillisecond));
+    }
+    return 0;
+}

@@ -1,0 +1,142 @@
+#include "cache/hierarchy.h"
+
+#include "sim/log.h"
+
+namespace pcmap::cache {
+
+HierarchySource::HierarchySource(RawAccessSource &raw,
+                                 BackingStore &store,
+                                 const HierarchyConfig &cfg)
+    : rawSource(raw), backing(store),
+      l2Cache(std::make_unique<SetAssocCache>(cfg.l2)),
+      dram(std::make_unique<SetAssocCache>(cfg.dramCache))
+{
+}
+
+void
+HierarchySource::emitWriteback(const Eviction &ev)
+{
+    MemOp op;
+    op.gapInsts = gapAccum;
+    gapAccum = 0;
+    op.isWrite = true;
+    op.addr = ev.lineAddr * kLineBytes;
+    // The write-back carries the full line; the controller discovers
+    // the truly changed words itself (read-before-write on chip).
+    op.data = ev.data;
+    pending.push_back(op);
+}
+
+const CacheLine &
+HierarchySource::ensureInDram(std::uint64_t line)
+{
+    const AccessResult probe = dram->access(line, /*is_store=*/false);
+    if (!probe.hit) {
+        // Fetch from PCM: emit the read and fill functionally.
+        MemOp rd;
+        rd.gapInsts = gapAccum;
+        gapAccum = 0;
+        rd.isWrite = false;
+        rd.addr = line * kLineBytes;
+        pending.push_back(rd);
+        if (auto ev = dram->fill(line, backing.read(line).data))
+            emitWriteback(*ev);
+    }
+    const CacheLine *data = dram->peek(line);
+    pcmap_assert(data != nullptr);
+    return *data;
+}
+
+void
+HierarchySource::step(const RawAccess &access)
+{
+    gapAccum += access.gapInsts;
+    const std::uint64_t line = access.addr / kLineBytes;
+    const unsigned word =
+        static_cast<unsigned>((access.addr / kWordBytes) %
+                              kWordsPerLine);
+
+    CacheLine store_line;
+    const WordMask store_mask =
+        access.isStore ? static_cast<WordMask>(1u << word) : 0;
+    std::uint64_t value = access.value;
+    if (access.isStore && access.silent) {
+        // Resolve the current content so the store is truly silent.
+        if (const CacheLine *p = l2Cache->peek(line))
+            value = p->w[word];
+        else if (const CacheLine *q = dram->peek(line))
+            value = q->w[word];
+        else
+            value = backing.read(line).data.w[word];
+    }
+    store_line.w[word] = value;
+
+    const AccessResult l2_res =
+        l2Cache->access(line, access.isStore, store_mask,
+                        access.isStore ? &store_line : nullptr);
+    if (l2_res.hit)
+        return;
+
+    // L2 miss: fetch the line through the DRAM cache.
+    const CacheLine data = ensureInDram(line);
+    const auto evicted =
+        l2Cache->fill(line, data, store_mask,
+                      access.isStore ? &store_line : nullptr);
+    if (!evicted)
+        return;
+
+    // Dirty L2 victim: merge it into the DRAM cache.
+    const std::uint64_t victim_line = evicted->lineAddr;
+    const AccessResult dres =
+        dram->access(victim_line, /*is_store=*/true,
+                     evicted->dirtyWords, &evicted->data);
+    if (!dres.hit) {
+        MemOp rd;
+        rd.gapInsts = gapAccum;
+        gapAccum = 0;
+        rd.isWrite = false;
+        rd.addr = victim_line * kLineBytes;
+        pending.push_back(rd);
+        if (auto dev = dram->fill(victim_line,
+                                  backing.read(victim_line).data,
+                                  evicted->dirtyWords, &evicted->data))
+            emitWriteback(*dev);
+    }
+}
+
+bool
+HierarchySource::next(MemOp &op)
+{
+    while (pending.empty()) {
+        if (rawDone)
+            return false;
+        RawAccess access;
+        if (!rawSource.next(access)) {
+            rawDone = true;
+            return false;
+        }
+        step(access);
+    }
+    op = pending.front();
+    pending.pop_front();
+    return true;
+}
+
+void
+HierarchySource::flushAll()
+{
+    for (const Eviction &ev : l2Cache->flush()) {
+        const AccessResult dres =
+            dram->access(ev.lineAddr, true, ev.dirtyWords, &ev.data);
+        if (!dres.hit) {
+            if (auto dev = dram->fill(ev.lineAddr,
+                                      backing.read(ev.lineAddr).data,
+                                      ev.dirtyWords, &ev.data))
+                emitWriteback(*dev);
+        }
+    }
+    for (const Eviction &ev : dram->flush())
+        emitWriteback(ev);
+}
+
+} // namespace pcmap::cache

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * A cache-hierarchy front end: turns a raw CPU load/store stream into
+ * the PCM-level read/write-back traffic the memory system sees.
+ *
+ * Models the on-chip side of Table I that matters to PCMap: a shared
+ * write-back L2 and the 256 MB DRAM cache, both with per-word dirty
+ * bits, in front of the PCM main memory.  (The tiny write-through L1s
+ * only filter re-references; their effect is folded into the raw
+ * stream's locality.)  Fills are functional reads of the backing
+ * store; the timing of PCM accesses is owned by the emitted MemOps.
+ *
+ * This is the end-to-end demonstration that raw store streams
+ * condense into the few-dirty-word write-backs of Figure 2; the
+ * figure harnesses use the calibrated profiles directly.
+ */
+
+#ifndef PCMAP_CACHE_HIERARCHY_H
+#define PCMAP_CACHE_HIERARCHY_H
+
+#include <deque>
+#include <memory>
+
+#include "cache/cache.h"
+#include "cpu/source.h"
+#include "mem/backing_store.h"
+
+namespace pcmap::cache {
+
+/** One raw CPU memory access (loads/stores at 8-byte granularity). */
+struct RawAccess
+{
+    std::uint64_t gapInsts = 0;
+    bool isStore = false;
+    /**
+     * A silent store rewrites whatever value the word already holds
+     * (Lepak & Lipasti); the hierarchy resolves the payload itself.
+     */
+    bool silent = false;
+    std::uint64_t addr = 0;   ///< byte address (word aligned)
+    std::uint64_t value = 0;  ///< store payload (ignored when silent)
+};
+
+/** Produces the raw access stream of one core. */
+class RawAccessSource
+{
+  public:
+    virtual ~RawAccessSource() = default;
+    virtual bool next(RawAccess &access) = 0;
+};
+
+/** Configuration of the modelled hierarchy. */
+struct HierarchyConfig
+{
+    CacheConfig l2{8ull << 20, 8, /*writeBack=*/true};
+    CacheConfig dramCache{256ull << 20, 8, /*writeBack=*/true};
+};
+
+/**
+ * RequestSource adapter: pull raw accesses, walk them through the
+ * hierarchy, and emit the resulting PCM-level operations.
+ */
+class HierarchySource : public RequestSource
+{
+  public:
+    HierarchySource(RawAccessSource &raw, BackingStore &store,
+                    const HierarchyConfig &cfg = {});
+
+    bool next(MemOp &op) override;
+
+    const SetAssocCache &l2() const { return *l2Cache; }
+    const SetAssocCache &dramCache() const { return *dram; }
+
+    /** Drain all dirty state to PCM (end-of-run bookkeeping). */
+    void flushAll();
+
+  private:
+    /** Handle one raw access; may append PCM ops to the queue. */
+    void step(const RawAccess &access);
+    /** Get @p line resident in the DRAM cache; may emit PCM ops. */
+    const CacheLine &ensureInDram(std::uint64_t line);
+    /** Send a dirty DRAM-cache victim to PCM. */
+    void emitWriteback(const Eviction &ev);
+
+    RawAccessSource &rawSource;
+    BackingStore &backing;
+    std::unique_ptr<SetAssocCache> l2Cache;
+    std::unique_ptr<SetAssocCache> dram;
+    std::deque<MemOp> pending;
+    std::uint64_t gapAccum = 0;
+    bool rawDone = false;
+};
+
+} // namespace pcmap::cache
+
+#endif // PCMAP_CACHE_HIERARCHY_H

@@ -1,0 +1,41 @@
+#include "cache/raw_stream.h"
+
+#include "sim/log.h"
+
+namespace pcmap::cache {
+
+SyntheticRawStream::SyntheticRawStream(const RawStreamConfig &config)
+    : cfg(config), rng(config.seed)
+{
+    pcmap_assert(cfg.footprintBytes >= kLineBytes);
+    gapP = 1.0 / (1.0 + cfg.meanGapInsts);
+    cursor = rng.below(cfg.footprintBytes / kWordBytes);
+}
+
+bool
+SyntheticRawStream::next(RawAccess &access)
+{
+    if (count >= cfg.accesses)
+        return false;
+    ++count;
+
+    const std::uint64_t words = cfg.footprintBytes / kWordBytes;
+    if (rng.chance(cfg.sequentialRun))
+        cursor = (cursor + 1) % words;
+    else
+        cursor = rng.below(words);
+
+    access.gapInsts = rng.geometric(gapP);
+    access.addr = cursor * kWordBytes;
+    access.isStore = rng.chance(cfg.storeFraction);
+    access.silent = false;
+    access.value = 0;
+    if (access.isStore) {
+        access.silent = rng.chance(cfg.silentStoreFraction);
+        if (!access.silent)
+            access.value = rng.next() | 1ull;
+    }
+    return true;
+}
+
+} // namespace pcmap::cache

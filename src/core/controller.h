@@ -1,0 +1,370 @@
+/**
+ * @file
+ * The PCMap memory controller: one instance per channel.
+ *
+ * Implements the baseline PCM scheduling policy of Section II-B
+ * (read-over-write priority with write-queue watermarks, FR-FCFS) and
+ * the PCMap mechanisms of Section IV:
+ *
+ *  - fine-grained (sub-ranked) writes confined to essential chips;
+ *  - RoW: during a one-essential-word write, reads to the same bank
+ *    are served by reading the seven free data chips plus the PCC
+ *    chip and XOR-reconstructing the busy chip's word; SECDED
+ *    verification is deferred to a background operation;
+ *  - WoW: consolidation of queued writes to the same bank whose
+ *    essential chip sets are disjoint;
+ *  - address-based rotation of data words and of the ECC/PCC words.
+ *
+ * Timing model
+ * ------------
+ * Transaction level with per-(chip, bank) reservations, per-chip data
+ * lanes, a shared command bus, and write-to-read turnaround — the same
+ * abstraction level as DRAMSim2.  ECC/PCC code updates that the paper
+ * propagates "in the background during idle periods" are modelled as
+ * background operations that yield to pending reads; deferred SECDED
+ * verifications of speculative reads use the same machinery, which is
+ * exactly what makes the single ECC chip a bottleneck in the -NR
+ * configurations and what the RDE rotation relieves.
+ */
+
+#ifndef PCMAP_CORE_CONTROLLER_H
+#define PCMAP_CORE_CONTROLLER_H
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/controller_config.h"
+#include "core/layout.h"
+#include "mem/address.h"
+#include "mem/backing_store.h"
+#include "mem/energy.h"
+#include "mem/irlp.h"
+#include "mem/rank.h"
+#include "mem/request.h"
+#include "mem/wear.h"
+#include "sim/event_queue.h"
+#include "sim/types.h"
+
+namespace pcmap {
+
+/** Aggregate counters exposed by a controller for harvesting. */
+struct ControllerStats
+{
+    std::uint64_t readsEnqueued = 0;
+    std::uint64_t readsCompleted = 0;
+    std::uint64_t readsForwardedFromWq = 0;
+    std::uint64_t readsDelayedByWrite = 0;
+    std::uint64_t readsRejected = 0;
+
+    std::uint64_t writesEnqueued = 0;
+    std::uint64_t writesCoalesced = 0;
+    std::uint64_t writesCompleted = 0;
+    std::uint64_t writesSilent = 0;
+    std::uint64_t writesRejected = 0;
+
+    double readLatencySum = 0.0;  ///< ticks, completion - enqueue
+    double readLatencyMax = 0.0;
+    double readQueueWaitSum = 0.0; ///< ticks, issue-start - enqueue
+    std::uint64_t readsIssuedDuringDrain = 0;
+
+    std::uint64_t essentialWordsSum = 0;
+    std::uint64_t essentialHist[kWordsPerLine + 1] = {};
+
+    std::uint64_t rowReads = 0;        ///< reads served by reconstruction
+    std::uint64_t deferredEccReads = 0;///< reads with ECC check deferred
+    std::uint64_t verifiesCompleted = 0;
+    std::uint64_t faultsDetected = 0;
+
+    std::uint64_t twoStepWrites = 0;   ///< 1-word writes split for RoW
+    std::uint64_t multiStepWrites = 0; ///< §IV-B4 serialized writes
+    std::uint64_t writesCancelled = 0; ///< write-cancellation events
+    std::uint64_t presetsIssued = 0;   ///< background line pre-SETs
+    std::uint64_t presetWrites = 0;    ///< writes served RESET-only
+    std::uint64_t wowGroups = 0;       ///< write groups with >= 2 writes
+    std::uint64_t wowMergedWrites = 0; ///< writes that joined a group
+    std::uint64_t wowGroupSizeSum = 0;
+    std::uint64_t bgOpsIssued = 0;
+    std::uint64_t bgOpsForced = 0;     ///< aged out and issued foreground
+    std::uint64_t statusPolls = 0;
+
+    /** Mean effective read latency in nanoseconds. */
+    double
+    avgReadLatencyNs() const
+    {
+        return readsCompleted
+                   ? ticksToNs(static_cast<Tick>(
+                         readLatencySum /
+                         static_cast<double>(readsCompleted)))
+                   : 0.0;
+    }
+};
+
+/**
+ * One channel's memory controller (Figure 7).
+ *
+ * Owns the timing state of its single rank, its read/write queues and
+ * the background-operation list, and drives everything from the shared
+ * event queue.
+ */
+class MemoryController
+{
+  public:
+    using ReadCallback = MemoryPort::ReadCallback;
+    using VerifyCallback = MemoryPort::VerifyCallback;
+    using RetryCallback = MemoryPort::RetryCallback;
+
+    /**
+     * @param name    Instance name for diagnostics ("mc0", ...).
+     * @param cfg     Full controller configuration (validated here).
+     * @param eq      Shared simulation event queue.
+     * @param store   Functional memory image (shared across channels).
+     * @param mapper  Address mapper (shared; defines bank/row decode).
+     * @param channel Channel index this controller serves.
+     */
+    MemoryController(std::string name, const ControllerConfig &cfg,
+                     EventQueue &eq, BackingStore &store,
+                     const AddressMapper &mapper, unsigned channel);
+
+    MemoryController(const MemoryController &) = delete;
+    MemoryController &operator=(const MemoryController &) = delete;
+
+    /** Try to enqueue a read; false when the read queue is full. */
+    bool enqueueRead(const MemRequest &req, ReadCallback cb);
+
+    /** Try to enqueue a write-back; false when the WQ is full. */
+    bool enqueueWrite(const MemRequest &req);
+
+    void setRetryCallback(RetryCallback cb) { retryCb = std::move(cb); }
+    void setVerifyCallback(VerifyCallback cb) { verifyCb = std::move(cb); }
+
+    /** Counters (live; finalize() closes time-weighted windows). */
+    const ControllerStats &stats() const { return counters; }
+
+    /** Number of ranks this controller manages. */
+    unsigned numRanks() const { return static_cast<unsigned>(ranks.size()); }
+
+    /** Time-weighted IRLP tracker of one rank (default: rank 0). */
+    const IrlpTracker &irlp(unsigned rank = 0) const
+    {
+        return irlpTrackers[rank];
+    }
+
+    /** Total write-service window time across ranks, in ticks. */
+    double irlpWindowTicks() const;
+
+    /** Integral of busy chips over all write windows (mean * window). */
+    double irlpArea() const;
+
+    /** Peak concurrent busy data chips across ranks. */
+    unsigned irlpMaxSeen() const;
+
+    /** Energy accounting for this channel. */
+    const EnergyModel &energy() const { return energyModel; }
+
+    /** Per-chip/per-line endurance accounting for this channel. */
+    const WearTracker &wear() const { return wearTracker; }
+
+    /** Close out time-integrated statistics at @p end_of_sim. */
+    void finalize(Tick end_of_sim);
+
+    /** True when no request is queued or in flight. */
+    bool idle() const;
+
+    std::size_t readQueueDepth() const { return readQ.size(); }
+    std::size_t writeQueueDepth() const { return writeQ.size(); }
+
+    const std::string &name() const { return instName; }
+    const ControllerConfig &config() const { return cfg; }
+
+  private:
+    // --- Queue entry types ---
+    struct ReadEntry
+    {
+        MemRequest req;
+        ReadCallback cb;
+        bool delayedByWrite = false;
+    };
+
+    struct WriteEntry
+    {
+        MemRequest req;
+        unsigned cancels = 0;    ///< times cancelled by a read
+        bool presetDone = false; ///< line pre-SET while buffered
+    };
+
+    /** A deferred code-update or verification on specific chips. */
+    struct BgOp
+    {
+        ChipMask chips = 0;
+        unsigned rank = 0;
+        unsigned bank = 0;
+        std::uint64_t row = 0;
+        /** Line a pending pre-SET targets (kNoPresetLine otherwise). */
+        std::uint64_t presetLine = ~0ull;
+        Tick duration = 0;
+        Tick created = 0;
+        bool isWrite = false; ///< code update (write) vs verify (read)
+        std::function<void()> onDone; ///< may be empty (code updates)
+    };
+
+    /** Candidate plan for issuing one read. */
+    struct ReadPlan
+    {
+        bool feasible = false;
+        std::size_t index = 0;   ///< position in readQ
+        unsigned rank = 0;
+        Tick start = kTickMax;
+        Tick end = 0;
+        ChipMask chips = 0;      ///< chips read inline
+        bool rowHit = false;
+        bool speculative = false;///< some check deferred
+        bool reconstruct = false;///< RoW: one data word rebuilt via PCC
+        unsigned missingWord = kNoWord;
+        unsigned busyChip = kNoWord;
+        bool eccDeferred = false;///< ECC chip not read inline
+        bool delayedByWrite = false;
+    };
+
+    // --- Scheduling ---
+    void kick();
+    void scheduleKick(Tick when);
+    /** Plan the best read to issue; does not mutate state. */
+    ReadPlan planRead(Tick now, bool immediate_only);
+    void issueRead(const ReadPlan &plan);
+    /**
+     * Try to issue the head-of-queue write (plus WoW merges).
+     * @return true when something issued; otherwise sets
+     * @p earliest to the first tick worth retrying at.
+     */
+    bool tryIssueWrites(Tick now, Tick &earliest);
+    void tryIssueBgOps(Tick now);
+
+    // --- Timing helpers ---
+    /**
+     * Earliest feasible [start, end) of an array read transaction on
+     * @p chips at (@p bank, @p row), honouring chip, lane, command-bus
+     * and turnaround constraints from @p lower_bound.
+     */
+    void computeReadWindow(ChipMask chips, unsigned bank,
+                           std::uint64_t row, Tick lower_bound,
+                           bool row_hit, Tick &start, Tick &end) const;
+    /** Same for a write transaction (column write + burst + pulse). */
+    void computeWriteWindow(ChipMask chips, unsigned bank, Tick lower_bound,
+                            Tick &start, Tick &end) const;
+    /** Mutable rank state for @p rank. */
+    Rank &rankState(unsigned rank) { return ranks[rank]; }
+    /** Commit bus/lane occupancy for an issued transaction. */
+    void occupyBuses(ChipMask chips, Tick burst_start, Tick burst_end,
+                     bool is_write, unsigned num_cmds);
+
+    /** Reserve every chip in @p chips for [start, end). */
+    void reserveChips(unsigned rank, ChipMask chips, unsigned bank,
+                      std::uint64_t row, Tick start, Tick end,
+                      bool is_write);
+
+    // --- Write service pieces ---
+    void completeSilentWrite(WriteEntry entry, WordMask essential);
+    /** Queue background ECC/PCC updates for a committed write. */
+    void queueCodeUpdates(std::uint64_t line_addr, unsigned rank,
+                          unsigned bank, std::uint64_t row, bool ecc,
+                          bool pcc, Tick created);
+    /**
+     * Schedule the functional commit + completion of one write.
+     * @param track_active When true the completion clears the
+     *        cancellable activeWrite record.
+     * @return Handle usable to cancel the completion.
+     */
+    EventHandle scheduleWriteCompletion(const WriteEntry &entry,
+                                        WordMask essential, Tick done,
+                                        bool track_active = false);
+
+    /**
+     * Queue the deferred SECDED verification of a speculative read;
+     * @p fault is the functionally precomputed outcome delivered when
+     * the background check completes.
+     */
+    void queueVerifyOp(const ReadPlan &plan, const MemRequest &req,
+                       const DecodedAddr &loc, bool fault);
+
+    void updateDrainState();
+    void notifyRetry();
+
+    /** Cancel the in-flight coarse write for a waiting read. */
+    void maybeCancelActiveWrite(Tick now);
+
+    /** Queue a background pre-SET for a freshly buffered write. */
+    void queuePreset(std::uint64_t line_addr, unsigned rank,
+                     unsigned bank, std::uint64_t row);
+
+    /** True when some queued read targets @p bank of @p rank. */
+    bool readWantsBank(unsigned rank, unsigned bank) const;
+
+    /** True when a queued read needs any of @p chips there. */
+    bool readWantsChips(unsigned rank, unsigned bank,
+                        ChipMask chips) const;
+
+    // --- Construction-time state ---
+    std::string instName;
+    ControllerConfig cfg;
+    ChipLayout chipLayout;
+    EventQueue &eventq;
+    BackingStore &backing;
+    const AddressMapper &addrMap;
+    unsigned channelId;
+
+    // --- Timing state ---
+    std::vector<Rank> ranks;
+    std::array<Tick, kChipsPerRank> laneFreeAt{};
+    Tick cmdBusFreeAt = 0;
+    Tick lastReadBurstEnd = 0;
+    Tick lastWriteBurstEnd = 0;
+    /** One write group in service per rank. */
+    std::vector<Tick> writeSlotFreeAt;
+
+    /** In-flight coarse write, cancellable under write cancellation. */
+    struct ActiveCoarseWrite
+    {
+        bool valid = false;
+        unsigned rank = 0;
+        unsigned bank = 0;
+        Tick start = 0;
+        Tick end = 0;
+        EventHandle completion;
+        WriteEntry entry;
+    };
+    ActiveCoarseWrite activeWrite;
+
+    // --- Queues ---
+    std::deque<ReadEntry> readQ;
+    std::deque<WriteEntry> writeQ;
+    std::vector<BgOp> bgOps;
+    unsigned codeBacklog = 0; ///< code updates within bgOps
+    unsigned pendingVerifies = 0; ///< speculative reads not yet checked
+    bool draining = false;
+
+    // --- Bookkeeping ---
+    unsigned inFlight = 0; ///< issued but not yet completed transactions
+    EventHandle kickEvent;
+    Tick kickAt = kTickMax;
+
+    RetryCallback retryCb;
+    VerifyCallback verifyCb;
+
+    ControllerStats counters;
+    std::vector<IrlpTracker> irlpTrackers;
+    EnergyModel energyModel;
+    WearTracker wearTracker;
+
+    /** Age beyond which a background code update goes foreground. */
+    static constexpr Tick kBgForceAge = 3 * kMicrosecond;
+    /** Deferred verifications are forced much sooner (rollback window). */
+    static constexpr Tick kVerifyForceAge = 2 * kMicrosecond;
+};
+
+} // namespace pcmap
+
+#endif // PCMAP_CORE_CONTROLLER_H

@@ -1,0 +1,85 @@
+#include "core/controller_config.h"
+
+#include "sim/log.h"
+
+namespace pcmap {
+
+const char *
+systemModeName(SystemMode mode)
+{
+    switch (mode) {
+      case SystemMode::Baseline: return "Baseline";
+      case SystemMode::RoW_NR:   return "RoW-NR";
+      case SystemMode::WoW_NR:   return "WoW-NR";
+      case SystemMode::RWoW_NR:  return "RWoW-NR";
+      case SystemMode::RWoW_RD:  return "RWoW-RD";
+      case SystemMode::RWoW_RDE: return "RWoW-RDE";
+    }
+    pcmap_panic("unknown system mode");
+}
+
+ControllerConfig
+ControllerConfig::forMode(SystemMode mode)
+{
+    ControllerConfig cfg;
+    switch (mode) {
+      case SystemMode::Baseline:
+        break;
+      case SystemMode::RoW_NR:
+        cfg.fineGrained = true;
+        cfg.enableRoW = true;
+        break;
+      case SystemMode::WoW_NR:
+        cfg.fineGrained = true;
+        cfg.enableWoW = true;
+        break;
+      case SystemMode::RWoW_NR:
+        cfg.fineGrained = true;
+        cfg.enableRoW = true;
+        cfg.enableWoW = true;
+        break;
+      case SystemMode::RWoW_RD:
+        cfg.fineGrained = true;
+        cfg.enableRoW = true;
+        cfg.enableWoW = true;
+        cfg.rotation = RotationMode::Data;
+        break;
+      case SystemMode::RWoW_RDE:
+        cfg.fineGrained = true;
+        cfg.enableRoW = true;
+        cfg.enableWoW = true;
+        cfg.rotation = RotationMode::DataEcc;
+        break;
+    }
+    return cfg;
+}
+
+void
+ControllerConfig::validate() const
+{
+    timing.validate();
+    if ((enableRoW || enableWoW) && !fineGrained)
+        fatal("RoW/WoW require fine-grained (sub-ranked) writes");
+    if (rotation == RotationMode::DataEcc && !hasPcc())
+        fatal("ECC/PCC rotation requires the 10-chip PCMap DIMM");
+    if (readQueueCap == 0 || writeQueueCap == 0)
+        fatal("queue capacities must be positive");
+    if (drainLowWatermark >= drainHighWatermark)
+        fatal("drain low watermark must be below the high watermark");
+    if (drainHighWatermark > 1.0 || drainLowWatermark < 0.0)
+        fatal("drain watermarks must lie within [0, 1]");
+    if (wowMaxMerge == 0)
+        fatal("wowMaxMerge must be at least 1");
+    if (enableWriteCancellation && fineGrained)
+        fatal("write cancellation models the conventional DIMM; "
+              "PCMap configurations overlap writes instead");
+    if (enablePreset && fineGrained)
+        fatal("PreSET models the conventional DIMM; PCMap "
+              "configurations keep differential writes instead");
+    if (cancelMinRemainingFrac < 0.0 || cancelMinRemainingFrac > 1.0)
+        fatal("cancelMinRemainingFrac must lie within [0, 1]");
+    if (banksPerRank == 0)
+        fatal("banksPerRank must be positive");
+}
+
+} // namespace pcmap

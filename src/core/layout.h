@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Chip-layout policies: how a line's eight data words and its ECC and
+ * PCC code words map onto the (up to ten) chips of a rank.
+ *
+ * Three policies reproduce the paper's design points:
+ *
+ *  - None    : word i on chip i, ECC on chip 8, PCC on chip 9
+ *              (Figure 3a/3c, no rotation).
+ *  - Data    : words rotated by lineAddr mod 8 across the data chips;
+ *              ECC/PCC fixed (Section IV-C2, Figure 6 — the "RD"
+ *              systems).
+ *  - DataEcc : all ten slots (8 words + ECC + PCC) rotated by
+ *              lineAddr mod 10 across all ten chips, RAID-5 style
+ *              (the "RDE" systems).
+ *
+ * The rotation offset is a pure function of the line address, so the
+ * controller never stores per-line bookkeeping (the paper's stated
+ * reason for address-based rotation).
+ */
+
+#ifndef PCMAP_CORE_LAYOUT_H
+#define PCMAP_CORE_LAYOUT_H
+
+#include <cstdint>
+
+#include "mem/line.h"
+
+namespace pcmap {
+
+/** Which words rotate across which chips. */
+enum class RotationMode : std::uint8_t
+{
+    None,    ///< Fixed layout.
+    Data,    ///< Rotate data words over the 8 data chips ("RD").
+    DataEcc, ///< Rotate data+ECC+PCC over all 10 chips ("RDE").
+};
+
+/** Sentinel for "this chip holds no data word of this line". */
+inline constexpr unsigned kNoWord = ~0u;
+
+/** Resolves word/code placement for a given rotation policy. */
+class ChipLayout
+{
+  public:
+    /**
+     * @param mode    Rotation policy.
+     * @param has_pcc False for a conventional 9-chip ECC DIMM; the
+     *                PCC slot is then invalid to query and DataEcc
+     *                rotation is rejected (it needs all ten chips).
+     */
+    ChipLayout(RotationMode mode, bool has_pcc);
+
+    RotationMode mode() const { return rotation; }
+    bool hasPcc() const { return pccPresent; }
+
+    /** Chip holding data word @p word (0..7) of line @p line_addr. */
+    unsigned chipForWord(std::uint64_t line_addr, unsigned word) const;
+
+    /**
+     * Data word (0..7) held by @p chip for @p line_addr, or kNoWord
+     * when that chip holds the line's ECC or PCC word.
+     */
+    unsigned wordForChip(std::uint64_t line_addr, unsigned chip) const;
+
+    /** Chip holding the SECDED ECC word of @p line_addr. */
+    unsigned eccChip(std::uint64_t line_addr) const;
+
+    /** Chip holding the PCC parity word of @p line_addr. */
+    unsigned pccChip(std::uint64_t line_addr) const;
+
+    /** Chip mask covering the data words selected by @p words. */
+    ChipMask chipsForWords(std::uint64_t line_addr, WordMask words) const;
+
+    /** Chip mask of all eight data-word chips of @p line_addr. */
+    ChipMask dataChips(std::uint64_t line_addr) const;
+
+    /**
+     * Full footprint of a write to @p line_addr updating @p words:
+     * the data chips plus the ECC chip plus (when present) the PCC
+     * chip.
+     */
+    ChipMask writeFootprint(std::uint64_t line_addr, WordMask words) const;
+
+  private:
+    unsigned slotToChip(std::uint64_t line_addr, unsigned slot) const;
+
+    RotationMode rotation;
+    bool pccPresent;
+};
+
+} // namespace pcmap
+
+#endif // PCMAP_CORE_LAYOUT_H

@@ -1,0 +1,134 @@
+#include "core/stat_export.h"
+
+#include <ostream>
+
+namespace pcmap {
+
+/** One controller's stat objects plus the refresh logic. */
+struct SystemStatExport::ControllerStatsMirror
+{
+    explicit ControllerStatsMirror(const std::string &name)
+        : group(name),
+          readsCompleted(group, "reads", "PCM reads served"),
+          readsForwarded(group, "readsForwarded",
+                         "reads answered from the write queue"),
+          readsDelayed(group, "readsDelayedByWrite",
+                       "reads held up by write service"),
+          writesCompleted(group, "writes", "write-backs committed"),
+          writesSilent(group, "writesSilent",
+                       "fully redundant write-backs"),
+          writesCoalesced(group, "writesCoalesced",
+                          "write-backs merged in the queue"),
+          readLatency(group, "readLatencyNs",
+                      "mean effective read latency"),
+          essentialWords(group, "essentialWords",
+                         "mean dirty words per write-back"),
+          rowReads(group, "rowReads",
+                   "reads served by PCC reconstruction"),
+          eccDeferred(group, "eccDeferredReads",
+                      "reads with deferred SECDED check"),
+          verifies(group, "verifies", "deferred checks completed"),
+          faults(group, "faults", "deferred checks that failed"),
+          twoStep(group, "twoStepWrites",
+                  "one-word writes split for RoW"),
+          multiStep(group, "multiStepWrites",
+                    "serialized multi-word RoW writes"),
+          wowGroups(group, "wowGroups", "consolidated write groups"),
+          wowMerged(group, "wowMergedWrites",
+                    "writes that joined a group"),
+          statusPolls(group, "statusPolls",
+                      "DIMM status-register polls"),
+          irlpMean(group, "irlpMean",
+                   "time-weighted busy chips during writes"),
+          energyUj(group, "energyUj", "total PCM energy"),
+          bitsSet(group, "bitsSet", "SET pulses issued"),
+          bitsReset(group, "bitsReset", "RESET pulses issued")
+    {
+    }
+
+    void
+    refresh(const MemoryController &mc)
+    {
+        const ControllerStats &s = mc.stats();
+        readsCompleted.set(static_cast<double>(s.readsCompleted));
+        readsForwarded.set(
+            static_cast<double>(s.readsForwardedFromWq));
+        readsDelayed.set(static_cast<double>(s.readsDelayedByWrite));
+        writesCompleted.set(static_cast<double>(s.writesCompleted));
+        writesSilent.set(static_cast<double>(s.writesSilent));
+        writesCoalesced.set(static_cast<double>(s.writesCoalesced));
+        readLatency.set(s.avgReadLatencyNs());
+        std::uint64_t writes = 0;
+        for (unsigned i = 0; i <= 8; ++i)
+            writes += s.essentialHist[i];
+        essentialWords.set(
+            writes ? static_cast<double>(s.essentialWordsSum) /
+                         static_cast<double>(writes)
+                   : 0.0);
+        rowReads.set(static_cast<double>(s.rowReads));
+        eccDeferred.set(static_cast<double>(s.deferredEccReads));
+        verifies.set(static_cast<double>(s.verifiesCompleted));
+        faults.set(static_cast<double>(s.faultsDetected));
+        twoStep.set(static_cast<double>(s.twoStepWrites));
+        multiStep.set(static_cast<double>(s.multiStepWrites));
+        wowGroups.set(static_cast<double>(s.wowGroups));
+        wowMerged.set(static_cast<double>(s.wowMergedWrites));
+        statusPolls.set(static_cast<double>(s.statusPolls));
+        irlpMean.set(mc.irlpWindowTicks() > 0.0
+                         ? mc.irlpArea() / mc.irlpWindowTicks()
+                         : 0.0);
+        energyUj.set(mc.energy().breakdown().totalUj());
+        bitsSet.set(static_cast<double>(mc.energy().bitsSet()));
+        bitsReset.set(static_cast<double>(mc.energy().bitsReset()));
+    }
+
+    stats::StatGroup group;
+    stats::Scalar readsCompleted;
+    stats::Scalar readsForwarded;
+    stats::Scalar readsDelayed;
+    stats::Scalar writesCompleted;
+    stats::Scalar writesSilent;
+    stats::Scalar writesCoalesced;
+    stats::Scalar readLatency;
+    stats::Scalar essentialWords;
+    stats::Scalar rowReads;
+    stats::Scalar eccDeferred;
+    stats::Scalar verifies;
+    stats::Scalar faults;
+    stats::Scalar twoStep;
+    stats::Scalar multiStep;
+    stats::Scalar wowGroups;
+    stats::Scalar wowMerged;
+    stats::Scalar statusPolls;
+    stats::Scalar irlpMean;
+    stats::Scalar energyUj;
+    stats::Scalar bitsSet;
+    stats::Scalar bitsReset;
+};
+
+SystemStatExport::SystemStatExport(MainMemory &memory) : mem(memory)
+{
+    for (unsigned ch = 0; ch < mem.channels(); ++ch) {
+        mirrors.push_back(std::make_unique<ControllerStatsMirror>(
+            mem.controller(ch).name()));
+        rootGroup.addChild(&mirrors.back()->group);
+    }
+}
+
+SystemStatExport::~SystemStatExport() = default;
+
+void
+SystemStatExport::refresh()
+{
+    for (unsigned ch = 0; ch < mem.channels(); ++ch)
+        mirrors[ch]->refresh(mem.controller(ch));
+}
+
+void
+SystemStatExport::dump(std::ostream &os)
+{
+    refresh();
+    rootGroup.dump(os);
+}
+
+} // namespace pcmap

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * gem5-style statistics export: mirrors the live counters of a
+ * MainMemory (per-controller and aggregate) into the stats framework
+ * so they can be dumped as the flat "name value # description"
+ * listing architecture tooling expects.
+ */
+
+#ifndef PCMAP_CORE_STAT_EXPORT_H
+#define PCMAP_CORE_STAT_EXPORT_H
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "core/memory_system.h"
+#include "sim/stats.h"
+
+namespace pcmap {
+
+/** Snapshot-and-dump bridge from MainMemory counters to stats. */
+class SystemStatExport
+{
+  public:
+    /** @param memory Must outlive this exporter. */
+    explicit SystemStatExport(MainMemory &memory);
+    ~SystemStatExport();
+
+    SystemStatExport(const SystemStatExport &) = delete;
+    SystemStatExport &operator=(const SystemStatExport &) = delete;
+
+    /** Copy the current controller counters into the stat objects. */
+    void refresh();
+
+    /** refresh() then write the full listing to @p os. */
+    void dump(std::ostream &os);
+
+    /** The stat tree (valid between refreshes). */
+    const stats::StatGroup &root() const { return rootGroup; }
+
+  private:
+    struct ControllerStatsMirror;
+
+    MainMemory &mem;
+    stats::StatGroup rootGroup{"pcm"};
+    std::vector<std::unique_ptr<ControllerStatsMirror>> mirrors;
+};
+
+} // namespace pcmap
+
+#endif // PCMAP_CORE_STAT_EXPORT_H

@@ -1,0 +1,304 @@
+#include "core/system.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+#include "sim/log.h"
+#include "workload/profile.h"
+
+namespace pcmap {
+
+ControllerConfig
+SystemConfig::controllerConfig() const
+{
+    ControllerConfig mc = ControllerConfig::forMode(mode);
+    mc.timing = timing;
+    mc.banksPerRank = geometry.banksPerRank;
+    mc.readQueueCap = readQueueCap;
+    mc.writeQueueCap = writeQueueCap;
+    mc.drainHighWatermark = drainHighWatermark;
+    mc.drainLowWatermark = drainLowWatermark;
+    mc.modelCodeUpdateTraffic = modelCodeUpdateTraffic;
+    mc.modelVerifyTraffic = modelVerifyTraffic;
+    mc.serveReadsDuringDrain = serveReadsDuringDrain;
+    mc.enableTwoStep = enableTwoStep;
+    mc.rowMultiWordWrites = rowMultiWordWrites;
+    mc.pagePolicy = pagePolicy;
+    mc.readScheduling = readScheduling;
+    mc.perBankWriteQueues = perBankWriteQueues;
+    mc.enableWriteCancellation = enableWriteCancellation;
+    mc.enablePreset = enablePreset;
+    mc.codeUpdateBacklogCap = codeUpdateBacklogCap;
+    mc.specReadBufferCap = specReadBufferCap;
+    mc.wowMaxMerge = wowMaxMerge;
+    mc.wowScanDepth = wowScanDepth;
+    mc.validate();
+    return mc;
+}
+
+System::System(const SystemConfig &config,
+               const workload::WorkloadSpec &workload_spec)
+    : cfg(config), spec(workload_spec)
+{
+    if (spec.cores() != cfg.numCores) {
+        fatal("workload '", spec.name, "' provides ", spec.cores(),
+              " core apps but the system has ", cfg.numCores, " cores");
+    }
+    cfg.geometry.validate();
+
+    mem = std::make_unique<MainMemory>(cfg.controllerConfig(),
+                                       cfg.geometry, eventq);
+
+    // Carve the physical line space into per-core regions for
+    // multi-programmed runs; multi-threaded runs share one region.
+    const std::uint64_t total_lines = cfg.geometry.totalLines();
+    std::uint64_t next_base = 0;
+    Rng seeder(cfg.seed);
+
+    for (unsigned i = 0; i < cfg.numCores; ++i) {
+        const workload::AppProfile &prof =
+            workload::findProfile(spec.coreApps[i]);
+        std::uint64_t base = 0;
+        std::uint64_t region = prof.footprintLines;
+        if (!spec.sharedAddressSpace) {
+            base = next_base;
+            next_base += region;
+            if (next_base > total_lines) {
+                fatal("per-core footprints exceed the ",
+                      total_lines / (1u << 24),
+                      " GB memory; shrink the workload");
+            }
+        }
+        sources.push_back(
+            std::make_unique<workload::SyntheticGenerator>(
+                prof, mem->backingStore(),
+                cfg.seed * 1000003ull + i * 7919ull, base, region));
+        cores.push_back(std::make_unique<CoreModel>(
+            i, cfg.core, eventq, *mem, *sources.back(),
+            cfg.instructionsPerCore));
+    }
+
+    mem->setRetryCallback([this]() {
+        for (auto &c : cores)
+            c->onRetry();
+    });
+    mem->setVerifyCallback([this](ReqId id, unsigned core_id,
+                                  bool fault) {
+        if (core_id < cores.size())
+            cores[core_id]->onVerify(id, fault);
+    });
+}
+
+System::~System() = default;
+
+SystemResults
+System::run()
+{
+    for (auto &c : cores)
+        c->start();
+
+    eventq.run();
+
+    for (const auto &c : cores) {
+        if (!c->finished()) {
+            pcmap_panic("event queue drained but core ", c->id(),
+                        " retired only ", c->stats().instRetired,
+                        " instructions (simulator deadlock)");
+        }
+    }
+
+    const Tick end = eventq.now();
+    mem->finalize(end);
+
+    SystemResults res;
+    res.workload = spec.name;
+    res.mode = cfg.mode;
+    res.simTicks = end;
+
+    // --- Cores ---
+    std::uint64_t total_insts = 0;
+    for (const auto &c : cores) {
+        res.coreIpc.push_back(c->ipc());
+        res.ipcSum += c->ipc();
+        const CoreStats &cs = c->stats();
+        total_insts += cs.instRetired;
+        res.specReads += cs.specReadsSeen;
+        res.consumedBeforeVerify += cs.consumedBeforeVerify;
+        res.rollbacks += cs.rollbacks;
+    }
+
+    // --- Controllers ---
+    double lat_weighted = 0.0;
+    double irlp_area = 0.0;
+    double irlp_span = 0.0;
+    std::uint64_t delayed = 0;
+    std::uint64_t essential_sum = 0;
+    std::uint64_t essential_writes = 0;
+    std::array<std::uint64_t, 9> hist{};
+    for (unsigned ch = 0; ch < mem->channels(); ++ch) {
+        const ControllerStats &s = mem->controller(ch).stats();
+        const MemoryController &mc = mem->controller(ch);
+        res.readsCompleted += s.readsCompleted;
+        res.writesCompleted += s.writesCompleted;
+        res.rowReads += s.rowReads;
+        res.deferredEccReads += s.deferredEccReads;
+        res.twoStepWrites += s.twoStepWrites;
+        res.wowGroups += s.wowGroups;
+        res.wowMergedWrites += s.wowMergedWrites;
+        delayed += s.readsDelayedByWrite;
+        lat_weighted += s.readLatencySum;
+        res.readsIssuedDuringDrain += s.readsIssuedDuringDrain;
+        res.avgReadQueueWaitNs += s.readQueueWaitSum;
+        essential_sum += s.essentialWordsSum;
+        for (unsigned i = 0; i <= 8; ++i) {
+            hist[i] += s.essentialHist[i];
+            essential_writes += s.essentialHist[i];
+        }
+        irlp_area += mc.irlpArea();
+        irlp_span += mc.irlpWindowTicks();
+        const EnergyBreakdown &eb =
+            mem->controller(ch).energy().breakdown();
+        res.energyUj += eb.totalUj();
+        res.energyArrayReadUj += eb.arrayReadPj * 1e-6;
+        res.energySetUj += eb.setPj * 1e-6;
+        res.energyResetUj += eb.resetPj * 1e-6;
+        res.bitsSet += mem->controller(ch).energy().bitsSet();
+        res.bitsReset += mem->controller(ch).energy().bitsReset();
+        res.irlpMax = std::max(
+            res.irlpMax, static_cast<double>(mc.irlpMaxSeen()));
+    }
+
+    if (res.readsCompleted > 0) {
+        res.avgReadLatencyNs = ticksToNs(static_cast<Tick>(
+            lat_weighted / static_cast<double>(res.readsCompleted)));
+        res.avgReadQueueWaitNs = ticksToNs(static_cast<Tick>(
+            res.avgReadQueueWaitNs /
+            static_cast<double>(res.readsCompleted)));
+        res.pctReadsDelayedByWrite =
+            100.0 * static_cast<double>(delayed) /
+            static_cast<double>(res.readsCompleted);
+    }
+    if (irlp_span > 0.0) {
+        res.irlpMean = irlp_area / irlp_span;
+        // writes per second of write-service window time
+        res.writeThroughput = static_cast<double>(res.writesCompleted) /
+                              (irlp_span * 1e-12);
+    }
+    if (essential_writes > 0) {
+        res.avgEssentialWords =
+            static_cast<double>(essential_sum) /
+            static_cast<double>(essential_writes);
+        for (unsigned i = 0; i <= 8; ++i) {
+            res.essentialPct[i] = 100.0 * static_cast<double>(hist[i]) /
+                                  static_cast<double>(essential_writes);
+        }
+    }
+    {
+        // Aggregate per-chip wear slot-wise across channels.
+        WearTracker combined;
+        for (unsigned ch = 0; ch < mem->channels(); ++ch) {
+            const auto &per_chip =
+                mem->controller(ch).wear().perChip();
+            for (unsigned c = 0; c < kChipsPerRank; ++c) {
+                if (per_chip[c] > 0) {
+                    combined.recordChipWrite(
+                        c, static_cast<unsigned>(per_chip[c]));
+                }
+            }
+        }
+        res.wearChipImbalance = combined.chipImbalance();
+        res.wearChipCv = combined.chipCv();
+    }
+    if (total_insts > 0) {
+        res.rpki = 1000.0 * static_cast<double>(res.readsCompleted) /
+                   static_cast<double>(total_insts);
+        res.wpki = 1000.0 * static_cast<double>(res.writesCompleted) /
+                   static_cast<double>(total_insts);
+    }
+    return res;
+}
+
+SystemResults
+runWorkload(const SystemConfig &cfg, const std::string &workload_name)
+{
+    System sys(cfg, workload::makeWorkload(workload_name, cfg.numCores));
+    return sys.run();
+}
+
+namespace {
+
+void
+line(std::ostream &os, const char *name, double value, const char *unit,
+     const char *desc)
+{
+    os << "  " << std::left << std::setw(28) << name << std::right
+       << std::setw(14) << std::setprecision(6) << value << " " << unit
+       << "  # " << desc << "\n";
+}
+
+} // namespace
+
+void
+dumpResults(const SystemResults &r, std::ostream &os)
+{
+    os << "=== " << r.workload << " on " << systemModeName(r.mode)
+       << " ===\n";
+    line(os, "simulated.time", static_cast<double>(r.simTicks) / 1e9,
+         "ms", "wall time inside the simulation");
+    line(os, "ipc.sum", r.ipcSum, "", "system throughput (sum of IPCs)");
+    for (std::size_t i = 0; i < r.coreIpc.size(); ++i) {
+        line(os, ("ipc.core" + std::to_string(i)).c_str(), r.coreIpc[i],
+             "", "per-core IPC");
+    }
+    line(os, "reads.completed", static_cast<double>(r.readsCompleted),
+         "", "PCM reads served");
+    line(os, "writes.completed", static_cast<double>(r.writesCompleted),
+         "", "PCM write-backs committed");
+    line(os, "reads.latency", r.avgReadLatencyNs, "ns",
+         "mean effective read latency");
+    line(os, "reads.queueWait", r.avgReadQueueWaitNs, "ns",
+         "mean time from arrival to array start");
+    line(os, "reads.delayedByWrite", r.pctReadsDelayedByWrite, "%",
+         "reads held up by write service (Fig. 1)");
+    line(os, "writes.throughput", r.writeThroughput / 1e6, "M/s",
+         "writes per second of write-service time");
+    line(os, "irlp.mean", r.irlpMean, "",
+         "chips busy during writes (Fig. 8)");
+    line(os, "irlp.max", r.irlpMax, "", "peak concurrent busy chips");
+    line(os, "writes.essentialWords", r.avgEssentialWords, "",
+         "mean dirty words per write-back (Fig. 2)");
+    os << "  essential-word histogram   ";
+    for (unsigned i = 0; i <= 8; ++i) {
+        os << i << ":" << std::setprecision(3) << r.essentialPct[i]
+           << "% ";
+    }
+    os << "\n";
+    line(os, "row.reads", static_cast<double>(r.rowReads), "",
+         "reads served by PCC reconstruction");
+    line(os, "row.eccDeferred", static_cast<double>(r.deferredEccReads),
+         "", "reads with the SECDED check deferred");
+    line(os, "row.twoStepWrites", static_cast<double>(r.twoStepWrites),
+         "", "one-word writes split for RoW");
+    line(os, "wow.groups", static_cast<double>(r.wowGroups), "",
+         "consolidated write groups");
+    line(os, "wow.mergedWrites", static_cast<double>(r.wowMergedWrites),
+         "", "writes that joined a group");
+    line(os, "spec.reads", static_cast<double>(r.specReads), "",
+         "speculative deliveries");
+    line(os, "spec.consumedBeforeVerify",
+         static_cast<double>(r.consumedBeforeVerify), "",
+         "consumed before the deferred check");
+    line(os, "spec.rollbacks", static_cast<double>(r.rollbacks), "",
+         "CPU rollbacks (Table IV)");
+    line(os, "energy.total", r.energyUj, "uJ",
+         "array + pulse + buffer + bus energy");
+    line(os, "energy.set", r.energySetUj, "uJ", "SET pulses");
+    line(os, "energy.reset", r.energyResetUj, "uJ", "RESET pulses");
+    line(os, "wear.chipImbalance", r.wearChipImbalance, "",
+         "max/mean per-chip writes (1.0 = even)");
+    line(os, "traffic.rpki", r.rpki, "", "PCM reads per kilo-inst");
+    line(os, "traffic.wpki", r.wpki, "", "PCM writes per kilo-inst");
+}
+
+} // namespace pcmap

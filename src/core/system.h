@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Top-level system assembly: the paper's evaluated platform of eight
+ * cores over a 4-channel, 8 GB PCM main memory (Table I), driven by a
+ * named workload, with the result metrics every experiment harvests.
+ */
+
+#ifndef PCMAP_CORE_SYSTEM_H
+#define PCMAP_CORE_SYSTEM_H
+
+#include <array>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/controller_config.h"
+#include "core/memory_system.h"
+#include "cpu/core_model.h"
+#include "sim/event_queue.h"
+#include "workload/generator.h"
+#include "workload/mixes.h"
+
+namespace pcmap {
+
+/** Full parameterization of a simulated system. */
+struct SystemConfig
+{
+    SystemMode mode = SystemMode::Baseline;
+    MemGeometry geometry{};   ///< 4 channels, 8 GB by default.
+    PcmTiming timing{};       ///< PCM device timing (sweepable).
+    CoreConfig core{};        ///< Core model parameters.
+    unsigned numCores = 8;
+    std::uint64_t instructionsPerCore = 2'000'000;
+    std::uint64_t seed = 1;
+
+    /** Optional overrides applied on top of the mode preset. */
+    unsigned readQueueCap = 8;
+    unsigned writeQueueCap = 32;
+    double drainHighWatermark = 0.8;
+    double drainLowWatermark = 0.25;
+    /** Ablation switches (see ControllerConfig). */
+    bool modelCodeUpdateTraffic = true;
+    bool modelVerifyTraffic = true;
+    bool serveReadsDuringDrain = true;
+    bool enableTwoStep = true;
+    bool rowMultiWordWrites = false;
+    PagePolicy pagePolicy = PagePolicy::Open;
+    ReadScheduling readScheduling = ReadScheduling::FrFcfs;
+    bool perBankWriteQueues = false;
+    bool enableWriteCancellation = false;
+    bool enablePreset = false;
+    unsigned codeUpdateBacklogCap = 16;
+    unsigned specReadBufferCap = 8;
+    unsigned wowMaxMerge = 8;
+    unsigned wowScanDepth = 32;
+
+    /** Build the controller configuration implied by this system. */
+    ControllerConfig controllerConfig() const;
+};
+
+/** Metrics harvested from one run (aggregated over cores/channels). */
+struct SystemResults
+{
+    std::string workload;
+    SystemMode mode = SystemMode::Baseline;
+
+    std::vector<double> coreIpc;
+    double ipcSum = 0.0; ///< system throughput: sum of per-core IPC
+
+    double avgReadLatencyNs = 0.0;
+    /** Completed writes per second of write-service window time. */
+    double writeThroughput = 0.0;
+    double irlpMean = 0.0;
+    double irlpMax = 0.0;
+    double pctReadsDelayedByWrite = 0.0;
+    double avgEssentialWords = 0.0;
+    /** essentialPct[i]: % of non-coalesced write-backs with i dirty words. */
+    std::array<double, 9> essentialPct{};
+
+    std::uint64_t readsCompleted = 0;
+    std::uint64_t writesCompleted = 0;
+    std::uint64_t rowReads = 0;
+    std::uint64_t deferredEccReads = 0;
+    std::uint64_t specReads = 0;
+    std::uint64_t consumedBeforeVerify = 0;
+    std::uint64_t rollbacks = 0;
+    std::uint64_t twoStepWrites = 0;
+    std::uint64_t wowGroups = 0;
+    std::uint64_t wowMergedWrites = 0;
+    std::uint64_t readsIssuedDuringDrain = 0;
+    double avgReadQueueWaitNs = 0.0;
+
+    // --- Energy (microjoules) and endurance ---
+    double energyUj = 0.0;
+    double energyArrayReadUj = 0.0;
+    double energySetUj = 0.0;
+    double energyResetUj = 0.0;
+    std::uint64_t bitsSet = 0;
+    std::uint64_t bitsReset = 0;
+    /** Max/mean per-chip write ratio (1.0 = perfectly even wear). */
+    double wearChipImbalance = 1.0;
+    double wearChipCv = 0.0;
+
+    Tick simTicks = 0;
+
+    /** Measured system RPKI / WPKI (sanity vs. Table II). */
+    double rpki = 0.0;
+    double wpki = 0.0;
+};
+
+/**
+ * A complete simulated system.  Construct, run(), then inspect the
+ * results (the object stays alive for deeper post-run inspection of
+ * controllers and cores).
+ */
+class System
+{
+  public:
+    System(const SystemConfig &cfg, const workload::WorkloadSpec &spec);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Run to completion and harvest metrics. */
+    SystemResults run();
+
+    MainMemory &memory() { return *mem; }
+    EventQueue &eventQueue() { return eventq; }
+    const CoreModel &core(unsigned i) const { return *cores[i]; }
+    unsigned numCores() const
+    {
+        return static_cast<unsigned>(cores.size());
+    }
+
+  private:
+    SystemConfig cfg;
+    workload::WorkloadSpec spec;
+    EventQueue eventq;
+    std::unique_ptr<MainMemory> mem;
+    std::vector<std::unique_ptr<workload::SyntheticGenerator>> sources;
+    std::vector<std::unique_ptr<CoreModel>> cores;
+};
+
+/** Convenience: build and run one (mode, workload) point. */
+SystemResults runWorkload(const SystemConfig &cfg,
+                          const std::string &workload_name);
+
+/** Write a full human-readable report of one run to @p os. */
+void dumpResults(const SystemResults &results, std::ostream &os);
+
+} // namespace pcmap
+
+#endif // PCMAP_CORE_SYSTEM_H

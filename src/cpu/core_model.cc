@@ -1,0 +1,249 @@
+#include "cpu/core_model.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace pcmap {
+
+CoreModel::CoreModel(unsigned id, const CoreConfig &config, EventQueue &eq,
+                     MemoryPort &port, RequestSource &source,
+                     std::uint64_t target_insts)
+    : coreId(id), cfg(config), eventq(eq), mem(port), src(source),
+      targetInsts(target_insts)
+{
+    if (cfg.issueWidth == 0)
+        fatal("core issue width must be positive");
+    if (cfg.maxOutstandingReads == 0)
+        fatal("core needs at least one MSHR");
+}
+
+void
+CoreModel::start()
+{
+    startTick = eventq.now();
+    resume();
+}
+
+Tick
+CoreModel::execTicks(std::uint64_t n) const
+{
+    const std::uint64_t cycles = (n + cfg.issueWidth - 1) / cfg.issueWidth;
+    return cfg.clock.cyclesToTicks(cycles);
+}
+
+double
+CoreModel::ipc() const
+{
+    const Tick elapsed = coreStats.finishTick - startTick;
+    if (elapsed == 0)
+        return 0.0;
+    const double cycles = static_cast<double>(elapsed) /
+                          static_cast<double>(cfg.clock.periodTicks());
+    return static_cast<double>(coreStats.instRetired) / cycles;
+}
+
+void
+CoreModel::resume()
+{
+    if (coreStats.finished || running || waitingRetry ||
+        blockedOnRead != 0 || mshrBlocked) {
+        return;
+    }
+
+    const Tick now = eventq.now();
+
+    // Pay any rollback penalty accrued since we last ran.
+    if (penaltyOwed > 0) {
+        const Tick penalty = penaltyOwed;
+        penaltyOwed = 0;
+        coreStats.rollbackTicks += penalty;
+        running = true;
+        eventq.schedule(now + penalty, [this]() {
+            running = false;
+            resume();
+        });
+        return;
+    }
+
+    while (true) {
+        if (instRetired >= targetInsts) {
+            coreStats.finished = true;
+            coreStats.finishTick = eventq.now();
+            coreStats.instRetired = instRetired;
+            return;
+        }
+
+        if (!opPending && !sourceDone) {
+            if (src.next(pendingOp)) {
+                opPending = true;
+                opIssueInst = instRetired + pendingOp.gapInsts;
+            } else {
+                sourceDone = true;
+            }
+        }
+
+        // The out-of-order window: the core may slide robWindowInsts
+        // past the oldest unreturned read before it must stall.
+        std::uint64_t limit = targetInsts;
+        const OutstandingRead *oldest = nullptr;
+        for (const OutstandingRead &o : outstanding) {
+            if (!o.returned) {
+                oldest = &o;
+                break;
+            }
+        }
+        if (oldest)
+            limit = std::min(limit, oldest->blockAtInst);
+
+        std::uint64_t exec_to = limit;
+        if (opPending)
+            exec_to = std::min(exec_to, opIssueInst);
+
+        if (exec_to > instRetired) {
+            // Cap the segment so tick arithmetic cannot overflow even
+            // for astronomically large instruction targets.
+            constexpr std::uint64_t kMaxSegment = 1ull << 40;
+            exec_to = std::min(exec_to, instRetired + kMaxSegment);
+            const Tick dt = execTicks(exec_to - instRetired);
+            running = true;
+            eventq.schedule(eventq.now() + dt, [this, exec_to]() {
+                running = false;
+                instRetired = std::max(instRetired, exec_to);
+                coreStats.instRetired = instRetired;
+                resume();
+            });
+            return;
+        }
+
+        // exec_to == instRetired: something gates progress right here.
+        if (oldest && oldest->blockAtInst <= instRetired) {
+            // Stalled on the oldest load.
+            blockedOnRead = oldest->id;
+            ++coreStats.readStalls;
+            stallStart = eventq.now();
+            return;
+        }
+
+        pcmap_assert(opPending && opIssueInst <= instRetired);
+
+        if (pendingOp.isWrite) {
+            MemRequest req;
+            req.id = nextReqId++;
+            req.type = ReqType::Write;
+            req.addr = pendingOp.addr;
+            req.coreId = coreId;
+            req.data = pendingOp.data;
+            if (!mem.enqueueWrite(req)) {
+                --nextReqId;
+                waitingRetry = true;
+                stallStart = eventq.now();
+                return;
+            }
+            ++coreStats.writesIssued;
+            opPending = false;
+            continue;
+        }
+
+        if (outstanding.size() >= cfg.maxOutstandingReads) {
+            mshrBlocked = true;
+            stallStart = eventq.now();
+            return;
+        }
+
+        MemRequest req;
+        req.id = nextReqId++;
+        req.type = ReqType::Read;
+        req.addr = pendingOp.addr;
+        req.coreId = coreId;
+        if (!mem.enqueueRead(req, [this](const ReadResponse &resp) {
+                onReadComplete(resp);
+            })) {
+            --nextReqId;
+            waitingRetry = true;
+            stallStart = eventq.now();
+            return;
+        }
+        OutstandingRead o;
+        o.id = req.id;
+        o.issuedAtInst = instRetired;
+        o.blockAtInst = instRetired + cfg.robWindowInsts;
+        outstanding.push_back(o);
+        ++coreStats.readsIssued;
+        opPending = false;
+    }
+}
+
+void
+CoreModel::onReadComplete(const ReadResponse &resp)
+{
+    const Tick now = eventq.now();
+
+    auto it = std::find_if(outstanding.begin(), outstanding.end(),
+                           [&](const OutstandingRead &o) {
+                               return o.id == resp.id;
+                           });
+    pcmap_assert(it != outstanding.end());
+    outstanding.erase(it);
+
+    if (resp.speculative) {
+        ++coreStats.specReadsSeen;
+        SpeculativeRead s;
+        s.id = resp.id;
+        s.consumedTick = resp.completionTick + cfg.commitDelay;
+        speculative.push_back(s);
+    }
+
+    bool unblocked = false;
+    if (blockedOnRead == resp.id) {
+        blockedOnRead = 0;
+        coreStats.readStallTicks += now - stallStart;
+        unblocked = true;
+    }
+    if (mshrBlocked) {
+        mshrBlocked = false;
+        coreStats.readStallTicks += now - stallStart;
+        unblocked = true;
+    }
+    if (unblocked)
+        resume();
+}
+
+void
+CoreModel::onRetry()
+{
+    if (!waitingRetry)
+        return;
+    waitingRetry = false;
+    coreStats.retryStallTicks += eventq.now() - stallStart;
+    resume();
+}
+
+void
+CoreModel::onVerify(ReqId id, bool fault)
+{
+    auto it = std::find_if(speculative.begin(), speculative.end(),
+                           [&](const SpeculativeRead &s) {
+                               return s.id == id;
+                           });
+    if (it == speculative.end())
+        return; // not ours, or already handled
+
+    const Tick now = eventq.now();
+    const bool consumed = now > it->consumedTick;
+    if (consumed)
+        ++coreStats.consumedBeforeVerify;
+
+    const bool must_rollback =
+        consumed && (fault || cfg.assumeAlwaysFaulty);
+    if (must_rollback && !coreStats.finished) {
+        ++coreStats.rollbacks;
+        penaltyOwed += cfg.rollbackPenalty;
+        // If the core is idle right now, restart it to pay the debt;
+        // otherwise it is charged before the next segment.
+        resume();
+    }
+    speculative.erase(it);
+}
+
+} // namespace pcmap

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * A throughput core model with memory-level parallelism.
+ *
+ * The paper's mechanisms live in the memory controller; the core
+ * matters only as a request source whose progress is coupled to read
+ * latency and to write-queue back-pressure.  This model captures
+ * exactly that coupling, in the style of trace-driven memory studies:
+ *
+ *  - non-memory instructions retire at issueWidth per cycle;
+ *  - a read miss is issued when reached and the core keeps sliding
+ *    until the miss is robWindow instructions old (an out-of-order
+ *    window), then stalls until the data returns; up to
+ *    maxOutstandingReads misses may be in flight (MSHRs);
+ *  - write-backs are fire-and-forget unless the controller's write
+ *    queue is full, which stalls the core until space frees
+ *    (back-pressure from the LLC's full write buffer);
+ *  - a speculatively delivered read (RoW) is "consumed" commitDelay
+ *    after its data returns; if the deferred verification completes
+ *    after consumption and reports a fault — or the Table IV study
+ *    pessimistically assumes every such read faulty — the core pays
+ *    rollbackPenalty (Section IV-B3).
+ */
+
+#ifndef PCMAP_CPU_CORE_MODEL_H
+#define PCMAP_CPU_CORE_MODEL_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "cpu/source.h"
+#include "mem/request.h"
+#include "sim/event_queue.h"
+#include "sim/types.h"
+
+namespace pcmap {
+
+/** Static configuration of one core. */
+struct CoreConfig
+{
+    ClockDomain clock = kCoreClock;   ///< 2.5 GHz (Table I).
+    unsigned issueWidth = 4;          ///< Non-memory retire rate.
+    unsigned maxOutstandingReads = 32;///< Data MSHRs (Table I).
+    unsigned robWindowInsts = 128;    ///< OoO slide past a load miss.
+    /**
+     * Lag from data return to architectural commit.  In a memory-
+     * bound out-of-order core the load's commit waits behind older
+     * in-flight misses, so this is hundreds of nanoseconds — which is
+     * why the paper observes 98.7% of RoW reads still uncommitted
+     * when the deferred check completes (Section IV-B3).
+     */
+    Tick commitDelay = 400 * kNanosecond;
+    Tick rollbackPenalty = 120 * kNanosecond; ///< Flush + re-execute.
+    /**
+     * Table IV "faulty system": treat every speculative read that was
+     * consumed before verification as requiring a rollback.
+     */
+    bool assumeAlwaysFaulty = false;
+};
+
+/** Counters exposed by one core. */
+struct CoreStats
+{
+    std::uint64_t instRetired = 0;
+    std::uint64_t readsIssued = 0;
+    std::uint64_t writesIssued = 0;
+    std::uint64_t readStalls = 0;     ///< times blocked on a read
+    Tick readStallTicks = 0;
+    Tick retryStallTicks = 0;         ///< blocked on full queues
+    std::uint64_t specReadsSeen = 0;
+    std::uint64_t consumedBeforeVerify = 0;
+    std::uint64_t rollbacks = 0;
+    Tick rollbackTicks = 0;
+    Tick finishTick = 0;
+    bool finished = false;
+};
+
+/** One core executing a RequestSource against a MemoryPort. */
+class CoreModel
+{
+  public:
+    /**
+     * @param id          Core id (0..7), stamped into requests.
+     * @param cfg         Core parameters.
+     * @param eq          Shared event queue.
+     * @param port        The main memory.
+     * @param source      Produces this core's memory operations; must
+     *                    outlive the core.
+     * @param target_insts Instructions to retire before finishing.
+     */
+    CoreModel(unsigned id, const CoreConfig &cfg, EventQueue &eq,
+              MemoryPort &port, RequestSource &source,
+              std::uint64_t target_insts);
+
+    CoreModel(const CoreModel &) = delete;
+    CoreModel &operator=(const CoreModel &) = delete;
+
+    /** Begin execution (schedules the first event). */
+    void start();
+
+    /** Deliver a queue-space retry notification. */
+    void onRetry();
+
+    /** Deliver a deferred-verification outcome. */
+    void onVerify(ReqId id, bool fault);
+
+    bool finished() const { return coreStats.finished; }
+    const CoreStats &stats() const { return coreStats; }
+    unsigned id() const { return coreId; }
+
+    /** Instructions per core-clock cycle over the whole run. */
+    double ipc() const;
+
+  private:
+    struct OutstandingRead
+    {
+        ReqId id = 0;
+        std::uint64_t issuedAtInst = 0;
+        std::uint64_t blockAtInst = 0;
+        bool returned = false;
+        Tick returnTick = 0;
+    };
+
+    struct SpeculativeRead
+    {
+        ReqId id = 0;
+        Tick consumedTick = 0;
+    };
+
+    void resume();
+    void onReadComplete(const ReadResponse &resp);
+    /** Cycles (core clock) to retire @p n instructions. */
+    Tick execTicks(std::uint64_t n) const;
+
+    unsigned coreId;
+    CoreConfig cfg;
+    EventQueue &eventq;
+    MemoryPort &mem;
+    RequestSource &src;
+    std::uint64_t targetInsts;
+
+    std::uint64_t instRetired = 0;
+    bool opPending = false; ///< fetched but not yet issued
+    MemOp pendingOp{};
+    std::uint64_t opIssueInst = 0; ///< instruction count at which it fires
+    bool sourceDone = false;
+
+    bool running = false;   ///< an advance event is scheduled
+    bool waitingRetry = false;
+    bool mshrBlocked = false;
+    ReqId blockedOnRead = 0; ///< nonzero while stalled on this read
+    Tick stallStart = 0;
+    Tick penaltyOwed = 0;   ///< accumulated rollback penalty
+
+    std::deque<OutstandingRead> outstanding;
+    std::deque<SpeculativeRead> speculative;
+
+    ReqId nextReqId = 1;
+    CoreStats coreStats;
+    Tick startTick = 0;
+};
+
+} // namespace pcmap
+
+#endif // PCMAP_CPU_CORE_MODEL_H

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared by the ECC codecs.
+ */
+
+#ifndef PCMAP_ECC_BITS_H
+#define PCMAP_ECC_BITS_H
+
+#include <bit>
+#include <cstdint>
+
+namespace pcmap::ecc {
+
+/** Extract bit @p idx (0 = LSB) of @p v. */
+constexpr bool
+getBit(std::uint64_t v, unsigned idx)
+{
+    return (v >> idx) & 1ull;
+}
+
+/** Return @p v with bit @p idx set to @p on. */
+constexpr std::uint64_t
+setBit(std::uint64_t v, unsigned idx, bool on)
+{
+    const std::uint64_t mask = 1ull << idx;
+    return on ? (v | mask) : (v & ~mask);
+}
+
+/** Return @p v with bit @p idx flipped. */
+constexpr std::uint64_t
+flipBit(std::uint64_t v, unsigned idx)
+{
+    return v ^ (1ull << idx);
+}
+
+/** Even parity of @p v: true when the popcount is odd. */
+constexpr bool
+parity64(std::uint64_t v)
+{
+    return (std::popcount(v) & 1) != 0;
+}
+
+/** Number of bits that differ between two words. */
+constexpr int
+hammingDistance(std::uint64_t a, std::uint64_t b)
+{
+    return std::popcount(a ^ b);
+}
+
+} // namespace pcmap::ecc
+
+#endif // PCMAP_ECC_BITS_H

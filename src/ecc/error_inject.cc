@@ -1,0 +1,46 @@
+#include "ecc/error_inject.h"
+
+#include <unordered_set>
+
+#include "ecc/bits.h"
+#include "sim/log.h"
+
+namespace pcmap::ecc {
+
+void
+injectWordErrors(CacheLine &line, unsigned word_idx, unsigned nbits,
+                 Rng &rng)
+{
+    pcmap_assert(word_idx < kWordsPerLine);
+    pcmap_assert(nbits <= 64);
+    std::unordered_set<unsigned> chosen;
+    while (chosen.size() < nbits) {
+        const auto bit = static_cast<unsigned>(rng.below(64));
+        if (chosen.insert(bit).second)
+            line.w[word_idx] = flipBit(line.w[word_idx], bit);
+    }
+}
+
+void
+injectLineErrors(CacheLine &line, unsigned nbits, Rng &rng)
+{
+    pcmap_assert(nbits <= kLineBytes * 8);
+    std::unordered_set<unsigned> chosen;
+    while (chosen.size() < nbits) {
+        const auto bit =
+            static_cast<unsigned>(rng.below(kLineBytes * 8));
+        if (chosen.insert(bit).second) {
+            const unsigned word = bit / 64;
+            line.w[word] = flipBit(line.w[word], bit % 64);
+        }
+    }
+}
+
+std::uint64_t
+injectBit(std::uint64_t word, unsigned bit_idx)
+{
+    pcmap_assert(bit_idx < 64);
+    return flipBit(word, bit_idx);
+}
+
+} // namespace pcmap::ecc

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Deterministic error injection for exercising the ECC paths.
+ *
+ * Used by tests, the ecc_playground example, and the RoW rollback
+ * model to flip a controlled number of bits in stored lines.
+ */
+
+#ifndef PCMAP_ECC_ERROR_INJECT_H
+#define PCMAP_ECC_ERROR_INJECT_H
+
+#include <cstdint>
+
+#include "mem/line.h"
+#include "sim/rng.h"
+
+namespace pcmap::ecc {
+
+/** Flip @p nbits distinct random bits in word @p word_idx of @p line. */
+void injectWordErrors(CacheLine &line, unsigned word_idx, unsigned nbits,
+                      Rng &rng);
+
+/** Flip @p nbits distinct random bits anywhere in @p line. */
+void injectLineErrors(CacheLine &line, unsigned nbits, Rng &rng);
+
+/** Flip bit @p bit_idx (0..63) of a raw 64-bit word. */
+std::uint64_t injectBit(std::uint64_t word, unsigned bit_idx);
+
+} // namespace pcmap::ecc
+
+#endif // PCMAP_ECC_ERROR_INJECT_H

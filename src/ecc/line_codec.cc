@@ -1,0 +1,91 @@
+#include "ecc/line_codec.h"
+
+#include "sim/log.h"
+
+namespace pcmap::ecc {
+
+std::uint64_t
+computeEccWord(const CacheLine &line)
+{
+    std::uint64_t ecc = 0;
+    for (unsigned i = 0; i < kWordsPerLine; ++i) {
+        const auto check =
+            static_cast<std::uint64_t>(secdedEncode(line.w[i]));
+        ecc |= check << (8 * i);
+    }
+    return ecc;
+}
+
+std::uint64_t
+computePccWord(const CacheLine &line)
+{
+    return line.parityWord();
+}
+
+std::uint64_t
+updateEccWord(std::uint64_t old_ecc, const CacheLine &new_line,
+              WordMask changed)
+{
+    std::uint64_t ecc = old_ecc;
+    for (unsigned i = 0; i < kWordsPerLine; ++i) {
+        if (!(changed & (1u << i)))
+            continue;
+        const auto check =
+            static_cast<std::uint64_t>(secdedEncode(new_line.w[i]));
+        ecc &= ~(0xFFull << (8 * i));
+        ecc |= check << (8 * i);
+    }
+    return ecc;
+}
+
+std::uint64_t
+updatePccWord(std::uint64_t old_pcc, const CacheLine &old_line,
+              const CacheLine &new_line, WordMask changed)
+{
+    std::uint64_t pcc = old_pcc;
+    for (unsigned i = 0; i < kWordsPerLine; ++i) {
+        if (changed & (1u << i))
+            pcc ^= old_line.w[i] ^ new_line.w[i];
+    }
+    return pcc;
+}
+
+std::uint64_t
+reconstructWord(const CacheLine &line, unsigned missing,
+                std::uint64_t pcc_word)
+{
+    pcmap_assert(missing < kWordsPerLine);
+    std::uint64_t v = pcc_word;
+    for (unsigned i = 0; i < kWordsPerLine; ++i) {
+        if (i != missing)
+            v ^= line.w[i];
+    }
+    return v;
+}
+
+LineCheckResult
+checkLine(CacheLine &line, std::uint64_t ecc_word)
+{
+    LineCheckResult result;
+    for (unsigned i = 0; i < kWordsPerLine; ++i) {
+        const auto check =
+            static_cast<std::uint8_t>((ecc_word >> (8 * i)) & 0xFF);
+        const SecdedResult r = secdedDecode(line.w[i], check);
+        switch (r.status) {
+          case SecdedStatus::Ok:
+          case SecdedStatus::CorrectedCheck:
+            break;
+          case SecdedStatus::CorrectedData:
+            line.w[i] = r.data;
+            result.correctedWords |= static_cast<WordMask>(1u << i);
+            break;
+          case SecdedStatus::Uncorrectable:
+            result.uncorrectableWords |= static_cast<WordMask>(1u << i);
+            result.ok = false;
+            break;
+        }
+    }
+    return result;
+}
+
+} // namespace pcmap::ecc

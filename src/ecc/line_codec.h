@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Line-level error code packaging: SECDED per word plus the PCC parity
+ * word used by RoW to reconstruct a word held by a busy chip.
+ *
+ * Per line, the ECC chip stores one SECDED check byte per data word
+ * (8 bytes total, matching the x8 ECC chip's one byte per bus beat),
+ * and the PCC chip stores the XOR of the eight data words.
+ */
+
+#ifndef PCMAP_ECC_LINE_CODEC_H
+#define PCMAP_ECC_LINE_CODEC_H
+
+#include <cstdint>
+
+#include "ecc/secded.h"
+#include "mem/line.h"
+
+namespace pcmap::ecc {
+
+/** Per-line verification outcome. */
+struct LineCheckResult
+{
+    /** True when every word decodes to Ok or a corrected state. */
+    bool ok = true;
+    /** Mask of words whose SECDED correction changed a data bit. */
+    WordMask correctedWords = 0;
+    /** Mask of words with uncorrectable (double-bit) errors. */
+    WordMask uncorrectableWords = 0;
+};
+
+/**
+ * Compute the 8-byte ECC word for a line: byte i is the SECDED check
+ * byte of data word i.
+ */
+std::uint64_t computeEccWord(const CacheLine &line);
+
+/** Compute the PCC word (XOR of all data words) for a line. */
+std::uint64_t computePccWord(const CacheLine &line);
+
+/**
+ * Incrementally update an ECC word when only some words of the line
+ * changed: recomputes check bytes for the words in @p changed only.
+ */
+std::uint64_t updateEccWord(std::uint64_t old_ecc,
+                            const CacheLine &new_line,
+                            WordMask changed);
+
+/**
+ * Incrementally update a PCC word given old and new values of the
+ * changed words (XOR is its own inverse, so only the deltas matter).
+ */
+std::uint64_t updatePccWord(std::uint64_t old_pcc,
+                            const CacheLine &old_line,
+                            const CacheLine &new_line,
+                            WordMask changed);
+
+/**
+ * Reconstruct the word at offset @p missing from the other seven words
+ * and the PCC parity word — the RoW read path when the chip holding
+ * @p missing is busy with a write.  The value of line.w[missing] is
+ * ignored.
+ */
+std::uint64_t reconstructWord(const CacheLine &line, unsigned missing,
+                              std::uint64_t pcc_word);
+
+/**
+ * Verify (and correct in place) an entire line against its ECC word.
+ * This is the deferred SECDED check performed after a RoW read once
+ * the busy chip's true content becomes available.
+ */
+LineCheckResult checkLine(CacheLine &line, std::uint64_t ecc_word);
+
+} // namespace pcmap::ecc
+
+#endif // PCMAP_ECC_LINE_CODEC_H

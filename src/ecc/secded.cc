@@ -1,0 +1,136 @@
+#include "ecc/secded.h"
+
+#include <array>
+
+#include "ecc/bits.h"
+#include "sim/log.h"
+
+namespace pcmap::ecc {
+
+namespace {
+
+/** True for the seven Hamming check positions 1,2,4,...,64. */
+constexpr bool
+isPowerOfTwo(unsigned p)
+{
+    return p != 0 && (p & (p - 1)) == 0;
+}
+
+/** Static layout tables for the (72,64) code. */
+struct Layout
+{
+    /// Code position (1..71) of each data bit index (0..63).
+    std::array<std::uint8_t, 64> dataPos{};
+    /// Data bit index of each code position, or 0xFF for check/invalid.
+    std::array<std::uint8_t, 128> posToData{};
+    /// For each check bit i, mask over *data bit indices* it covers.
+    std::array<std::uint64_t, 7> coverMask{};
+
+    constexpr Layout()
+    {
+        for (auto &v : posToData)
+            v = 0xFF;
+        unsigned idx = 0;
+        for (unsigned pos = 1; pos <= 71; ++pos) {
+            if (isPowerOfTwo(pos))
+                continue;
+            dataPos[idx] = static_cast<std::uint8_t>(pos);
+            posToData[pos] = static_cast<std::uint8_t>(idx);
+            for (unsigned i = 0; i < 7; ++i) {
+                if (pos & (1u << i))
+                    coverMask[i] |= 1ull << idx;
+            }
+            ++idx;
+        }
+    }
+};
+
+constexpr Layout kLayout{};
+
+/** Recompute the seven Hamming check bits for @p data. */
+std::uint8_t
+hammingBits(std::uint64_t data)
+{
+    std::uint8_t c = 0;
+    for (unsigned i = 0; i < 7; ++i) {
+        if (parity64(data & kLayout.coverMask[i]))
+            c |= static_cast<std::uint8_t>(1u << i);
+    }
+    return c;
+}
+
+} // namespace
+
+std::uint8_t
+secdedEncode(std::uint64_t data)
+{
+    std::uint8_t check = hammingBits(data);
+    // Overall parity (check bit 7) makes the full 72-bit word even.
+    const bool overall =
+        parity64(data) ^ parity64(static_cast<std::uint64_t>(check));
+    if (overall)
+        check |= 0x80;
+    return check;
+}
+
+SecdedResult
+secdedDecode(std::uint64_t data, std::uint8_t check)
+{
+    SecdedResult res;
+    res.data = data;
+
+    const std::uint8_t recomputed = hammingBits(data);
+    const std::uint8_t syndrome =
+        static_cast<std::uint8_t>((recomputed ^ check) & 0x7F);
+    // Odd overall parity across all 72 bits indicates an odd number of
+    // flipped bits (i.e., a correctable single-bit error).
+    const bool odd_overall =
+        parity64(data) ^ parity64(static_cast<std::uint64_t>(check));
+
+    if (syndrome == 0 && !odd_overall) {
+        res.status = SecdedStatus::Ok;
+        return res;
+    }
+
+    if (odd_overall) {
+        if (syndrome == 0) {
+            // The overall parity bit itself flipped.
+            res.status = SecdedStatus::CorrectedCheck;
+            res.bitIndex = 7;
+            return res;
+        }
+        const unsigned pos = syndrome;
+        if (pos > 71) {
+            // Syndrome points outside the code word: at least three
+            // bits flipped in a pathological pattern.
+            res.status = SecdedStatus::Uncorrectable;
+            return res;
+        }
+        if (isPowerOfTwo(pos)) {
+            res.status = SecdedStatus::CorrectedCheck;
+            unsigned i = 0;
+            while ((1u << i) != pos)
+                ++i;
+            res.bitIndex = i;
+            return res;
+        }
+        const std::uint8_t data_idx = kLayout.posToData[pos];
+        pcmap_assert(data_idx != 0xFF);
+        res.status = SecdedStatus::CorrectedData;
+        res.bitIndex = data_idx;
+        res.data = flipBit(data, data_idx);
+        return res;
+    }
+
+    // Even overall parity with a nonzero syndrome: double-bit error.
+    res.status = SecdedStatus::Uncorrectable;
+    return res;
+}
+
+bool
+secdedClean(std::uint64_t data, std::uint8_t check)
+{
+    return secdedEncode(data) == check;
+}
+
+} // namespace pcmap::ecc

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Hamming(72,64) SECDED codec.
+ *
+ * This is the per-64-bit-word single-error-correcting, double-error-
+ * detecting code used by conventional ECC DIMMs (Section II-A of the
+ * paper): 64 data bits plus 8 check bits, one extra x8 chip per rank.
+ *
+ * Construction: an extended Hamming code over code positions 1..71,
+ * where the seven power-of-two positions hold check bits and the other
+ * 64 positions hold data bits, plus an overall parity bit covering the
+ * whole 72-bit word.  The syndrome of a single-bit error equals its
+ * code position, which makes correction a table-free bit flip.
+ */
+
+#ifndef PCMAP_ECC_SECDED_H
+#define PCMAP_ECC_SECDED_H
+
+#include <cstdint>
+
+namespace pcmap::ecc {
+
+/** Outcome of a SECDED decode. */
+enum class SecdedStatus : std::uint8_t
+{
+    Ok,              ///< No error detected.
+    CorrectedData,   ///< Single-bit error in a data bit; corrected.
+    CorrectedCheck,  ///< Single-bit error in a check bit; data intact.
+    Uncorrectable,   ///< Double-bit (or worse even-weight) error.
+};
+
+/** Result of decoding a 72-bit SECDED word. */
+struct SecdedResult
+{
+    SecdedStatus status = SecdedStatus::Ok;
+    /** Data after correction (valid unless Uncorrectable). */
+    std::uint64_t data = 0;
+    /**
+     * For CorrectedData: the index (0..63) of the flipped data bit.
+     * For CorrectedCheck: the index (0..7) of the flipped check bit.
+     * Otherwise 0.
+     */
+    unsigned bitIndex = 0;
+};
+
+/** Compute the 8 check bits protecting @p data. */
+std::uint8_t secdedEncode(std::uint64_t data);
+
+/**
+ * Decode a (data, check) pair, correcting a single-bit error anywhere
+ * in the 72-bit code word and detecting double-bit errors.
+ */
+SecdedResult secdedDecode(std::uint64_t data, std::uint8_t check);
+
+/**
+ * Convenience: true when (data, check) passes with no error at all.
+ * Cheaper than a full decode when only a clean/dirty answer is needed.
+ */
+bool secdedClean(std::uint64_t data, std::uint8_t check);
+
+} // namespace pcmap::ecc
+
+#endif // PCMAP_ECC_SECDED_H

@@ -1,0 +1,90 @@
+#include "mem/address.h"
+
+#include <bit>
+
+#include "sim/log.h"
+
+namespace pcmap {
+
+namespace {
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+void
+MemGeometry::validate() const
+{
+    if (!isPow2(channels) || !isPow2(ranksPerChannel) ||
+        !isPow2(banksPerRank) || !isPow2(rowBytes) ||
+        !isPow2(capacityBytes)) {
+        fatal("memory geometry fields must all be powers of two");
+    }
+    if (rowBytes < kLineBytes)
+        fatal("row must hold at least one cache line");
+    const std::uint64_t lines =
+        totalLines() / (channels * ranksPerChannel * banksPerRank);
+    if (lines < linesPerRow())
+        fatal("capacity too small for one row per bank");
+}
+
+AddressMapper::AddressMapper(const MemGeometry &geometry) : geom(geometry)
+{
+    geom.validate();
+}
+
+std::uint64_t
+AddressMapper::lineAddr(std::uint64_t byte_addr) const
+{
+    return byte_addr / kLineBytes;
+}
+
+DecodedAddr
+AddressMapper::decode(std::uint64_t byte_addr) const
+{
+    std::uint64_t v = lineAddr(byte_addr) % geom.totalLines();
+
+    DecodedAddr loc;
+    if (geom.interleave == AddressInterleave::LineChannel) {
+        loc.channel = static_cast<unsigned>(v % geom.channels);
+        v /= geom.channels;
+    }
+    loc.column = static_cast<unsigned>(v % geom.linesPerRow());
+    v /= geom.linesPerRow();
+    loc.bank = static_cast<unsigned>(v % geom.banksPerRank);
+    v /= geom.banksPerRank;
+    loc.rank = static_cast<unsigned>(v % geom.ranksPerChannel);
+    v /= geom.ranksPerChannel;
+    if (geom.interleave == AddressInterleave::RegionChannel) {
+        loc.row = v % geom.rowsPerBank();
+        loc.channel =
+            static_cast<unsigned>(v / geom.rowsPerBank());
+    } else {
+        loc.row = v;
+    }
+    return loc;
+}
+
+std::uint64_t
+AddressMapper::encode(const DecodedAddr &loc) const
+{
+    std::uint64_t v;
+    if (geom.interleave == AddressInterleave::RegionChannel)
+        v = static_cast<std::uint64_t>(loc.channel) *
+                geom.rowsPerBank() +
+            loc.row;
+    else
+        v = loc.row;
+    v = v * geom.ranksPerChannel + loc.rank;
+    v = v * geom.banksPerRank + loc.bank;
+    v = v * geom.linesPerRow() + loc.column;
+    if (geom.interleave == AddressInterleave::LineChannel)
+        v = v * geom.channels + loc.channel;
+    return v * kLineBytes;
+}
+
+} // namespace pcmap

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Physical-address decomposition for the PCM main memory.
+ *
+ * The evaluated system (Table I of the paper) has 4 channels, 1 rank
+ * per channel, 8 banks per rank, and 8 KB rows.  Addresses interleave
+ * across channels at cache-line granularity (the common choice for
+ * bandwidth balance), then across columns within a row, then banks,
+ * then rows:
+ *
+ *   addr = | row | bank | column(line-in-row) | channel | line offset |
+ *
+ * The mapping is configurable through MemGeometry so tests and
+ * sensitivity studies can explore other interleavings.
+ */
+
+#ifndef PCMAP_MEM_ADDRESS_H
+#define PCMAP_MEM_ADDRESS_H
+
+#include <cstdint>
+
+#include "mem/line.h"
+
+namespace pcmap {
+
+/** Physical location of one cache line in the memory system. */
+struct DecodedAddr
+{
+    unsigned channel = 0;
+    unsigned rank = 0;
+    unsigned bank = 0;
+    std::uint64_t row = 0;
+    unsigned column = 0; ///< Line index within the row.
+
+    bool
+    operator==(const DecodedAddr &o) const
+    {
+        return channel == o.channel && rank == o.rank && bank == o.bank &&
+               row == o.row && column == o.column;
+    }
+};
+
+/** How address bits map to channels (the interleaving study knob). */
+enum class AddressInterleave : std::uint8_t
+{
+    /**
+     * Channel bits just above the line offset: consecutive lines hit
+     * different channels (bandwidth-balanced; the default and the
+     * usual choice for multi-channel memories).
+     */
+    LineChannel,
+    /**
+     * Channel bits at the top: each channel owns a contiguous region,
+     * so sequential streams stay on one channel but whole regions can
+     * be powered/managed independently.
+     */
+    RegionChannel,
+};
+
+/** Geometry of the memory system (defaults match the paper). */
+struct MemGeometry
+{
+    unsigned channels = 4;
+    unsigned ranksPerChannel = 1;
+    unsigned banksPerRank = 8;
+    unsigned rowBytes = 8192;          ///< 8 KB row buffer per bank.
+    std::uint64_t capacityBytes = 8ull << 30; ///< 8 GB total.
+    AddressInterleave interleave = AddressInterleave::LineChannel;
+
+    /** Lines per row buffer. */
+    unsigned linesPerRow() const { return rowBytes / kLineBytes; }
+
+    /** Total number of cache lines the memory holds. */
+    std::uint64_t totalLines() const { return capacityBytes / kLineBytes; }
+
+    /** Rows per bank implied by capacity and geometry. */
+    std::uint64_t
+    rowsPerBank() const
+    {
+        const std::uint64_t lines_per_bank =
+            totalLines() / (channels * ranksPerChannel * banksPerRank);
+        return lines_per_bank / linesPerRow();
+    }
+
+    /** Validate invariants; calls fatal() on a malformed geometry. */
+    void validate() const;
+};
+
+/**
+ * Bidirectional mapper between byte addresses and decoded locations.
+ *
+ * Also provides lineAddr(), the canonical line index used for the
+ * PCMap rotation offset computation (Section IV-C2).
+ */
+class AddressMapper
+{
+  public:
+    explicit AddressMapper(const MemGeometry &geometry);
+
+    const MemGeometry &geometry() const { return geom; }
+
+    /** Cache-line index of a byte address (addr / 64). */
+    std::uint64_t lineAddr(std::uint64_t byte_addr) const;
+
+    /** Decode a byte address into its physical location. */
+    DecodedAddr decode(std::uint64_t byte_addr) const;
+
+    /** Inverse of decode(); returns the line-aligned byte address. */
+    std::uint64_t encode(const DecodedAddr &loc) const;
+
+  private:
+    MemGeometry geom;
+};
+
+} // namespace pcmap
+
+#endif // PCMAP_MEM_ADDRESS_H

@@ -1,0 +1,69 @@
+#include "mem/backing_store.h"
+
+#include "sim/log.h"
+
+namespace pcmap {
+
+BackingStore::BackingStore()
+{
+    zeroLine.ecc = ecc::computeEccWord(zeroLine.data);
+    zeroLine.pcc = ecc::computePccWord(zeroLine.data);
+}
+
+const StoredLine &
+BackingStore::read(std::uint64_t line_addr) const
+{
+    auto it = lines.find(line_addr);
+    return it == lines.end() ? zeroLine : it->second;
+}
+
+WordMask
+BackingStore::essentialWords(std::uint64_t line_addr,
+                             const CacheLine &new_data) const
+{
+    return read(line_addr).data.diffMask(new_data);
+}
+
+StoredLine &
+BackingStore::materialize(std::uint64_t line_addr)
+{
+    auto [it, inserted] = lines.try_emplace(line_addr, zeroLine);
+    return it->second;
+}
+
+WordMask
+BackingStore::writeWords(std::uint64_t line_addr, const CacheLine &new_data,
+                         WordMask changed)
+{
+    if (changed == 0)
+        return 0;
+    StoredLine &stored = materialize(line_addr);
+    stored.ecc = ecc::updateEccWord(stored.ecc, new_data, changed);
+    stored.pcc =
+        ecc::updatePccWord(stored.pcc, stored.data, new_data, changed);
+    for (unsigned i = 0; i < kWordsPerLine; ++i) {
+        if (changed & (1u << i))
+            stored.data.w[i] = new_data.w[i];
+    }
+    return changed;
+}
+
+void
+BackingStore::writeLine(std::uint64_t line_addr, const CacheLine &new_data)
+{
+    StoredLine &stored = materialize(line_addr);
+    stored.data = new_data;
+    stored.ecc = ecc::computeEccWord(new_data);
+    stored.pcc = ecc::computePccWord(new_data);
+}
+
+void
+BackingStore::corruptDataBit(std::uint64_t line_addr, unsigned bit)
+{
+    pcmap_assert(bit < kLineBytes * 8);
+    StoredLine &stored = materialize(line_addr);
+    const unsigned word = bit / 64;
+    stored.data.w[word] ^= 1ull << (bit % 64);
+}
+
+} // namespace pcmap

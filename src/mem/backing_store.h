@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Functional storage for the PCM main memory.
+ *
+ * Holds real line contents together with their SECDED ECC word and PCC
+ * parity word, sparsely (untouched lines read as zero with matching
+ * codes).  Keeping actual data makes the differential-write essential-
+ * word discovery, the RoW parity reconstruction, and the deferred
+ * SECDED verification genuine computations rather than modelled flags,
+ * and lets tests inject bit errors end to end.
+ */
+
+#ifndef PCMAP_MEM_BACKING_STORE_H
+#define PCMAP_MEM_BACKING_STORE_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "ecc/line_codec.h"
+#include "mem/line.h"
+
+namespace pcmap {
+
+/** One stored line with its error-code words. */
+struct StoredLine
+{
+    CacheLine data{};
+    std::uint64_t ecc = 0; ///< 8 SECDED check bytes, one per word.
+    std::uint64_t pcc = 0; ///< XOR parity of the 8 data words.
+};
+
+/** Sparse functional memory image, keyed by line address. */
+class BackingStore
+{
+  public:
+    BackingStore();
+
+    /** Read the stored image of @p line_addr (zero line if untouched). */
+    const StoredLine &read(std::uint64_t line_addr) const;
+
+    /**
+     * Essential words of writing @p new_data at @p line_addr: the mask
+     * of words whose stored value differs (Section III-B).
+     */
+    WordMask essentialWords(std::uint64_t line_addr,
+                            const CacheLine &new_data) const;
+
+    /**
+     * Commit @p new_data, updating the ECC and PCC words incrementally
+     * for exactly the words in @p changed.
+     * @return The mask actually applied (== @p changed).
+     */
+    WordMask writeWords(std::uint64_t line_addr, const CacheLine &new_data,
+                        WordMask changed);
+
+    /** Commit a full line unconditionally, recomputing all codes. */
+    void writeLine(std::uint64_t line_addr, const CacheLine &new_data);
+
+    /**
+     * Corrupt stored bits for fault-injection experiments: flips bit
+     * @p bit (0..511) of the stored data without touching the codes,
+     * so SECDED will see a genuine error.
+     */
+    void corruptDataBit(std::uint64_t line_addr, unsigned bit);
+
+    /** Number of lines materialized in the sparse map. */
+    std::size_t population() const { return lines.size(); }
+
+  private:
+    StoredLine &materialize(std::uint64_t line_addr);
+
+    std::unordered_map<std::uint64_t, StoredLine> lines;
+    StoredLine zeroLine;
+};
+
+} // namespace pcmap
+
+#endif // PCMAP_MEM_BACKING_STORE_H

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The cache-line and chip-mask value types shared by every layer.
+ *
+ * Geometry constants follow the paper's evaluated system: 64-byte cache
+ * lines striped as eight 8-byte words across eight x8 data chips, plus
+ * a ninth SECDED ECC chip and a tenth PCC (parity correction code)
+ * chip per rank (Figure 4).
+ */
+
+#ifndef PCMAP_MEM_LINE_H
+#define PCMAP_MEM_LINE_H
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace pcmap {
+
+/// Bytes per cache line (DDR3 burst of 8 on a 64-bit bus).
+inline constexpr unsigned kLineBytes = 64;
+/// Bytes per word, i.e. the slice of a line owned by one data chip.
+inline constexpr unsigned kWordBytes = 8;
+/// Words per cache line.
+inline constexpr unsigned kWordsPerLine = kLineBytes / kWordBytes;
+/// Number of data chips in a rank.
+inline constexpr unsigned kDataChips = 8;
+/// Total chips in a PCMap rank: 8 data + ECC + PCC.
+inline constexpr unsigned kChipsPerRank = 10;
+/// Logical slot index of the SECDED ECC word within a line's codes.
+inline constexpr unsigned kEccSlot = 8;
+/// Logical slot index of the PCC parity word.
+inline constexpr unsigned kPccSlot = 9;
+
+/** Bitmask over the 8 word offsets of a line (bit i = word i). */
+using WordMask = std::uint8_t;
+
+/** Bitmask over the 10 chips of a rank (bit c = chip c). */
+using ChipMask = std::uint16_t;
+
+/** Mask selecting every chip of a rank. */
+inline constexpr ChipMask kAllChips = (1u << kChipsPerRank) - 1;
+
+/** Number of set bits in a word mask. */
+constexpr unsigned
+wordCount(WordMask m)
+{
+    return static_cast<unsigned>(std::popcount(m));
+}
+
+/** Number of set bits in a chip mask. */
+constexpr unsigned
+chipCount(ChipMask m)
+{
+    return static_cast<unsigned>(std::popcount(m));
+}
+
+/**
+ * A 64-byte cache line viewed as eight 64-bit words.
+ * Word 0 holds bytes 0-7, word 1 bytes 8-15, and so on.
+ */
+struct CacheLine
+{
+    std::array<std::uint64_t, kWordsPerLine> w{};
+
+    constexpr bool
+    operator==(const CacheLine &other) const
+    {
+        return w == other.w;
+    }
+
+    /**
+     * Mask of word offsets whose value differs from @p other — exactly
+     * the "essential words" a differential write must update.
+     */
+    constexpr WordMask
+    diffMask(const CacheLine &other) const
+    {
+        WordMask m = 0;
+        for (unsigned i = 0; i < kWordsPerLine; ++i) {
+            if (w[i] != other.w[i])
+                m |= static_cast<WordMask>(1u << i);
+        }
+        return m;
+    }
+
+    /** XOR of all eight words: the PCC parity word for this line. */
+    constexpr std::uint64_t
+    parityWord() const
+    {
+        std::uint64_t p = 0;
+        for (std::uint64_t v : w)
+            p ^= v;
+        return p;
+    }
+};
+
+} // namespace pcmap
+
+#endif // PCMAP_MEM_LINE_H

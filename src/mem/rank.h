@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Timing-state model of one PCM rank: ten x8 chips (eight data, one
+ * SECDED ECC, one PCC), each with eight banks and a per-bank row
+ * buffer.
+ *
+ * With PCMap's rank subsetting every chip is an independent sub-rank,
+ * so the busy/row state is tracked per (chip, bank) pair: a coarse
+ * access reserves a bank across all chips in lockstep, while a
+ * fine-grained write reserves only the involved chips and may leave
+ * different rows open in different chips of the same bank
+ * (Section IV-A2, Figure 3c).
+ *
+ * The DIMM register of Section IV-D1 is modelled by busyChips(): the
+ * per-bank status flags a controller learns by issuing the 2-cycle
+ * Status command.
+ */
+
+#ifndef PCMAP_MEM_RANK_H
+#define PCMAP_MEM_RANK_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "mem/line.h"
+#include "mem/timing.h"
+#include "sim/types.h"
+
+namespace pcmap {
+
+/** Timing state of one bank within one chip (one sub-rank slice). */
+struct ChipBankState
+{
+    std::int64_t openRow = -1; ///< Row in the row buffer, -1 if closed.
+    Tick busyUntil = 0;        ///< Chip-bank reserved through this tick.
+    bool busyWithWrite = false;///< Current/last op is an array write.
+};
+
+/** Timing-state container for one rank. */
+class Rank
+{
+  public:
+    /**
+     * @param banks    Banks per chip (8 in the evaluated system).
+     * @param has_pcc  False models a conventional 9-chip ECC DIMM
+     *                 (the baseline); the PCC slot then must not be
+     *                 reserved.
+     */
+    Rank(unsigned banks, bool has_pcc);
+
+    unsigned banks() const { return numBanks; }
+    bool hasPcc() const { return pccPresent; }
+
+    /** Number of chips physically present (9 or 10). */
+    unsigned
+    chips() const
+    {
+        return pccPresent ? kChipsPerRank : kChipsPerRank - 1;
+    }
+
+    /** Mutable state of one chip-bank. */
+    ChipBankState &state(unsigned chip, unsigned bank);
+    const ChipBankState &state(unsigned chip, unsigned bank) const;
+
+    /** Earliest tick at which every chip in @p chips has bank free. */
+    Tick freeAt(ChipMask chips, unsigned bank) const;
+
+    /** True when chip's bank currently holds @p row in its buffer. */
+    bool rowOpen(unsigned chip, unsigned bank, std::uint64_t row) const;
+
+    /** True when every chip in @p chips has @p row open in @p bank. */
+    bool rowOpenAll(ChipMask chips, unsigned bank,
+                    std::uint64_t row) const;
+
+    /**
+     * Reserve one chip's bank for [start, end), opening @p row.
+     * @p start must be >= the chip's current availability.
+     *
+     * A write reservation occupies the *entire chip*, not just the
+     * addressed bank: a PCM chip's write circuitry (and its write
+     * power budget) serves one array write at a time, so no other
+     * bank of that chip can serve anything until the pulse completes.
+     * This is what makes the paper's baseline leave "the remaining
+     * chips of the rank idle for the long duration of the write" and
+     * what PCMap's fine-grained writes exploit chip by chip.  Reads
+     * occupy only the addressed bank (ordinary bank parallelism).
+     */
+    void reserveChip(unsigned chip, unsigned bank, std::uint64_t row,
+                     Tick start, Tick end, bool is_write);
+
+    /** Earliest tick at which one chip can accept a new operation. */
+    Tick chipFreeAt(unsigned chip, unsigned bank) const;
+
+    /** Invalidate the open row of one chip-bank (closed-page policy). */
+    void closeRow(unsigned chip, unsigned bank);
+
+    /**
+     * Abort an in-progress write on @p chip at @p bank effective
+     * @p now: the chip-bank and the chip-wide write occupancy are
+     * released immediately (write cancellation).
+     */
+    void abortWrite(unsigned chip, unsigned bank, Tick now);
+
+    /**
+     * The DIMM status register for @p bank at time @p now: a mask of
+     * chips still busy (bit c set = chip c cannot accept a command).
+     */
+    ChipMask busyChips(unsigned bank, Tick now) const;
+
+    /** Mask of chips busy specifically with a write at @p now. */
+    ChipMask busyWriteChips(unsigned bank, Tick now) const;
+
+  private:
+    unsigned numBanks;
+    bool pccPresent;
+    std::vector<ChipBankState> states; ///< [chip * numBanks + bank]
+    /** Chip-wide write occupancy (one array write per chip at a time). */
+    std::array<Tick, kChipsPerRank> writeBusyUntil{};
+};
+
+} // namespace pcmap
+
+#endif // PCMAP_MEM_RANK_H

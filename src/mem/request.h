@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Memory request types and the port interface between request sources
+ * (cores, caches, trace replayers) and the memory controllers.
+ */
+
+#ifndef PCMAP_MEM_REQUEST_H
+#define PCMAP_MEM_REQUEST_H
+
+#include <cstdint>
+#include <functional>
+
+#include "mem/line.h"
+#include "sim/types.h"
+
+namespace pcmap {
+
+/** Kind of main-memory access. */
+enum class ReqType : std::uint8_t { Read, Write };
+
+/** Unique, monotonically assigned request identifier. */
+using ReqId = std::uint64_t;
+
+/**
+ * A main-memory request at cache-line granularity.
+ *
+ * Reads carry no payload; the controller functionally fetches the line
+ * and hands it to the completion callback.  Writes carry the full new
+ * line content (the write-back data); the controller discovers the
+ * essential words by comparing against the stored content, which
+ * models the paper's read-before-write-on-chip scheme.
+ */
+struct MemRequest
+{
+    ReqId id = 0;
+    ReqType type = ReqType::Read;
+    std::uint64_t addr = 0;      ///< Byte address, line aligned.
+    unsigned coreId = 0;         ///< Issuing core (for callbacks/stats).
+    Tick enqueueTick = 0;        ///< Filled by the controller.
+    CacheLine data{};            ///< Write payload (writes only).
+};
+
+/** Completion notice delivered to the read issuer. */
+struct ReadResponse
+{
+    ReqId id = 0;
+    std::uint64_t addr = 0;
+    unsigned coreId = 0;
+    Tick completionTick = 0;
+    CacheLine data{};
+    /**
+     * True when the line was delivered before its SECDED check could
+     * complete — either a RoW read whose missing word was PCC-
+     * reconstructed, or a read whose ECC chip was busy so the check
+     * was deferred.  A VerifyCallback will fire later with the
+     * outcome; a consumer that used the data before then must roll
+     * back if the check fails (Section IV-B3).
+     */
+    bool speculative = false;
+};
+
+/**
+ * Interface the memory system presents to request sources.
+ *
+ * Both enqueue calls return false when the corresponding queue is
+ * full; the source must retry (sources register a retry callback so
+ * the controller can signal free space — modelling the back-pressure
+ * a full write queue exerts on the LLC).
+ */
+class MemoryPort
+{
+  public:
+    virtual ~MemoryPort() = default;
+
+    using ReadCallback = std::function<void(const ReadResponse &)>;
+    /**
+     * Outcome of the deferred check of a speculative read:
+     * @p fault is true when the delivered data failed SECDED and the
+     * consumer must discard/roll back.
+     */
+    using VerifyCallback =
+        std::function<void(ReqId id, unsigned core_id, bool fault)>;
+    using RetryCallback = std::function<void()>;
+
+    /** Try to enqueue a read; @p cb fires at completion. */
+    virtual bool enqueueRead(const MemRequest &req, ReadCallback cb) = 0;
+
+    /** Try to enqueue a write-back. */
+    virtual bool enqueueWrite(const MemRequest &req) = 0;
+
+    /**
+     * Register a callback invoked whenever queue space frees up after
+     * a rejected enqueue.
+     */
+    virtual void setRetryCallback(RetryCallback cb) = 0;
+
+    /**
+     * Register a callback fired when the deferred verification of a
+     * speculatively delivered read completes (Section IV-B3).
+     */
+    virtual void setVerifyCallback(VerifyCallback cb) = 0;
+};
+
+} // namespace pcmap
+
+#endif // PCMAP_MEM_REQUEST_H

@@ -1,0 +1,18 @@
+#include "mem/timing.h"
+
+#include "sim/log.h"
+
+namespace pcmap {
+
+void
+PcmTiming::validate() const
+{
+    if (arrayReadNs <= 0.0 || setNs <= 0.0 || resetNs <= 0.0)
+        fatal("PCM array latencies must be positive");
+    if (memClock.periodTicks() == 0)
+        fatal("memory clock period must be positive");
+    if (tCCD == 0)
+        fatal("tCCD must be positive");
+}
+
+} // namespace pcmap

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * PCM device and interface timing parameters.
+ *
+ * Defaults reproduce Table I of the paper: a 400 MHz DDR3-style
+ * interface in front of SLC PCM arrays with 60 ns reads, 50 ns RESET
+ * and 120 ns SET pulses.  The interface constants (tCL, tWL, ...) are
+ * expressed in memory-bus cycles exactly as the paper lists them; the
+ * array latencies are in nanoseconds so the write-to-read latency
+ * ratio study (Table III) can sweep them independently.
+ */
+
+#ifndef PCMAP_MEM_TIMING_H
+#define PCMAP_MEM_TIMING_H
+
+#include "sim/types.h"
+
+namespace pcmap {
+
+/** Timing parameters for the PCM memory system. */
+struct PcmTiming
+{
+    /** Memory interface clock (400 MHz => 2.5 ns per cycle). */
+    ClockDomain memClock = kMemClock;
+
+    // --- Interface constants, in memory-bus cycles (Table I) ---
+    Cycles tRCD = 60;    ///< Activate to column command (array read).
+    Cycles tCL = 5;      ///< Column read to first data beat.
+    Cycles tWL = 4;      ///< Column write to first data beat.
+    Cycles tCCD = 4;     ///< Column-to-column delay (burst of 8).
+    Cycles tWTR = 4;     ///< Write-to-read bus turnaround.
+    Cycles tRTP = 3;     ///< Read to precharge.
+    Cycles tRP = 60;     ///< Precharge (row-buffer close).
+    Cycles tRRDact = 2;  ///< Activate-to-activate, different banks.
+    Cycles tRRDpre = 11; ///< Precharge-to-activate, different banks.
+    Cycles tStatus = 2;  ///< DIMM status-register poll (Section IV-D1).
+
+    // --- PCM cell/array latencies, in nanoseconds ---
+    double arrayReadNs = 60.0;   ///< Array read (also read-before-write).
+    double resetNs = 50.0;       ///< RESET (amorphize) pulse.
+    double setNs = 120.0;        ///< SET (crystallize) pulse.
+
+    /**
+     * Effective cell-write time for a word that changed.  A real
+     * differential write takes max(SET, RESET) over the flipped bits;
+     * with both polarities almost always present in an 8-byte word,
+     * the SET pulse dominates, which is also the paper's assumption
+     * (write latency = 120 ns = 2x the 60 ns read).
+     */
+    double arrayWriteNs() const { return setNs > resetNs ? setNs : resetNs; }
+
+    // --- Derived tick values ---
+    Tick cycles(Cycles c) const { return memClock.cyclesToTicks(c); }
+
+    /** Burst of 8 beats on a DDR bus occupies 4 bus cycles. */
+    Tick burstTicks() const { return cycles(4); }
+
+    /**
+     * Row activation brings a row from the PCM array into the row
+     * buffer, which is dominated by the 60 ns array read — unlike
+     * DRAM, where tRCD is an interface constant.  (Table I's
+     * "tRDC=60 cycles" is inconsistent with its own 60 ns cell read;
+     * we resolve the conflict in favour of the device physics.)
+     */
+    Tick actTicks() const { return arrayReadTicks(); }
+    Tick readColTicks() const { return cycles(tCL); }
+    Tick writeColTicks() const { return cycles(tWL); }
+    Tick turnaroundTicks() const { return cycles(tWTR); }
+    Tick prechargeTicks() const { return cycles(tRP); }
+    Tick statusTicks() const { return cycles(tStatus); }
+
+    Tick arrayReadTicks() const { return nsToTicks(arrayReadNs); }
+    Tick arrayWriteTicks() const { return nsToTicks(arrayWriteNs()); }
+
+    /**
+     * Total bank-occupancy of a row-hit read transaction: column read
+     * plus the data burst.
+     */
+    Tick
+    readHitTicks() const
+    {
+        return readColTicks() + burstTicks();
+    }
+
+    /**
+     * Total bank-occupancy of a row-miss read: activation (the array
+     * read) plus the row-hit path.
+     */
+    Tick
+    readMissTicks() const
+    {
+        return actTicks() + readHitTicks();
+    }
+
+    /**
+     * Bank/chip occupancy of writing one word into the PCM array:
+     * column write, burst, then the cell write pulse.  The read-
+     * before-write comparison happens inside the array write window
+     * (the chip overlaps it with the pulse setup), matching the
+     * paper's flat 120 ns write service time.
+     */
+    Tick
+    chipWriteTicks() const
+    {
+        return writeColTicks() + burstTicks() + arrayWriteTicks();
+    }
+
+    /**
+     * Occupancy of a chip that participates in a coarse write but
+     * whose word is unmodified: it only performs the internal
+     * read-compare before dropping the write.
+     */
+    Tick
+    chipCompareTicks() const
+    {
+        return writeColTicks() + burstTicks() + arrayReadTicks();
+    }
+
+    /** Sanity-check parameter ranges; fatal() on nonsense. */
+    void validate() const;
+};
+
+} // namespace pcmap
+
+#endif // PCMAP_MEM_TIMING_H

@@ -1,0 +1,104 @@
+#include "mem/wear.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.h"
+
+namespace pcmap {
+
+double
+WearTracker::chipImbalance() const
+{
+    std::uint64_t max_writes = 0;
+    std::uint64_t sum = 0;
+    unsigned populated = 0;
+    for (std::uint64_t w : chipWrites) {
+        max_writes = std::max(max_writes, w);
+        sum += w;
+        populated += w > 0 ? 1 : 0;
+    }
+    if (populated == 0)
+        return 1.0;
+    const double mean =
+        static_cast<double>(sum) / static_cast<double>(kChipsPerRank);
+    return mean > 0.0 ? static_cast<double>(max_writes) / mean : 1.0;
+}
+
+double
+WearTracker::chipCv() const
+{
+    double sum = 0.0;
+    for (std::uint64_t w : chipWrites)
+        sum += static_cast<double>(w);
+    const double mean = sum / static_cast<double>(kChipsPerRank);
+    if (mean == 0.0)
+        return 0.0;
+    double var = 0.0;
+    for (std::uint64_t w : chipWrites) {
+        const double d = static_cast<double>(w) - mean;
+        var += d * d;
+    }
+    var /= static_cast<double>(kChipsPerRank);
+    return std::sqrt(var) / mean;
+}
+
+double
+WearTracker::lineImbalance() const
+{
+    if (lineWrites.empty())
+        return 1.0;
+    std::uint64_t max_writes = 0;
+    std::uint64_t sum = 0;
+    for (const auto &[line, count] : lineWrites) {
+        max_writes = std::max(max_writes, count);
+        sum += count;
+    }
+    const double mean = static_cast<double>(sum) /
+                        static_cast<double>(lineWrites.size());
+    return mean > 0.0 ? static_cast<double>(max_writes) / mean : 1.0;
+}
+
+StartGapRemapper::StartGapRemapper(std::uint64_t region_lines,
+                                   std::uint64_t gap_write_period)
+    : lines(region_lines), period(gap_write_period), gap(region_lines)
+{
+    if (lines == 0)
+        fatal("Start-Gap region must hold at least one line");
+    if (period == 0)
+        fatal("Start-Gap write period must be positive");
+}
+
+std::uint64_t
+StartGapRemapper::remap(std::uint64_t logical) const
+{
+    // Qureshi et al.'s Start-Gap mapping: rotate by Start modulo N,
+    // then skip over the gap slot.  The intermediate value lies in
+    // [0, N-1], so the skip lands in [1, N] and can never collide
+    // with a gap at slot 0.
+    pcmap_assert(logical < lines);
+    std::uint64_t phys = (logical + start) % lines;
+    if (phys >= gap)
+        ++phys;
+    return phys;
+}
+
+bool
+StartGapRemapper::onWrite()
+{
+    if (++writesSinceMove < period)
+        return false;
+    writesSinceMove = 0;
+    ++movements;
+    // Move the gap one slot down; once it has swept the whole region
+    // every line has shifted by one, so Start advances.
+    if (gap == 0) {
+        gap = lines;
+        start = (start + 1) % lines;
+    } else {
+        --gap;
+    }
+    return true;
+}
+
+} // namespace pcmap

@@ -1,0 +1,171 @@
+#include "sim/config.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+
+#include "sim/log.h"
+
+namespace pcmap {
+
+Config
+Config::fromArgs(int argc, char **argv)
+{
+    Config cfg;
+    for (int i = 1; i < argc; ++i) {
+        const std::string token = argv[i];
+        const auto eq = token.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            fatal("malformed argument '", token,
+                  "'; expected key=value");
+        }
+        cfg.set(token.substr(0, eq), token.substr(eq + 1));
+    }
+    return cfg;
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values[key] = value;
+}
+
+void
+Config::set(const std::string &key, std::int64_t value)
+{
+    values[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string &key, double value)
+{
+    values[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string &key, bool value)
+{
+    values[key] = value ? "true" : "false";
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values.count(key) > 0;
+}
+
+std::optional<std::string>
+Config::raw(const std::string &key) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::string
+Config::getString(const std::string &key,
+                  const std::string &fallback) const
+{
+    return raw(key).value_or(fallback);
+}
+
+namespace {
+
+std::int64_t
+parseInt(const std::string &key, const std::string &text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 0);
+    if (errno != 0 || end == text.c_str() || *end != '\0')
+        fatal("config key '", key, "': '", text, "' is not an integer");
+    return v;
+}
+
+double
+parseDouble(const std::string &key, const std::string &text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (errno != 0 || end == text.c_str() || *end != '\0')
+        fatal("config key '", key, "': '", text, "' is not a number");
+    return v;
+}
+
+} // namespace
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t fallback) const
+{
+    auto v = raw(key);
+    return v ? parseInt(key, *v) : fallback;
+}
+
+std::uint64_t
+Config::getUint(const std::string &key, std::uint64_t fallback) const
+{
+    auto v = raw(key);
+    if (!v)
+        return fallback;
+    const std::int64_t parsed = parseInt(key, *v);
+    if (parsed < 0)
+        fatal("config key '", key, "' must be non-negative");
+    return static_cast<std::uint64_t>(parsed);
+}
+
+double
+Config::getDouble(const std::string &key, double fallback) const
+{
+    auto v = raw(key);
+    return v ? parseDouble(key, *v) : fallback;
+}
+
+bool
+Config::getBool(const std::string &key, bool fallback) const
+{
+    auto v = raw(key);
+    if (!v)
+        return fallback;
+    std::string t = *v;
+    std::transform(t.begin(), t.end(), t.begin(), ::tolower);
+    if (t == "true" || t == "1" || t == "yes" || t == "on")
+        return true;
+    if (t == "false" || t == "0" || t == "no" || t == "off")
+        return false;
+    fatal("config key '", key, "': '", *v, "' is not a boolean");
+}
+
+std::string
+Config::requireString(const std::string &key) const
+{
+    auto v = raw(key);
+    if (!v)
+        fatal("missing required config key '", key, "'");
+    return *v;
+}
+
+std::int64_t
+Config::requireInt(const std::string &key) const
+{
+    return parseInt(key, requireString(key));
+}
+
+double
+Config::requireDouble(const std::string &key) const
+{
+    return parseDouble(key, requireString(key));
+}
+
+std::vector<std::string>
+Config::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values.size());
+    for (const auto &[k, v] : values)
+        out.push_back(k);
+    return out;
+}
+
+} // namespace pcmap

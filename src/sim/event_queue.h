@@ -1,0 +1,188 @@
+/**
+ * @file
+ * A deterministic discrete-event simulation kernel.
+ *
+ * Events are closures scheduled at absolute ticks.  Two events at the
+ * same tick execute in the order they were scheduled (a monotonically
+ * increasing sequence number breaks ties), which makes every simulation
+ * bit-reproducible regardless of container iteration quirks.
+ */
+
+#ifndef PCMAP_SIM_EVENT_QUEUE_H
+#define PCMAP_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/log.h"
+#include "sim/types.h"
+
+namespace pcmap {
+
+/**
+ * Handle to a scheduled event, usable for cancellation.
+ *
+ * Handles are cheap value types; cancelling an already-executed or
+ * already-cancelled event is a no-op.
+ */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** True when this handle refers to some scheduled event. */
+    bool valid() const { return id != 0; }
+
+  private:
+    friend class EventQueue;
+    explicit EventHandle(std::uint64_t id_) : id(id_) {}
+    std::uint64_t id = 0;
+};
+
+/**
+ * The central event queue.
+ *
+ * Single-threaded by design: architecture simulators are dominated by
+ * dependency chains, and determinism is worth far more than parallel
+ * event dispatch at this scale.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return currentTick; }
+
+    /**
+     * Schedule @p cb to run at absolute tick @p when.
+     *
+     * @param when Absolute tick; must be >= now().
+     * @param cb   Closure invoked when the event fires.
+     * @return A handle that can be used to cancel the event.
+     */
+    EventHandle
+    schedule(Tick when, Callback cb)
+    {
+        if (when < currentTick)
+            pcmap_panic("scheduling event in the past: ", when, " < ",
+                        currentTick);
+        const std::uint64_t id = ++nextId;
+        heap.push(Entry{when, id, std::move(cb)});
+        ++liveCount;
+        return EventHandle(id);
+    }
+
+    /** Schedule @p cb to run @p delta ticks from now. */
+    EventHandle
+    scheduleIn(Tick delta, Callback cb)
+    {
+        return schedule(currentTick + delta, std::move(cb));
+    }
+
+    /**
+     * Cancel a previously scheduled event.
+     *
+     * Cancellation is lazy: the entry stays in the heap but is skipped
+     * when popped.  Returns true when the event had not yet fired.
+     */
+    bool
+    cancel(EventHandle h)
+    {
+        if (!h.valid())
+            return false;
+        const bool was_live = cancelled.insert(h.id).second;
+        if (was_live && liveCount > 0)
+            --liveCount;
+        return was_live;
+    }
+
+    /** Number of events scheduled and not yet fired or cancelled. */
+    std::size_t pending() const { return liveCount; }
+
+    /** True when no live events remain. */
+    bool empty() const { return liveCount == 0; }
+
+    /**
+     * Execute the single next event.
+     * @return false when the queue is empty.
+     */
+    bool
+    step()
+    {
+        while (!heap.empty()) {
+            Entry e = heap.top();
+            heap.pop();
+            if (cancelled.erase(e.id) > 0)
+                continue;
+            pcmap_assert(e.when >= currentTick);
+            currentTick = e.when;
+            --liveCount;
+            e.cb();
+            return true;
+        }
+        return false;
+    }
+
+    /** Run until the queue drains or @p limit ticks is reached. */
+    void
+    run(Tick limit = kTickMax)
+    {
+        while (!heap.empty()) {
+            if (heap.top().when > limit) {
+                currentTick = limit;
+                return;
+            }
+            step();
+        }
+    }
+
+    /**
+     * Run until @p pred returns true (checked after every event) or the
+     * queue drains.
+     */
+    template <typename Pred>
+    void
+    runUntil(Pred &&pred)
+    {
+        while (!pred() && step()) {
+        }
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t id;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    std::unordered_set<std::uint64_t> cancelled;
+    Tick currentTick = 0;
+    std::uint64_t nextId = 0;
+    std::size_t liveCount = 0;
+};
+
+} // namespace pcmap
+
+#endif // PCMAP_SIM_EVENT_QUEUE_H

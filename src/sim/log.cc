@@ -1,0 +1,63 @@
+#include "sim/log.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace pcmap {
+
+namespace log_detail {
+
+LogLevel &
+globalLevel()
+{
+    static LogLevel level = LogLevel::Normal;
+    return level;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << " (" << file << ":" << line << ")\n";
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << "\n";
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << "\n";
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::cout << "info: " << msg << "\n";
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    std::cerr << "debug: " << msg << "\n";
+}
+
+} // namespace log_detail
+
+void
+setLogLevel(LogLevel level)
+{
+    log_detail::globalLevel() = level;
+}
+
+LogLevel
+logLevel()
+{
+    return log_detail::globalLevel();
+}
+
+} // namespace pcmap

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Logging and error-reporting helpers, following the gem5 convention:
+ *
+ *  - panic()  : an internal simulator bug; should never happen no matter
+ *               what the user does.  Aborts (may dump core).
+ *  - fatal()  : the simulation cannot continue due to a user error (bad
+ *               configuration, invalid arguments).  Exits with code 1.
+ *  - warn()   : something is questionable but the simulation continues.
+ *  - inform() : a status message with no connotation of misbehaviour.
+ *
+ * All of them accept printf-free, iostream-free std::format-style
+ * message building via variadic argument folding into a stream.
+ */
+
+#ifndef PCMAP_SIM_LOG_H
+#define PCMAP_SIM_LOG_H
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace pcmap {
+
+/** Verbosity level for inform()/debug() output. */
+enum class LogLevel { Quiet = 0, Normal = 1, Verbose = 2, Debug = 3 };
+
+namespace log_detail {
+
+/** Process-wide verbosity; defaults to Normal. */
+LogLevel &globalLevel();
+
+/** Fold arbitrary streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat([[maybe_unused]] Args &&...args)
+{
+    if constexpr (sizeof...(Args) == 0) {
+        return {};
+    } else {
+        std::ostringstream os;
+        (os << ... << std::forward<Args>(args));
+        return os.str();
+    }
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
+
+} // namespace log_detail
+
+/** Set the process-wide verbosity level. */
+void setLogLevel(LogLevel level);
+
+/** Get the process-wide verbosity level. */
+LogLevel logLevel();
+
+/**
+ * Report an internal simulator bug and abort.
+ * Use only for conditions no user input can cause.
+ */
+template <typename... Args>
+[[noreturn]] void
+panicAt(const char *file, int line, Args &&...args)
+{
+    log_detail::panicImpl(file, line,
+                          log_detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a user error the simulation cannot recover from; exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    log_detail::fatalImpl(log_detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    log_detail::warnImpl(log_detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report ordinary status to the user. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Normal) {
+        log_detail::informImpl(
+            log_detail::concat(std::forward<Args>(args)...));
+    }
+}
+
+/** Developer trace output, visible only at LogLevel::Debug. */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Debug) {
+        log_detail::debugImpl(
+            log_detail::concat(std::forward<Args>(args)...));
+    }
+}
+
+/** panic() with source location captured automatically. */
+#define pcmap_panic(...) ::pcmap::panicAt(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Assert an invariant; panics with the condition text when violated. */
+#define pcmap_assert(cond)                                                 \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::pcmap::panicAt(__FILE__, __LINE__,                           \
+                             "assertion failed: " #cond);                  \
+        }                                                                  \
+    } while (0)
+
+} // namespace pcmap
+
+#endif // PCMAP_SIM_LOG_H

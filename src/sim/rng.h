@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Simulation results must be exactly reproducible from a seed, across
+ * platforms and standard-library versions, so we implement the
+ * generator and the distributions ourselves rather than relying on
+ * std::<distribution> (whose outputs are unspecified).
+ *
+ * The generator is xoshiro256** (Blackman & Vigna), seeded through
+ * splitmix64 so that consecutive seeds give well-decorrelated streams.
+ */
+
+#ifndef PCMAP_SIM_RNG_H
+#define PCMAP_SIM_RNG_H
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/log.h"
+
+namespace pcmap {
+
+/** Deterministic 64-bit PRNG with convenience distributions. */
+class Rng
+{
+  public:
+    /** Seed the stream; equal seeds give identical sequences. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state)
+            word = splitmix64(x);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        pcmap_assert(bound != 0);
+        // Lemire's nearly-divisionless bounded generation.
+        unsigned __int128 m =
+            static_cast<unsigned __int128>(next()) * bound;
+        auto low = static_cast<std::uint64_t>(m);
+        if (low < bound) {
+            const std::uint64_t threshold = (0 - bound) % bound;
+            while (low < threshold) {
+                m = static_cast<unsigned __int128>(next()) * bound;
+                low = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    between(std::uint64_t lo, std::uint64_t hi)
+    {
+        pcmap_assert(lo <= hi);
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with success probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Geometric number of failures before the first success,
+     * success probability @p p in (0, 1].  Mean is (1-p)/p.
+     */
+    std::uint64_t
+    geometric(double p)
+    {
+        pcmap_assert(p > 0.0 && p <= 1.0);
+        if (p >= 1.0)
+            return 0;
+        const double u = 1.0 - uniform(); // in (0, 1]
+        return static_cast<std::uint64_t>(
+            std::floor(std::log(u) / std::log1p(-p)));
+    }
+
+    /**
+     * Sample an index from an unnormalized discrete weight vector.
+     * Weights must be non-negative with a positive sum.
+     */
+    std::size_t
+    weighted(const std::vector<double> &weights)
+    {
+        double total = 0.0;
+        for (double w : weights) {
+            pcmap_assert(w >= 0.0);
+            total += w;
+        }
+        pcmap_assert(total > 0.0);
+        double r = uniform() * total;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            if (r < weights[i])
+                return i;
+            r -= weights[i];
+        }
+        return weights.size() - 1;
+    }
+
+    /** Fork an independent stream (for per-core generators). */
+    Rng
+    fork()
+    {
+        return Rng(next() ^ 0xD1B54A32D192ED03ull);
+    }
+
+  private:
+    static std::uint64_t
+    splitmix64(std::uint64_t &x)
+    {
+        x += 0x9E3779B97F4A7C15ull;
+        std::uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+
+    static std::uint64_t
+    rotl(std::uint64_t v, int k)
+    {
+        return (v << k) | (v >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state{};
+};
+
+} // namespace pcmap
+
+#endif // PCMAP_SIM_RNG_H

@@ -1,0 +1,143 @@
+#include "sim/stats.h"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+namespace pcmap::stats {
+
+StatBase::StatBase(StatGroup &group, std::string name, std::string desc)
+    : statName(std::move(name)), statDesc(std::move(desc))
+{
+    group.addStat(this);
+}
+
+namespace {
+
+void
+emit(std::ostream &os, const std::string &prefix, const std::string &name,
+     double value, const std::string &desc)
+{
+    os << std::left << std::setw(48) << (prefix + name) << " "
+       << std::right << std::setw(16) << std::setprecision(6) << value
+       << "  # " << desc << "\n";
+}
+
+} // namespace
+
+void
+Scalar::dump(std::ostream &os, const std::string &prefix) const
+{
+    emit(os, prefix, name(), total, description());
+}
+
+void
+Average::dump(std::ostream &os, const std::string &prefix) const
+{
+    emit(os, prefix, name() + ".mean", mean(), description());
+    emit(os, prefix, name() + ".samples",
+         static_cast<double>(count), description());
+}
+
+Distribution::Distribution(StatGroup &group, std::string name,
+                           std::string desc, double lo, double hi,
+                           double bucket_size)
+    : StatBase(group, std::move(name), std::move(desc)),
+      low(lo), high(hi), width(bucket_size)
+{
+    pcmap_assert(hi > lo && bucket_size > 0.0);
+    const auto n = static_cast<std::size_t>(
+        std::ceil((hi - lo) / bucket_size));
+    buckets.assign(n, 0);
+}
+
+void
+Distribution::sample(double v)
+{
+    if (count == 0) {
+        minValue = maxValue = v;
+    } else {
+        minValue = std::min(minValue, v);
+        maxValue = std::max(maxValue, v);
+    }
+    ++count;
+    sum += v;
+    if (v < low) {
+        ++underflow;
+    } else if (v >= high) {
+        ++overflow;
+    } else {
+        auto idx = static_cast<std::size_t>((v - low) / width);
+        if (idx >= buckets.size())
+            idx = buckets.size() - 1;
+        ++buckets[idx];
+    }
+}
+
+void
+Distribution::dump(std::ostream &os, const std::string &prefix) const
+{
+    emit(os, prefix, name() + ".mean", mean(), description());
+    emit(os, prefix, name() + ".min", count ? minValue : 0.0,
+         description());
+    emit(os, prefix, name() + ".max", count ? maxValue : 0.0,
+         description());
+    emit(os, prefix, name() + ".samples",
+         static_cast<double>(count), description());
+    emit(os, prefix, name() + ".underflow",
+         static_cast<double>(underflow), description());
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        emit(os, prefix,
+             name() + ".bucket" + std::to_string(i),
+             static_cast<double>(buckets[i]), description());
+    }
+    emit(os, prefix, name() + ".overflow",
+         static_cast<double>(overflow), description());
+}
+
+void
+Distribution::reset()
+{
+    std::fill(buckets.begin(), buckets.end(), 0);
+    underflow = overflow = count = 0;
+    sum = minValue = maxValue = 0.0;
+}
+
+void
+TimeWeighted::dump(std::ostream &os, const std::string &prefix) const
+{
+    emit(os, prefix, name() + ".timeMean", mean(), description());
+    emit(os, prefix, name() + ".max", maxValue, description());
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    const std::string here =
+        groupName.empty() ? prefix : prefix + groupName + ".";
+    for (const StatBase *s : statList)
+        s->dump(os, here);
+    for (const StatGroup *g : children)
+        g->dump(os, here);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (StatBase *s : statList)
+        s->reset();
+    for (StatGroup *g : children)
+        g->resetAll();
+}
+
+const StatBase *
+StatGroup::find(const std::string &name) const
+{
+    for (const StatBase *s : statList) {
+        if (s->name() == name)
+            return s;
+    }
+    return nullptr;
+}
+
+} // namespace pcmap::stats

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * A small statistics package in the spirit of the gem5 Stats framework.
+ *
+ * Statistics register themselves with a StatGroup; groups can be nested
+ * and dumped as a flat name-value listing.  Available kinds:
+ *
+ *  - Scalar      : a running counter / value
+ *  - Average     : running mean of samples
+ *  - Distribution: bucketed histogram with min/max/mean
+ *  - TimeWeighted: value integrated over simulated time
+ */
+
+#ifndef PCMAP_SIM_STATS_H
+#define PCMAP_SIM_STATS_H
+
+#include <algorithm>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/log.h"
+#include "sim/types.h"
+
+namespace pcmap::stats {
+
+class StatGroup;
+
+/** Base class for all statistics; registers with its group. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup &group, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return statName; }
+    const std::string &description() const { return statDesc; }
+
+    /** Write "name value # desc" lines to @p os with @p prefix. */
+    virtual void dump(std::ostream &os,
+                      const std::string &prefix) const = 0;
+
+    /** Reset to the just-constructed state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string statName;
+    std::string statDesc;
+};
+
+/** A running counter or gauge. */
+class Scalar : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Scalar &operator+=(double v) { total += v; return *this; }
+    Scalar &operator++() { total += 1.0; return *this; }
+    void set(double v) { total = v; }
+    double value() const { return total; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { total = 0.0; }
+
+  private:
+    double total = 0.0;
+};
+
+/** Running mean over discrete samples. */
+class Average : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void
+    sample(double v)
+    {
+        sum += v;
+        ++count;
+    }
+
+    double mean() const { return count ? sum / count : 0.0; }
+    std::uint64_t samples() const { return count; }
+    double total() const { return sum; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { sum = 0.0; count = 0; }
+
+  private:
+    double sum = 0.0;
+    std::uint64_t count = 0;
+};
+
+/** Fixed-bucket histogram with overflow/underflow and summary moments. */
+class Distribution : public StatBase
+{
+  public:
+    /**
+     * @param lo          Lowest bucketed value (inclusive).
+     * @param hi          Highest bucketed value (exclusive).
+     * @param bucket_size Width of each bucket.
+     */
+    Distribution(StatGroup &group, std::string name, std::string desc,
+                 double lo, double hi, double bucket_size);
+
+    void sample(double v);
+
+    std::uint64_t samples() const { return count; }
+    double mean() const { return count ? sum / count : 0.0; }
+    double minSeen() const { return minValue; }
+    double maxSeen() const { return maxValue; }
+    std::uint64_t bucketCount(std::size_t i) const { return buckets[i]; }
+    std::size_t numBuckets() const { return buckets.size(); }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override;
+
+  private:
+    double low;
+    double high;
+    double width;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t underflow = 0;
+    std::uint64_t overflow = 0;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double minValue = 0.0;
+    double maxValue = 0.0;
+};
+
+/**
+ * A value integrated over simulated time (for utilization-style
+ * metrics such as IRLP).  Call update(now, v) whenever the tracked
+ * value changes; mean() gives the time-weighted average between the
+ * first and the last update.
+ */
+class TimeWeighted : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    /** Record that the tracked value becomes @p v at time @p now. */
+    void
+    update(Tick now, double v)
+    {
+        if (hasValue) {
+            pcmap_assert(now >= lastTick);
+            area += current * static_cast<double>(now - lastTick);
+            span += static_cast<double>(now - lastTick);
+        } else {
+            hasValue = true;
+        }
+        lastTick = now;
+        current = v;
+        maxValue = std::max(maxValue, v);
+    }
+
+    /** Close the integration window at @p now without changing value. */
+    void finish(Tick now) { update(now, current); }
+
+    double mean() const { return span > 0.0 ? area / span : 0.0; }
+    double maxSeen() const { return maxValue; }
+    double observedSpan() const { return span; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+
+    void
+    reset() override
+    {
+        area = span = current = maxValue = 0.0;
+        lastTick = 0;
+        hasValue = false;
+    }
+
+  private:
+    double area = 0.0;
+    double span = 0.0;
+    double current = 0.0;
+    double maxValue = 0.0;
+    Tick lastTick = 0;
+    bool hasValue = false;
+};
+
+/** A named collection of statistics, possibly with child groups. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : groupName(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &name() const { return groupName; }
+
+    /** Register a statistic (called by StatBase's constructor). */
+    void addStat(StatBase *stat) { statList.push_back(stat); }
+
+    /** Attach a child group; lifetime managed by the caller. */
+    void addChild(StatGroup *child) { children.push_back(child); }
+
+    /** Dump all stats, prefixing names with the group path. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Reset all stats in this group and its children. */
+    void resetAll();
+
+    /** Find a stat by exact name in this group only (nullptr if none). */
+    const StatBase *find(const std::string &name) const;
+
+  private:
+    std::string groupName;
+    std::vector<StatBase *> statList;
+    std::vector<StatGroup *> children;
+};
+
+} // namespace pcmap::stats
+
+#endif // PCMAP_SIM_STATS_H

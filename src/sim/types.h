@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Fundamental simulation-wide types and unit helpers.
+ *
+ * The global time base of the simulator is the Tick, defined as one
+ * picosecond.  Picoseconds were chosen because both clock domains used
+ * by the PCMap evaluation divide it evenly: the 400 MHz memory clock is
+ * 2500 ticks per cycle and the 2.5 GHz core clock is 400 ticks per
+ * cycle, so no rounding ever accumulates when converting between the
+ * two domains.
+ */
+
+#ifndef PCMAP_SIM_TYPES_H
+#define PCMAP_SIM_TYPES_H
+
+#include <cstdint>
+#include <limits>
+
+namespace pcmap {
+
+/** Simulation time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A count of clock cycles in some clock domain. */
+using Cycles = std::uint64_t;
+
+/** Sentinel for "never" / "not scheduled". */
+inline constexpr Tick kTickMax = std::numeric_limits<Tick>::max();
+
+/** One nanosecond expressed in ticks. */
+inline constexpr Tick kNanosecond = 1000;
+
+/** One microsecond expressed in ticks. */
+inline constexpr Tick kMicrosecond = 1000 * kNanosecond;
+
+/** One millisecond expressed in ticks. */
+inline constexpr Tick kMillisecond = 1000 * kMicrosecond;
+
+/** Convert a value in nanoseconds to ticks. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(kNanosecond));
+}
+
+/** Convert ticks to (fractional) nanoseconds. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kNanosecond);
+}
+
+/**
+ * A fixed-frequency clock domain.
+ *
+ * Provides exact conversion between cycles and ticks.  The period must
+ * divide evenly into picoseconds (true for every frequency used in this
+ * project).
+ */
+class ClockDomain
+{
+  public:
+    /** Construct from a clock period expressed in ticks (ps). */
+    constexpr explicit ClockDomain(Tick period_ps) : period(period_ps) {}
+
+    /** Construct a domain from a frequency in MHz. */
+    static constexpr ClockDomain
+    fromMHz(unsigned mhz)
+    {
+        return ClockDomain(1000000 / static_cast<Tick>(mhz));
+    }
+
+    /** The clock period in ticks. */
+    constexpr Tick periodTicks() const { return period; }
+
+    /** Convert a cycle count in this domain to ticks. */
+    constexpr Tick cyclesToTicks(Cycles c) const { return c * period; }
+
+    /** Ticks to whole cycles, rounding down. */
+    constexpr Cycles ticksToCycles(Tick t) const { return t / period; }
+
+    /** Ticks to whole cycles, rounding up. */
+    constexpr Cycles
+    ticksToCyclesCeil(Tick t) const
+    {
+        return (t + period - 1) / period;
+    }
+
+    /** The frequency of the domain in Hz. */
+    constexpr double
+    frequencyHz() const
+    {
+        return 1e12 / static_cast<double>(period);
+    }
+
+  private:
+    Tick period;
+};
+
+/** The memory clock used throughout the PCMap evaluation (400 MHz). */
+inline constexpr ClockDomain kMemClock = ClockDomain::fromMHz(400);
+
+/** The core clock used throughout the PCMap evaluation (2.5 GHz). */
+inline constexpr ClockDomain kCoreClock = ClockDomain::fromMHz(2500);
+
+} // namespace pcmap
+
+#endif // PCMAP_SIM_TYPES_H

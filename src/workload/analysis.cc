@@ -1,0 +1,86 @@
+#include "workload/analysis.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace pcmap::workload {
+
+namespace {
+
+StreamAnalysis
+analyze(RequestSource &source, BackingStore &store,
+        std::uint64_t max_ops, std::uint64_t max_writes)
+{
+    StreamAnalysis a;
+    std::unordered_set<std::uint64_t> lines;
+    std::uint64_t prev_read_line = ~0ull;
+    MemOp op;
+    while (a.ops() < max_ops && a.writes < max_writes &&
+           source.next(op)) {
+        a.gapSum += op.gapInsts;
+        const std::uint64_t line = op.addr / kLineBytes;
+        lines.insert(line);
+        if (op.isWrite) {
+            const WordMask essential =
+                store.essentialWords(line, op.data);
+            ++a.dirtyHist[wordCount(essential)];
+            store.writeWords(line, op.data, essential);
+            ++a.writes;
+        } else {
+            if (prev_read_line != ~0ull && line == prev_read_line + 1)
+                ++a.sequentialReads;
+            prev_read_line = line;
+            ++a.reads;
+        }
+    }
+    a.distinctLines = lines.size();
+    return a;
+}
+
+} // namespace
+
+StreamAnalysis
+analyzeStream(RequestSource &source, BackingStore &store,
+              std::uint64_t max_ops)
+{
+    return analyze(source, store, max_ops, ~0ull);
+}
+
+StreamAnalysis
+analyzeWrites(RequestSource &source, BackingStore &store,
+              std::uint64_t max_writes)
+{
+    return analyze(source, store, ~0ull, max_writes);
+}
+
+AppProfile
+fitProfile(const StreamAnalysis &analysis, std::string name)
+{
+    AppProfile prof;
+    prof.name = std::move(name);
+    prof.suite = Suite::Synthetic;
+
+    const double apki = analysis.apki();
+    prof.rpki = apki * analysis.readFraction();
+    prof.wpki = apki - prof.rpki;
+    if (prof.rpki <= 0.0)
+        prof.rpki = 0.01; // keep the profile valid
+    if (prof.wpki <= 0.0)
+        prof.wpki = 0.01;
+
+    if (analysis.writes > 0) {
+        for (unsigned i = 0; i <= 8; ++i)
+            prof.dirtyWordPct[i] = analysis.pctWithWords(i);
+    } else {
+        prof.dirtyWordPct = {100, 0, 0, 0, 0, 0, 0, 0, 0};
+    }
+
+    prof.rowHitRate =
+        std::min(1.0, std::max(0.0, analysis.sequentialFraction()));
+    prof.footprintLines = std::max<std::uint64_t>(
+        analysis.distinctLines, kWordsPerLine);
+    prof.validate();
+    return prof;
+}
+
+} // namespace pcmap::workload

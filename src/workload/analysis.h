@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Offline analysis of memory-operation streams.
+ *
+ * Used by the Figure 2 harness, the tests, and anyone validating a
+ * recorded trace against a profile: drives any RequestSource against a
+ * functional store (no timing) and measures the properties PCMap
+ * depends on — the dirty-word histogram, read/write mix, instruction
+ * gaps, sequential locality, and footprint.
+ */
+
+#ifndef PCMAP_WORKLOAD_ANALYSIS_H
+#define PCMAP_WORKLOAD_ANALYSIS_H
+
+#include <array>
+#include <cstdint>
+
+#include "cpu/source.h"
+#include "mem/backing_store.h"
+#include "workload/profile.h"
+
+namespace pcmap::workload {
+
+/** Measured properties of one operation stream. */
+struct StreamAnalysis
+{
+    /** dirtyHist[i]: write-backs with exactly i essential words. */
+    std::array<std::uint64_t, 9> dirtyHist{};
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t gapSum = 0;
+    std::uint64_t sequentialReads = 0; ///< line == previous line + 1
+    std::uint64_t distinctLines = 0;
+
+    std::uint64_t ops() const { return reads + writes; }
+
+    /** Fraction of operations that are reads. */
+    double
+    readFraction() const
+    {
+        return ops() ? static_cast<double>(reads) /
+                           static_cast<double>(ops())
+                     : 0.0;
+    }
+
+    /** Percentage of write-backs with exactly @p n essential words. */
+    double
+    pctWithWords(unsigned n) const
+    {
+        return writes ? 100.0 * static_cast<double>(dirtyHist.at(n)) /
+                            static_cast<double>(writes)
+                      : 0.0;
+    }
+
+    /** Percentage of write-backs with fewer than @p n words. */
+    double
+    pctBelowWords(unsigned n) const
+    {
+        std::uint64_t count = 0;
+        for (unsigned i = 0; i < n && i <= 8; ++i)
+            count += dirtyHist[i];
+        return writes ? 100.0 * static_cast<double>(count) /
+                            static_cast<double>(writes)
+                      : 0.0;
+    }
+
+    /** Mean essential words per write-back. */
+    double
+    meanDirtyWords() const
+    {
+        if (!writes)
+            return 0.0;
+        std::uint64_t sum = 0;
+        for (unsigned i = 0; i <= 8; ++i)
+            sum += dirtyHist[i] * i;
+        return static_cast<double>(sum) / static_cast<double>(writes);
+    }
+
+    /** Mean instruction gap between operations. */
+    double
+    meanGap() const
+    {
+        return ops() ? static_cast<double>(gapSum) /
+                           static_cast<double>(ops())
+                     : 0.0;
+    }
+
+    /** Implied accesses per kilo-instruction. */
+    double
+    apki() const
+    {
+        const double per_op = meanGap() + 1.0;
+        return per_op > 0.0 ? 1000.0 / per_op : 0.0;
+    }
+
+    /** Fraction of reads that continue a sequential run. */
+    double
+    sequentialFraction() const
+    {
+        return reads > 1 ? static_cast<double>(sequentialReads) /
+                               static_cast<double>(reads - 1)
+                         : 0.0;
+    }
+};
+
+/**
+ * Drain up to @p max_ops operations from @p source, applying writes to
+ * @p store (so consecutive dirty masks see up-to-date content), and
+ * return the measured statistics.  Stops early when the source is
+ * exhausted.
+ */
+StreamAnalysis analyzeStream(RequestSource &source, BackingStore &store,
+                             std::uint64_t max_ops);
+
+/**
+ * Like analyzeStream but stops after @p max_writes write-backs (the
+ * Figure 2 use case, which histograms a fixed number of writes).
+ */
+StreamAnalysis analyzeWrites(RequestSource &source, BackingStore &store,
+                             std::uint64_t max_writes);
+
+/**
+ * Fit an AppProfile to a measured stream — the inverse of the
+ * synthetic generator.  Users with real traces run their trace
+ * through analyzeStream() and obtain a reusable profile whose
+ * generator reproduces the trace's PCM-relevant statistics (mix,
+ * gaps, dirty-word histogram, sequential locality, footprint).
+ *
+ * The read/write split of APKI follows the measured mix; fields the
+ * analysis cannot observe (offset correlation, write-to-recent-read
+ * affinity) keep their defaults.
+ */
+AppProfile fitProfile(const StreamAnalysis &analysis, std::string name);
+
+} // namespace pcmap::workload
+
+#endif // PCMAP_WORKLOAD_ANALYSIS_H

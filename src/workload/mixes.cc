@@ -1,0 +1,81 @@
+#include "workload/mixes.h"
+
+#include "sim/log.h"
+#include "workload/profile.h"
+
+namespace pcmap::workload {
+
+namespace {
+
+WorkloadSpec
+pairsMix(const std::string &name, const std::string &a,
+         const std::string &b, const std::string &c,
+         const std::string &d, unsigned cores)
+{
+    WorkloadSpec spec;
+    spec.name = name;
+    spec.sharedAddressSpace = false;
+    const std::string apps[4] = {a, b, c, d};
+    for (unsigned i = 0; i < cores; ++i)
+        spec.coreApps.push_back(apps[(i / 2) % 4]);
+    return spec;
+}
+
+} // namespace
+
+WorkloadSpec
+makeWorkload(const std::string &name, unsigned cores)
+{
+    if (cores == 0)
+        fatal("a workload needs at least one core");
+
+    if (name == "MP1")
+        return pairsMix(name, "mcf", "gemsFDTD", "astar", "sphinx3",
+                        cores);
+    if (name == "MP2")
+        return pairsMix(name, "mcf", "gromacs", "gemsFDTD", "h264ref",
+                        cores);
+    if (name == "MP3")
+        return pairsMix(name, "gromacs", "h264ref", "astar", "sphinx3",
+                        cores);
+    if (name == "MP4")
+        return pairsMix(name, "astar", "astar", "astar", "astar", cores);
+    if (name == "MP5")
+        return pairsMix(name, "gemsFDTD", "gemsFDTD", "gemsFDTD",
+                        "gemsFDTD", cores);
+    if (name == "MP6")
+        return pairsMix(name, "cactusADM", "soplex", "gemsFDTD", "astar",
+                        cores);
+
+    const AppProfile &p = findProfile(name); // fatal() if unknown
+    WorkloadSpec spec;
+    spec.name = name;
+    spec.sharedAddressSpace =
+        p.suite == Suite::Parsec2 || p.suite == Suite::Stream;
+    spec.coreApps.assign(cores, name);
+    return spec;
+}
+
+std::vector<std::string>
+evaluatedMtWorkloads()
+{
+    return {"canneal",  "dedup",        "facesim",
+            "fluidanimate", "freqmine", "streamcluster"};
+}
+
+std::vector<std::string>
+evaluatedMpWorkloads()
+{
+    return {"MP1", "MP2", "MP3", "MP4", "MP5", "MP6"};
+}
+
+std::vector<std::string>
+evaluatedWorkloads()
+{
+    std::vector<std::string> all = evaluatedMtWorkloads();
+    for (const std::string &w : evaluatedMpWorkloads())
+        all.push_back(w);
+    return all;
+}
+
+} // namespace pcmap::workload

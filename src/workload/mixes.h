@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The evaluated workload set of Table II: six multi-threaded PARSEC-2
+ * programs (run as 8 threads sharing one address space) and six
+ * multi-programmed SPEC mixes (8 independent address spaces).
+ */
+
+#ifndef PCMAP_WORKLOAD_MIXES_H
+#define PCMAP_WORKLOAD_MIXES_H
+
+#include <string>
+#include <vector>
+
+namespace pcmap::workload {
+
+/** A system-level workload: one application per core. */
+struct WorkloadSpec
+{
+    std::string name;
+    /** Application profile name per core. */
+    std::vector<std::string> coreApps;
+    /** True for multi-threaded runs (cores share one footprint). */
+    bool sharedAddressSpace = false;
+
+    unsigned cores() const
+    {
+        return static_cast<unsigned>(coreApps.size());
+    }
+};
+
+/**
+ * Build a named workload:
+ *  - "MP1".."MP6"         : the Table II multiprogrammed mixes;
+ *  - any profile name      : that program as @p cores shared threads
+ *    (multi-threaded) when it is a PARSEC/STREAM profile, or as
+ *    @p cores independent copies when it is a SPEC profile.
+ * fatal() on an unknown name.
+ */
+WorkloadSpec makeWorkload(const std::string &name, unsigned cores = 8);
+
+/** The six multi-threaded workloads plotted in Figures 8-11. */
+std::vector<std::string> evaluatedMtWorkloads();
+
+/** The six multi-programmed workloads plotted in Figures 8-11. */
+std::vector<std::string> evaluatedMpWorkloads();
+
+/** All twelve plotted workloads, MT first (paper order). */
+std::vector<std::string> evaluatedWorkloads();
+
+} // namespace pcmap::workload
+
+#endif // PCMAP_WORKLOAD_MIXES_H

@@ -1,0 +1,234 @@
+#include "workload/trace.h"
+
+#include <sstream>
+
+#include "sim/log.h"
+
+namespace pcmap::workload {
+
+namespace {
+
+constexpr char kBinaryMagic[] = "PCMT1";
+constexpr char kTextMagic[] = "#pcmap-trace-v1";
+
+template <typename T>
+void
+writeRaw(std::ofstream &out, const T &v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+template <typename T>
+bool
+readRaw(std::ifstream &in, T &v)
+{
+    in.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return in.gcount() == static_cast<std::streamsize>(sizeof(v));
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// TraceWriter
+// ---------------------------------------------------------------------
+
+TraceWriter::TraceWriter(const std::string &path, Format format)
+    : out(path, format == Format::Binary
+                    ? std::ios::binary | std::ios::out
+                    : std::ios::out),
+      fmt(format)
+{
+    if (!out)
+        fatal("cannot open trace file '", path, "' for writing");
+    if (fmt == Format::Binary)
+        out.write(kBinaryMagic, sizeof(kBinaryMagic) - 1);
+    else
+        out << kTextMagic << "\n";
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::close()
+{
+    if (out.is_open())
+        out.close();
+}
+
+void
+TraceWriter::append(const MemOp &op)
+{
+    TraceRecord rec;
+    rec.gapInsts = op.gapInsts;
+    rec.isWrite = op.isWrite;
+    rec.addr = op.addr;
+
+    if (op.isWrite) {
+        const std::uint64_t line = op.addr / kLineBytes;
+        CacheLine &old = shadow[line]; // zero line when first seen
+        for (unsigned i = 0; i < kWordsPerLine; ++i) {
+            if (old.w[i] != op.data.w[i]) {
+                rec.updates.emplace_back(static_cast<std::uint8_t>(i),
+                                         op.data.w[i]);
+            }
+        }
+        old = op.data;
+    }
+    emit(rec);
+    ++written;
+}
+
+void
+TraceWriter::emit(const TraceRecord &rec)
+{
+    if (fmt == Format::Binary) {
+        writeRaw(out, static_cast<std::uint32_t>(rec.gapInsts));
+        writeRaw(out, static_cast<std::uint8_t>(rec.isWrite ? 1 : 0));
+        writeRaw(out,
+                 static_cast<std::uint8_t>(rec.updates.size()));
+        writeRaw(out, rec.addr);
+        for (const auto &[off, val] : rec.updates) {
+            writeRaw(out, off);
+            writeRaw(out, val);
+        }
+        return;
+    }
+    out << (rec.isWrite ? "W " : "R ") << rec.gapInsts << " " << std::hex
+        << rec.addr << std::dec;
+    for (const auto &[off, val] : rec.updates) {
+        out << " " << static_cast<unsigned>(off) << ":" << std::hex
+            << val << std::dec;
+    }
+    out << "\n";
+}
+
+// ---------------------------------------------------------------------
+// TraceReader
+// ---------------------------------------------------------------------
+
+TraceReader::TraceReader(const std::string &path)
+    : in(path, std::ios::binary | std::ios::in)
+{
+    if (!in)
+        fatal("cannot open trace file '", path, "'");
+    char magic[sizeof(kBinaryMagic) - 1];
+    in.read(magic, sizeof(magic));
+    if (in.gcount() == static_cast<std::streamsize>(sizeof(magic)) &&
+        std::string(magic, sizeof(magic)) == kBinaryMagic) {
+        binary = true;
+        return;
+    }
+    // Fall back to text: rewind and consume the header line.
+    in.clear();
+    in.seekg(0);
+    std::string header;
+    if (!std::getline(in, header) || header != kTextMagic)
+        fatal("'", path, "' is not a pcmap trace (bad magic)");
+}
+
+bool
+TraceReader::next(TraceRecord &rec)
+{
+    const bool ok = binary ? nextBinary(rec) : nextText(rec);
+    if (ok)
+        ++consumed;
+    return ok;
+}
+
+bool
+TraceReader::nextBinary(TraceRecord &rec)
+{
+    std::uint32_t gap = 0;
+    std::uint8_t is_write = 0;
+    std::uint8_t n_updates = 0;
+    if (!readRaw(in, gap))
+        return false;
+    if (!readRaw(in, is_write) || !readRaw(in, n_updates) ||
+        !readRaw(in, rec.addr)) {
+        fatal("truncated binary trace record");
+    }
+    rec.gapInsts = gap;
+    rec.isWrite = is_write != 0;
+    rec.updates.clear();
+    for (unsigned i = 0; i < n_updates; ++i) {
+        std::uint8_t off = 0;
+        std::uint64_t val = 0;
+        if (!readRaw(in, off) || !readRaw(in, val))
+            fatal("truncated binary trace record");
+        if (off >= kWordsPerLine)
+            fatal("corrupt trace: word offset ", unsigned(off));
+        rec.updates.emplace_back(off, val);
+    }
+    return true;
+}
+
+bool
+TraceReader::nextText(TraceRecord &rec)
+{
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ss(line);
+        std::string kind;
+        ss >> kind >> rec.gapInsts >> std::hex >> rec.addr >> std::dec;
+        if (!ss || (kind != "R" && kind != "W"))
+            fatal("malformed trace line: '", line, "'");
+        rec.isWrite = kind == "W";
+        rec.updates.clear();
+        std::string pair;
+        while (ss >> pair) {
+            const auto colon = pair.find(':');
+            if (colon == std::string::npos)
+                fatal("malformed trace update: '", pair, "'");
+            const unsigned off = std::stoul(pair.substr(0, colon));
+            const std::uint64_t val =
+                std::stoull(pair.substr(colon + 1), nullptr, 16);
+            if (off >= kWordsPerLine)
+                fatal("corrupt trace: word offset ", off);
+            rec.updates.emplace_back(static_cast<std::uint8_t>(off),
+                                     val);
+        }
+        return true;
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// TraceReplaySource
+// ---------------------------------------------------------------------
+
+TraceReplaySource::TraceReplaySource(const std::string &path,
+                                     BackingStore &store, bool loop)
+    : tracePath(path), backing(store), looping(loop), reader(path)
+{
+}
+
+bool
+TraceReplaySource::next(MemOp &op)
+{
+    TraceRecord rec;
+    if (!reader.next(rec)) {
+        if (!looping)
+            return false;
+        reader = TraceReader(tracePath);
+        if (!reader.next(rec))
+            return false; // empty trace
+    }
+
+    op.gapInsts = rec.gapInsts;
+    op.isWrite = rec.isWrite;
+    op.addr = rec.addr;
+    if (rec.isWrite) {
+        const std::uint64_t line = rec.addr / kLineBytes;
+        op.data = backing.read(line).data;
+        for (const auto &[off, val] : rec.updates)
+            op.data.w[off] = val;
+    }
+    return true;
+}
+
+} // namespace pcmap::workload

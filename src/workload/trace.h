@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Memory-trace recording and replay.
+ *
+ * Users with real application traces (e.g. from gem5 or a PIN tool)
+ * can feed them to the simulator through this module instead of the
+ * synthetic generators.  Two formats are supported:
+ *
+ *  - binary ("PCMT1"): compact fixed-layout records;
+ *  - text   ("#pcmap-trace-v1"): one record per line,
+ *        R <gap> <hex-addr>
+ *        W <gap> <hex-addr> <off>:<hex-value> ...
+ *    where each off:value pair overwrites one 8-byte word of the
+ *    line's previous content.
+ *
+ * The writer derives the dirty words of each write against its own
+ * shadow image, so traces stay compact even for full-line payloads.
+ */
+
+#ifndef PCMAP_WORKLOAD_TRACE_H
+#define PCMAP_WORKLOAD_TRACE_H
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cpu/source.h"
+#include "mem/backing_store.h"
+
+namespace pcmap::workload {
+
+/** One parsed trace record. */
+struct TraceRecord
+{
+    std::uint64_t gapInsts = 0;
+    bool isWrite = false;
+    std::uint64_t addr = 0;
+    /** Dirty words of a write: (offset, new value) pairs. */
+    std::vector<std::pair<std::uint8_t, std::uint64_t>> updates;
+};
+
+/** Streaming trace writer. */
+class TraceWriter
+{
+  public:
+    enum class Format { Binary, Text };
+
+    /** Open @p path for writing; fatal() on I/O failure. */
+    TraceWriter(const std::string &path, Format format);
+    ~TraceWriter();
+
+    /** Append one operation (diffs writes against the shadow image). */
+    void append(const MemOp &op);
+
+    /** Records written so far. */
+    std::uint64_t count() const { return written; }
+
+    /** Flush and close early (also done by the destructor). */
+    void close();
+
+  private:
+    void emit(const TraceRecord &rec);
+
+    std::ofstream out;
+    Format fmt;
+    std::unordered_map<std::uint64_t, CacheLine> shadow;
+    std::uint64_t written = 0;
+};
+
+/** Streaming trace reader. */
+class TraceReader
+{
+  public:
+    /** Open @p path, auto-detecting the format; fatal() on failure. */
+    explicit TraceReader(const std::string &path);
+
+    /** Read the next record; false at end of trace. */
+    bool next(TraceRecord &rec);
+
+    std::uint64_t count() const { return consumed; }
+
+  private:
+    bool nextBinary(TraceRecord &rec);
+    bool nextText(TraceRecord &rec);
+
+    std::ifstream in;
+    bool binary = false;
+    std::uint64_t consumed = 0;
+};
+
+/**
+ * RequestSource replaying a trace file against the functional backing
+ * store (write payloads are reconstructed as old-line-plus-updates).
+ * When @p loop is true the trace restarts at the end, so short traces
+ * can drive long runs.
+ */
+class TraceReplaySource : public RequestSource
+{
+  public:
+    TraceReplaySource(const std::string &path, BackingStore &store,
+                      bool loop = false);
+
+    bool next(MemOp &op) override;
+
+  private:
+    std::string tracePath;
+    BackingStore &backing;
+    bool looping;
+    TraceReader reader;
+};
+
+} // namespace pcmap::workload
+
+#endif // PCMAP_WORKLOAD_TRACE_H

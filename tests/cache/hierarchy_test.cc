@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests for the cache-hierarchy front end: PCM traffic generation,
+ * dirty-word condensation, silent-store behaviour, and flush.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/hierarchy.h"
+#include "cache/raw_stream.h"
+
+namespace pcmap::cache {
+namespace {
+
+/** Scripted raw stream. */
+class ScriptedRaw : public RawAccessSource
+{
+  public:
+    bool
+    next(RawAccess &access) override
+    {
+        if (pos >= script.size())
+            return false;
+        access = script[pos++];
+        return true;
+    }
+
+    std::vector<RawAccess> script;
+    std::size_t pos = 0;
+};
+
+RawAccess
+load(std::uint64_t addr, std::uint64_t gap = 0)
+{
+    RawAccess a;
+    a.addr = addr;
+    a.gapInsts = gap;
+    return a;
+}
+
+RawAccess
+store(std::uint64_t addr, std::uint64_t value, bool silent = false)
+{
+    RawAccess a;
+    a.isStore = true;
+    a.addr = addr;
+    a.value = value;
+    a.silent = silent;
+    return a;
+}
+
+HierarchyConfig
+tinyHierarchy()
+{
+    HierarchyConfig cfg;
+    cfg.l2 = CacheConfig{4 * kLineBytes, 1, true};       // 4 lines
+    cfg.dramCache = CacheConfig{16 * kLineBytes, 2, true}; // 16 lines
+    return cfg;
+}
+
+TEST(Hierarchy, ColdLoadEmitsPcmRead)
+{
+    ScriptedRaw raw;
+    raw.script = {load(0, 7)};
+    BackingStore store;
+    HierarchySource h(raw, store, tinyHierarchy());
+    MemOp op;
+    ASSERT_TRUE(h.next(op));
+    EXPECT_FALSE(op.isWrite);
+    EXPECT_EQ(op.addr, 0u);
+    EXPECT_EQ(op.gapInsts, 7u);
+    EXPECT_FALSE(h.next(op)); // stream exhausted, all cached
+}
+
+TEST(Hierarchy, RepeatedAccessesHitInCache)
+{
+    ScriptedRaw raw;
+    for (int i = 0; i < 20; ++i)
+        raw.script.push_back(load(64));
+    BackingStore store;
+    HierarchySource h(raw, store, tinyHierarchy());
+    MemOp op;
+    ASSERT_TRUE(h.next(op)); // only the cold miss
+    EXPECT_FALSE(h.next(op));
+    EXPECT_EQ(h.l2().stats().hits, 19u);
+}
+
+TEST(Hierarchy, StoresCondenseIntoFewDirtyWords)
+{
+    // Write words 2 and 5 of one line many times; after flush the
+    // PCM write-back carries the aggregated line once.
+    ScriptedRaw raw;
+    for (int i = 0; i < 10; ++i) {
+        raw.script.push_back(store(0 * 64 + 2 * 8, 100 + i));
+        raw.script.push_back(store(0 * 64 + 5 * 8, 200 + i));
+    }
+    BackingStore store;
+    HierarchySource h(raw, store, tinyHierarchy());
+    MemOp op;
+    ASSERT_TRUE(h.next(op)); // cold fill read
+    EXPECT_FALSE(op.isWrite);
+    EXPECT_FALSE(h.next(op));
+    h.flushAll();
+    ASSERT_TRUE(h.next(op));
+    EXPECT_TRUE(op.isWrite);
+    const WordMask essential =
+        store.essentialWords(op.addr / kLineBytes, op.data);
+    EXPECT_EQ(essential, WordMask{(1u << 2) | (1u << 5)});
+    EXPECT_EQ(op.data.w[2], 109u);
+    EXPECT_EQ(op.data.w[5], 209u);
+}
+
+TEST(Hierarchy, SilentStoreProducesNoEssentialWords)
+{
+    ScriptedRaw raw;
+    raw.script = {store(128, 0, /*silent=*/true)};
+    BackingStore store;
+    CacheLine preset;
+    preset.w[0] = 0xABCD;
+    store.writeLine(2, preset);
+    HierarchySource h(raw, store, tinyHierarchy());
+    MemOp op;
+    ASSERT_TRUE(h.next(op)); // the fill read
+    EXPECT_FALSE(h.next(op));
+    h.flushAll();
+    ASSERT_TRUE(h.next(op)); // dirty-bit write-back...
+    EXPECT_TRUE(op.isWrite);
+    // ...which the differential write finds fully redundant.
+    EXPECT_EQ(store.essentialWords(op.addr / kLineBytes, op.data), 0u);
+}
+
+TEST(Hierarchy, CapacityEvictionsReachPcm)
+{
+    // Touch far more lines than the hierarchy holds, storing into
+    // each; evictions must appear as PCM writes.
+    ScriptedRaw raw;
+    for (std::uint64_t line = 0; line < 64; ++line)
+        raw.script.push_back(store(line * kLineBytes, line + 1));
+    BackingStore store;
+    HierarchySource h(raw, store, tinyHierarchy());
+    MemOp op;
+    unsigned reads = 0;
+    unsigned writes = 0;
+    while (h.next(op))
+        (op.isWrite ? writes : reads)++;
+    EXPECT_EQ(reads, 64u);
+    EXPECT_GT(writes, 30u); // 16-line DRAM cache must spill
+}
+
+TEST(Hierarchy, GapsAccumulateAcrossFilteredAccesses)
+{
+    ScriptedRaw raw;
+    raw.script = {load(0, 10), load(0, 20), load(0, 30),
+                  load(4096, 40)};
+    BackingStore store;
+    HierarchySource h(raw, store, tinyHierarchy());
+    MemOp op;
+    ASSERT_TRUE(h.next(op));
+    EXPECT_EQ(op.gapInsts, 10u); // first cold miss
+    ASSERT_TRUE(h.next(op));
+    // Hits for 20/30 accumulate into the next PCM-level op.
+    EXPECT_EQ(op.gapInsts, 90u);
+}
+
+TEST(Hierarchy, EndToEndDirtyWordShape)
+{
+    // A realistic synthetic raw stream must produce mostly-few-dirty-
+    // word write-backs after aggregation (the Figure 2 shape).
+    RawStreamConfig rcfg;
+    rcfg.accesses = 60'000;
+    rcfg.footprintBytes = 1u << 20;
+    rcfg.seed = 5;
+    SyntheticRawStream raw(rcfg);
+    BackingStore store;
+    HierarchyConfig hcfg;
+    hcfg.l2 = CacheConfig{64 * kLineBytes, 4, true};
+    hcfg.dramCache = CacheConfig{1024 * kLineBytes, 8, true};
+    HierarchySource h(raw, store, hcfg);
+
+    MemOp op;
+    std::uint64_t writes = 0;
+    std::uint64_t few_words = 0;
+    while (h.next(op)) {
+        if (!op.isWrite)
+            continue;
+        ++writes;
+        const unsigned n = wordCount(
+            store.essentialWords(op.addr / kLineBytes, op.data));
+        few_words += n <= 4 ? 1 : 0;
+        store.writeWords(op.addr / kLineBytes, op.data,
+                         store.essentialWords(op.addr / kLineBytes,
+                                              op.data));
+    }
+    ASSERT_GT(writes, 500u);
+    EXPECT_GT(static_cast<double>(few_words) /
+                  static_cast<double>(writes),
+              0.5);
+}
+
+} // namespace
+} // namespace pcmap::cache

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the six evaluated system presets and config validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/controller_config.h"
+
+namespace pcmap {
+namespace {
+
+TEST(Presets, BaselineIsConventional)
+{
+    const ControllerConfig c =
+        ControllerConfig::forMode(SystemMode::Baseline);
+    EXPECT_FALSE(c.enableRoW);
+    EXPECT_FALSE(c.enableWoW);
+    EXPECT_FALSE(c.fineGrained);
+    EXPECT_FALSE(c.hasPcc());
+    EXPECT_EQ(c.rotation, RotationMode::None);
+    c.validate();
+}
+
+TEST(Presets, MatchPaperTable)
+{
+    struct Expect
+    {
+        SystemMode mode;
+        bool row, wow;
+        RotationMode rot;
+    };
+    const Expect table[] = {
+        {SystemMode::RoW_NR, true, false, RotationMode::None},
+        {SystemMode::WoW_NR, false, true, RotationMode::None},
+        {SystemMode::RWoW_NR, true, true, RotationMode::None},
+        {SystemMode::RWoW_RD, true, true, RotationMode::Data},
+        {SystemMode::RWoW_RDE, true, true, RotationMode::DataEcc},
+    };
+    for (const Expect &e : table) {
+        const ControllerConfig c = ControllerConfig::forMode(e.mode);
+        EXPECT_EQ(c.enableRoW, e.row) << systemModeName(e.mode);
+        EXPECT_EQ(c.enableWoW, e.wow) << systemModeName(e.mode);
+        EXPECT_EQ(c.rotation, e.rot) << systemModeName(e.mode);
+        EXPECT_TRUE(c.fineGrained) << systemModeName(e.mode);
+        EXPECT_TRUE(c.hasPcc()) << systemModeName(e.mode);
+        c.validate();
+    }
+}
+
+TEST(Presets, NamesMatchPaperLabels)
+{
+    EXPECT_STREQ(systemModeName(SystemMode::Baseline), "Baseline");
+    EXPECT_STREQ(systemModeName(SystemMode::RoW_NR), "RoW-NR");
+    EXPECT_STREQ(systemModeName(SystemMode::WoW_NR), "WoW-NR");
+    EXPECT_STREQ(systemModeName(SystemMode::RWoW_NR), "RWoW-NR");
+    EXPECT_STREQ(systemModeName(SystemMode::RWoW_RD), "RWoW-RD");
+    EXPECT_STREQ(systemModeName(SystemMode::RWoW_RDE), "RWoW-RDE");
+}
+
+TEST(Presets, AllModesListIsComplete)
+{
+    EXPECT_EQ(std::size(kAllModes), 6u);
+    EXPECT_EQ(kAllModes[0], SystemMode::Baseline);
+    EXPECT_EQ(kAllModes[5], SystemMode::RWoW_RDE);
+}
+
+TEST(Config, DefaultQueueingMatchesPaper)
+{
+    const ControllerConfig c;
+    EXPECT_EQ(c.readQueueCap, 8u);
+    EXPECT_EQ(c.writeQueueCap, 32u);
+    EXPECT_DOUBLE_EQ(c.drainHighWatermark, 0.8);
+}
+
+TEST(ConfigDeath, RowWithoutFineGrainedIsFatal)
+{
+    ControllerConfig c;
+    c.enableRoW = true;
+    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1),
+                "fine-grained");
+}
+
+TEST(ConfigDeath, BadWatermarksAreFatal)
+{
+    ControllerConfig c;
+    c.drainLowWatermark = 0.9;
+    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1),
+                "watermark");
+}
+
+TEST(ConfigDeath, CancellationOnPcmapIsFatal)
+{
+    ControllerConfig c = ControllerConfig::forMode(SystemMode::RWoW_RDE);
+    c.enableWriteCancellation = true;
+    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1),
+                "conventional DIMM");
+}
+
+TEST(ConfigDeath, PresetOnPcmapIsFatal)
+{
+    ControllerConfig c = ControllerConfig::forMode(SystemMode::RWoW_RD);
+    c.enablePreset = true;
+    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1),
+                "conventional DIMM");
+}
+
+TEST(ConfigDeath, ZeroQueueIsFatal)
+{
+    ControllerConfig c;
+    c.readQueueCap = 0;
+    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1),
+                "positive");
+}
+
+} // namespace
+} // namespace pcmap

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Randomized property sweeps over the chip-layout policies: inverse
+ * mappings, footprint algebra, and the statistical spreading that the
+ * rotation modes exist to provide.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/layout.h"
+#include "sim/rng.h"
+
+namespace pcmap {
+namespace {
+
+class LayoutSweep : public ::testing::TestWithParam<RotationMode>
+{
+  protected:
+    ChipLayout layout() const { return ChipLayout(GetParam(), true); }
+};
+
+TEST_P(LayoutSweep, InverseMappingHoldsForRandomLines)
+{
+    const ChipLayout l = layout();
+    Rng rng(1);
+    for (int i = 0; i < 10'000; ++i) {
+        const std::uint64_t line = rng.next() >> 20;
+        for (unsigned w = 0; w < kWordsPerLine; ++w) {
+            const unsigned chip = l.chipForWord(line, w);
+            ASSERT_EQ(l.wordForChip(line, chip), w)
+                << "line " << line << " word " << w;
+        }
+        ASSERT_EQ(l.wordForChip(line, l.eccChip(line)), kNoWord);
+        ASSERT_EQ(l.wordForChip(line, l.pccChip(line)), kNoWord);
+    }
+}
+
+TEST_P(LayoutSweep, FootprintAlgebra)
+{
+    const ChipLayout l = layout();
+    Rng rng(2);
+    for (int i = 0; i < 5'000; ++i) {
+        const std::uint64_t line = rng.next() >> 18;
+        const auto words = static_cast<WordMask>(rng.below(256));
+        const ChipMask data = l.chipsForWords(line, words);
+        const ChipMask fp = l.writeFootprint(line, words);
+        // The footprint is the data chips plus exactly the two code
+        // chips.
+        ASSERT_EQ(fp & data, data);
+        ASSERT_TRUE(fp & (1u << l.eccChip(line)));
+        ASSERT_TRUE(fp & (1u << l.pccChip(line)));
+        ASSERT_EQ(chipCount(fp),
+                  chipCount(data) +
+                      (((data >> l.eccChip(line)) & 1u) ? 0u : 1u) +
+                      (((data >> l.pccChip(line)) & 1u) ? 0u : 1u));
+        // Word count preserved by the chip mapping (injective).
+        ASSERT_EQ(chipCount(data), wordCount(words));
+    }
+}
+
+TEST_P(LayoutSweep, SubsetMonotonicity)
+{
+    const ChipLayout l = layout();
+    Rng rng(3);
+    for (int i = 0; i < 3'000; ++i) {
+        const std::uint64_t line = rng.next() >> 22;
+        const auto a = static_cast<WordMask>(rng.below(256));
+        const auto b = static_cast<WordMask>(a & rng.below(256));
+        // chips(b) subset of chips(a) whenever b subset of a.
+        const ChipMask ca = l.chipsForWords(line, a);
+        const ChipMask cb = l.chipsForWords(line, b);
+        ASSERT_EQ(cb & ca, cb);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, LayoutSweep,
+                         ::testing::Values(RotationMode::None,
+                                           RotationMode::Data,
+                                           RotationMode::DataEcc),
+                         [](const auto &info) {
+                             switch (info.param) {
+                               case RotationMode::None: return "None";
+                               case RotationMode::Data: return "Data";
+                               default: return "DataEcc";
+                             }
+                         });
+
+TEST(LayoutSpread, DataRotationEqualizesPerChipWordLoad)
+{
+    // Over many sequential lines, word 0 must land uniformly across
+    // the 8 data chips under RD and across all 10 under RDE.
+    const ChipLayout rd(RotationMode::Data, true);
+    const ChipLayout rde(RotationMode::DataEcc, true);
+    std::array<int, kChipsPerRank> hist_rd{};
+    std::array<int, kChipsPerRank> hist_rde{};
+    const int lines = 8000;
+    for (int line = 0; line < lines; ++line) {
+        ++hist_rd[rd.chipForWord(static_cast<std::uint64_t>(line), 0)];
+        ++hist_rde[rde.chipForWord(static_cast<std::uint64_t>(line),
+                                   0)];
+    }
+    for (unsigned c = 0; c < kDataChips; ++c)
+        EXPECT_EQ(hist_rd[c], lines / 8) << "RD chip " << c;
+    for (unsigned c = 0; c < kChipsPerRank; ++c)
+        EXPECT_EQ(hist_rde[c], lines / 10) << "RDE chip " << c;
+}
+
+TEST(LayoutSpread, EccRotationEqualizesCodeChipLoad)
+{
+    const ChipLayout rde(RotationMode::DataEcc, true);
+    std::array<int, kChipsPerRank> ecc_hist{};
+    std::array<int, kChipsPerRank> pcc_hist{};
+    const int lines = 10000;
+    for (int line = 0; line < lines; ++line) {
+        ++ecc_hist[rde.eccChip(static_cast<std::uint64_t>(line))];
+        ++pcc_hist[rde.pccChip(static_cast<std::uint64_t>(line))];
+    }
+    for (unsigned c = 0; c < kChipsPerRank; ++c) {
+        EXPECT_EQ(ecc_hist[c], lines / 10) << "chip " << c;
+        EXPECT_EQ(pcc_hist[c], lines / 10) << "chip " << c;
+    }
+}
+
+} // namespace
+} // namespace pcmap

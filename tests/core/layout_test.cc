@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Property tests for the chip-layout/rotation policies: bijectivity,
+ * paper-mandated placement formulas, and load-spreading behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "core/layout.h"
+
+namespace pcmap {
+namespace {
+
+TEST(LayoutNone, IdentityMapping)
+{
+    const ChipLayout l(RotationMode::None, true);
+    for (std::uint64_t line : {0ull, 1ull, 77ull, 1000000ull}) {
+        for (unsigned w = 0; w < kWordsPerLine; ++w) {
+            EXPECT_EQ(l.chipForWord(line, w), w);
+            EXPECT_EQ(l.wordForChip(line, w), w);
+        }
+        EXPECT_EQ(l.eccChip(line), 8u);
+        EXPECT_EQ(l.pccChip(line), 9u);
+        EXPECT_EQ(l.wordForChip(line, 8), kNoWord);
+        EXPECT_EQ(l.wordForChip(line, 9), kNoWord);
+    }
+}
+
+TEST(LayoutData, RotatesByLineAddrMod8)
+{
+    // Figure 6: line X+k stores word w on chip (w + k) % 8.
+    const ChipLayout l(RotationMode::Data, true);
+    for (std::uint64_t line = 0; line < 32; ++line) {
+        for (unsigned w = 0; w < kWordsPerLine; ++w) {
+            EXPECT_EQ(l.chipForWord(line, w),
+                      (w + line % 8) % 8);
+        }
+        // Code chips do not rotate in RD mode.
+        EXPECT_EQ(l.eccChip(line), 8u);
+        EXPECT_EQ(l.pccChip(line), 9u);
+    }
+}
+
+TEST(LayoutDataEcc, RotatesAllTenSlots)
+{
+    // Section IV-C2: offset = Address modulo (10 x L).
+    const ChipLayout l(RotationMode::DataEcc, true);
+    for (std::uint64_t line = 0; line < 40; ++line) {
+        const unsigned r = static_cast<unsigned>(line % 10);
+        for (unsigned w = 0; w < kWordsPerLine; ++w)
+            EXPECT_EQ(l.chipForWord(line, w), (w + r) % 10);
+        EXPECT_EQ(l.eccChip(line), (8 + r) % 10);
+        EXPECT_EQ(l.pccChip(line), (9 + r) % 10);
+    }
+}
+
+/** Word->chip must be invertible for every mode and line. */
+class LayoutBijective : public ::testing::TestWithParam<RotationMode>
+{
+};
+
+TEST_P(LayoutBijective, WordChipRoundTrip)
+{
+    const ChipLayout l(GetParam(), true);
+    for (std::uint64_t line = 0; line < 100; ++line) {
+        std::set<unsigned> used;
+        for (unsigned w = 0; w < kWordsPerLine; ++w) {
+            const unsigned chip = l.chipForWord(line, w);
+            EXPECT_LT(chip, kChipsPerRank);
+            EXPECT_TRUE(used.insert(chip).second)
+                << "two words share chip " << chip;
+            EXPECT_EQ(l.wordForChip(line, chip), w);
+        }
+        // ECC/PCC chips are distinct from all data chips.
+        EXPECT_FALSE(used.count(l.eccChip(line)));
+        EXPECT_FALSE(used.count(l.pccChip(line)));
+        EXPECT_NE(l.eccChip(line), l.pccChip(line));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, LayoutBijective,
+                         ::testing::Values(RotationMode::None,
+                                           RotationMode::Data,
+                                           RotationMode::DataEcc));
+
+TEST(Layout, ChipsForWordsMatchesPerWordMapping)
+{
+    const ChipLayout l(RotationMode::Data, true);
+    const std::uint64_t line = 13;
+    const WordMask words = 0b10100101;
+    const ChipMask chips = l.chipsForWords(line, words);
+    for (unsigned w = 0; w < kWordsPerLine; ++w) {
+        const bool expected = (words >> w) & 1u;
+        const bool present =
+            (chips >> l.chipForWord(line, w)) & 1u;
+        EXPECT_EQ(present, expected) << "word " << w;
+    }
+    EXPECT_EQ(chipCount(chips), wordCount(words));
+}
+
+TEST(Layout, DataChipsCoversEight)
+{
+    for (const RotationMode m :
+         {RotationMode::None, RotationMode::Data, RotationMode::DataEcc}) {
+        const ChipLayout l(m, true);
+        for (std::uint64_t line = 0; line < 50; ++line)
+            EXPECT_EQ(chipCount(l.dataChips(line)), 8u);
+    }
+}
+
+TEST(Layout, WriteFootprintAddsCodeChips)
+{
+    const ChipLayout l(RotationMode::None, true);
+    const ChipMask fp = l.writeFootprint(5, 0b00000001);
+    EXPECT_EQ(fp, ChipMask{(1u << 0) | (1u << 8) | (1u << 9)});
+
+    const ChipLayout l9(RotationMode::None, false);
+    const ChipMask fp9 = l9.writeFootprint(5, 0b00000001);
+    EXPECT_EQ(fp9, ChipMask{(1u << 0) | (1u << 8)});
+}
+
+TEST(Layout, EccRotationSpreadsCodeChips)
+{
+    // Over any 10 consecutive lines, RDE places the ECC word on all
+    // 10 distinct chips — that is what removes the fixed-chip
+    // serialization.
+    const ChipLayout l(RotationMode::DataEcc, true);
+    std::set<unsigned> ecc_chips;
+    std::set<unsigned> pcc_chips;
+    for (std::uint64_t line = 100; line < 110; ++line) {
+        ecc_chips.insert(l.eccChip(line));
+        pcc_chips.insert(l.pccChip(line));
+    }
+    EXPECT_EQ(ecc_chips.size(), 10u);
+    EXPECT_EQ(pcc_chips.size(), 10u);
+}
+
+TEST(Layout, FixedEccConcentratesCodeChips)
+{
+    const ChipLayout l(RotationMode::Data, true);
+    std::set<unsigned> ecc_chips;
+    for (std::uint64_t line = 0; line < 100; ++line)
+        ecc_chips.insert(l.eccChip(line));
+    EXPECT_EQ(ecc_chips.size(), 1u);
+}
+
+TEST(Layout, SameOffsetConsecutiveLinesSpreadUnderRotation)
+{
+    // The WoW conflict the paper highlights: word 0 of consecutive
+    // lines all lands on chip 0 without rotation, but on distinct
+    // chips with rotation.
+    const ChipLayout none(RotationMode::None, true);
+    const ChipLayout rd(RotationMode::Data, true);
+    std::set<unsigned> chips_none;
+    std::set<unsigned> chips_rd;
+    for (std::uint64_t line = 0; line < 8; ++line) {
+        chips_none.insert(none.chipForWord(line, 0));
+        chips_rd.insert(rd.chipForWord(line, 0));
+    }
+    EXPECT_EQ(chips_none.size(), 1u);
+    EXPECT_EQ(chips_rd.size(), 8u);
+}
+
+TEST(LayoutDeath, DataEccWithoutPccPanics)
+{
+    EXPECT_DEATH(ChipLayout(RotationMode::DataEcc, false),
+                 "10-chip");
+}
+
+TEST(LayoutDeath, PccQueryWithoutPccPanics)
+{
+    const ChipLayout l(RotationMode::None, false);
+    EXPECT_DEATH(l.pccChip(0), "without a PCC chip");
+}
+
+} // namespace
+} // namespace pcmap

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Additional core-model behaviours: penalty accumulation across
+ * multiple rollbacks, speculative bookkeeping with many outstanding
+ * reads, IPC accounting, and stall-statistic consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpu/core_model.h"
+#include "sim/event_queue.h"
+
+namespace pcmap {
+namespace {
+
+/** Port that records requests and answers on demand. */
+class ManualPort : public MemoryPort
+{
+  public:
+    explicit ManualPort(EventQueue &eq) : eventq(eq) {}
+
+    bool
+    enqueueRead(const MemRequest &req, ReadCallback cb) override
+    {
+        pending.push_back({req, std::move(cb)});
+        return true;
+    }
+
+    bool
+    enqueueWrite(const MemRequest &) override
+    {
+        ++writes;
+        return true;
+    }
+
+    void setRetryCallback(RetryCallback) override {}
+    void setVerifyCallback(VerifyCallback) override {}
+
+    /** Answer the oldest pending read (optionally speculative). */
+    void
+    answer(bool speculative = false)
+    {
+        ASSERT_FALSE(pending.empty());
+        auto [req, cb] = pending.front();
+        pending.erase(pending.begin());
+        ReadResponse resp;
+        resp.id = req.id;
+        resp.addr = req.addr;
+        resp.coreId = req.coreId;
+        resp.completionTick = eventq.now();
+        resp.speculative = speculative;
+        answered.push_back(req.id);
+        cb(resp);
+    }
+
+    EventQueue &eventq;
+    std::vector<std::pair<MemRequest, ReadCallback>> pending;
+    std::vector<ReqId> answered;
+    int writes = 0;
+};
+
+/** Source emitting N back-to-back reads then ending. */
+class ReadBurst : public RequestSource
+{
+  public:
+    explicit ReadBurst(int reads) : remaining(reads) {}
+
+    bool
+    next(MemOp &op) override
+    {
+        if (remaining-- <= 0)
+            return false;
+        op = MemOp{};
+        op.addr = static_cast<std::uint64_t>(remaining) * 4096;
+        return true;
+    }
+
+    int remaining;
+};
+
+TEST(CoreModelEdge, MultipleRollbackPenaltiesAccumulate)
+{
+    EventQueue eq;
+    ManualPort port(eq);
+    ReadBurst src(3);
+    CoreConfig cfg;
+    cfg.commitDelay = 0; // consume instantly on return
+    CoreModel core(0, cfg, eq, port, src, 1'000'000);
+    core.start();
+    eq.run();
+    // Three reads outstanding; answer all speculatively.
+    ASSERT_EQ(port.pending.size(), 3u);
+    std::vector<ReqId> ids;
+    for (int i = 0; i < 3; ++i)
+        ids.push_back(port.pending[static_cast<std::size_t>(i)]
+                          .first.id);
+    for (int i = 0; i < 3; ++i)
+        port.answer(/*speculative=*/true);
+    eq.run(eq.now() + 10 * kNanosecond);
+    // Fault every one of them after consumption.
+    for (const ReqId id : ids)
+        core.onVerify(id, true);
+    eq.run();
+    EXPECT_TRUE(core.finished());
+    EXPECT_EQ(core.stats().rollbacks, 3u);
+    EXPECT_EQ(core.stats().rollbackTicks,
+              3 * cfg.rollbackPenalty);
+}
+
+TEST(CoreModelEdge, DuplicateVerifyIsIdempotent)
+{
+    EventQueue eq;
+    ManualPort port(eq);
+    ReadBurst src(1);
+    CoreConfig cfg;
+    cfg.commitDelay = 0;
+    CoreModel core(0, cfg, eq, port, src, 100'000);
+    core.start();
+    eq.run();
+    const ReqId id = port.pending[0].first.id;
+    port.answer(true);
+    eq.run(eq.now() + kNanosecond);
+    core.onVerify(id, true);
+    core.onVerify(id, true); // second notice must be ignored
+    eq.run();
+    EXPECT_EQ(core.stats().rollbacks, 1u);
+}
+
+TEST(CoreModelEdge, IpcReflectsStalls)
+{
+    EventQueue eq;
+    ManualPort port(eq);
+    ReadBurst src(1);
+    CoreConfig cfg;
+    cfg.robWindowInsts = 0;
+    CoreModel core(0, cfg, eq, port, src, 10'000);
+    core.start();
+    eq.run();
+    // Hold the answer for 1 us: IPC must drop well below width 4.
+    eq.schedule(eq.now() + kMicrosecond, [&] { port.answer(); });
+    eq.run();
+    EXPECT_TRUE(core.finished());
+    EXPECT_LT(core.ipc(), 3.0);
+    EXPECT_GE(core.stats().readStallTicks, kMicrosecond);
+}
+
+TEST(CoreModelEdge, StallTicksNeverExceedWallTime)
+{
+    EventQueue eq;
+    ManualPort port(eq);
+    ReadBurst src(5);
+    CoreConfig cfg;
+    CoreModel core(0, cfg, eq, port, src, 50'000);
+    core.start();
+    eq.run();
+    while (!port.pending.empty()) {
+        eq.schedule(eq.now() + 100 * kNanosecond,
+                    [&] { port.answer(); });
+        eq.run();
+    }
+    eq.run();
+    ASSERT_TRUE(core.finished());
+    EXPECT_LE(core.stats().readStallTicks + core.stats().retryStallTicks,
+              core.stats().finishTick);
+}
+
+TEST(CoreModelEdge, WritesDoNotOccupyMshrs)
+{
+    EventQueue eq;
+    ManualPort port(eq);
+
+    class WriteBurst : public RequestSource
+    {
+      public:
+        bool
+        next(MemOp &op) override
+        {
+            if (count-- <= 0)
+                return false;
+            op = MemOp{};
+            op.isWrite = true;
+            op.addr = static_cast<std::uint64_t>(count) * 4096;
+            return true;
+        }
+        int count = 100;
+    } src;
+
+    CoreConfig cfg;
+    cfg.maxOutstandingReads = 1;
+    CoreModel core(0, cfg, eq, port, src, 100'000);
+    core.start();
+    eq.run();
+    EXPECT_TRUE(core.finished());
+    EXPECT_EQ(port.writes, 100);
+}
+
+} // namespace
+} // namespace pcmap

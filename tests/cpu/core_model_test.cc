@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Tests for the core model against a scripted memory port: compute
+ * throughput, stall coupling, MLP, MSHR limits, back-pressure, and
+ * the speculative-read rollback machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "cpu/core_model.h"
+#include "sim/event_queue.h"
+
+namespace pcmap {
+namespace {
+
+/** Memory port with a fixed service latency and scriptable refusals. */
+class MockPort : public MemoryPort
+{
+  public:
+    explicit MockPort(EventQueue &eq) : eventq(eq) {}
+
+    bool
+    enqueueRead(const MemRequest &req, ReadCallback cb) override
+    {
+        if (rejectReads > 0) {
+            --rejectReads;
+            return false;
+        }
+        ++readsAccepted;
+        ReadResponse resp;
+        resp.id = req.id;
+        resp.addr = req.addr;
+        resp.coreId = req.coreId;
+        resp.speculative = nextSpeculative;
+        eventq.schedule(eventq.now() + readLatency,
+                        [this, resp, cb]() mutable {
+                            resp.completionTick = eventq.now();
+                            cb(resp);
+                        });
+        if (nextSpeculative)
+            specIds.push_back(req.id);
+        return true;
+    }
+
+    bool
+    enqueueWrite(const MemRequest &req) override
+    {
+        (void)req;
+        if (rejectWrites > 0) {
+            --rejectWrites;
+            return false;
+        }
+        ++writesAccepted;
+        return true;
+    }
+
+    void setRetryCallback(RetryCallback cb) override
+    {
+        retry = std::move(cb);
+    }
+    void setVerifyCallback(VerifyCallback cb) override
+    {
+        verify = std::move(cb);
+    }
+
+    void fireRetry() { if (retry) retry(); }
+
+    EventQueue &eventq;
+    Tick readLatency = 100 * kNanosecond;
+    bool nextSpeculative = false;
+    int rejectReads = 0;
+    int rejectWrites = 0;
+    int readsAccepted = 0;
+    int writesAccepted = 0;
+    std::vector<ReqId> specIds;
+    RetryCallback retry;
+    VerifyCallback verify;
+};
+
+/** Source replaying a scripted list of operations. */
+class ScriptedSource : public RequestSource
+{
+  public:
+    bool
+    next(MemOp &op) override
+    {
+        if (pos >= ops.size())
+            return false;
+        op = ops[pos++];
+        return true;
+    }
+
+    std::vector<MemOp> ops;
+    std::size_t pos = 0;
+};
+
+MemOp
+readOp(std::uint64_t gap, std::uint64_t addr)
+{
+    MemOp op;
+    op.gapInsts = gap;
+    op.addr = addr;
+    return op;
+}
+
+MemOp
+writeOp(std::uint64_t gap, std::uint64_t addr)
+{
+    MemOp op;
+    op.gapInsts = gap;
+    op.isWrite = true;
+    op.addr = addr;
+    return op;
+}
+
+class CoreModelTest : public ::testing::Test
+{
+  protected:
+    void
+    build(std::uint64_t insts,
+          const std::function<void(CoreConfig &)> &tweak = {})
+    {
+        CoreConfig cfg;
+        if (tweak)
+            tweak(cfg);
+        port = std::make_unique<MockPort>(eq);
+        core = std::make_unique<CoreModel>(0, cfg, eq, *port, src,
+                                           insts);
+    }
+
+    EventQueue eq;
+    ScriptedSource src;
+    std::unique_ptr<MockPort> port;
+    std::unique_ptr<CoreModel> core;
+};
+
+TEST_F(CoreModelTest, PureComputeRunsAtIssueWidth)
+{
+    build(10000);
+    core->start();
+    eq.run();
+    EXPECT_TRUE(core->finished());
+    // 10000 insts at width 4 on a 2.5 GHz clock: 2500 cycles = 1 us.
+    EXPECT_EQ(core->stats().finishTick, kMicrosecond);
+    EXPECT_DOUBLE_EQ(core->ipc(), 4.0);
+}
+
+TEST_F(CoreModelTest, ReadStallCoupledToLatency)
+{
+    src.ops = {readOp(0, 64)};
+    build(1000, [](CoreConfig &c) { c.robWindowInsts = 0; });
+    core->start();
+    eq.run();
+    EXPECT_TRUE(core->finished());
+    // Stalled immediately on the read (window 0), then computed.
+    const Tick compute = kCoreClock.cyclesToTicks(1000 / 4);
+    EXPECT_EQ(core->stats().finishTick,
+              port->readLatency + compute);
+    EXPECT_EQ(core->stats().readStalls, 1u);
+    EXPECT_EQ(core->stats().readStallTicks, port->readLatency);
+}
+
+TEST_F(CoreModelTest, RobWindowHidesLatency)
+{
+    // The core slides robWindow insts past the load before stalling,
+    // so a short-latency read is fully hidden.
+    src.ops = {readOp(0, 64)};
+    build(1000, [this](CoreConfig &c) {
+        c.robWindowInsts = 1000;
+        (void)this;
+    });
+    port->readLatency = 10 * kNanosecond; // < compute time of 1000 insts
+    core->start();
+    eq.run();
+    EXPECT_EQ(core->stats().finishTick,
+              kCoreClock.cyclesToTicks(1000 / 4));
+    EXPECT_EQ(core->stats().readStalls, 0u);
+}
+
+TEST_F(CoreModelTest, IndependentReadsOverlap)
+{
+    // Two loads 10 insts apart with a 128-inst window: both in
+    // flight together, total time ~ one latency, not two.
+    src.ops = {readOp(0, 64), readOp(10, 128)};
+    build(2000);
+    core->start();
+    eq.run();
+    const Tick compute = kCoreClock.cyclesToTicks(2000 / 4);
+    // Serial service would cost both latencies on top of compute;
+    // overlapped service hides all but one.
+    EXPECT_LT(core->stats().finishTick,
+              compute + 2 * port->readLatency);
+    EXPECT_GE(core->stats().finishTick, compute);
+    EXPECT_EQ(core->stats().readsIssued, 2u);
+}
+
+TEST_F(CoreModelTest, MshrLimitSerializesReads)
+{
+    src.ops = {readOp(0, 64), readOp(0, 128)};
+    build(2000, [](CoreConfig &c) { c.maxOutstandingReads = 1; });
+    core->start();
+    eq.run();
+    EXPECT_GE(core->stats().finishTick, 2 * port->readLatency);
+}
+
+TEST_F(CoreModelTest, WritesAreFireAndForget)
+{
+    src.ops = {writeOp(0, 64), writeOp(0, 128), writeOp(0, 192)};
+    build(1000);
+    core->start();
+    eq.run();
+    EXPECT_EQ(port->writesAccepted, 3);
+    // No stall: finishes at pure compute speed.
+    EXPECT_EQ(core->stats().finishTick,
+              kCoreClock.cyclesToTicks(1000 / 4));
+    EXPECT_EQ(core->stats().writesIssued, 3u);
+}
+
+TEST_F(CoreModelTest, WriteRejectionStallsUntilRetry)
+{
+    src.ops = {writeOp(0, 64)};
+    build(1000);
+    port->rejectWrites = 1;
+    core->start();
+    eq.run();
+    EXPECT_FALSE(core->finished()); // blocked waiting for retry
+    eq.schedule(eq.now() + 50 * kNanosecond,
+                [this] { core->onRetry(); });
+    eq.run();
+    EXPECT_TRUE(core->finished());
+    EXPECT_EQ(port->writesAccepted, 1);
+    EXPECT_GE(core->stats().retryStallTicks, 50 * kNanosecond);
+}
+
+TEST_F(CoreModelTest, ReadRejectionStallsUntilRetry)
+{
+    src.ops = {readOp(0, 64)};
+    build(1000);
+    port->rejectReads = 1;
+    core->start();
+    eq.run();
+    EXPECT_FALSE(core->finished());
+    eq.schedule(eq.now() + kNanosecond, [this] { core->onRetry(); });
+    eq.run();
+    EXPECT_TRUE(core->finished());
+    EXPECT_EQ(port->readsAccepted, 1);
+}
+
+TEST_F(CoreModelTest, SpeculativeReadCountsAndVerifyClean)
+{
+    src.ops = {readOp(0, 64)};
+    build(1000);
+    port->nextSpeculative = true;
+    core->start();
+    eq.run();
+    EXPECT_EQ(core->stats().specReadsSeen, 1u);
+    // Clean verification long after consumption: no rollback.
+    core->onVerify(port->specIds.at(0), false);
+    EXPECT_EQ(core->stats().rollbacks, 0u);
+}
+
+TEST_F(CoreModelTest, FaultAfterConsumptionRollsBack)
+{
+    src.ops = {readOp(0, 64)};
+    build(100000);
+    port->nextSpeculative = true;
+    core->start();
+    // Let the read return and be consumed (past the commit delay),
+    // then deliver the fault.
+    eq.run(port->readLatency + 500 * kNanosecond);
+    ASSERT_EQ(port->specIds.size(), 1u);
+    core->onVerify(port->specIds[0], true);
+    eq.run();
+    EXPECT_TRUE(core->finished());
+    EXPECT_EQ(core->stats().rollbacks, 1u);
+    EXPECT_EQ(core->stats().consumedBeforeVerify, 1u);
+    EXPECT_GT(core->stats().rollbackTicks, 0u);
+}
+
+TEST_F(CoreModelTest, FaultBeforeConsumptionIsFree)
+{
+    src.ops = {readOp(0, 64)};
+    build(100000, [](CoreConfig &c) {
+        c.commitDelay = kMillisecond; // consumption far in the future
+    });
+    port->nextSpeculative = true;
+    core->start();
+    eq.run(port->readLatency + kNanosecond);
+    ASSERT_EQ(port->specIds.size(), 1u);
+    core->onVerify(port->specIds[0], true); // before consumedTick
+    eq.run();
+    EXPECT_EQ(core->stats().rollbacks, 0u);
+    EXPECT_EQ(core->stats().consumedBeforeVerify, 0u);
+}
+
+TEST_F(CoreModelTest, AlwaysFaultyModeRollsBackCleanReads)
+{
+    src.ops = {readOp(0, 64)};
+    build(100000, [](CoreConfig &c) { c.assumeAlwaysFaulty = true; });
+    port->nextSpeculative = true;
+    core->start();
+    eq.run(port->readLatency + 500 * kNanosecond);
+    core->onVerify(port->specIds.at(0), false); // clean, yet faulted
+    eq.run();
+    EXPECT_EQ(core->stats().rollbacks, 1u);
+}
+
+TEST_F(CoreModelTest, UnknownVerifyIdIgnored)
+{
+    build(1000);
+    core->start();
+    core->onVerify(12345, true);
+    eq.run();
+    EXPECT_EQ(core->stats().rollbacks, 0u);
+}
+
+TEST_F(CoreModelTest, SourceExhaustionFallsBackToCompute)
+{
+    src.ops = {readOp(10, 64)};
+    build(50000);
+    core->start();
+    eq.run();
+    EXPECT_TRUE(core->finished());
+    EXPECT_EQ(core->stats().instRetired, 50000u);
+}
+
+TEST_F(CoreModelTest, GapDelaysOpIssue)
+{
+    src.ops = {readOp(4000, 64)};
+    build(8000, [](CoreConfig &c) { c.robWindowInsts = 0; });
+    core->start();
+    eq.run();
+    // 4000 insts (1000 cycles) before the read even issues.
+    EXPECT_GE(core->stats().finishTick,
+              kCoreClock.cyclesToTicks(1000) + port->readLatency);
+}
+
+} // namespace
+} // namespace pcmap

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Tests for deterministic error injection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ecc/bits.h"
+#include "ecc/error_inject.h"
+
+namespace pcmap::ecc {
+namespace {
+
+TEST(ErrorInject, WordErrorsFlipExactCount)
+{
+    Rng rng(1);
+    for (unsigned nbits : {0u, 1u, 2u, 5u, 64u}) {
+        CacheLine l{};
+        injectWordErrors(l, 3, nbits, rng);
+        unsigned flipped = 0;
+        for (unsigned i = 0; i < kWordsPerLine; ++i) {
+            flipped += static_cast<unsigned>(
+                hammingDistance(l.w[i], 0));
+            if (i != 3) {
+                EXPECT_EQ(l.w[i], 0u) << "word " << i;
+            }
+        }
+        EXPECT_EQ(flipped, nbits);
+    }
+}
+
+TEST(ErrorInject, LineErrorsFlipExactCountAnywhere)
+{
+    Rng rng(2);
+    CacheLine l{};
+    injectLineErrors(l, 12, rng);
+    unsigned flipped = 0;
+    for (auto w : l.w)
+        flipped += static_cast<unsigned>(hammingDistance(w, 0));
+    EXPECT_EQ(flipped, 12u);
+}
+
+TEST(ErrorInject, InjectBitFlipsOne)
+{
+    EXPECT_EQ(injectBit(0, 7), 128u);
+    EXPECT_EQ(injectBit(128, 7), 0u);
+}
+
+TEST(ErrorInject, DeterministicWithSameSeed)
+{
+    Rng a(3);
+    Rng b(3);
+    CacheLine la{};
+    CacheLine lb{};
+    injectLineErrors(la, 5, a);
+    injectLineErrors(lb, 5, b);
+    EXPECT_EQ(la, lb);
+}
+
+} // namespace
+} // namespace pcmap::ecc

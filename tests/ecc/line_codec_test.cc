@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for line-level code packaging: ECC word layout, PCC parity,
+ * incremental updates, erasure reconstruction, and full-line checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ecc/line_codec.h"
+#include "ecc/secded.h"
+#include "sim/rng.h"
+
+namespace pcmap::ecc {
+namespace {
+
+CacheLine
+randomLine(Rng &rng)
+{
+    CacheLine l;
+    for (auto &w : l.w)
+        w = rng.next();
+    return l;
+}
+
+TEST(LineCodec, EccWordPacksPerWordCheckBytes)
+{
+    Rng rng(1);
+    const CacheLine l = randomLine(rng);
+    const std::uint64_t ecc = computeEccWord(l);
+    for (unsigned i = 0; i < kWordsPerLine; ++i) {
+        const auto byte =
+            static_cast<std::uint8_t>((ecc >> (8 * i)) & 0xFF);
+        EXPECT_EQ(byte, secdedEncode(l.w[i])) << "word " << i;
+    }
+}
+
+TEST(LineCodec, PccIsXorOfAllWords)
+{
+    Rng rng(2);
+    const CacheLine l = randomLine(rng);
+    std::uint64_t expect = 0;
+    for (auto w : l.w)
+        expect ^= w;
+    EXPECT_EQ(computePccWord(l), expect);
+    EXPECT_EQ(l.parityWord(), expect);
+}
+
+TEST(LineCodec, IncrementalEccMatchesFull)
+{
+    Rng rng(3);
+    CacheLine oldl = randomLine(rng);
+    const std::uint64_t old_ecc = computeEccWord(oldl);
+    for (WordMask mask : {WordMask{0x01}, WordMask{0x81}, WordMask{0xFF},
+                          WordMask{0x24}, WordMask{0x00}}) {
+        CacheLine newl = oldl;
+        for (unsigned i = 0; i < kWordsPerLine; ++i) {
+            if (mask & (1u << i))
+                newl.w[i] = rng.next();
+        }
+        EXPECT_EQ(updateEccWord(old_ecc, newl, mask),
+                  computeEccWord(newl))
+            << "mask " << unsigned(mask);
+    }
+}
+
+TEST(LineCodec, IncrementalPccMatchesFull)
+{
+    Rng rng(4);
+    CacheLine oldl = randomLine(rng);
+    const std::uint64_t old_pcc = computePccWord(oldl);
+    for (WordMask mask :
+         {WordMask{0x01}, WordMask{0xC3}, WordMask{0xFF}}) {
+        CacheLine newl = oldl;
+        for (unsigned i = 0; i < kWordsPerLine; ++i) {
+            if (mask & (1u << i))
+                newl.w[i] = rng.next();
+        }
+        EXPECT_EQ(updatePccWord(old_pcc, oldl, newl, mask),
+                  computePccWord(newl))
+            << "mask " << unsigned(mask);
+    }
+}
+
+/** Reconstruction works for every missing word position. */
+class Reconstruct : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(Reconstruct, RecoversMissingWord)
+{
+    const unsigned missing = GetParam();
+    Rng rng(50 + missing);
+    for (int i = 0; i < 100; ++i) {
+        CacheLine l = randomLine(rng);
+        const std::uint64_t pcc = computePccWord(l);
+        const std::uint64_t truth = l.w[missing];
+        l.w[missing] = 0xDEADBEEF; // garbage: must be ignored
+        EXPECT_EQ(reconstructWord(l, missing, pcc), truth);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPositions, Reconstruct,
+                         ::testing::Range(0u, kWordsPerLine));
+
+TEST(LineCodec, CheckLinePassesCleanLine)
+{
+    Rng rng(5);
+    CacheLine l = randomLine(rng);
+    const std::uint64_t ecc = computeEccWord(l);
+    const LineCheckResult r = checkLine(l, ecc);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.correctedWords, 0u);
+    EXPECT_EQ(r.uncorrectableWords, 0u);
+}
+
+TEST(LineCodec, CheckLineCorrectsSingleBitPerWord)
+{
+    Rng rng(6);
+    CacheLine truth = randomLine(rng);
+    const std::uint64_t ecc = computeEccWord(truth);
+    CacheLine bad = truth;
+    bad.w[2] ^= 1ull << 17;
+    bad.w[6] ^= 1ull << 63;
+    const LineCheckResult r = checkLine(bad, ecc);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.correctedWords, WordMask{(1u << 2) | (1u << 6)});
+    EXPECT_EQ(bad.w[2], truth.w[2]);
+    EXPECT_EQ(bad.w[6], truth.w[6]);
+}
+
+TEST(LineCodec, CheckLineFlagsDoubleBitWord)
+{
+    Rng rng(7);
+    CacheLine truth = randomLine(rng);
+    const std::uint64_t ecc = computeEccWord(truth);
+    CacheLine bad = truth;
+    bad.w[4] ^= (1ull << 3) | (1ull << 40);
+    const LineCheckResult r = checkLine(bad, ecc);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.uncorrectableWords, WordMask{1u << 4});
+}
+
+TEST(CacheLine, DiffMaskFindsEssentialWords)
+{
+    Rng rng(8);
+    CacheLine a = randomLine(rng);
+    CacheLine b = a;
+    EXPECT_EQ(a.diffMask(b), 0u);
+    b.w[0] ^= 1;
+    b.w[7] ^= 1;
+    EXPECT_EQ(a.diffMask(b), WordMask{0x81});
+    EXPECT_EQ(b.diffMask(a), WordMask{0x81});
+}
+
+TEST(CacheLine, MaskHelpers)
+{
+    EXPECT_EQ(wordCount(0x00), 0u);
+    EXPECT_EQ(wordCount(0xFF), 8u);
+    EXPECT_EQ(wordCount(0x11), 2u);
+    EXPECT_EQ(chipCount(kAllChips), kChipsPerRank);
+}
+
+} // namespace
+} // namespace pcmap::ecc

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Code-distance properties of the Hamming(72,64) SECDED code: the
+ * extended Hamming code has minimum distance 4, so up to 3 flipped
+ * bits can never silently decode as "Ok", and every valid codeword's
+ * neighbourhood behaves as the decoder contract promises.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ecc/bits.h"
+#include "ecc/secded.h"
+#include "sim/rng.h"
+
+namespace pcmap::ecc {
+namespace {
+
+struct CodeWord
+{
+    std::uint64_t data;
+    std::uint8_t check;
+};
+
+CodeWord
+flip(const CodeWord &w, unsigned bit)
+{
+    // Bits 0..63 are data, 64..71 are check bits.
+    CodeWord out = w;
+    if (bit < 64)
+        out.data = flipBit(out.data, bit);
+    else
+        out.check = static_cast<std::uint8_t>(out.check ^
+                                              (1u << (bit - 64)));
+    return out;
+}
+
+TEST(SecdedDistance, TripleErrorsNeverDecodeAsClean)
+{
+    // Minimum distance 4: any 1-3 flips leave the word detectably
+    // damaged (status != Ok), though 3 flips may miscorrect.
+    Rng rng(1);
+    for (int trial = 0; trial < 300; ++trial) {
+        const std::uint64_t d = rng.next();
+        CodeWord w{d, secdedEncode(d)};
+        unsigned bits[3];
+        bits[0] = static_cast<unsigned>(rng.below(72));
+        do {
+            bits[1] = static_cast<unsigned>(rng.below(72));
+        } while (bits[1] == bits[0]);
+        do {
+            bits[2] = static_cast<unsigned>(rng.below(72));
+        } while (bits[2] == bits[0] || bits[2] == bits[1]);
+
+        CodeWord damaged = w;
+        for (int k = 0; k < 3; ++k) {
+            damaged = flip(damaged, bits[k]);
+            const SecdedResult r =
+                secdedDecode(damaged.data, damaged.check);
+            ASSERT_NE(r.status, SecdedStatus::Ok)
+                << "flips=" << (k + 1) << " trial=" << trial;
+        }
+    }
+}
+
+TEST(SecdedDistance, FourFlipsCanReachAnotherCodeword)
+{
+    // Distance exactly 4: flipping a data bit plus the check bits it
+    // affects lands on the codeword of the flipped data.
+    Rng rng(2);
+    const std::uint64_t d = rng.next();
+    const std::uint64_t d2 = flipBit(d, 17);
+    const std::uint8_t c = secdedEncode(d);
+    const std::uint8_t c2 = secdedEncode(d2);
+    const int flips =
+        hammingDistance(d, d2) +
+        hammingDistance(static_cast<std::uint64_t>(c),
+                        static_cast<std::uint64_t>(c2));
+    EXPECT_GE(flips, 4);
+    // And the second codeword decodes clean, of course.
+    EXPECT_EQ(secdedDecode(d2, c2).status, SecdedStatus::Ok);
+}
+
+TEST(SecdedDistance, CorrectionIsClosedOverTheWholeWordSpace)
+{
+    // For random words, correcting a single flipped bit always lands
+    // back on the original codeword, from every position including
+    // check bits (decoder returns intact data).
+    Rng rng(3);
+    for (int trial = 0; trial < 100; ++trial) {
+        const std::uint64_t d = rng.next();
+        const CodeWord w{d, secdedEncode(d)};
+        for (unsigned bit = 0; bit < 72; ++bit) {
+            const CodeWord damaged = flip(w, bit);
+            const SecdedResult r =
+                secdedDecode(damaged.data, damaged.check);
+            ASSERT_NE(r.status, SecdedStatus::Uncorrectable);
+            ASSERT_NE(r.status, SecdedStatus::Ok);
+            ASSERT_EQ(r.data, d) << "bit " << bit;
+        }
+    }
+}
+
+TEST(SecdedDistance, SyndromeZeroOnlyForCodewords)
+{
+    // Random (data, check) pairs are overwhelmingly detected as
+    // damaged; only true codewords decode Ok.
+    Rng rng(4);
+    int clean = 0;
+    for (int trial = 0; trial < 10'000; ++trial) {
+        const std::uint64_t d = rng.next();
+        const auto c = static_cast<std::uint8_t>(rng.below(256));
+        if (secdedDecode(d, c).status == SecdedStatus::Ok) {
+            ++clean;
+            EXPECT_EQ(c, secdedEncode(d));
+        }
+    }
+    // 1 in 256 pairs is a codeword on average.
+    EXPECT_LT(clean, 200);
+}
+
+} // namespace
+} // namespace pcmap::ecc

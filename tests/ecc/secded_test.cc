@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Property tests for the Hamming(72,64) SECDED codec: every single-bit
+ * error (data or check) is corrected, every double-bit error is
+ * detected, across many random words.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ecc/bits.h"
+#include "ecc/secded.h"
+#include "sim/rng.h"
+
+namespace pcmap::ecc {
+namespace {
+
+TEST(Secded, CleanWordDecodesOk)
+{
+    Rng rng(1);
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t d = rng.next();
+        const std::uint8_t c = secdedEncode(d);
+        const SecdedResult r = secdedDecode(d, c);
+        EXPECT_EQ(r.status, SecdedStatus::Ok);
+        EXPECT_EQ(r.data, d);
+        EXPECT_TRUE(secdedClean(d, c));
+    }
+}
+
+TEST(Secded, ZeroAndAllOnes)
+{
+    for (const std::uint64_t d : {0ull, ~0ull}) {
+        const std::uint8_t c = secdedEncode(d);
+        EXPECT_EQ(secdedDecode(d, c).status, SecdedStatus::Ok);
+    }
+}
+
+TEST(Secded, EncodeIsDeterministic)
+{
+    Rng rng(2);
+    for (int i = 0; i < 100; ++i) {
+        const std::uint64_t d = rng.next();
+        EXPECT_EQ(secdedEncode(d), secdedEncode(d));
+    }
+}
+
+/** Parameterized over the flipped data-bit index. */
+class SecdedSingleDataBit : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SecdedSingleDataBit, IsCorrected)
+{
+    const unsigned bit = GetParam();
+    Rng rng(100 + bit);
+    for (int i = 0; i < 50; ++i) {
+        const std::uint64_t d = rng.next();
+        const std::uint8_t c = secdedEncode(d);
+        const std::uint64_t corrupted = flipBit(d, bit);
+        const SecdedResult r = secdedDecode(corrupted, c);
+        ASSERT_EQ(r.status, SecdedStatus::CorrectedData);
+        EXPECT_EQ(r.data, d);
+        EXPECT_EQ(r.bitIndex, bit);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDataBits, SecdedSingleDataBit,
+                         ::testing::Range(0u, 64u));
+
+/** Parameterized over the flipped check-bit index. */
+class SecdedSingleCheckBit : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SecdedSingleCheckBit, IsCorrectedWithoutTouchingData)
+{
+    const unsigned bit = GetParam();
+    Rng rng(200 + bit);
+    for (int i = 0; i < 50; ++i) {
+        const std::uint64_t d = rng.next();
+        const std::uint8_t c = secdedEncode(d);
+        const auto corrupted =
+            static_cast<std::uint8_t>(c ^ (1u << bit));
+        const SecdedResult r = secdedDecode(d, corrupted);
+        ASSERT_EQ(r.status, SecdedStatus::CorrectedCheck);
+        EXPECT_EQ(r.data, d);
+        EXPECT_EQ(r.bitIndex, bit);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCheckBits, SecdedSingleCheckBit,
+                         ::testing::Range(0u, 8u));
+
+TEST(Secded, AllDoubleDataBitErrorsDetected)
+{
+    Rng rng(3);
+    const std::uint64_t d = rng.next();
+    const std::uint8_t c = secdedEncode(d);
+    for (unsigned i = 0; i < 64; ++i) {
+        for (unsigned j = i + 1; j < 64; ++j) {
+            const std::uint64_t corrupted = flipBit(flipBit(d, i), j);
+            const SecdedResult r = secdedDecode(corrupted, c);
+            ASSERT_EQ(r.status, SecdedStatus::Uncorrectable)
+                << "bits " << i << "," << j;
+        }
+    }
+}
+
+TEST(Secded, DataPlusCheckDoubleErrorsDetected)
+{
+    Rng rng(4);
+    const std::uint64_t d = rng.next();
+    const std::uint8_t c = secdedEncode(d);
+    for (unsigned i = 0; i < 64; ++i) {
+        for (unsigned j = 0; j < 8; ++j) {
+            const std::uint64_t bad_d = flipBit(d, i);
+            const auto bad_c = static_cast<std::uint8_t>(c ^ (1u << j));
+            const SecdedResult r = secdedDecode(bad_d, bad_c);
+            ASSERT_EQ(r.status, SecdedStatus::Uncorrectable)
+                << "data bit " << i << ", check bit " << j;
+        }
+    }
+}
+
+TEST(Secded, DoubleCheckBitErrorsDetected)
+{
+    Rng rng(5);
+    const std::uint64_t d = rng.next();
+    const std::uint8_t c = secdedEncode(d);
+    for (unsigned i = 0; i < 8; ++i) {
+        for (unsigned j = i + 1; j < 8; ++j) {
+            const auto bad_c = static_cast<std::uint8_t>(
+                c ^ (1u << i) ^ (1u << j));
+            const SecdedResult r = secdedDecode(d, bad_c);
+            ASSERT_EQ(r.status, SecdedStatus::Uncorrectable)
+                << "check bits " << i << "," << j;
+        }
+    }
+}
+
+TEST(Secded, DistinctDataBitsGiveDistinctSyndromes)
+{
+    // Correcting the right bit requires an injective bit->syndrome map.
+    const std::uint64_t d = 0;
+    const std::uint8_t c = secdedEncode(d);
+    std::set<unsigned> corrected;
+    for (unsigned i = 0; i < 64; ++i) {
+        const SecdedResult r = secdedDecode(flipBit(d, i), c);
+        ASSERT_EQ(r.status, SecdedStatus::CorrectedData);
+        corrected.insert(r.bitIndex);
+    }
+    EXPECT_EQ(corrected.size(), 64u);
+}
+
+TEST(Secded, CleanRejectsCorruption)
+{
+    Rng rng(6);
+    const std::uint64_t d = rng.next();
+    const std::uint8_t c = secdedEncode(d);
+    EXPECT_TRUE(secdedClean(d, c));
+    EXPECT_FALSE(secdedClean(flipBit(d, 5), c));
+    EXPECT_FALSE(secdedClean(d, static_cast<std::uint8_t>(c ^ 1u)));
+}
+
+TEST(Bits, HelpersBehave)
+{
+    EXPECT_TRUE(getBit(0b100, 2));
+    EXPECT_FALSE(getBit(0b100, 1));
+    EXPECT_EQ(setBit(0, 3, true), 8u);
+    EXPECT_EQ(setBit(8, 3, false), 0u);
+    EXPECT_EQ(flipBit(0, 0), 1u);
+    EXPECT_TRUE(parity64(0b111));
+    EXPECT_FALSE(parity64(0b11));
+    EXPECT_EQ(hammingDistance(0b1010, 0b0110), 2);
+}
+
+} // namespace
+} // namespace pcmap::ecc

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for physical address decomposition: round-trips, interleaving
+ * properties, and geometry validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/address.h"
+#include "sim/rng.h"
+
+namespace pcmap {
+namespace {
+
+TEST(MemGeometry, DefaultsMatchTableI)
+{
+    const MemGeometry g;
+    EXPECT_EQ(g.channels, 4u);
+    EXPECT_EQ(g.ranksPerChannel, 1u);
+    EXPECT_EQ(g.banksPerRank, 8u);
+    EXPECT_EQ(g.rowBytes, 8192u);
+    EXPECT_EQ(g.capacityBytes, 8ull << 30);
+    EXPECT_EQ(g.linesPerRow(), 128u);
+    EXPECT_EQ(g.totalLines(), (8ull << 30) / 64);
+    g.validate();
+}
+
+TEST(AddressMapper, DecodeEncodeRoundTrip)
+{
+    const MemGeometry g;
+    const AddressMapper m(g);
+    Rng rng(1);
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t addr =
+            (rng.below(g.totalLines())) * kLineBytes;
+        const DecodedAddr d = m.decode(addr);
+        EXPECT_EQ(m.encode(d), addr);
+    }
+}
+
+TEST(AddressMapper, FieldsStayInRange)
+{
+    const MemGeometry g;
+    const AddressMapper m(g);
+    Rng rng(2);
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t addr = rng.next() % g.capacityBytes;
+        const DecodedAddr d = m.decode(addr);
+        EXPECT_LT(d.channel, g.channels);
+        EXPECT_LT(d.rank, g.ranksPerChannel);
+        EXPECT_LT(d.bank, g.banksPerRank);
+        EXPECT_LT(d.column, g.linesPerRow());
+        EXPECT_LT(d.row, g.rowsPerBank());
+    }
+}
+
+TEST(AddressMapper, ConsecutiveLinesInterleaveChannels)
+{
+    const MemGeometry g;
+    const AddressMapper m(g);
+    for (std::uint64_t line = 0; line < 64; ++line) {
+        const DecodedAddr d = m.decode(line * kLineBytes);
+        EXPECT_EQ(d.channel, line % g.channels);
+    }
+}
+
+TEST(AddressMapper, SameRowForChannelStride)
+{
+    // Lines that differ by the channel count land in the same row of
+    // the same bank, at consecutive columns.
+    const MemGeometry g;
+    const AddressMapper m(g);
+    const DecodedAddr a = m.decode(0);
+    const DecodedAddr b = m.decode(g.channels * kLineBytes);
+    EXPECT_EQ(a.channel, b.channel);
+    EXPECT_EQ(a.bank, b.bank);
+    EXPECT_EQ(a.row, b.row);
+    EXPECT_EQ(b.column, a.column + 1);
+}
+
+TEST(AddressMapper, LineAddrDropsOffset)
+{
+    const AddressMapper m{MemGeometry{}};
+    EXPECT_EQ(m.lineAddr(0), 0u);
+    EXPECT_EQ(m.lineAddr(63), 0u);
+    EXPECT_EQ(m.lineAddr(64), 1u);
+    EXPECT_EQ(m.lineAddr(6400), 100u);
+}
+
+TEST(AddressMapper, SubLineOffsetsDecodeToSameLocation)
+{
+    const AddressMapper m{MemGeometry{}};
+    const DecodedAddr a = m.decode(1024);
+    const DecodedAddr b = m.decode(1024 + 37);
+    EXPECT_EQ(a, b);
+}
+
+TEST(AddressMapper, DistributesBanksUniformly)
+{
+    const MemGeometry g;
+    const AddressMapper m(g);
+    std::array<int, 8> hist{};
+    const unsigned span = g.channels * g.linesPerRow() * g.banksPerRank;
+    for (std::uint64_t line = 0; line < span; ++line)
+        ++hist[m.decode(line * kLineBytes).bank];
+    for (int count : hist)
+        EXPECT_EQ(count, static_cast<int>(span / 8));
+}
+
+TEST(AddressMapper, SmallGeometry)
+{
+    MemGeometry g;
+    g.channels = 1;
+    g.capacityBytes = 1u << 20;
+    g.rowBytes = 1024;
+    g.validate();
+    const AddressMapper m(g);
+    Rng rng(3);
+    for (int i = 0; i < 500; ++i) {
+        const std::uint64_t addr =
+            rng.below(g.totalLines()) * kLineBytes;
+        EXPECT_EQ(m.encode(m.decode(addr)), addr);
+    }
+}
+
+TEST(AddressMapper, RegionInterleaveRoundTrip)
+{
+    MemGeometry g;
+    g.interleave = AddressInterleave::RegionChannel;
+    const AddressMapper m(g);
+    Rng rng(9);
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t addr = rng.below(g.totalLines()) * kLineBytes;
+        const DecodedAddr d = m.decode(addr);
+        EXPECT_LT(d.channel, g.channels);
+        EXPECT_LT(d.row, g.rowsPerBank());
+        EXPECT_EQ(m.encode(d), addr);
+    }
+}
+
+TEST(AddressMapper, RegionInterleaveKeepsStreamsOnOneChannel)
+{
+    MemGeometry g;
+    g.interleave = AddressInterleave::RegionChannel;
+    const AddressMapper m(g);
+    const unsigned first = m.decode(0).channel;
+    for (std::uint64_t line = 0; line < 4096; ++line)
+        EXPECT_EQ(m.decode(line * kLineBytes).channel, first);
+}
+
+TEST(AddressMapper, InterleavesDisagreeOnPlacement)
+{
+    MemGeometry line_g;
+    MemGeometry region_g;
+    region_g.interleave = AddressInterleave::RegionChannel;
+    const AddressMapper a(line_g);
+    const AddressMapper b(region_g);
+    // Consecutive lines: rotating channels vs one channel.
+    EXPECT_NE(a.decode(64).channel, a.decode(0).channel);
+    EXPECT_EQ(b.decode(64).channel, b.decode(0).channel);
+}
+
+TEST(MemGeometryDeath, NonPowerOfTwoIsFatal)
+{
+    MemGeometry g;
+    g.channels = 3;
+    EXPECT_EXIT(g.validate(), ::testing::ExitedWithCode(1),
+                "powers of two");
+}
+
+TEST(MemGeometryDeath, TinyRowIsFatal)
+{
+    MemGeometry g;
+    g.rowBytes = 32;
+    EXPECT_EXIT(g.validate(), ::testing::ExitedWithCode(1),
+                "at least one cache line");
+}
+
+} // namespace
+} // namespace pcmap

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for PCM energy accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/energy.h"
+
+namespace pcmap {
+namespace {
+
+TEST(Energy, StartsAtZero)
+{
+    EnergyModel e;
+    EXPECT_DOUBLE_EQ(e.breakdown().totalPj(), 0.0);
+    EXPECT_EQ(e.bitsSet(), 0u);
+    EXPECT_EQ(e.bitsReset(), 0u);
+}
+
+TEST(Energy, ActivationChargesLineBits)
+{
+    EnergyParams p;
+    EnergyModel e(p);
+    e.recordActivation(1);
+    EXPECT_DOUBLE_EQ(e.breakdown().arrayReadPj,
+                     p.arrayReadPjPerBit * 512);
+    e.recordActivation(2);
+    EXPECT_DOUBLE_EQ(e.breakdown().arrayReadPj,
+                     p.arrayReadPjPerBit * 512 * 3);
+}
+
+TEST(Energy, BufferAccessCheaperThanActivation)
+{
+    EnergyModel a;
+    EnergyModel b;
+    a.recordActivation(1);
+    b.recordBufferAccess(1);
+    EXPECT_GT(a.breakdown().totalPj(), b.breakdown().totalPj());
+}
+
+TEST(Energy, WordWriteCountsExactFlips)
+{
+    EnergyParams p;
+    EnergyModel e(p);
+    // old 0b0011, new 0b0101: bit1 resets (1->0), bit2 sets (0->1).
+    e.recordWordWrite(0b0011, 0b0101);
+    EXPECT_EQ(e.bitsSet(), 1u);
+    EXPECT_EQ(e.bitsReset(), 1u);
+    EXPECT_DOUBLE_EQ(e.breakdown().setPj, p.setPjPerBit);
+    EXPECT_DOUBLE_EQ(e.breakdown().resetPj, p.resetPjPerBit);
+}
+
+TEST(Energy, IdenticalWordWriteIsFree)
+{
+    EnergyModel e;
+    e.recordWordWrite(0xDEADBEEF, 0xDEADBEEF);
+    EXPECT_DOUBLE_EQ(e.breakdown().totalPj(), 0.0);
+}
+
+TEST(Energy, FullInversionCosts64Flips)
+{
+    EnergyModel e;
+    e.recordWordWrite(0, ~0ull);
+    EXPECT_EQ(e.bitsSet(), 64u);
+    EXPECT_EQ(e.bitsReset(), 0u);
+    e.recordWordWrite(~0ull, 0);
+    EXPECT_EQ(e.bitsReset(), 64u);
+}
+
+TEST(Energy, ResetCostsMoreThanSetPerBit)
+{
+    // The RESET pulse is shorter but higher-current; per the default
+    // coefficients it costs more energy per bit.
+    EnergyParams p;
+    EnergyModel e(p);
+    e.recordWordWrite(0, 1);      // one SET
+    const double set_only = e.breakdown().totalPj();
+    e.recordWordWrite(1, 0);      // one RESET
+    EXPECT_GT(e.breakdown().totalPj() - set_only, set_only);
+}
+
+TEST(Energy, BusTransferPerWord)
+{
+    EnergyParams p;
+    EnergyModel e(p);
+    e.recordBusTransfer(10);
+    EXPECT_DOUBLE_EQ(e.breakdown().busPj, p.busPjPerBit * 640);
+}
+
+TEST(Energy, TotalsAddUp)
+{
+    EnergyModel e;
+    e.recordActivation(1);
+    e.recordBufferAccess(1);
+    e.recordWordWrite(0, 0xFF);
+    e.recordBusTransfer(8);
+    const EnergyBreakdown &b = e.breakdown();
+    EXPECT_DOUBLE_EQ(b.totalPj(), b.arrayReadPj + b.setPj + b.resetPj +
+                                      b.rowBufferPj + b.busPj);
+    EXPECT_DOUBLE_EQ(b.totalUj(), b.totalPj() * 1e-6);
+}
+
+TEST(Energy, CustomCoefficients)
+{
+    EnergyParams p;
+    p.setPjPerBit = 100.0;
+    EnergyModel e(p);
+    e.recordWordWrite(0, 0b111);
+    EXPECT_DOUBLE_EQ(e.breakdown().setPj, 300.0);
+}
+
+} // namespace
+} // namespace pcmap

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for rank timing state: per-chip-bank reservations, chip-wide
+ * write occupancy, row buffers, and the DIMM status-register view.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/rank.h"
+
+namespace pcmap {
+namespace {
+
+TEST(Rank, StartsIdleWithClosedRows)
+{
+    Rank r(8, true);
+    EXPECT_EQ(r.banks(), 8u);
+    EXPECT_TRUE(r.hasPcc());
+    EXPECT_EQ(r.chips(), 10u);
+    for (unsigned c = 0; c < kChipsPerRank; ++c) {
+        for (unsigned b = 0; b < 8; ++b) {
+            EXPECT_EQ(r.state(c, b).openRow, -1);
+            EXPECT_EQ(r.chipFreeAt(c, b), 0u);
+        }
+    }
+    EXPECT_EQ(r.busyChips(0, 0), 0u);
+}
+
+TEST(Rank, NinePhysicalChipsWithoutPcc)
+{
+    Rank r(8, false);
+    EXPECT_FALSE(r.hasPcc());
+    EXPECT_EQ(r.chips(), 9u);
+}
+
+TEST(Rank, ReadReservationIsPerBank)
+{
+    Rank r(8, true);
+    r.reserveChip(0, 2, 7, 100, 200, false);
+    EXPECT_EQ(r.chipFreeAt(0, 2), 200u);
+    // Other banks of the same chip stay available (bank parallelism).
+    EXPECT_EQ(r.chipFreeAt(0, 3), 0u);
+    EXPECT_TRUE(r.rowOpen(0, 2, 7));
+    EXPECT_FALSE(r.rowOpen(0, 3, 7));
+}
+
+TEST(Rank, WriteReservationOccupiesWholeChip)
+{
+    Rank r(8, true);
+    r.reserveChip(4, 1, 9, 50, 250, true);
+    // Every bank of chip 4 is unavailable until the pulse finishes.
+    for (unsigned b = 0; b < 8; ++b)
+        EXPECT_EQ(r.chipFreeAt(4, b), 250u) << "bank " << b;
+    // Other chips are untouched.
+    EXPECT_EQ(r.chipFreeAt(3, 1), 0u);
+}
+
+TEST(Rank, FreeAtTakesMaxOverMask)
+{
+    Rank r(8, true);
+    r.reserveChip(0, 0, 1, 0, 100, false);
+    r.reserveChip(1, 0, 1, 0, 300, false);
+    r.reserveChip(2, 0, 1, 0, 200, false);
+    EXPECT_EQ(r.freeAt(0b0111, 0), 300u);
+    EXPECT_EQ(r.freeAt(0b0101, 0), 200u);
+    EXPECT_EQ(r.freeAt(0b1000, 0), 0u);
+}
+
+TEST(Rank, BusyChipsReflectsTime)
+{
+    Rank r(8, true);
+    r.reserveChip(2, 0, 1, 0, 100, false);
+    r.reserveChip(5, 0, 1, 0, 200, true);
+    EXPECT_EQ(r.busyChips(0, 50), ChipMask{(1u << 2) | (1u << 5)});
+    EXPECT_EQ(r.busyChips(0, 150), ChipMask{1u << 5});
+    EXPECT_EQ(r.busyChips(0, 250), 0u);
+}
+
+TEST(Rank, BusyWriteChipsDistinguishesWrites)
+{
+    Rank r(8, true);
+    r.reserveChip(2, 0, 1, 0, 100, false); // read
+    r.reserveChip(5, 0, 1, 0, 100, true);  // write
+    EXPECT_EQ(r.busyWriteChips(0, 50), ChipMask{1u << 5});
+    // The write also shows as write-busy from other banks' viewpoint.
+    EXPECT_EQ(r.busyWriteChips(3, 50), ChipMask{1u << 5});
+    EXPECT_EQ(r.busyWriteChips(0, 150), 0u);
+}
+
+TEST(Rank, SequentialReservationsAppend)
+{
+    Rank r(8, true);
+    r.reserveChip(1, 0, 5, 0, 100, false);
+    r.reserveChip(1, 0, 6, 100, 250, false);
+    EXPECT_EQ(r.chipFreeAt(1, 0), 250u);
+    EXPECT_TRUE(r.rowOpen(1, 0, 6));
+}
+
+TEST(Rank, RowOpenAllRequiresEveryChip)
+{
+    Rank r(8, true);
+    r.reserveChip(0, 0, 7, 0, 10, false);
+    r.reserveChip(1, 0, 7, 0, 10, false);
+    EXPECT_TRUE(r.rowOpenAll(0b0011, 0, 7));
+    EXPECT_FALSE(r.rowOpenAll(0b0111, 0, 7)); // chip 2 closed
+    EXPECT_FALSE(r.rowOpenAll(0b0011, 0, 8)); // wrong row
+}
+
+TEST(Rank, FineWritesLeaveDifferentRowsOpen)
+{
+    // Sub-ranked independence: chips of one bank can hold different
+    // rows (Figure 3c).
+    Rank r(8, true);
+    r.reserveChip(0, 0, 10, 0, 100, true);
+    r.reserveChip(1, 0, 20, 0, 100, true);
+    EXPECT_TRUE(r.rowOpen(0, 0, 10));
+    EXPECT_TRUE(r.rowOpen(1, 0, 20));
+}
+
+TEST(RankDeath, OverlappingReservationPanics)
+{
+    Rank r(8, true);
+    r.reserveChip(0, 0, 1, 0, 100, false);
+    EXPECT_DEATH(r.reserveChip(0, 0, 1, 50, 150, false),
+                 "overlapping reservation");
+}
+
+TEST(RankDeath, WriteBlocksOtherBanksReservations)
+{
+    Rank r(8, true);
+    r.reserveChip(0, 0, 1, 0, 100, true);
+    // Bank 3 of the same chip is write-blocked until 100.
+    EXPECT_DEATH(r.reserveChip(0, 3, 1, 50, 80, false),
+                 "overlapping reservation");
+}
+
+} // namespace
+} // namespace pcmap

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for the PCM timing parameter derivations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/timing.h"
+
+namespace pcmap {
+namespace {
+
+TEST(PcmTiming, DefaultsMatchTableI)
+{
+    const PcmTiming t;
+    EXPECT_EQ(t.tCL, 5u);
+    EXPECT_EQ(t.tWL, 4u);
+    EXPECT_EQ(t.tCCD, 4u);
+    EXPECT_EQ(t.tWTR, 4u);
+    EXPECT_EQ(t.tStatus, 2u);
+    EXPECT_DOUBLE_EQ(t.arrayReadNs, 60.0);
+    EXPECT_DOUBLE_EQ(t.resetNs, 50.0);
+    EXPECT_DOUBLE_EQ(t.setNs, 120.0);
+    t.validate();
+}
+
+TEST(PcmTiming, WriteLatencyIsSetDominated)
+{
+    PcmTiming t;
+    EXPECT_DOUBLE_EQ(t.arrayWriteNs(), 120.0);
+    t.resetNs = 200.0;
+    EXPECT_DOUBLE_EQ(t.arrayWriteNs(), 200.0);
+}
+
+TEST(PcmTiming, DerivedTickValues)
+{
+    const PcmTiming t;
+    EXPECT_EQ(t.cycles(1), 2500u);             // 400 MHz
+    EXPECT_EQ(t.burstTicks(), 10000u);         // 4 cycles
+    EXPECT_EQ(t.readColTicks(), 12500u);       // tCL = 5
+    EXPECT_EQ(t.writeColTicks(), 10000u);      // tWL = 4
+    EXPECT_EQ(t.arrayReadTicks(), 60000u);     // 60 ns
+    EXPECT_EQ(t.arrayWriteTicks(), 120000u);   // 120 ns
+    EXPECT_EQ(t.actTicks(), t.arrayReadTicks());
+    EXPECT_EQ(t.statusTicks(), 5000u);         // 2 cycles
+}
+
+TEST(PcmTiming, TransactionOccupancies)
+{
+    const PcmTiming t;
+    EXPECT_EQ(t.readHitTicks(), 12500u + 10000u);
+    EXPECT_EQ(t.readMissTicks(), 60000u + 12500u + 10000u);
+    EXPECT_EQ(t.chipWriteTicks(), 10000u + 10000u + 120000u);
+    EXPECT_EQ(t.chipCompareTicks(), 10000u + 10000u + 60000u);
+}
+
+TEST(PcmTiming, WriteToReadRatioSweep)
+{
+    // The Table III study: fixed 120 ns write, read swept.
+    for (const double ratio : {2.0, 4.0, 6.0, 8.0}) {
+        PcmTiming t;
+        t.arrayReadNs = 120.0 / ratio;
+        t.validate();
+        EXPECT_DOUBLE_EQ(t.arrayWriteNs() / t.arrayReadNs, ratio);
+    }
+}
+
+TEST(PcmTiming, WriteIsSlowerThanReadByDefault)
+{
+    const PcmTiming t;
+    EXPECT_GT(t.chipWriteTicks(), t.readMissTicks());
+}
+
+TEST(PcmTimingDeath, NonPositiveLatencyIsFatal)
+{
+    PcmTiming t;
+    t.arrayReadNs = 0.0;
+    EXPECT_EXIT(t.validate(), ::testing::ExitedWithCode(1),
+                "positive");
+}
+
+} // namespace
+} // namespace pcmap

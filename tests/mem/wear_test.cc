@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for endurance accounting and Start-Gap wear leveling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "mem/wear.h"
+#include "sim/rng.h"
+
+namespace pcmap {
+namespace {
+
+TEST(WearTracker, StartsBalanced)
+{
+    WearTracker w;
+    EXPECT_EQ(w.total(), 0u);
+    EXPECT_DOUBLE_EQ(w.chipImbalance(), 1.0);
+    EXPECT_DOUBLE_EQ(w.chipCv(), 0.0);
+    EXPECT_DOUBLE_EQ(w.lineImbalance(), 1.0);
+}
+
+TEST(WearTracker, EvenWritesStayBalanced)
+{
+    WearTracker w;
+    for (unsigned c = 0; c < kChipsPerRank; ++c)
+        w.recordChipWrite(c, 100);
+    EXPECT_DOUBLE_EQ(w.chipImbalance(), 1.0);
+    EXPECT_DOUBLE_EQ(w.chipCv(), 0.0);
+    EXPECT_EQ(w.total(), 100u * kChipsPerRank);
+}
+
+TEST(WearTracker, SkewShowsInImbalance)
+{
+    WearTracker w;
+    w.recordChipWrite(0, 900);
+    for (unsigned c = 1; c < kChipsPerRank; ++c)
+        w.recordChipWrite(c, 100);
+    // mean = (900 + 9*100)/10 = 180; max/mean = 5.0
+    EXPECT_DOUBLE_EQ(w.chipImbalance(), 5.0);
+    EXPECT_GT(w.chipCv(), 1.0);
+}
+
+TEST(WearTracker, LineImbalanceTracksHotLines)
+{
+    WearTracker w;
+    for (int i = 0; i < 90; ++i)
+        w.recordLineWrite(7);
+    for (std::uint64_t l = 0; l < 9; ++l)
+        w.recordLineWrite(100 + l);
+    // 10 lines, 99 writes, hottest 90: max/mean = 90/9.9
+    EXPECT_NEAR(w.lineImbalance(), 90.0 / 9.9, 1e-9);
+    EXPECT_EQ(w.linesTouched(), 10u);
+}
+
+TEST(StartGap, InitialMappingIsIdentity)
+{
+    StartGapRemapper sg(16);
+    for (std::uint64_t l = 0; l < 16; ++l)
+        EXPECT_EQ(sg.remap(l), l); // gap starts at slot N
+}
+
+TEST(StartGap, MappingIsAlwaysInjectiveAndAvoidsGap)
+{
+    StartGapRemapper sg(17, 3);
+    for (int step = 0; step < 500; ++step) {
+        std::set<std::uint64_t> used;
+        for (std::uint64_t l = 0; l < 17; ++l) {
+            const std::uint64_t p = sg.remap(l);
+            EXPECT_LE(p, 17u);
+            EXPECT_NE(p, sg.gapPosition());
+            EXPECT_TRUE(used.insert(p).second)
+                << "collision at step " << step;
+        }
+        sg.onWrite();
+    }
+}
+
+TEST(StartGap, GapMovesEveryPeriodWrites)
+{
+    StartGapRemapper sg(8, 4);
+    EXPECT_EQ(sg.gapPosition(), 8u);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_FALSE(sg.onWrite());
+    EXPECT_TRUE(sg.onWrite()); // 4th write moves the gap
+    EXPECT_EQ(sg.gapPosition(), 7u);
+    EXPECT_EQ(sg.gapMovements(), 1u);
+}
+
+TEST(StartGap, FullSweepAdvancesStart)
+{
+    StartGapRemapper sg(4, 1); // gap moves on every write
+    EXPECT_EQ(sg.startOffset(), 0u);
+    // Gap: 4 -> 3 -> 2 -> 1 -> 0; next movement wraps and bumps start.
+    for (int i = 0; i < 5; ++i)
+        sg.onWrite();
+    EXPECT_EQ(sg.startOffset(), 1u);
+    EXPECT_EQ(sg.gapPosition(), 4u);
+}
+
+TEST(StartGap, EveryLineVisitsManyPhysicalSlots)
+{
+    // The whole point: over time a hot logical line migrates across
+    // physical slots.
+    StartGapRemapper sg(8, 1);
+    std::set<std::uint64_t> visited;
+    for (int i = 0; i < 9 * 8; ++i) {
+        visited.insert(sg.remap(3));
+        sg.onWrite();
+    }
+    EXPECT_GE(visited.size(), 8u);
+}
+
+TEST(StartGap, LevelsAHotLineUniformly)
+{
+    // Hammer a single logical line; with Start-Gap the physical
+    // writes spread across slots.
+    StartGapRemapper sg(16, 8);
+    std::vector<std::uint64_t> slot_writes(17, 0);
+    for (int i = 0; i < 16 * 8 * 17; ++i) {
+        ++slot_writes[sg.remap(0)];
+        sg.onWrite();
+    }
+    std::uint64_t max_w = 0;
+    std::uint64_t nonzero = 0;
+    for (std::uint64_t w : slot_writes) {
+        max_w = std::max(max_w, w);
+        nonzero += w > 0 ? 1 : 0;
+    }
+    EXPECT_GE(nonzero, 16u); // nearly every slot absorbed some writes
+    // Without leveling one slot would take all 2176 writes.
+    EXPECT_LT(max_w, 2176u / 4);
+}
+
+TEST(StartGapDeath, ZeroRegionIsFatal)
+{
+    EXPECT_EXIT(StartGapRemapper sg(0), ::testing::ExitedWithCode(1),
+                "at least one line");
+}
+
+} // namespace
+} // namespace pcmap

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the typed configuration store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.h"
+
+namespace pcmap {
+namespace {
+
+TEST(Config, DefaultsWhenAbsent)
+{
+    Config c;
+    EXPECT_EQ(c.getString("k", "dflt"), "dflt");
+    EXPECT_EQ(c.getInt("k", -3), -3);
+    EXPECT_EQ(c.getUint("k", 9), 9u);
+    EXPECT_DOUBLE_EQ(c.getDouble("k", 2.5), 2.5);
+    EXPECT_TRUE(c.getBool("k", true));
+    EXPECT_FALSE(c.has("k"));
+}
+
+TEST(Config, SetAndGetRoundTrip)
+{
+    Config c;
+    c.set("s", std::string("hello"));
+    c.set("i", static_cast<std::int64_t>(-42));
+    c.set("d", 1.5);
+    c.set("b", true);
+    EXPECT_EQ(c.getString("s", ""), "hello");
+    EXPECT_EQ(c.getInt("i", 0), -42);
+    EXPECT_DOUBLE_EQ(c.getDouble("d", 0.0), 1.5);
+    EXPECT_TRUE(c.getBool("b", false));
+    EXPECT_TRUE(c.has("s"));
+}
+
+TEST(Config, FromArgsParsesKeyValue)
+{
+    const char *argv[] = {"prog", "a=1", "name=foo", "rate=0.5"};
+    Config c = Config::fromArgs(4, const_cast<char **>(argv));
+    EXPECT_EQ(c.getInt("a", 0), 1);
+    EXPECT_EQ(c.getString("name", ""), "foo");
+    EXPECT_DOUBLE_EQ(c.getDouble("rate", 0.0), 0.5);
+}
+
+TEST(Config, FromArgsEmpty)
+{
+    const char *argv[] = {"prog"};
+    Config c = Config::fromArgs(1, const_cast<char **>(argv));
+    EXPECT_TRUE(c.keys().empty());
+}
+
+TEST(Config, ValueWithEqualsSign)
+{
+    const char *argv[] = {"prog", "expr=a=b"};
+    Config c = Config::fromArgs(2, const_cast<char **>(argv));
+    EXPECT_EQ(c.getString("expr", ""), "a=b");
+}
+
+TEST(Config, BoolSpellings)
+{
+    Config c;
+    for (const char *t : {"true", "1", "yes", "on", "TRUE", "On"}) {
+        c.set("k", std::string(t));
+        EXPECT_TRUE(c.getBool("k", false)) << t;
+    }
+    for (const char *f : {"false", "0", "no", "off", "FALSE"}) {
+        c.set("k", std::string(f));
+        EXPECT_FALSE(c.getBool("k", true)) << f;
+    }
+}
+
+TEST(Config, IntAcceptsHex)
+{
+    Config c;
+    c.set("k", std::string("0x10"));
+    EXPECT_EQ(c.getInt("k", 0), 16);
+}
+
+TEST(Config, OverwriteReplacesValue)
+{
+    Config c;
+    c.set("k", static_cast<std::int64_t>(1));
+    c.set("k", static_cast<std::int64_t>(2));
+    EXPECT_EQ(c.getInt("k", 0), 2);
+    EXPECT_EQ(c.keys().size(), 1u);
+}
+
+TEST(Config, KeysAreSorted)
+{
+    Config c;
+    c.set("zeta", 1.0);
+    c.set("alpha", 1.0);
+    c.set("mid", 1.0);
+    const auto keys = c.keys();
+    ASSERT_EQ(keys.size(), 3u);
+    EXPECT_EQ(keys[0], "alpha");
+    EXPECT_EQ(keys[1], "mid");
+    EXPECT_EQ(keys[2], "zeta");
+}
+
+TEST(ConfigDeath, RequireMissingKeyIsFatal)
+{
+    Config c;
+    EXPECT_EXIT(c.requireString("absent"),
+                ::testing::ExitedWithCode(1), "missing required");
+}
+
+TEST(ConfigDeath, MalformedIntIsFatal)
+{
+    Config c;
+    c.set("k", std::string("abc"));
+    EXPECT_EXIT(c.getInt("k", 0), ::testing::ExitedWithCode(1),
+                "not an integer");
+}
+
+TEST(ConfigDeath, MalformedBoolIsFatal)
+{
+    Config c;
+    c.set("k", std::string("maybe"));
+    EXPECT_EXIT(c.getBool("k", false), ::testing::ExitedWithCode(1),
+                "not a boolean");
+}
+
+TEST(ConfigDeath, NegativeUintIsFatal)
+{
+    Config c;
+    c.set("k", static_cast<std::int64_t>(-1));
+    EXPECT_EXIT(c.getUint("k", 0), ::testing::ExitedWithCode(1),
+                "non-negative");
+}
+
+} // namespace
+} // namespace pcmap

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel: ordering, determinism,
+ * cancellation, and run-control semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace pcmap {
+namespace {
+
+TEST(EventQueue, StartsAtTickZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickRunsInScheduleOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NowAdvancesDuringExecution)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(42, [&] { seen = eq.now(); });
+    eq.run();
+    EXPECT_EQ(seen, 42u);
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue eq;
+    Tick fired_at = 0;
+    eq.schedule(100, [&] {
+        eq.scheduleIn(11, [&] { fired_at = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(fired_at, 111u);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> chain = [&]() {
+        ++count;
+        if (count < 5)
+            eq.scheduleIn(10, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue eq;
+    bool fired = false;
+    EventHandle h = eq.schedule(10, [&] { fired = true; });
+    EXPECT_TRUE(eq.cancel(h));
+    eq.run();
+    EXPECT_FALSE(fired);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, CancelTwiceIsNoOp)
+{
+    EventQueue eq;
+    EventHandle h = eq.schedule(10, [] {});
+    EXPECT_TRUE(eq.cancel(h));
+    EXPECT_FALSE(eq.cancel(h));
+}
+
+TEST(EventQueue, CancelInvalidHandleIsNoOp)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.cancel(EventHandle()));
+}
+
+TEST(EventQueue, PendingCountTracksLiveEvents)
+{
+    EventQueue eq;
+    EventHandle a = eq.schedule(10, [] {});
+    eq.schedule(20, [] {});
+    EXPECT_EQ(eq.pending(), 2u);
+    eq.cancel(a);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.step();
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, RunWithLimitStopsAtLimit)
+{
+    EventQueue eq;
+    bool late_fired = false;
+    eq.schedule(10, [] {});
+    eq.schedule(100, [&] { late_fired = true; });
+    eq.run(50);
+    EXPECT_FALSE(late_fired);
+    EXPECT_EQ(eq.now(), 50u);
+    eq.run();
+    EXPECT_TRUE(late_fired);
+}
+
+TEST(EventQueue, RunUntilPredicateStops)
+{
+    EventQueue eq;
+    int count = 0;
+    for (Tick t = 1; t <= 10; ++t)
+        eq.schedule(t, [&] { ++count; });
+    eq.runUntil([&] { return count >= 4; });
+    EXPECT_EQ(count, 4);
+    EXPECT_EQ(eq.pending(), 6u);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(1, [&] { ++count; });
+    eq.schedule(2, [&] { ++count; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(count, 2);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ScheduleAtCurrentTickRunsThisPass)
+{
+    EventQueue eq;
+    bool nested = false;
+    eq.schedule(10, [&] {
+        eq.schedule(10, [&] { nested = true; });
+    });
+    eq.run();
+    EXPECT_TRUE(nested);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering)
+{
+    EventQueue eq;
+    Tick last = 0;
+    bool monotonic = true;
+    for (int i = 0; i < 10000; ++i) {
+        const Tick t = static_cast<Tick>((i * 7919) % 1000);
+        eq.schedule(t, [&, t] {
+            if (t < last)
+                monotonic = false;
+            last = t;
+        });
+    }
+    eq.run();
+    EXPECT_TRUE(monotonic);
+}
+
+} // namespace
+} // namespace pcmap

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Tests for logging severities and the panic/fatal distinction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/log.h"
+
+namespace pcmap {
+namespace {
+
+TEST(Log, DefaultLevelIsNormal)
+{
+    EXPECT_EQ(logLevel(), LogLevel::Normal);
+}
+
+TEST(Log, SetLevelRoundTrips)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(before);
+}
+
+TEST(Log, ConcatFoldsMixedTypes)
+{
+    EXPECT_EQ(log_detail::concat("x=", 42, ", y=", 1.5), "x=42, y=1.5");
+    EXPECT_EQ(log_detail::concat(), "");
+}
+
+TEST(LogDeath, FatalExitsWithCodeOne)
+{
+    // fatal() is a user error: normal exit(1), no core dump.
+    EXPECT_EXIT(fatal("bad user input ", 7),
+                ::testing::ExitedWithCode(1), "bad user input 7");
+}
+
+TEST(LogDeath, PanicAborts)
+{
+    // panic() is a simulator bug: abort().
+    EXPECT_DEATH(pcmap_panic("impossible state ", 3),
+                 "impossible state 3");
+}
+
+TEST(LogDeath, AssertMacroReportsCondition)
+{
+    const int x = 1;
+    EXPECT_DEATH(pcmap_assert(x == 2), "assertion failed: x == 2");
+}
+
+TEST(Log, AssertPassesSilently)
+{
+    pcmap_assert(1 + 1 == 2); // must not fire
+    SUCCEED();
+}
+
+} // namespace
+} // namespace pcmap

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit and statistical tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace pcmap {
+namespace {
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++equal;
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull,
+                                1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            ASSERT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero)
+{
+    Rng r(3);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, BetweenIsInclusive)
+{
+    Rng r(11);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t v = r.between(5, 8);
+        ASSERT_GE(v, 5u);
+        ASSERT_LE(v, 8u);
+        saw_lo |= v == 5;
+        saw_hi |= v == 8;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(13);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(17);
+    const int n = 50000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(19);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, GeometricMeanMatchesTheory)
+{
+    Rng r(23);
+    const double p = 0.1; // mean failures = (1-p)/p = 9
+    const int n = 50000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.geometric(p));
+    EXPECT_NEAR(sum / n, 9.0, 0.3);
+}
+
+TEST(Rng, GeometricWithPOneIsZero)
+{
+    Rng r(29);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.geometric(1.0), 0u);
+}
+
+TEST(Rng, WeightedRespectsWeights)
+{
+    Rng r(31);
+    const std::vector<double> w{1.0, 0.0, 3.0};
+    const int n = 40000;
+    std::array<int, 3> hits{};
+    for (int i = 0; i < n; ++i)
+        ++hits[r.weighted(w)];
+    EXPECT_EQ(hits[1], 0);
+    EXPECT_NEAR(static_cast<double>(hits[0]) / n, 0.25, 0.02);
+    EXPECT_NEAR(static_cast<double>(hits[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, WeightedSingleBucket)
+{
+    Rng r(37);
+    const std::vector<double> w{2.5};
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(r.weighted(w), 0u);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent)
+{
+    Rng a(41);
+    Rng b = a.fork();
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++equal;
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng r(43);
+    const std::uint64_t bound = 10;
+    const int n = 100000;
+    std::vector<int> hist(bound, 0);
+    for (int i = 0; i < n; ++i)
+        ++hist[r.below(bound)];
+    for (std::uint64_t v = 0; v < bound; ++v) {
+        EXPECT_NEAR(static_cast<double>(hist[v]) / n, 0.1, 0.01)
+            << "bucket " << v;
+    }
+}
+
+} // namespace
+} // namespace pcmap

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.h"
+
+namespace pcmap::stats {
+namespace {
+
+TEST(Scalar, AccumulatesAndResets)
+{
+    StatGroup g("g");
+    Scalar s(g, "count", "a counter");
+    EXPECT_EQ(s.value(), 0.0);
+    s += 2.5;
+    ++s;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.reset();
+    EXPECT_EQ(s.value(), 0.0);
+}
+
+TEST(Scalar, SetOverwrites)
+{
+    StatGroup g("g");
+    Scalar s(g, "gauge", "a gauge");
+    s.set(7.0);
+    s.set(5.0);
+    EXPECT_DOUBLE_EQ(s.value(), 5.0);
+}
+
+TEST(Average, MeanOfSamples)
+{
+    StatGroup g("g");
+    Average a(g, "lat", "latency");
+    EXPECT_EQ(a.mean(), 0.0);
+    a.sample(10);
+    a.sample(20);
+    a.sample(30);
+    EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+    EXPECT_EQ(a.samples(), 3u);
+    EXPECT_DOUBLE_EQ(a.total(), 60.0);
+}
+
+TEST(Distribution, BucketsAndMoments)
+{
+    StatGroup g("g");
+    Distribution d(g, "dist", "d", 0.0, 10.0, 2.0);
+    EXPECT_EQ(d.numBuckets(), 5u);
+    d.sample(-1.0); // underflow
+    d.sample(0.0);  // bucket 0
+    d.sample(1.9);  // bucket 0
+    d.sample(5.0);  // bucket 2
+    d.sample(9.9);  // bucket 4
+    d.sample(10.0); // overflow
+    d.sample(50.0); // overflow
+    EXPECT_EQ(d.samples(), 7u);
+    EXPECT_EQ(d.bucketCount(0), 2u);
+    EXPECT_EQ(d.bucketCount(2), 1u);
+    EXPECT_EQ(d.bucketCount(4), 1u);
+    EXPECT_DOUBLE_EQ(d.minSeen(), -1.0);
+    EXPECT_DOUBLE_EQ(d.maxSeen(), 50.0);
+}
+
+TEST(Distribution, ResetClearsEverything)
+{
+    StatGroup g("g");
+    Distribution d(g, "dist", "d", 0.0, 4.0, 1.0);
+    d.sample(2.0);
+    d.reset();
+    EXPECT_EQ(d.samples(), 0u);
+    EXPECT_EQ(d.bucketCount(2), 0u);
+}
+
+TEST(TimeWeighted, IntegratesOverTime)
+{
+    StatGroup g("g");
+    TimeWeighted t(g, "util", "utilization");
+    t.update(0, 2.0);   // value 2 over [0, 10)
+    t.update(10, 6.0);  // value 6 over [10, 20)
+    t.finish(20);
+    EXPECT_DOUBLE_EQ(t.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(t.maxSeen(), 6.0);
+    EXPECT_DOUBLE_EQ(t.observedSpan(), 20.0);
+}
+
+TEST(TimeWeighted, SingleUpdateHasNoSpan)
+{
+    StatGroup g("g");
+    TimeWeighted t(g, "util", "u");
+    t.update(5, 3.0);
+    EXPECT_EQ(t.mean(), 0.0);
+}
+
+TEST(StatGroup, DumpIncludesPrefixAndNames)
+{
+    StatGroup root("sys");
+    Scalar s(root, "reads", "total reads");
+    s += 4;
+    std::ostringstream os;
+    root.dump(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("sys.reads"), std::string::npos);
+    EXPECT_NE(text.find("total reads"), std::string::npos);
+}
+
+TEST(StatGroup, ChildGroupsAreNested)
+{
+    StatGroup root("sys");
+    StatGroup child("mc0");
+    root.addChild(&child);
+    Scalar s(child, "writes", "w");
+    s += 1;
+    std::ostringstream os;
+    root.dump(os);
+    EXPECT_NE(os.str().find("sys.mc0.writes"), std::string::npos);
+}
+
+TEST(StatGroup, ResetAllRecurses)
+{
+    StatGroup root("sys");
+    StatGroup child("c");
+    root.addChild(&child);
+    Scalar a(root, "a", "");
+    Scalar b(child, "b", "");
+    a += 1;
+    b += 2;
+    root.resetAll();
+    EXPECT_EQ(a.value(), 0.0);
+    EXPECT_EQ(b.value(), 0.0);
+}
+
+TEST(StatGroup, FindLocatesByName)
+{
+    StatGroup g("g");
+    Scalar s(g, "target", "");
+    EXPECT_EQ(g.find("target"), &s);
+    EXPECT_EQ(g.find("missing"), nullptr);
+}
+
+} // namespace
+} // namespace pcmap::stats

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Unit tests for tick/cycle conversions and clock domains.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/types.h"
+
+namespace pcmap {
+namespace {
+
+TEST(Types, UnitConstants)
+{
+    EXPECT_EQ(kNanosecond, 1000u);
+    EXPECT_EQ(kMicrosecond, 1000000u);
+    EXPECT_EQ(kMillisecond, 1000000000u);
+}
+
+TEST(Types, NsToTicksRoundTrip)
+{
+    EXPECT_EQ(nsToTicks(60.0), 60000u);
+    EXPECT_DOUBLE_EQ(ticksToNs(60000), 60.0);
+    EXPECT_EQ(nsToTicks(2.5), 2500u);
+}
+
+TEST(ClockDomain, MemClockIs400MHz)
+{
+    EXPECT_EQ(kMemClock.periodTicks(), 2500u);
+    EXPECT_DOUBLE_EQ(kMemClock.frequencyHz(), 400e6);
+}
+
+TEST(ClockDomain, CoreClockIs2500MHz)
+{
+    EXPECT_EQ(kCoreClock.periodTicks(), 400u);
+    EXPECT_DOUBLE_EQ(kCoreClock.frequencyHz(), 2.5e9);
+}
+
+TEST(ClockDomain, CycleConversions)
+{
+    const ClockDomain d = ClockDomain::fromMHz(100); // 10 ns period
+    EXPECT_EQ(d.periodTicks(), 10000u);
+    EXPECT_EQ(d.cyclesToTicks(5), 50000u);
+    EXPECT_EQ(d.ticksToCycles(50000), 5u);
+    EXPECT_EQ(d.ticksToCycles(59999), 5u);
+    EXPECT_EQ(d.ticksToCyclesCeil(50001), 6u);
+    EXPECT_EQ(d.ticksToCyclesCeil(50000), 5u);
+}
+
+TEST(ClockDomain, BothEvaluationClocksDividePicoseconds)
+{
+    // The design note: both domains convert exactly.
+    EXPECT_EQ(1000000u % kMemClock.periodTicks(), 0u);
+    EXPECT_EQ(1000000u % kCoreClock.periodTicks(), 0u);
+}
+
+} // namespace
+} // namespace pcmap

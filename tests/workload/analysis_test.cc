@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the stream analysis utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "workload/analysis.h"
+#include "workload/generator.h"
+#include "workload/profile.h"
+
+namespace pcmap::workload {
+namespace {
+
+/** Scripted source for exact-value tests. */
+class Scripted : public RequestSource
+{
+  public:
+    bool
+    next(MemOp &op) override
+    {
+        if (pos >= ops.size())
+            return false;
+        op = ops[pos++];
+        return true;
+    }
+
+    std::vector<MemOp> ops;
+    std::size_t pos = 0;
+};
+
+MemOp
+readAt(std::uint64_t line, std::uint64_t gap = 0)
+{
+    MemOp op;
+    op.addr = line * kLineBytes;
+    op.gapInsts = gap;
+    return op;
+}
+
+MemOp
+writeAt(std::uint64_t line, WordMask mask, std::uint64_t gap = 0)
+{
+    MemOp op;
+    op.isWrite = true;
+    op.addr = line * kLineBytes;
+    op.gapInsts = gap;
+    for (unsigned i = 0; i < kWordsPerLine; ++i) {
+        if (mask & (1u << i))
+            op.data.w[i] = 0x1000 + i;
+    }
+    return op;
+}
+
+TEST(Analysis, EmptyStream)
+{
+    Scripted src;
+    BackingStore store;
+    const StreamAnalysis a = analyzeStream(src, store, 100);
+    EXPECT_EQ(a.ops(), 0u);
+    EXPECT_EQ(a.readFraction(), 0.0);
+    EXPECT_EQ(a.meanDirtyWords(), 0.0);
+}
+
+TEST(Analysis, CountsAndHistogram)
+{
+    Scripted src;
+    src.ops = {readAt(0, 10), writeAt(1, 0b1, 20),
+               writeAt(2, 0b111, 30), writeAt(3, 0, 0),
+               readAt(4, 40)};
+    BackingStore store;
+    const StreamAnalysis a = analyzeStream(src, store, 100);
+    EXPECT_EQ(a.reads, 2u);
+    EXPECT_EQ(a.writes, 3u);
+    EXPECT_EQ(a.dirtyHist[0], 1u); // the silent store
+    EXPECT_EQ(a.dirtyHist[1], 1u);
+    EXPECT_EQ(a.dirtyHist[3], 1u);
+    EXPECT_DOUBLE_EQ(a.pctWithWords(1), 100.0 / 3.0);
+    EXPECT_DOUBLE_EQ(a.pctBelowWords(4), 100.0);
+    EXPECT_DOUBLE_EQ(a.meanDirtyWords(), 4.0 / 3.0);
+    EXPECT_DOUBLE_EQ(a.meanGap(), 20.0);
+    EXPECT_EQ(a.distinctLines, 5u);
+}
+
+TEST(Analysis, RepeatedWriteBecomesSilent)
+{
+    Scripted src;
+    src.ops = {writeAt(7, 0b10), writeAt(7, 0b10)};
+    BackingStore store;
+    const StreamAnalysis a = analyzeStream(src, store, 100);
+    EXPECT_EQ(a.dirtyHist[1], 1u); // first write dirties word 1
+    EXPECT_EQ(a.dirtyHist[0], 1u); // identical rewrite is silent
+}
+
+TEST(Analysis, SequentialFraction)
+{
+    Scripted src;
+    src.ops = {readAt(10), readAt(11), readAt(12), readAt(50),
+               readAt(51)};
+    BackingStore store;
+    const StreamAnalysis a = analyzeStream(src, store, 100);
+    // Transitions: 3 of 4 are +1.
+    EXPECT_DOUBLE_EQ(a.sequentialFraction(), 0.75);
+}
+
+TEST(Analysis, MaxOpsLimit)
+{
+    Scripted src;
+    for (int i = 0; i < 50; ++i)
+        src.ops.push_back(readAt(static_cast<std::uint64_t>(i)));
+    BackingStore store;
+    const StreamAnalysis a = analyzeStream(src, store, 20);
+    EXPECT_EQ(a.ops(), 20u);
+}
+
+TEST(Analysis, MaxWritesLimit)
+{
+    Scripted src;
+    for (int i = 0; i < 50; ++i) {
+        src.ops.push_back(readAt(static_cast<std::uint64_t>(i)));
+        src.ops.push_back(
+            writeAt(static_cast<std::uint64_t>(i), 0b1));
+    }
+    BackingStore store;
+    const StreamAnalysis a = analyzeWrites(src, store, 5);
+    EXPECT_EQ(a.writes, 5u);
+    EXPECT_LE(a.reads, 6u);
+}
+
+TEST(Analysis, GeneratorRoundTripMatchesProfile)
+{
+    // The analyzer must recover the profile the generator was built
+    // from — closing the loop between the two modules.
+    const AppProfile &prof = findProfile("gemsFDTD");
+    BackingStore store;
+    SyntheticGenerator gen(prof, store, 17);
+    const StreamAnalysis a = analyzeStream(gen, store, 60'000);
+    EXPECT_NEAR(a.readFraction(), prof.readFraction(), 0.01);
+    EXPECT_NEAR(a.meanDirtyWords(), prof.meanDirtyWords(), 0.15);
+    EXPECT_NEAR(a.apki(), prof.apki(), prof.apki() * 0.06);
+    for (unsigned i = 0; i <= 8; ++i) {
+        EXPECT_NEAR(a.pctWithWords(i), prof.dirtyWordPct[i], 2.0)
+            << "bin " << i;
+    }
+}
+
+} // namespace
+} // namespace pcmap::workload

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Statistical tests of the synthetic generator: the emitted stream
+ * must reproduce the profile it was built from — dirty-word
+ * histogram, read/write mix, instruction gaps, footprint, offset
+ * correlation — and be deterministic per seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "mem/backing_store.h"
+#include "workload/generator.h"
+#include "workload/profile.h"
+
+namespace pcmap::workload {
+namespace {
+
+/**
+ * Drive @p gen for @p n ops, applying writes to @p store (so
+ * consecutive dirty masks are measured against up-to-date content),
+ * and collect statistics.
+ */
+struct StreamStats
+{
+    std::array<std::uint64_t, 9> dirtyHist{};
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    double gapSum = 0.0;
+    std::uint64_t minLine = ~0ull;
+    std::uint64_t maxLine = 0;
+};
+
+StreamStats
+drive(SyntheticGenerator &gen, BackingStore &store, int n)
+{
+    StreamStats s;
+    MemOp op;
+    for (int i = 0; i < n; ++i) {
+        EXPECT_TRUE(gen.next(op));
+        s.gapSum += static_cast<double>(op.gapInsts);
+        const std::uint64_t line = op.addr / kLineBytes;
+        s.minLine = std::min(s.minLine, line);
+        s.maxLine = std::max(s.maxLine, line);
+        if (op.isWrite) {
+            ++s.writes;
+            const WordMask mask = store.essentialWords(line, op.data);
+            ++s.dirtyHist[wordCount(mask)];
+            store.writeWords(line, op.data, mask);
+        } else {
+            ++s.reads;
+        }
+    }
+    return s;
+}
+
+TEST(Generator, DirtyWordHistogramMatchesProfile)
+{
+    const AppProfile &prof = findProfile("cactusADM");
+    BackingStore store;
+    SyntheticGenerator gen(prof, store, 42);
+    const StreamStats s = drive(gen, store, 60000);
+    ASSERT_GT(s.writes, 5000u);
+    for (unsigned i = 0; i <= 8; ++i) {
+        const double measured =
+            100.0 * static_cast<double>(s.dirtyHist[i]) /
+            static_cast<double>(s.writes);
+        EXPECT_NEAR(measured, prof.dirtyWordPct[i], 2.0)
+            << "dirty-word bin " << i;
+    }
+}
+
+TEST(Generator, ReadWriteMixMatchesRpkiWpki)
+{
+    const AppProfile &prof = findProfile("canneal");
+    BackingStore store;
+    SyntheticGenerator gen(prof, store, 7);
+    const StreamStats s = drive(gen, store, 40000);
+    const double read_frac =
+        static_cast<double>(s.reads) /
+        static_cast<double>(s.reads + s.writes);
+    EXPECT_NEAR(read_frac, prof.readFraction(), 0.01);
+}
+
+TEST(Generator, GapMeanMatchesApki)
+{
+    const AppProfile &prof = findProfile("astar");
+    BackingStore store;
+    SyntheticGenerator gen(prof, store, 11);
+    const StreamStats s = drive(gen, store, 40000);
+    const double mean_gap = s.gapSum / 40000.0;
+    EXPECT_NEAR(mean_gap, 1000.0 / prof.apki(),
+                0.05 * (1000.0 / prof.apki()));
+}
+
+TEST(Generator, AddressesStayInRegion)
+{
+    const AppProfile &prof = findProfile("gcc");
+    BackingStore store;
+    const std::uint64_t base = 1u << 20;
+    const std::uint64_t lines = 4096;
+    SyntheticGenerator gen(prof, store, 3, base, lines);
+    const StreamStats s = drive(gen, store, 20000);
+    EXPECT_GE(s.minLine, base);
+    EXPECT_LT(s.maxLine, base + lines);
+}
+
+TEST(Generator, DeterministicPerSeed)
+{
+    const AppProfile &prof = findProfile("mcf");
+    BackingStore s1;
+    BackingStore s2;
+    SyntheticGenerator g1(prof, s1, 123);
+    SyntheticGenerator g2(prof, s2, 123);
+    MemOp a;
+    MemOp b;
+    for (int i = 0; i < 2000; ++i) {
+        ASSERT_TRUE(g1.next(a));
+        ASSERT_TRUE(g2.next(b));
+        ASSERT_EQ(a.addr, b.addr);
+        ASSERT_EQ(a.isWrite, b.isWrite);
+        ASSERT_EQ(a.gapInsts, b.gapInsts);
+        if (a.isWrite) {
+            ASSERT_EQ(a.data, b.data);
+        }
+        // Keep shadows in sync like the real system would.
+        if (a.isWrite) {
+            const std::uint64_t line = a.addr / kLineBytes;
+            s1.writeWords(line, a.data,
+                          s1.essentialWords(line, a.data));
+            s2.writeWords(line, b.data,
+                          s2.essentialWords(line, b.data));
+        }
+    }
+}
+
+TEST(Generator, DifferentSeedsDiverge)
+{
+    const AppProfile &prof = findProfile("mcf");
+    BackingStore store;
+    SyntheticGenerator g1(prof, store, 1);
+    SyntheticGenerator g2(prof, store, 2);
+    MemOp a;
+    MemOp b;
+    int same = 0;
+    for (int i = 0; i < 500; ++i) {
+        g1.next(a);
+        g2.next(b);
+        same += a.addr == b.addr ? 1 : 0;
+    }
+    EXPECT_LT(same, 50);
+}
+
+TEST(Generator, SilentStoresAreTrulySilent)
+{
+    // An app with a heavy 0-word bin must emit writes whose payload
+    // equals the stored line exactly.
+    AppProfile prof = findProfile("gcc"); // 25% silent
+    BackingStore store;
+    SyntheticGenerator gen(prof, store, 5);
+    MemOp op;
+    int silent = 0;
+    for (int i = 0; i < 20000; ++i) {
+        gen.next(op);
+        if (!op.isWrite)
+            continue;
+        const std::uint64_t line = op.addr / kLineBytes;
+        if (store.essentialWords(line, op.data) == 0)
+            ++silent;
+        store.writeWords(line, op.data,
+                         store.essentialWords(line, op.data));
+    }
+    EXPECT_GT(silent, 0);
+}
+
+TEST(Generator, OffsetCorrelationShowsUp)
+{
+    // With offsetCorr high, consecutive one-word writes frequently
+    // dirty the same offset.
+    AppProfile prof = findProfile("libquantum");
+    prof.offsetCorr = 0.9;
+    prof.dirtyWordPct = {0, 100, 0, 0, 0, 0, 0, 0, 0}; // always 1 word
+    BackingStore store;
+    SyntheticGenerator gen(prof, store, 9);
+    MemOp op;
+    int repeats = 0;
+    int pairs = 0;
+    int last_offset = -1;
+    for (int i = 0; i < 20000; ++i) {
+        gen.next(op);
+        if (!op.isWrite)
+            continue;
+        const std::uint64_t line = op.addr / kLineBytes;
+        const WordMask mask = store.essentialWords(line, op.data);
+        store.writeWords(line, op.data, mask);
+        if (wordCount(mask) != 1)
+            continue;
+        const int off = std::countr_zero(static_cast<unsigned>(mask));
+        if (last_offset >= 0) {
+            ++pairs;
+            repeats += off == last_offset ? 1 : 0;
+        }
+        last_offset = off;
+    }
+    ASSERT_GT(pairs, 1000);
+    EXPECT_GT(static_cast<double>(repeats) / pairs, 0.6);
+}
+
+TEST(Generator, RowLocalityProducesSequentialRuns)
+{
+    AppProfile prof = findProfile("stream"); // rowHitRate 0.85
+    BackingStore store;
+    SyntheticGenerator gen(prof, store, 13);
+    MemOp op;
+    std::uint64_t prev = ~0ull;
+    int sequential = 0;
+    int reads = 0;
+    for (int i = 0; i < 20000; ++i) {
+        gen.next(op);
+        if (op.isWrite)
+            continue;
+        const std::uint64_t line = op.addr / kLineBytes;
+        if (prev != ~0ull) {
+            ++reads;
+            sequential += line == prev + 1 ? 1 : 0;
+        }
+        prev = line;
+    }
+    ASSERT_GT(reads, 1000);
+    EXPECT_NEAR(static_cast<double>(sequential) / reads,
+                prof.rowHitRate, 0.05);
+}
+
+} // namespace
+} // namespace pcmap::workload

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Property sweep over EVERY built-in application profile: the
+ * generator must reproduce each profile's statistics, and
+ * fitProfile() must recover the profile from the generated stream
+ * (the generator/analyzer round trip).
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/analysis.h"
+#include "workload/generator.h"
+#include "workload/profile.h"
+
+namespace pcmap::workload {
+namespace {
+
+class ProfileSweep : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const AppProfile &prof() const { return findProfile(GetParam()); }
+};
+
+TEST_P(ProfileSweep, GeneratorReproducesProfile)
+{
+    BackingStore store;
+    SyntheticGenerator gen(prof(), store, 1234);
+    const StreamAnalysis a = analyzeStream(gen, store, 40'000);
+
+    EXPECT_NEAR(a.readFraction(), prof().readFraction(), 0.015);
+    EXPECT_NEAR(a.apki(), prof().apki(), prof().apki() * 0.08);
+    EXPECT_NEAR(a.meanDirtyWords(), prof().meanDirtyWords(), 0.2);
+    for (unsigned i = 0; i <= 8; ++i) {
+        EXPECT_NEAR(a.pctWithWords(i), prof().dirtyWordPct[i], 2.5)
+            << "dirty-word bin " << i;
+    }
+}
+
+TEST_P(ProfileSweep, FitProfileRoundTrip)
+{
+    BackingStore store;
+    SyntheticGenerator gen(prof(), store, 77);
+    const StreamAnalysis a = analyzeStream(gen, store, 40'000);
+    const AppProfile fitted = fitProfile(a, "fitted");
+
+    fitted.validate();
+    EXPECT_NEAR(fitted.readFraction(), prof().readFraction(), 0.02);
+    EXPECT_NEAR(fitted.meanDirtyWords(), prof().meanDirtyWords(), 0.25);
+    EXPECT_NEAR(fitted.apki(), prof().apki(), prof().apki() * 0.1);
+
+    // Second generation from the fitted profile matches it in turn.
+    BackingStore store2;
+    SyntheticGenerator regen(fitted, store2, 99);
+    const StreamAnalysis b = analyzeStream(regen, store2, 20'000);
+    EXPECT_NEAR(b.meanDirtyWords(), fitted.meanDirtyWords(), 0.3);
+    EXPECT_NEAR(b.readFraction(), fitted.readFraction(), 0.02);
+}
+
+TEST_P(ProfileSweep, FootprintRespected)
+{
+    BackingStore store;
+    const std::uint64_t region = 2048;
+    SyntheticGenerator gen(prof(), store, 5, 1 << 16, region);
+    MemOp op;
+    for (int i = 0; i < 5000; ++i) {
+        ASSERT_TRUE(gen.next(op));
+        const std::uint64_t line = op.addr / kLineBytes;
+        ASSERT_GE(line, 1u << 16);
+        ASSERT_LT(line, (1u << 16) + region);
+    }
+}
+
+namespace {
+
+std::vector<std::string>
+allProfileNames()
+{
+    std::vector<std::string> names;
+    for (const AppProfile &p : allProfiles())
+        names.push_back(p.name);
+    return names;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProfiles, ProfileSweep, ::testing::ValuesIn(allProfileNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+} // namespace
+} // namespace pcmap::workload

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the built-in application profiles: internal consistency
+ * and agreement with the numbers the paper publishes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/mixes.h"
+#include "workload/profile.h"
+
+namespace pcmap::workload {
+namespace {
+
+TEST(Profiles, AllBuiltInsValidate)
+{
+    for (const AppProfile &p : allProfiles()) {
+        p.validate();
+        EXPECT_GT(p.apki(), 0.0) << p.name;
+        EXPECT_GE(p.meanDirtyWords(), 0.0) << p.name;
+        EXPECT_LE(p.meanDirtyWords(), 8.0) << p.name;
+    }
+}
+
+TEST(Profiles, Figure1ProgramsAllExist)
+{
+    const auto programs = figure1Programs();
+    EXPECT_EQ(programs.size(), 13u);
+    for (const std::string &name : programs)
+        EXPECT_TRUE(hasProfile(name)) << name;
+}
+
+TEST(Profiles, ParsecThirteenProgramsExist)
+{
+    const auto programs = parsecPrograms();
+    EXPECT_EQ(programs.size(), 13u);
+    for (const std::string &name : programs) {
+        EXPECT_TRUE(hasProfile(name)) << name;
+        EXPECT_EQ(findProfile(name).suite, Suite::Parsec2) << name;
+    }
+}
+
+TEST(Profiles, TableIIMtNumbersAreUsedVerbatim)
+{
+    EXPECT_DOUBLE_EQ(findProfile("canneal").rpki, 15.19);
+    EXPECT_DOUBLE_EQ(findProfile("canneal").wpki, 7.13);
+    EXPECT_DOUBLE_EQ(findProfile("dedup").rpki, 3.04);
+    EXPECT_DOUBLE_EQ(findProfile("facesim").wpki, 1.26);
+    EXPECT_DOUBLE_EQ(findProfile("fluidanimate").rpki, 5.54);
+    EXPECT_DOUBLE_EQ(findProfile("freqmine").wpki, 3.33);
+    EXPECT_DOUBLE_EQ(findProfile("streamcluster").rpki, 5.19);
+}
+
+TEST(Profiles, Figure2AnchorsHold)
+{
+    // cactusADM peaks at 52% one-word write-backs, omnetpp bottoms at
+    // 14% (Section III-B).
+    EXPECT_DOUBLE_EQ(findProfile("cactusADM").dirtyWordPct[1], 52.0);
+    EXPECT_DOUBLE_EQ(findProfile("omnetpp").dirtyWordPct[1], 14.0);
+    double min1 = 100.0;
+    double max1 = 0.0;
+    for (const std::string &name : figure1Programs()) {
+        const double p1 = findProfile(name).dirtyWordPct[1];
+        min1 = std::min(min1, p1);
+        max1 = std::max(max1, p1);
+    }
+    EXPECT_DOUBLE_EQ(min1, 14.0);
+    EXPECT_DOUBLE_EQ(max1, 52.0);
+}
+
+TEST(Profiles, SuiteMeanDirtyWordsNearPaperAverage)
+{
+    // Footnote 3's suite-average distribution implies ~2.3 essential
+    // words per write-back; the profile set must stay in that band
+    // (it anchors baseline IRLP = 2.37).
+    double mean = 0.0;
+    int n = 0;
+    for (const std::string &name : figure1Programs()) {
+        mean += findProfile(name).meanDirtyWords();
+        ++n;
+    }
+    mean /= n;
+    EXPECT_GT(mean, 1.8);
+    EXPECT_LT(mean, 2.9);
+}
+
+TEST(Profiles, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(findProfile("no-such-app"),
+                ::testing::ExitedWithCode(1), "unknown application");
+    EXPECT_FALSE(hasProfile("no-such-app"));
+}
+
+TEST(Mixes, TableIIMixesComposition)
+{
+    const WorkloadSpec mp1 = makeWorkload("MP1");
+    ASSERT_EQ(mp1.cores(), 8u);
+    EXPECT_FALSE(mp1.sharedAddressSpace);
+    EXPECT_EQ(mp1.coreApps[0], "mcf");
+    EXPECT_EQ(mp1.coreApps[1], "mcf");
+    EXPECT_EQ(mp1.coreApps[2], "gemsFDTD");
+    EXPECT_EQ(mp1.coreApps[4], "astar");
+    EXPECT_EQ(mp1.coreApps[6], "sphinx3");
+
+    const WorkloadSpec mp4 = makeWorkload("MP4");
+    for (const std::string &app : mp4.coreApps)
+        EXPECT_EQ(app, "astar");
+
+    const WorkloadSpec mp6 = makeWorkload("MP6");
+    EXPECT_EQ(mp6.coreApps[0], "cactusADM");
+    EXPECT_EQ(mp6.coreApps[2], "soplex");
+}
+
+TEST(Mixes, MtWorkloadsShareAddressSpace)
+{
+    const WorkloadSpec w = makeWorkload("canneal");
+    EXPECT_TRUE(w.sharedAddressSpace);
+    EXPECT_EQ(w.cores(), 8u);
+    for (const std::string &app : w.coreApps)
+        EXPECT_EQ(app, "canneal");
+}
+
+TEST(Mixes, SpecSingleProgramIsPrivate)
+{
+    const WorkloadSpec w = makeWorkload("astar");
+    EXPECT_FALSE(w.sharedAddressSpace);
+}
+
+TEST(Mixes, EvaluatedSetMatchesFigures)
+{
+    EXPECT_EQ(evaluatedMtWorkloads().size(), 6u);
+    EXPECT_EQ(evaluatedMpWorkloads().size(), 6u);
+    EXPECT_EQ(evaluatedWorkloads().size(), 12u);
+    for (const std::string &name : evaluatedWorkloads()) {
+        const WorkloadSpec spec = makeWorkload(name);
+        EXPECT_EQ(spec.cores(), 8u) << name;
+    }
+}
+
+TEST(Mixes, CustomCoreCount)
+{
+    EXPECT_EQ(makeWorkload("MP1", 4).cores(), 4u);
+    EXPECT_EQ(makeWorkload("canneal", 2).cores(), 2u);
+}
+
+TEST(MixesDeath, ZeroCoresIsFatal)
+{
+    EXPECT_EXIT(makeWorkload("MP1", 0), ::testing::ExitedWithCode(1),
+                "at least one core");
+}
+
+} // namespace
+} // namespace pcmap::workload
