@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_wear_energy.dir/ext_wear_energy.cpp.o"
+  "CMakeFiles/ext_wear_energy.dir/ext_wear_energy.cpp.o.d"
+  "ext_wear_energy"
+  "ext_wear_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_wear_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

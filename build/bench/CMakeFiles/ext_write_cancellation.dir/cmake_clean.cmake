@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_write_cancellation.dir/ext_write_cancellation.cpp.o"
+  "CMakeFiles/ext_write_cancellation.dir/ext_write_cancellation.cpp.o.d"
+  "ext_write_cancellation"
+  "ext_write_cancellation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_write_cancellation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_dirty_words.dir/fig02_dirty_words.cpp.o"
+  "CMakeFiles/fig02_dirty_words.dir/fig02_dirty_words.cpp.o.d"
+  "fig02_dirty_words"
+  "fig02_dirty_words.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_dirty_words.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_irlp.dir/fig08_irlp.cpp.o"
+  "CMakeFiles/fig08_irlp.dir/fig08_irlp.cpp.o.d"
+  "fig08_irlp"
+  "fig08_irlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_irlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_write_throughput.dir/fig09_write_throughput.cpp.o"
+  "CMakeFiles/fig09_write_throughput.dir/fig09_write_throughput.cpp.o.d"
+  "fig09_write_throughput"
+  "fig09_write_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_write_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

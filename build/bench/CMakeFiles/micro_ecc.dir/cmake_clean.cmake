@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ecc.dir/micro_ecc.cpp.o"
+  "CMakeFiles/micro_ecc.dir/micro_ecc.cpp.o.d"
+  "micro_ecc"
+  "micro_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_simulation.cpp" "bench/CMakeFiles/micro_simulation.dir/micro_simulation.cpp.o" "gcc" "bench/CMakeFiles/micro_simulation.dir/micro_simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pcmap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pcmap_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/pcmap_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pcmap_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/pcmap_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pcmap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libpcmap_bench_common.a"
+  "../lib/libpcmap_bench_common.pdb"
+  "CMakeFiles/pcmap_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/pcmap_bench_common.dir/bench_common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmap_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

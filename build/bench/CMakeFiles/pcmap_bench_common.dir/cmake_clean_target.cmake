@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libpcmap_bench_common.a"
+)

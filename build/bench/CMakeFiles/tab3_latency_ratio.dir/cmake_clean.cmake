@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_latency_ratio.dir/tab3_latency_ratio.cpp.o"
+  "CMakeFiles/tab3_latency_ratio.dir/tab3_latency_ratio.cpp.o.d"
+  "tab3_latency_ratio"
+  "tab3_latency_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_latency_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

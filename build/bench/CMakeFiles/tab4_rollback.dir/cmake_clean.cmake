@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab4_rollback.dir/tab4_rollback.cpp.o"
+  "CMakeFiles/tab4_rollback.dir/tab4_rollback.cpp.o.d"
+  "tab4_rollback"
+  "tab4_rollback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab4_rollback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

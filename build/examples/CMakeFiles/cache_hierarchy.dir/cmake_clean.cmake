@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_hierarchy.dir/cache_hierarchy.cpp.o"
+  "CMakeFiles/cache_hierarchy.dir/cache_hierarchy.cpp.o.d"
+  "cache_hierarchy"
+  "cache_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmap.dir/pcmap_sim.cpp.o"
+  "CMakeFiles/pcmap.dir/pcmap_sim.cpp.o.d"
+  "pcmap"
+  "pcmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "src/cache/CMakeFiles/pcmap_cache.dir/cache.cc.o" "gcc" "src/cache/CMakeFiles/pcmap_cache.dir/cache.cc.o.d"
+  "/root/repo/src/cache/hierarchy.cc" "src/cache/CMakeFiles/pcmap_cache.dir/hierarchy.cc.o" "gcc" "src/cache/CMakeFiles/pcmap_cache.dir/hierarchy.cc.o.d"
+  "/root/repo/src/cache/raw_stream.cc" "src/cache/CMakeFiles/pcmap_cache.dir/raw_stream.cc.o" "gcc" "src/cache/CMakeFiles/pcmap_cache.dir/raw_stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/pcmap_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pcmap_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pcmap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/pcmap_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

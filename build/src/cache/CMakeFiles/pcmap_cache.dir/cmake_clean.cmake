@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmap_cache.dir/cache.cc.o"
+  "CMakeFiles/pcmap_cache.dir/cache.cc.o.d"
+  "CMakeFiles/pcmap_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/pcmap_cache.dir/hierarchy.cc.o.d"
+  "CMakeFiles/pcmap_cache.dir/raw_stream.cc.o"
+  "CMakeFiles/pcmap_cache.dir/raw_stream.cc.o.d"
+  "libpcmap_cache.a"
+  "libpcmap_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmap_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/controller.cc" "src/core/CMakeFiles/pcmap_core.dir/controller.cc.o" "gcc" "src/core/CMakeFiles/pcmap_core.dir/controller.cc.o.d"
+  "/root/repo/src/core/controller_config.cc" "src/core/CMakeFiles/pcmap_core.dir/controller_config.cc.o" "gcc" "src/core/CMakeFiles/pcmap_core.dir/controller_config.cc.o.d"
+  "/root/repo/src/core/layout.cc" "src/core/CMakeFiles/pcmap_core.dir/layout.cc.o" "gcc" "src/core/CMakeFiles/pcmap_core.dir/layout.cc.o.d"
+  "/root/repo/src/core/memory_system.cc" "src/core/CMakeFiles/pcmap_core.dir/memory_system.cc.o" "gcc" "src/core/CMakeFiles/pcmap_core.dir/memory_system.cc.o.d"
+  "/root/repo/src/core/stat_export.cc" "src/core/CMakeFiles/pcmap_core.dir/stat_export.cc.o" "gcc" "src/core/CMakeFiles/pcmap_core.dir/stat_export.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/pcmap_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/pcmap_core.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/pcmap_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/pcmap_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pcmap_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/pcmap_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pcmap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmap_core.dir/controller.cc.o"
+  "CMakeFiles/pcmap_core.dir/controller.cc.o.d"
+  "CMakeFiles/pcmap_core.dir/controller_config.cc.o"
+  "CMakeFiles/pcmap_core.dir/controller_config.cc.o.d"
+  "CMakeFiles/pcmap_core.dir/layout.cc.o"
+  "CMakeFiles/pcmap_core.dir/layout.cc.o.d"
+  "CMakeFiles/pcmap_core.dir/memory_system.cc.o"
+  "CMakeFiles/pcmap_core.dir/memory_system.cc.o.d"
+  "CMakeFiles/pcmap_core.dir/stat_export.cc.o"
+  "CMakeFiles/pcmap_core.dir/stat_export.cc.o.d"
+  "CMakeFiles/pcmap_core.dir/system.cc.o"
+  "CMakeFiles/pcmap_core.dir/system.cc.o.d"
+  "libpcmap_core.a"
+  "libpcmap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

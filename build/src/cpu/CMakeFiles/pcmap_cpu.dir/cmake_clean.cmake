@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmap_cpu.dir/core_model.cc.o"
+  "CMakeFiles/pcmap_cpu.dir/core_model.cc.o.d"
+  "libpcmap_cpu.a"
+  "libpcmap_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmap_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

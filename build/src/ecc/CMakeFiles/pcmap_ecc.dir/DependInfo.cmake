@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecc/error_inject.cc" "src/ecc/CMakeFiles/pcmap_ecc.dir/error_inject.cc.o" "gcc" "src/ecc/CMakeFiles/pcmap_ecc.dir/error_inject.cc.o.d"
+  "/root/repo/src/ecc/line_codec.cc" "src/ecc/CMakeFiles/pcmap_ecc.dir/line_codec.cc.o" "gcc" "src/ecc/CMakeFiles/pcmap_ecc.dir/line_codec.cc.o.d"
+  "/root/repo/src/ecc/secded.cc" "src/ecc/CMakeFiles/pcmap_ecc.dir/secded.cc.o" "gcc" "src/ecc/CMakeFiles/pcmap_ecc.dir/secded.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pcmap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmap_ecc.dir/error_inject.cc.o"
+  "CMakeFiles/pcmap_ecc.dir/error_inject.cc.o.d"
+  "CMakeFiles/pcmap_ecc.dir/line_codec.cc.o"
+  "CMakeFiles/pcmap_ecc.dir/line_codec.cc.o.d"
+  "CMakeFiles/pcmap_ecc.dir/secded.cc.o"
+  "CMakeFiles/pcmap_ecc.dir/secded.cc.o.d"
+  "libpcmap_ecc.a"
+  "libpcmap_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmap_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

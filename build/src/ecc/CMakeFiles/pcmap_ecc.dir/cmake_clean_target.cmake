@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpcmap_ecc.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address.cc" "src/mem/CMakeFiles/pcmap_mem.dir/address.cc.o" "gcc" "src/mem/CMakeFiles/pcmap_mem.dir/address.cc.o.d"
+  "/root/repo/src/mem/backing_store.cc" "src/mem/CMakeFiles/pcmap_mem.dir/backing_store.cc.o" "gcc" "src/mem/CMakeFiles/pcmap_mem.dir/backing_store.cc.o.d"
+  "/root/repo/src/mem/irlp.cc" "src/mem/CMakeFiles/pcmap_mem.dir/irlp.cc.o" "gcc" "src/mem/CMakeFiles/pcmap_mem.dir/irlp.cc.o.d"
+  "/root/repo/src/mem/rank.cc" "src/mem/CMakeFiles/pcmap_mem.dir/rank.cc.o" "gcc" "src/mem/CMakeFiles/pcmap_mem.dir/rank.cc.o.d"
+  "/root/repo/src/mem/timing.cc" "src/mem/CMakeFiles/pcmap_mem.dir/timing.cc.o" "gcc" "src/mem/CMakeFiles/pcmap_mem.dir/timing.cc.o.d"
+  "/root/repo/src/mem/wear.cc" "src/mem/CMakeFiles/pcmap_mem.dir/wear.cc.o" "gcc" "src/mem/CMakeFiles/pcmap_mem.dir/wear.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ecc/CMakeFiles/pcmap_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pcmap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmap_mem.dir/address.cc.o"
+  "CMakeFiles/pcmap_mem.dir/address.cc.o.d"
+  "CMakeFiles/pcmap_mem.dir/backing_store.cc.o"
+  "CMakeFiles/pcmap_mem.dir/backing_store.cc.o.d"
+  "CMakeFiles/pcmap_mem.dir/irlp.cc.o"
+  "CMakeFiles/pcmap_mem.dir/irlp.cc.o.d"
+  "CMakeFiles/pcmap_mem.dir/rank.cc.o"
+  "CMakeFiles/pcmap_mem.dir/rank.cc.o.d"
+  "CMakeFiles/pcmap_mem.dir/timing.cc.o"
+  "CMakeFiles/pcmap_mem.dir/timing.cc.o.d"
+  "CMakeFiles/pcmap_mem.dir/wear.cc.o"
+  "CMakeFiles/pcmap_mem.dir/wear.cc.o.d"
+  "libpcmap_mem.a"
+  "libpcmap_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmap_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmap_sim.dir/config.cc.o"
+  "CMakeFiles/pcmap_sim.dir/config.cc.o.d"
+  "CMakeFiles/pcmap_sim.dir/log.cc.o"
+  "CMakeFiles/pcmap_sim.dir/log.cc.o.d"
+  "CMakeFiles/pcmap_sim.dir/stats.cc.o"
+  "CMakeFiles/pcmap_sim.dir/stats.cc.o.d"
+  "libpcmap_sim.a"
+  "libpcmap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/analysis.cc" "src/workload/CMakeFiles/pcmap_workload.dir/analysis.cc.o" "gcc" "src/workload/CMakeFiles/pcmap_workload.dir/analysis.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/workload/CMakeFiles/pcmap_workload.dir/generator.cc.o" "gcc" "src/workload/CMakeFiles/pcmap_workload.dir/generator.cc.o.d"
+  "/root/repo/src/workload/mixes.cc" "src/workload/CMakeFiles/pcmap_workload.dir/mixes.cc.o" "gcc" "src/workload/CMakeFiles/pcmap_workload.dir/mixes.cc.o.d"
+  "/root/repo/src/workload/profiles_data.cc" "src/workload/CMakeFiles/pcmap_workload.dir/profiles_data.cc.o" "gcc" "src/workload/CMakeFiles/pcmap_workload.dir/profiles_data.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/pcmap_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/pcmap_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/pcmap_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pcmap_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pcmap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/pcmap_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmap_workload.dir/analysis.cc.o"
+  "CMakeFiles/pcmap_workload.dir/analysis.cc.o.d"
+  "CMakeFiles/pcmap_workload.dir/generator.cc.o"
+  "CMakeFiles/pcmap_workload.dir/generator.cc.o.d"
+  "CMakeFiles/pcmap_workload.dir/mixes.cc.o"
+  "CMakeFiles/pcmap_workload.dir/mixes.cc.o.d"
+  "CMakeFiles/pcmap_workload.dir/profiles_data.cc.o"
+  "CMakeFiles/pcmap_workload.dir/profiles_data.cc.o.d"
+  "CMakeFiles/pcmap_workload.dir/trace.cc.o"
+  "CMakeFiles/pcmap_workload.dir/trace.cc.o.d"
+  "libpcmap_workload.a"
+  "libpcmap_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmap_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backing_store_test.dir/mem/backing_store_test.cc.o"
+  "CMakeFiles/backing_store_test.dir/mem/backing_store_test.cc.o.d"
+  "backing_store_test"
+  "backing_store_test.pdb"
+  "backing_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backing_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

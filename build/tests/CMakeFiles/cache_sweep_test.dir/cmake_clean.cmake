@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_sweep_test.dir/cache/cache_sweep_test.cc.o"
+  "CMakeFiles/cache_sweep_test.dir/cache/cache_sweep_test.cc.o.d"
+  "cache_sweep_test"
+  "cache_sweep_test.pdb"
+  "cache_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

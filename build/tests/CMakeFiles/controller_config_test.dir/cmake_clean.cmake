@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_config_test.dir/core/controller_config_test.cc.o"
+  "CMakeFiles/controller_config_test.dir/core/controller_config_test.cc.o.d"
+  "controller_config_test"
+  "controller_config_test.pdb"
+  "controller_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

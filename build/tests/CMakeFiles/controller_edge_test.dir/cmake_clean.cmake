@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_edge_test.dir/core/controller_edge_test.cc.o"
+  "CMakeFiles/controller_edge_test.dir/core/controller_edge_test.cc.o.d"
+  "controller_edge_test"
+  "controller_edge_test.pdb"
+  "controller_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

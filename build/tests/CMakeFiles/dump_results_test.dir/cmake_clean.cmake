@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dump_results_test.dir/core/dump_results_test.cc.o"
+  "CMakeFiles/dump_results_test.dir/core/dump_results_test.cc.o.d"
+  "dump_results_test"
+  "dump_results_test.pdb"
+  "dump_results_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dump_results_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

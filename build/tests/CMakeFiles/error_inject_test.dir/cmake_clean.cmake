@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_inject_test.dir/ecc/error_inject_test.cc.o"
+  "CMakeFiles/error_inject_test.dir/ecc/error_inject_test.cc.o.d"
+  "error_inject_test"
+  "error_inject_test.pdb"
+  "error_inject_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_inject_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

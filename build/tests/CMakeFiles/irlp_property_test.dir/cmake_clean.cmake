@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irlp_property_test.dir/mem/irlp_property_test.cc.o"
+  "CMakeFiles/irlp_property_test.dir/mem/irlp_property_test.cc.o.d"
+  "irlp_property_test"
+  "irlp_property_test.pdb"
+  "irlp_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irlp_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irlp_test.dir/mem/irlp_test.cc.o"
+  "CMakeFiles/irlp_test.dir/mem/irlp_test.cc.o.d"
+  "irlp_test"
+  "irlp_test.pdb"
+  "irlp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irlp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_sweep_test.dir/core/layout_sweep_test.cc.o"
+  "CMakeFiles/layout_sweep_test.dir/core/layout_sweep_test.cc.o.d"
+  "layout_sweep_test"
+  "layout_sweep_test.pdb"
+  "layout_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

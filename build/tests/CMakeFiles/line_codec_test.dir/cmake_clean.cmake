@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/line_codec_test.dir/ecc/line_codec_test.cc.o"
+  "CMakeFiles/line_codec_test.dir/ecc/line_codec_test.cc.o.d"
+  "line_codec_test"
+  "line_codec_test.pdb"
+  "line_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/line_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mode_invariants_test.dir/integration/mode_invariants_test.cc.o"
+  "CMakeFiles/mode_invariants_test.dir/integration/mode_invariants_test.cc.o.d"
+  "mode_invariants_test"
+  "mode_invariants_test.pdb"
+  "mode_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mode_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_sweep_test.dir/workload/profile_sweep_test.cc.o"
+  "CMakeFiles/profile_sweep_test.dir/workload/profile_sweep_test.cc.o.d"
+  "profile_sweep_test"
+  "profile_sweep_test.pdb"
+  "profile_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

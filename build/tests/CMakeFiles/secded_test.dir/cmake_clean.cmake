@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secded_test.dir/ecc/secded_test.cc.o"
+  "CMakeFiles/secded_test.dir/ecc/secded_test.cc.o.d"
+  "secded_test"
+  "secded_test.pdb"
+  "secded_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secded_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stat_export_test.dir/core/stat_export_test.cc.o"
+  "CMakeFiles/stat_export_test.dir/core/stat_export_test.cc.o.d"
+  "stat_export_test"
+  "stat_export_test.pdb"
+  "stat_export_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stat_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
