@@ -1,6 +1,11 @@
 #include "bench_common.h"
 
+#include <algorithm>
 #include <cmath>
+#include <fstream>
+
+#include "sim/log.h"
+#include "sweep/sweep_io.h"
 
 namespace pcmap::bench {
 
@@ -39,21 +44,31 @@ banner(const char *title, const char *paper_ref, const HarnessConfig &hc)
 {
     std::printf("== %s ==\n", title);
     std::printf("   reproduces: %s\n", paper_ref);
-    std::printf("   run: %llu insts/core, seed %llu\n\n",
+    std::printf("   run: %llu insts/core, seed %llu, %u thread%s\n\n",
                 static_cast<unsigned long long>(hc.insts),
-                static_cast<unsigned long long>(hc.seed));
+                static_cast<unsigned long long>(hc.seed), hc.threads,
+                hc.threads == 1 ? "" : "s");
 }
 
 namespace {
 
-/** One sweep row: per-mode metric values for one workload. */
+/** Metric values for one workload across all modes, from the report. */
 std::vector<double>
-sweepRow(const HarnessConfig &hc, const std::string &workload,
-         Metric metric)
+reportRow(const sweep::SweepReport &report, const HarnessConfig &hc,
+          const std::string &workload, Metric metric)
 {
     std::vector<double> vals;
-    for (const SystemMode mode : kAllModes)
-        vals.push_back(metric(runPoint(hc, mode, workload)));
+    for (const SystemMode mode : kAllModes) {
+        const sweep::RunRecord *rec =
+            report.find("default", mode, workload, hc.seed);
+        if (rec == nullptr || !rec->ok) {
+            fatal("figure sweep: run (", systemModeName(mode), ", ",
+                  workload, ") ",
+                  rec == nullptr ? "missing from report"
+                                 : rec->error.c_str());
+        }
+        vals.push_back(metric(rec->results));
+    }
     return vals;
 }
 
@@ -91,11 +106,42 @@ scale(std::vector<double> &a, double f)
         v *= f;
 }
 
+/** Unique workload list covering everything a figure table needs. */
+std::vector<std::string>
+figureWorkloads()
+{
+    std::vector<std::string> all = workload::evaluatedMtWorkloads();
+    for (const std::string &w : workload::parsecPrograms()) {
+        if (std::find(all.begin(), all.end(), w) == all.end())
+            all.push_back(w);
+    }
+    for (const std::string &w : workload::evaluatedMpWorkloads())
+        all.push_back(w);
+    return all;
+}
+
 } // namespace
 
 void
 figureSweep(const HarnessConfig &hc, Metric metric, bool normalize)
 {
+    // Declare the whole run matrix up front and execute it through
+    // the sweep runner (sharded across hc.threads workers), instead
+    // of simulating inside the printing loops.
+    const sweep::SweepSpec spec = hc.evaluationSpec(figureWorkloads());
+    sweep::SweepRunner::Options opts;
+    opts.threads = hc.threads;
+    opts.collectStats = !hc.jsonl.empty();
+    const sweep::SweepReport report =
+        sweep::SweepRunner(opts).run(spec);
+
+    if (!hc.jsonl.empty()) {
+        std::ofstream out(hc.jsonl);
+        if (!out)
+            fatal("cannot open '", hc.jsonl, "' for writing");
+        sweep::writeJsonl(report, out);
+    }
+
     std::printf("%-14s", "workload");
     if (normalize)
         std::printf(" %9s", "base-abs");
@@ -108,11 +154,11 @@ figureSweep(const HarnessConfig &hc, Metric metric, bool normalize)
 
     // --- Multi-threaded workloads + Average(MT) over all of PARSEC ---
     for (const std::string &w : workload::evaluatedMtWorkloads())
-        printRow(w, sweepRow(hc, w, metric), normalize);
+        printRow(w, reportRow(report, hc, w, metric), normalize);
 
     std::vector<double> mt_avg;
     for (const std::string &w : workload::parsecPrograms()) {
-        std::vector<double> vals = sweepRow(hc, w, metric);
+        std::vector<double> vals = reportRow(report, hc, w, metric);
         if (normalize && vals[0] != 0.0) {
             const double base = vals[0];
             for (std::size_t m = 1; m < vals.size(); ++m)
@@ -132,7 +178,7 @@ figureSweep(const HarnessConfig &hc, Metric metric, bool normalize)
     // --- Multiprogrammed mixes + Average(MP) ---
     std::vector<double> mp_avg;
     for (const std::string &w : workload::evaluatedMpWorkloads()) {
-        std::vector<double> vals = sweepRow(hc, w, metric);
+        std::vector<double> vals = reportRow(report, hc, w, metric);
         printRow(w, vals, normalize);
         if (normalize && vals[0] != 0.0) {
             const double base = vals[0];
@@ -147,6 +193,15 @@ figureSweep(const HarnessConfig &hc, Metric metric, bool normalize)
     for (const double v : mp_avg)
         std::printf(" %9.3f", v);
     std::printf("\n");
+}
+
+int
+figureMain(int argc, char **argv, const FigureDef &def)
+{
+    const HarnessConfig hc = HarnessConfig::parse(argc, argv);
+    banner(def.title, def.paperRef, hc);
+    figureSweep(hc, def.metric, def.normalize);
+    return 0;
 }
 
 } // namespace pcmap::bench

@@ -3,9 +3,17 @@
  * Shared infrastructure for the figure/table reproduction harnesses.
  *
  * Every harness accepts "key=value" arguments:
- *   insts=N   instructions per core per run (default 600000)
- *   seed=N    simulation seed (default 1)
+ *   insts=N     instructions per core per run (default 600000)
+ *   seed=N      simulation seed (default 1)
+ *   threads=N   worker threads for the run matrix (default 1)
+ *   jsonl=PATH  also write the raw sweep rows as JSONL
  * plus harness-specific keys documented in each binary.
+ *
+ * The figure harnesses no longer loop over (mode, workload) by hand:
+ * they declare their run matrix as a sweep::SweepSpec and execute it
+ * through sweep::SweepRunner, which shards runs across threads with
+ * deterministic per-run seeding — the printed tables are identical at
+ * any thread count.
  */
 
 #ifndef PCMAP_BENCH_COMMON_H
@@ -17,6 +25,7 @@
 
 #include "core/system.h"
 #include "sim/config.h"
+#include "sweep/sweep_runner.h"
 #include "workload/mixes.h"
 #include "workload/profile.h"
 
@@ -27,6 +36,9 @@ struct HarnessConfig
 {
     std::uint64_t insts = 600'000;
     std::uint64_t seed = 1;
+    unsigned threads = 1;
+    /** When non-empty, figure harnesses dump raw rows here. */
+    std::string jsonl;
     Config raw;
 
     static HarnessConfig
@@ -36,6 +48,9 @@ struct HarnessConfig
         hc.raw = Config::fromArgs(argc, argv);
         hc.insts = hc.raw.getUint("insts", hc.insts);
         hc.seed = hc.raw.getUint("seed", hc.seed);
+        hc.threads = static_cast<unsigned>(
+            hc.raw.getUint("threads", hc.threads));
+        hc.jsonl = hc.raw.getString("jsonl", hc.jsonl);
         return hc;
     }
 
@@ -48,6 +63,23 @@ struct HarnessConfig
         cfg.instructionsPerCore = insts;
         cfg.seed = seed;
         return cfg;
+    }
+
+    /**
+     * The evaluation run matrix of Figures 8-11 as a sweep spec: all
+     * six system modes against @p workloads, base seed folded in.
+     * Per-run seeds are derived per point, so figure tables produced
+     * through this spec are reproducible from (insts, seed) alone.
+     */
+    sweep::SweepSpec
+    evaluationSpec(const std::vector<std::string> &workloads) const
+    {
+        sweep::SweepSpec spec;
+        spec.configs[0].base = system(SystemMode::Baseline);
+        spec.modes.assign(std::begin(kAllModes), std::end(kAllModes));
+        spec.workloads = workloads;
+        spec.seeds = {seed};
+        return spec;
     }
 };
 
@@ -85,19 +117,32 @@ void banner(const char *title, const char *paper_ref,
 /** Metric extracted from one run for the figure sweeps. */
 using Metric = double (*)(const SystemResults &);
 
+/** One figure harness: its banner text plus how to read each run. */
+struct FigureDef
+{
+    const char *title;
+    const char *paperRef;
+    Metric metric;
+    /**
+     * When true, report metric / baseline-metric per workload (the
+     * paper's "normalized to baseline" presentation) and print
+     * baseline absolutes in the first column.
+     */
+    bool normalize;
+};
+
 /**
  * Run the evaluation sweep of Figures 8-11: the six multi-threaded
  * workloads plus Average(MT) over the 13 PARSEC programs, then the
  * six multiprogrammed mixes plus Average(MP), across system modes.
- *
- * @param metric     Value reported per run.
- * @param normalize  When true, report metric / baseline-metric per
- *                   workload (the paper's "normalized to baseline"
- *                   presentation) and print baseline absolutes in the
- *                   first column.
+ * Executes the whole matrix through sweep::SweepRunner with
+ * hc.threads workers.
  */
 void figureSweep(const HarnessConfig &hc, Metric metric,
                  bool normalize);
+
+/** Standard main() body for a figure harness. */
+int figureMain(int argc, char **argv, const FigureDef &def);
 
 } // namespace pcmap::bench
 

@@ -7,6 +7,9 @@
  * writes are actually being served.  Paper anchors: >1.2x for 5 of 12
  * workloads, >10% for the majority, RWoW combination ~33% on average,
  * RWoW-RDE the best configuration.
+ *
+ * The run matrix is a sweep::SweepSpec executed via the sweep runner;
+ * pass threads=N to parallelize and jsonl=PATH to keep the raw rows.
  */
 
 #include "bench_common.h"
@@ -25,11 +28,10 @@ int
 main(int argc, char **argv)
 {
     using namespace pcmap::bench;
-    const HarnessConfig hc = HarnessConfig::parse(argc, argv);
-    banner("Figure 9: write throughput (normalized to baseline)",
-           "Fig. 9 — >1.2x for 5/12 workloads; RWoW ~1.33x average; "
-           "RWoW-RDE best (base-abs column is Mwrites/s)",
-           hc);
-    figureSweep(hc, writeThroughputMetric, /*normalize=*/true);
-    return 0;
+    return figureMain(
+        argc, argv,
+        {"Figure 9: write throughput (normalized to baseline)",
+         "Fig. 9 — >1.2x for 5/12 workloads; RWoW ~1.33x average; "
+         "RWoW-RDE best (base-abs column is Mwrites/s)",
+         writeThroughputMetric, /*normalize=*/true});
 }

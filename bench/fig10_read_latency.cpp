@@ -6,6 +6,9 @@
  * Paper anchors: RoW-NR alone cuts effective read latency by 6-14%;
  * adding WoW and the rotations keeps reducing it; RWoW-RDE reaches
  * roughly half the baseline latency on both workload classes.
+ *
+ * The run matrix is a sweep::SweepSpec executed via the sweep runner;
+ * pass threads=N to parallelize and jsonl=PATH to keep the raw rows.
  */
 
 #include "bench_common.h"
@@ -24,12 +27,11 @@ int
 main(int argc, char **argv)
 {
     using namespace pcmap::bench;
-    const HarnessConfig hc = HarnessConfig::parse(argc, argv);
-    banner("Figure 10: effective read latency (normalized, lower is "
-           "better)",
-           "Fig. 10 — RoW-NR 0.86-0.94x; RWoW-RDE approaches ~0.5x "
-           "(base-abs column is ns)",
-           hc);
-    figureSweep(hc, readLatencyMetric, /*normalize=*/true);
-    return 0;
+    return figureMain(
+        argc, argv,
+        {"Figure 10: effective read latency (normalized, lower is "
+         "better)",
+         "Fig. 10 — RoW-NR 0.86-0.94x; RWoW-RDE approaches ~0.5x "
+         "(base-abs column is ns)",
+         readLatencyMetric, /*normalize=*/true});
 }

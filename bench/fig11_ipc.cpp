@@ -6,6 +6,9 @@
  * Paper anchors (averages over all workloads): RoW-NR +4.5%,
  * WoW-NR +6.1%, RWoW-NR +9.95%, RWoW-RD +13.1%, RWoW-RDE +16.6%;
  * RWoW-RDE reaches +15.6% (MP) / +16.7% (MT).
+ *
+ * The run matrix is a sweep::SweepSpec executed via the sweep runner;
+ * pass threads=N to parallelize and jsonl=PATH to keep the raw rows.
  */
 
 #include "bench_common.h"
@@ -24,11 +27,10 @@ int
 main(int argc, char **argv)
 {
     using namespace pcmap::bench;
-    const HarnessConfig hc = HarnessConfig::parse(argc, argv);
-    banner("Figure 11: IPC normalized to baseline (1.0 = baseline)",
-           "Fig. 11 — averages: RoW-NR 1.045, WoW-NR 1.061, RWoW-NR "
-           "1.0995, RWoW-RD 1.131, RWoW-RDE 1.166",
-           hc);
-    figureSweep(hc, ipcMetric, /*normalize=*/true);
-    return 0;
+    return figureMain(
+        argc, argv,
+        {"Figure 11: IPC normalized to baseline (1.0 = baseline)",
+         "Fig. 11 — averages: RoW-NR 1.045, WoW-NR 1.061, RWoW-NR "
+         "1.0995, RWoW-RD 1.131, RWoW-RDE 1.166",
+         ipcMetric, /*normalize=*/true});
 }

@@ -18,6 +18,21 @@ systemModeName(SystemMode mode)
     pcmap_panic("unknown system mode");
 }
 
+std::optional<SystemMode>
+systemModeFromName(const std::string &name)
+{
+    std::string canon = name;
+    for (char &c : canon) {
+        if (c == '_')
+            c = '-';
+    }
+    for (const SystemMode mode : kAllModes) {
+        if (canon == systemModeName(mode))
+            return mode;
+    }
+    return std::nullopt;
+}
+
 ControllerConfig
 ControllerConfig::forMode(SystemMode mode)
 {

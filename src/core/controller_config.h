@@ -7,6 +7,7 @@
 #ifndef PCMAP_CORE_CONTROLLER_CONFIG_H
 #define PCMAP_CORE_CONTROLLER_CONFIG_H
 
+#include <optional>
 #include <string>
 
 #include "core/layout.h"
@@ -38,6 +39,13 @@ enum class SystemMode
 
 /** Human-readable name of a system mode (matches the paper's labels). */
 const char *systemModeName(SystemMode mode);
+
+/**
+ * Parse a mode from its systemModeName() label ("RWoW-RDE"); also
+ * accepts '_' for '-' so shell-friendly spellings work.  nullopt on an
+ * unknown name.
+ */
+std::optional<SystemMode> systemModeFromName(const std::string &name);
 
 /** All six modes in the paper's presentation order. */
 inline constexpr SystemMode kAllModes[] = {

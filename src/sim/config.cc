@@ -19,7 +19,12 @@ Config::fromArgs(int argc, char **argv)
             fatal("malformed argument '", token,
                   "'; expected key=value");
         }
-        cfg.set(token.substr(0, eq), token.substr(eq + 1));
+        const std::string key = token.substr(0, eq);
+        if (cfg.has(key)) {
+            fatal("duplicate argument '", key,
+                  "'; each key may be given once");
+        }
+        cfg.set(key, token.substr(eq + 1));
     }
     return cfg;
 }

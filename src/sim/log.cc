@@ -5,6 +5,29 @@
 
 namespace pcmap {
 
+namespace {
+
+/** Per-thread nesting depth of active ScopedErrorTrap guards. */
+thread_local int errorTrapDepth = 0;
+
+} // namespace
+
+ScopedErrorTrap::ScopedErrorTrap()
+{
+    ++errorTrapDepth;
+}
+
+ScopedErrorTrap::~ScopedErrorTrap()
+{
+    --errorTrapDepth;
+}
+
+bool
+ScopedErrorTrap::active()
+{
+    return errorTrapDepth > 0;
+}
+
 namespace log_detail {
 
 LogLevel &
@@ -17,6 +40,11 @@ globalLevel()
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
+    if (ScopedErrorTrap::active()) {
+        throw SimError(SimError::Kind::Panic,
+                       msg + " (" + file + ":" + std::to_string(line) +
+                           ")");
+    }
     std::cerr << "panic: " << msg << " (" << file << ":" << line << ")\n";
     std::abort();
 }
@@ -24,6 +52,8 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const std::string &msg)
 {
+    if (ScopedErrorTrap::active())
+        throw SimError(SimError::Kind::Fatal, msg);
     std::cerr << "fatal: " << msg << "\n";
     std::exit(1);
 }

@@ -19,12 +19,53 @@
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace pcmap {
 
 /** Verbosity level for inform()/debug() output. */
 enum class LogLevel { Quiet = 0, Normal = 1, Verbose = 2, Debug = 3 };
+
+/**
+ * Thrown in place of exit()/abort() while a ScopedErrorTrap is active
+ * on the current thread, so embedders (sweep runners, tests) can treat
+ * a fatal() or panic() as a recoverable per-run failure.
+ */
+class SimError : public std::runtime_error
+{
+  public:
+    enum class Kind { Fatal, Panic };
+
+    SimError(Kind kind, const std::string &msg)
+        : std::runtime_error(msg), errorKind(kind)
+    {
+    }
+
+    Kind kind() const { return errorKind; }
+
+  private:
+    Kind errorKind;
+};
+
+/**
+ * RAII guard: while alive on this thread, fatal() and panic() throw
+ * SimError instead of terminating the process.  Nests; the trap is
+ * released when the outermost guard is destroyed.  Thread-local, so a
+ * sweep worker can trap its own run without affecting other threads.
+ */
+class ScopedErrorTrap
+{
+  public:
+    ScopedErrorTrap();
+    ~ScopedErrorTrap();
+
+    ScopedErrorTrap(const ScopedErrorTrap &) = delete;
+    ScopedErrorTrap &operator=(const ScopedErrorTrap &) = delete;
+
+    /** True when a trap is active on the calling thread. */
+    static bool active();
+};
 
 namespace log_detail {
 

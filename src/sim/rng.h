@@ -131,6 +131,24 @@ class Rng
         return Rng(next() ^ 0xD1B54A32D192ED03ull);
     }
 
+    /**
+     * Derive the seed of stream @p index from @p base.  A pure
+     * function of its inputs — independent of evaluation order, so a
+     * sweep scheduled across N threads assigns every run the same seed
+     * it would get single-threaded.  Both arguments are fully mixed
+     * (consecutive bases or indices give decorrelated seeds).
+     */
+    static std::uint64_t
+    deriveStream(std::uint64_t base, std::uint64_t index)
+    {
+        std::uint64_t x = base;
+        std::uint64_t h = splitmix64(x);
+        x = h ^ (index + 0xD1B54A32D192ED03ull);
+        h = splitmix64(x);
+        // Never hand out 0: some seeding schemes treat it specially.
+        return h != 0 ? h : 0x9E3779B97F4A7C15ull;
+    }
+
   private:
     static std::uint64_t
     splitmix64(std::uint64_t &x)

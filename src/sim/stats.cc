@@ -32,11 +32,25 @@ Scalar::dump(std::ostream &os, const std::string &prefix) const
 }
 
 void
+Scalar::collect(FlatStats &out, const std::string &prefix) const
+{
+    out.emplace_back(prefix + name(), total);
+}
+
+void
 Average::dump(std::ostream &os, const std::string &prefix) const
 {
     emit(os, prefix, name() + ".mean", mean(), description());
     emit(os, prefix, name() + ".samples",
          static_cast<double>(count), description());
+}
+
+void
+Average::collect(FlatStats &out, const std::string &prefix) const
+{
+    out.emplace_back(prefix + name() + ".mean", mean());
+    out.emplace_back(prefix + name() + ".samples",
+                     static_cast<double>(count));
 }
 
 Distribution::Distribution(StatGroup &group, std::string name,
@@ -96,6 +110,24 @@ Distribution::dump(std::ostream &os, const std::string &prefix) const
 }
 
 void
+Distribution::collect(FlatStats &out, const std::string &prefix) const
+{
+    out.emplace_back(prefix + name() + ".mean", mean());
+    out.emplace_back(prefix + name() + ".min", count ? minValue : 0.0);
+    out.emplace_back(prefix + name() + ".max", count ? maxValue : 0.0);
+    out.emplace_back(prefix + name() + ".samples",
+                     static_cast<double>(count));
+    out.emplace_back(prefix + name() + ".underflow",
+                     static_cast<double>(underflow));
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        out.emplace_back(prefix + name() + ".bucket" + std::to_string(i),
+                         static_cast<double>(buckets[i]));
+    }
+    out.emplace_back(prefix + name() + ".overflow",
+                     static_cast<double>(overflow));
+}
+
+void
 Distribution::reset()
 {
     std::fill(buckets.begin(), buckets.end(), 0);
@@ -111,6 +143,13 @@ TimeWeighted::dump(std::ostream &os, const std::string &prefix) const
 }
 
 void
+TimeWeighted::collect(FlatStats &out, const std::string &prefix) const
+{
+    out.emplace_back(prefix + name() + ".timeMean", mean());
+    out.emplace_back(prefix + name() + ".max", maxValue);
+}
+
+void
 StatGroup::dump(std::ostream &os, const std::string &prefix) const
 {
     const std::string here =
@@ -119,6 +158,25 @@ StatGroup::dump(std::ostream &os, const std::string &prefix) const
         s->dump(os, here);
     for (const StatGroup *g : children)
         g->dump(os, here);
+}
+
+void
+StatGroup::collect(FlatStats &out, const std::string &prefix) const
+{
+    const std::string here =
+        groupName.empty() ? prefix : prefix + groupName + ".";
+    for (const StatBase *s : statList)
+        s->collect(out, here);
+    for (const StatGroup *g : children)
+        g->collect(out, here);
+}
+
+FlatStats
+StatGroup::flattened() const
+{
+    FlatStats out;
+    collect(out);
+    return out;
 }
 
 void

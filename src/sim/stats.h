@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/log.h"
@@ -26,6 +27,9 @@
 namespace pcmap::stats {
 
 class StatGroup;
+
+/** A flattened "dotted.name -> value" view of a stat tree. */
+using FlatStats = std::vector<std::pair<std::string, double>>;
 
 /** Base class for all statistics; registers with its group. */
 class StatBase
@@ -43,6 +47,15 @@ class StatBase
     /** Write "name value # desc" lines to @p os with @p prefix. */
     virtual void dump(std::ostream &os,
                       const std::string &prefix) const = 0;
+
+    /**
+     * Append this stat's values to @p out as (prefix+name, value)
+     * pairs, using the same naming as dump() (so ".mean"/".samples"
+     * suffixes appear for multi-valued kinds).  Machine-readable twin
+     * of dump() for exporters (JSONL/CSV sweep aggregation).
+     */
+    virtual void collect(FlatStats &out,
+                         const std::string &prefix) const = 0;
 
     /** Reset to the just-constructed state. */
     virtual void reset() = 0;
@@ -64,6 +77,8 @@ class Scalar : public StatBase
     double value() const { return total; }
 
     void dump(std::ostream &os, const std::string &prefix) const override;
+    void collect(FlatStats &out,
+                 const std::string &prefix) const override;
     void reset() override { total = 0.0; }
 
   private:
@@ -88,6 +103,8 @@ class Average : public StatBase
     double total() const { return sum; }
 
     void dump(std::ostream &os, const std::string &prefix) const override;
+    void collect(FlatStats &out,
+                 const std::string &prefix) const override;
     void reset() override { sum = 0.0; count = 0; }
 
   private:
@@ -117,6 +134,8 @@ class Distribution : public StatBase
     std::size_t numBuckets() const { return buckets.size(); }
 
     void dump(std::ostream &os, const std::string &prefix) const override;
+    void collect(FlatStats &out,
+                 const std::string &prefix) const override;
     void reset() override;
 
   private:
@@ -167,6 +186,8 @@ class TimeWeighted : public StatBase
     double observedSpan() const { return span; }
 
     void dump(std::ostream &os, const std::string &prefix) const override;
+    void collect(FlatStats &out,
+                 const std::string &prefix) const override;
 
     void
     reset() override
@@ -204,6 +225,16 @@ class StatGroup
 
     /** Dump all stats, prefixing names with the group path. */
     void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /**
+     * Flatten the whole tree into (dotted.name, value) pairs, in
+     * registration order (deterministic for a given construction
+     * sequence).  Mirrors dump()'s naming exactly.
+     */
+    void collect(FlatStats &out, const std::string &prefix = "") const;
+
+    /** Convenience: collect() into a fresh vector. */
+    FlatStats flattened() const;
 
     /** Reset all stats in this group and its children. */
     void resetAll();

@@ -1,0 +1,242 @@
+#include "sweep/sweep_io.h"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace pcmap::sweep {
+
+namespace {
+
+/** Shortest decimal that round-trips a double, locale-independent. */
+std::string
+fmtDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    // Prefer the shorter %.15g / %.16g form when it round-trips.
+    for (int prec = 15; prec <= 16; ++prec) {
+        char shorter[40];
+        std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+        double back = 0.0;
+        std::sscanf(shorter, "%lf", &back);
+        if (back == v)
+            return shorter;
+    }
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** The fixed per-run metric list exported from SystemResults. */
+const std::vector<std::pair<const char *,
+                            double (*)(const SystemResults &)>> &
+metricFields()
+{
+    using R = SystemResults;
+    static const std::vector<
+        std::pair<const char *, double (*)(const R &)>>
+        fields = {
+            {"ipcSum", [](const R &r) { return r.ipcSum; }},
+            {"avgReadLatencyNs",
+             [](const R &r) { return r.avgReadLatencyNs; }},
+            {"writeThroughput",
+             [](const R &r) { return r.writeThroughput; }},
+            {"irlpMean", [](const R &r) { return r.irlpMean; }},
+            {"irlpMax", [](const R &r) { return r.irlpMax; }},
+            {"pctReadsDelayedByWrite",
+             [](const R &r) { return r.pctReadsDelayedByWrite; }},
+            {"avgEssentialWords",
+             [](const R &r) { return r.avgEssentialWords; }},
+            {"readsCompleted",
+             [](const R &r) {
+                 return static_cast<double>(r.readsCompleted);
+             }},
+            {"writesCompleted",
+             [](const R &r) {
+                 return static_cast<double>(r.writesCompleted);
+             }},
+            {"rowReads",
+             [](const R &r) {
+                 return static_cast<double>(r.rowReads);
+             }},
+            {"deferredEccReads",
+             [](const R &r) {
+                 return static_cast<double>(r.deferredEccReads);
+             }},
+            {"specReads",
+             [](const R &r) {
+                 return static_cast<double>(r.specReads);
+             }},
+            {"consumedBeforeVerify",
+             [](const R &r) {
+                 return static_cast<double>(r.consumedBeforeVerify);
+             }},
+            {"rollbacks",
+             [](const R &r) {
+                 return static_cast<double>(r.rollbacks);
+             }},
+            {"twoStepWrites",
+             [](const R &r) {
+                 return static_cast<double>(r.twoStepWrites);
+             }},
+            {"wowGroups",
+             [](const R &r) {
+                 return static_cast<double>(r.wowGroups);
+             }},
+            {"wowMergedWrites",
+             [](const R &r) {
+                 return static_cast<double>(r.wowMergedWrites);
+             }},
+            {"energyUj", [](const R &r) { return r.energyUj; }},
+            {"wearChipImbalance",
+             [](const R &r) { return r.wearChipImbalance; }},
+            {"rpki", [](const R &r) { return r.rpki; }},
+            {"wpki", [](const R &r) { return r.wpki; }},
+            {"simTicks",
+             [](const R &r) {
+                 return static_cast<double>(r.simTicks);
+             }},
+        };
+    return fields;
+}
+
+} // namespace
+
+std::string
+toJsonLine(const RunRecord &rec)
+{
+    std::ostringstream os;
+    os << "{\"index\":" << rec.point.index << ",\"config\":\""
+       << jsonEscape(rec.point.configName) << "\",\"mode\":\""
+       << systemModeName(rec.point.mode) << "\",\"workload\":\""
+       << jsonEscape(rec.point.workload)
+       << "\",\"baseSeed\":" << rec.point.baseSeed
+       << ",\"runSeed\":" << rec.point.runSeed
+       << ",\"ok\":" << (rec.ok ? "true" : "false") << ",\"error\":\""
+       << jsonEscape(rec.error) << "\"";
+    if (rec.ok) {
+        os << ",\"metrics\":{";
+        bool first = true;
+        for (const auto &[name, get] : metricFields()) {
+            os << (first ? "" : ",") << "\"" << name
+               << "\":" << fmtDouble(get(rec.results));
+            first = false;
+        }
+        os << "}";
+        if (!rec.stats.empty()) {
+            os << ",\"stats\":{";
+            first = true;
+            for (const auto &[name, value] : rec.stats) {
+                os << (first ? "" : ",") << "\"" << jsonEscape(name)
+                   << "\":" << fmtDouble(value);
+                first = false;
+            }
+            os << "}";
+        }
+    }
+    os << "}";
+    return os.str();
+}
+
+void
+writeJsonl(const SweepReport &report, std::ostream &os)
+{
+    for (const RunRecord &rec : report.rows)
+        os << toJsonLine(rec) << "\n";
+}
+
+std::string
+toJsonl(const SweepReport &report)
+{
+    std::ostringstream os;
+    writeJsonl(report, os);
+    return os.str();
+}
+
+void
+writeCsv(const SweepReport &report, std::ostream &os)
+{
+    // Stat-column union, in first-seen (row-then-registration) order.
+    std::vector<std::string> stat_cols;
+    for (const RunRecord &rec : report.rows) {
+        for (const auto &[name, value] : rec.stats) {
+            (void)value;
+            bool known = false;
+            for (const std::string &c : stat_cols) {
+                if (c == name) {
+                    known = true;
+                    break;
+                }
+            }
+            if (!known)
+                stat_cols.push_back(name);
+        }
+    }
+
+    os << "index,config,mode,workload,baseSeed,runSeed,ok,error";
+    for (const auto &[name, get] : metricFields()) {
+        (void)get;
+        os << "," << name;
+    }
+    for (const std::string &c : stat_cols)
+        os << "," << c;
+    os << "\n";
+
+    for (const RunRecord &rec : report.rows) {
+        std::string err = rec.error;
+        for (char &c : err) {
+            if (c == ',' || c == '\n')
+                c = ';';
+        }
+        os << rec.point.index << "," << rec.point.configName << ","
+           << systemModeName(rec.point.mode) << "," << rec.point.workload
+           << "," << rec.point.baseSeed << "," << rec.point.runSeed
+           << "," << (rec.ok ? "1" : "0") << "," << err;
+        for (const auto &[name, get] : metricFields()) {
+            (void)name;
+            os << ",";
+            if (rec.ok)
+                os << fmtDouble(get(rec.results));
+        }
+        for (const std::string &c : stat_cols) {
+            os << ",";
+            for (const auto &[name, value] : rec.stats) {
+                if (name == c) {
+                    os << fmtDouble(value);
+                    break;
+                }
+            }
+        }
+        os << "\n";
+    }
+}
+
+} // namespace pcmap::sweep

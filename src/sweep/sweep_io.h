@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Stable serialization of sweep reports.
+ *
+ * The JSONL and CSV writers are deterministic: fixed key order, fixed
+ * double formatting (shortest round-trippable via %.17g), rows in
+ * point-index order, and no wall-clock fields.  Two runs of the same
+ * spec — at any thread counts — serialize byte-identically, which is
+ * what the determinism regression test asserts.
+ */
+
+#ifndef PCMAP_SWEEP_SWEEP_IO_H
+#define PCMAP_SWEEP_SWEEP_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "sweep/sweep_runner.h"
+
+namespace pcmap::sweep {
+
+/** One record as a single JSON object line (no trailing newline). */
+std::string toJsonLine(const RunRecord &rec);
+
+/** Whole report as JSONL, one row per point, index order. */
+void writeJsonl(const SweepReport &report, std::ostream &os);
+
+/**
+ * Whole report as CSV.  Columns: identity fields, ok/error, the fixed
+ * SystemResults metrics, then the union (in first-seen order) of stat
+ * counters across rows; failed rows leave metric cells empty.
+ */
+void writeCsv(const SweepReport &report, std::ostream &os);
+
+/** writeJsonl() into a string (test/aggregation convenience). */
+std::string toJsonl(const SweepReport &report);
+
+} // namespace pcmap::sweep
+
+#endif // PCMAP_SWEEP_SWEEP_IO_H

@@ -1,0 +1,131 @@
+#include "sweep/sweep_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "core/stat_export.h"
+#include "sim/log.h"
+#include "workload/mixes.h"
+
+namespace pcmap::sweep {
+
+std::size_t
+SweepReport::failures() const
+{
+    std::size_t n = 0;
+    for (const RunRecord &r : rows) {
+        if (!r.ok)
+            ++n;
+    }
+    return n;
+}
+
+const RunRecord *
+SweepReport::find(const std::string &config, SystemMode mode,
+                  const std::string &workload,
+                  std::uint64_t base_seed) const
+{
+    for (const RunRecord &r : rows) {
+        if (r.point.configName == config && r.point.mode == mode &&
+            r.point.workload == workload &&
+            r.point.baseSeed == base_seed) {
+            return &r;
+        }
+    }
+    return nullptr;
+}
+
+SweepRunner::SweepRunner(Options options) : opts(std::move(options))
+{
+    const bool collect_stats = opts.collectStats;
+    runFn = [collect_stats](const SweepPoint &p, RunRecord &rec) {
+        System sys(p.config,
+                   workload::makeWorkload(p.workload,
+                                          p.config.numCores));
+        rec.results = sys.run();
+        if (collect_stats) {
+            SystemStatExport exporter(sys.memory());
+            exporter.refresh();
+            rec.stats = exporter.root().flattened();
+        }
+    };
+}
+
+void
+SweepRunner::setRunFn(RunFn fn)
+{
+    runFn = std::move(fn);
+}
+
+SweepReport
+SweepRunner::run(const SweepSpec &spec) const
+{
+    const std::vector<SweepPoint> points = spec.expand();
+
+    SweepReport report;
+    report.rows.resize(points.size());
+
+    std::atomic<std::size_t> cursor{0};
+    std::mutex done_mutex;
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= points.size())
+                return;
+            RunRecord &rec = report.rows[i];
+            rec.point = points[i];
+            const auto start = std::chrono::steady_clock::now();
+            try {
+                // Within this run, fatal()/panic() throw SimError so a
+                // bad point becomes a failed row, not a dead sweep.
+                ScopedErrorTrap trap;
+                runFn(points[i], rec);
+                rec.ok = true;
+            } catch (const SimError &e) {
+                rec.ok = false;
+                rec.error = std::string(e.kind() ==
+                                                SimError::Kind::Fatal
+                                            ? "fatal: "
+                                            : "panic: ") +
+                            e.what();
+            } catch (const std::exception &e) {
+                rec.ok = false;
+                rec.error = std::string("exception: ") + e.what();
+            } catch (...) {
+                rec.ok = false;
+                rec.error = "unknown exception";
+            }
+            rec.wallMs =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            if (opts.onRunDone) {
+                std::lock_guard<std::mutex> lock(done_mutex);
+                opts.onRunDone(rec);
+            }
+        }
+    };
+
+    const unsigned threads =
+        std::max(1u, std::min<unsigned>(
+                         opts.threads,
+                         static_cast<unsigned>(points.size())));
+    if (threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+    return report;
+}
+
+} // namespace pcmap::sweep

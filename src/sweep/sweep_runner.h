@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Thread-pool execution of a SweepSpec.
+ *
+ * Each point runs as an isolated simulation on a worker thread; a
+ * fatal(), panic(), or thrown exception inside one run is captured as
+ * a failed row instead of taking down the sweep.  Results land in a
+ * vector indexed by point, so the report is byte-for-byte identical
+ * no matter how many threads executed it or in which order runs
+ * completed.
+ */
+
+#ifndef PCMAP_SWEEP_SWEEP_RUNNER_H
+#define PCMAP_SWEEP_SWEEP_RUNNER_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/stats.h"
+#include "sweep/sweep_spec.h"
+
+namespace pcmap::sweep {
+
+/** Outcome of one sweep point. */
+struct RunRecord
+{
+    SweepPoint point;
+    bool ok = false;
+    /** Failure description when !ok ("fatal: ...", "panic: ..."). */
+    std::string error;
+    /** Harvested metrics (valid when ok). */
+    SystemResults results{};
+    /** Flattened SystemStatExport counters (valid when ok). */
+    stats::FlatStats stats;
+    /** Wall-clock cost of this run; informational only — never part
+     *  of the stable serialized output. */
+    double wallMs = 0.0;
+};
+
+/** All rows of one sweep, ordered by point index. */
+struct SweepReport
+{
+    std::vector<RunRecord> rows;
+
+    std::size_t failures() const;
+    /** Row for (configName, mode, workload, baseSeed); nullptr if
+     *  absent. */
+    const RunRecord *find(const std::string &config, SystemMode mode,
+                          const std::string &workload,
+                          std::uint64_t base_seed) const;
+};
+
+/** Executes sweeps; cheap to construct, reusable across specs. */
+class SweepRunner
+{
+  public:
+    struct Options
+    {
+        /** Worker threads; 0 or 1 runs inline on the caller. */
+        unsigned threads = 1;
+        /** Also export the full SystemStatExport counter listing. */
+        bool collectStats = true;
+        /** Called after each run completes (from the worker thread,
+         *  under a mutex — safe to print from).  Optional. */
+        std::function<void(const RunRecord &)> onRunDone;
+    };
+
+    /**
+     * How one point is executed.  The default builds a System from
+     * point.config, runs it, and fills results (+stats when enabled).
+     * Tests and embedders may substitute their own.
+     */
+    using RunFn = std::function<void(const SweepPoint &, RunRecord &)>;
+
+    SweepRunner() : SweepRunner(Options()) {}
+    explicit SweepRunner(Options options);
+
+    /** Replace the per-point executor (rec.ok is managed by run()). */
+    void setRunFn(RunFn fn);
+
+    /** Execute every point of @p spec; never throws for per-run
+     *  failures. */
+    SweepReport run(const SweepSpec &spec) const;
+
+  private:
+    Options opts;
+    RunFn runFn;
+};
+
+} // namespace pcmap::sweep
+
+#endif // PCMAP_SWEEP_SWEEP_RUNNER_H

@@ -1,0 +1,51 @@
+#include "sweep/sweep_spec.h"
+
+#include "sim/log.h"
+#include "sim/rng.h"
+
+namespace pcmap::sweep {
+
+std::size_t
+SweepSpec::size() const
+{
+    return configs.size() * modes.size() * workloads.size() *
+           seeds.size();
+}
+
+std::vector<SweepPoint>
+SweepSpec::expand() const
+{
+    if (configs.empty())
+        fatal("sweep spec has an empty config axis");
+    if (modes.empty())
+        fatal("sweep spec has an empty mode axis");
+    if (workloads.empty())
+        fatal("sweep spec has an empty workload axis");
+    if (seeds.empty())
+        fatal("sweep spec has an empty seed axis");
+
+    std::vector<SweepPoint> points;
+    points.reserve(size());
+    for (const ConfigVariant &variant : configs) {
+        for (const SystemMode mode : modes) {
+            for (const std::string &workload : workloads) {
+                for (const std::uint64_t seed : seeds) {
+                    SweepPoint p;
+                    p.index = points.size();
+                    p.configName = variant.name;
+                    p.mode = mode;
+                    p.workload = workload;
+                    p.baseSeed = seed;
+                    p.runSeed = Rng::deriveStream(seed, p.index);
+                    p.config = variant.base;
+                    p.config.mode = mode;
+                    p.config.seed = p.runSeed;
+                    points.push_back(std::move(p));
+                }
+            }
+        }
+    }
+    return points;
+}
+
+} // namespace pcmap::sweep

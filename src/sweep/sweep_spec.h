@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Declarative description of a simulation sweep: the cartesian product
+ * of config-variant, system-mode, workload, and base-seed axes, each
+ * expanded point carrying a deterministically derived per-run seed.
+ *
+ * The expansion order — and therefore every point's index and derived
+ * seed — is a pure function of the spec.  Runners may execute points
+ * in any order on any number of threads without changing results.
+ */
+
+#ifndef PCMAP_SWEEP_SWEEP_SPEC_H
+#define PCMAP_SWEEP_SWEEP_SPEC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+
+namespace pcmap::sweep {
+
+/** One named base configuration on the config axis. */
+struct ConfigVariant
+{
+    std::string name = "default";
+    SystemConfig base{};
+};
+
+/** One fully resolved run of a sweep. */
+struct SweepPoint
+{
+    /** Position in the canonical expansion order (stable run ID). */
+    std::size_t index = 0;
+    std::string configName;
+    SystemMode mode = SystemMode::Baseline;
+    std::string workload;
+    /** The seed-axis value this point came from. */
+    std::uint64_t baseSeed = 1;
+    /** Rng::deriveStream(baseSeed, index): the seed the run uses. */
+    std::uint64_t runSeed = 1;
+    /** Resolved configuration (variant base + mode + runSeed). */
+    SystemConfig config{};
+};
+
+/**
+ * The sweep description.  Defaults give the paper's six modes over an
+ * empty workload list — fill in at least `workloads` before expanding.
+ */
+struct SweepSpec
+{
+    /** Config axis; must be non-empty (one "default" entry built in). */
+    std::vector<ConfigVariant> configs{ConfigVariant{}};
+    /** Mode axis; defaults to all six evaluated systems. */
+    std::vector<SystemMode> modes{std::begin(kAllModes),
+                                  std::end(kAllModes)};
+    /** Workload axis (mix or program names; see makeWorkload()). */
+    std::vector<std::string> workloads;
+    /** Seed axis: base seeds, each expanded against every other axis. */
+    std::vector<std::uint64_t> seeds{1};
+
+    /** Number of points the expansion produces. */
+    std::size_t size() const;
+
+    /**
+     * Expand into the canonical point list (config-major, then mode,
+     * workload, seed).  fatal() when any axis is empty.
+     */
+    std::vector<SweepPoint> expand() const;
+};
+
+} // namespace pcmap::sweep
+
+#endif // PCMAP_SWEEP_SWEEP_SPEC_H

@@ -34,6 +34,41 @@ TEST(Rng, DifferentSeedsDiverge)
     EXPECT_LT(equal, 2);
 }
 
+TEST(Rng, DeriveStreamIsPureAndStable)
+{
+    // The sweep seed-derivation contract: a pure function of
+    // (base, index), unchanged by call order or repetition.
+    const std::uint64_t a = Rng::deriveStream(1, 0);
+    const std::uint64_t b = Rng::deriveStream(1, 1);
+    EXPECT_EQ(a, Rng::deriveStream(1, 0));
+    EXPECT_EQ(b, Rng::deriveStream(1, 1));
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, 0u);
+}
+
+TEST(Rng, DeriveStreamDecorrelatesBothAxes)
+{
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t base = 1; base <= 16; ++base) {
+        for (std::uint64_t idx = 0; idx < 64; ++idx)
+            seen.insert(Rng::deriveStream(base, idx));
+    }
+    // All 1024 (base, index) pairs give distinct seeds.
+    EXPECT_EQ(seen.size(), 16u * 64u);
+}
+
+TEST(Rng, DeriveStreamSeedsGiveDecorrelatedStreams)
+{
+    Rng a(Rng::deriveStream(1, 0));
+    Rng b(Rng::deriveStream(1, 1));
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++equal;
+    }
+    EXPECT_LT(equal, 2);
+}
+
 TEST(Rng, BelowStaysInRange)
 {
     Rng r(7);

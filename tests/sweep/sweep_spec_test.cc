@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for SweepSpec axis expansion and per-run seed derivation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/log.h"
+#include "sim/rng.h"
+#include "sweep/sweep_spec.h"
+
+namespace pcmap::sweep {
+namespace {
+
+TEST(SweepSpec, ExpansionCountIsAxisProduct)
+{
+    SweepSpec spec;
+    spec.configs = {ConfigVariant{"a", {}}, ConfigVariant{"b", {}}};
+    spec.modes = {SystemMode::Baseline, SystemMode::RoW_NR,
+                  SystemMode::RWoW_RDE};
+    spec.workloads = {"MP1", "canneal"};
+    spec.seeds = {1, 2};
+    EXPECT_EQ(spec.size(), 2u * 3u * 2u * 2u);
+    EXPECT_EQ(spec.expand().size(), spec.size());
+}
+
+TEST(SweepSpec, DefaultAxesCoverAllSixModes)
+{
+    SweepSpec spec;
+    spec.workloads = {"MP1"};
+    const auto points = spec.expand();
+    ASSERT_EQ(points.size(), 6u);
+    for (std::size_t i = 0; i < points.size(); ++i)
+        EXPECT_EQ(points[i].mode, kAllModes[i]);
+}
+
+TEST(SweepSpec, IndicesAreDenseAndOrdered)
+{
+    SweepSpec spec;
+    spec.workloads = {"MP1", "MP2", "MP3"};
+    spec.seeds = {7, 8};
+    const auto points = spec.expand();
+    for (std::size_t i = 0; i < points.size(); ++i)
+        EXPECT_EQ(points[i].index, i);
+}
+
+TEST(SweepSpec, RunSeedsFollowTheDerivationContract)
+{
+    SweepSpec spec;
+    spec.workloads = {"MP1", "MP4"};
+    spec.seeds = {3, 4};
+    for (const SweepPoint &p : spec.expand()) {
+        EXPECT_EQ(p.runSeed, Rng::deriveStream(p.baseSeed, p.index));
+        EXPECT_EQ(p.config.seed, p.runSeed);
+        EXPECT_EQ(p.config.mode, p.mode);
+    }
+}
+
+TEST(SweepSpec, RunSeedsAreDistinctAcrossPoints)
+{
+    SweepSpec spec;
+    spec.workloads = {"MP1", "MP2", "MP3", "MP4", "MP5", "MP6"};
+    spec.seeds = {1, 2, 3};
+    std::set<std::uint64_t> seeds;
+    for (const SweepPoint &p : spec.expand())
+        seeds.insert(p.runSeed);
+    EXPECT_EQ(seeds.size(), spec.size());
+}
+
+TEST(SweepSpec, ExpansionIsAPureFunctionOfTheSpec)
+{
+    SweepSpec spec;
+    spec.workloads = {"MP1", "canneal"};
+    spec.seeds = {5};
+    const auto a = spec.expand();
+    const auto b = spec.expand();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].runSeed, b[i].runSeed);
+        EXPECT_EQ(a[i].workload, b[i].workload);
+        EXPECT_EQ(a[i].mode, b[i].mode);
+    }
+}
+
+TEST(SweepSpec, EmptyAxesAreFatal)
+{
+    ScopedErrorTrap trap;
+    SweepSpec no_workloads;
+    EXPECT_THROW(no_workloads.expand(), SimError);
+
+    SweepSpec no_modes;
+    no_modes.workloads = {"MP1"};
+    no_modes.modes.clear();
+    EXPECT_THROW(no_modes.expand(), SimError);
+
+    SweepSpec no_seeds;
+    no_seeds.workloads = {"MP1"};
+    no_seeds.seeds.clear();
+    EXPECT_THROW(no_seeds.expand(), SimError);
+
+    SweepSpec no_configs;
+    no_configs.workloads = {"MP1"};
+    no_configs.configs.clear();
+    EXPECT_THROW(no_configs.expand(), SimError);
+}
+
+} // namespace
+} // namespace pcmap::sweep

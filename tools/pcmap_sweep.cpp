@@ -1,0 +1,196 @@
+/**
+ * @file
+ * pcmap-sweep: run a matrix of PCMap simulations across a thread pool
+ * and aggregate the results as JSONL/CSV.
+ *
+ * Arguments are "key=value" tokens:
+ *   workloads=LIST  comma list of mix/program names, or one of the
+ *                   groups "mt" (the six multi-threaded workloads),
+ *                   "mp" (MP1-MP6), "evaluated" (both).  Required.
+ *   modes=LIST      comma list of system modes ("Baseline,RWoW-RDE"),
+ *                   or "all" (the six evaluated systems, default) or
+ *                   "pcmap" (the five PCMap systems).
+ *   seeds=LIST      comma list of base seeds (default "1").  Each
+ *                   run's seed is derived as hash(baseSeed, index).
+ *   insts=N         instructions per core per run (default 200000).
+ *   cores=N         cores per simulated system (default 8).
+ *   threads=N       worker threads (default 1).
+ *   jsonl=PATH      write the aggregated report as JSONL.
+ *   csv=PATH        write the aggregated report as CSV.
+ *   table=BOOL      print the per-run summary table (default true).
+ *
+ * Exit status is 0 when every run succeeded, 1 otherwise, so CI can
+ * gate on a smoke sweep.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/log.h"
+#include "sweep/sweep_io.h"
+#include "sweep/sweep_runner.h"
+#include "workload/mixes.h"
+
+namespace {
+
+using namespace pcmap;
+
+std::vector<std::string>
+splitCommas(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char c : text) {
+        if (c == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+std::vector<std::string>
+parseWorkloads(const std::string &arg)
+{
+    if (arg == "mt")
+        return workload::evaluatedMtWorkloads();
+    if (arg == "mp")
+        return workload::evaluatedMpWorkloads();
+    if (arg == "evaluated")
+        return workload::evaluatedWorkloads();
+    const std::vector<std::string> names = splitCommas(arg);
+    if (names.empty())
+        fatal("workloads= needs at least one name");
+    return names;
+}
+
+std::vector<SystemMode>
+parseModes(const std::string &arg)
+{
+    if (arg == "all")
+        return {std::begin(kAllModes), std::end(kAllModes)};
+    if (arg == "pcmap") {
+        return {SystemMode::RoW_NR, SystemMode::WoW_NR,
+                SystemMode::RWoW_NR, SystemMode::RWoW_RD,
+                SystemMode::RWoW_RDE};
+    }
+    std::vector<SystemMode> modes;
+    for (const std::string &name : splitCommas(arg)) {
+        const auto mode = systemModeFromName(name);
+        if (!mode) {
+            fatal("unknown system mode '", name,
+                  "' (try Baseline, RoW-NR, WoW-NR, RWoW-NR, RWoW-RD, "
+                  "RWoW-RDE, all, pcmap)");
+        }
+        modes.push_back(*mode);
+    }
+    if (modes.empty())
+        fatal("modes= needs at least one mode");
+    return modes;
+}
+
+std::vector<std::uint64_t>
+parseSeeds(const std::string &arg)
+{
+    std::vector<std::uint64_t> seeds;
+    for (const std::string &tok : splitCommas(arg)) {
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(tok.c_str(), &end, 0);
+        if (end == tok.c_str() || *end != '\0')
+            fatal("seeds=: '", tok, "' is not an integer");
+        seeds.push_back(v);
+    }
+    if (seeds.empty())
+        fatal("seeds= needs at least one seed");
+    return seeds;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Config args = Config::fromArgs(argc, argv);
+
+    sweep::SweepSpec spec;
+    spec.workloads = parseWorkloads(args.requireString("workloads"));
+    spec.modes = parseModes(args.getString("modes", "all"));
+    spec.seeds = parseSeeds(args.getString("seeds", "1"));
+    spec.configs[0].base.instructionsPerCore =
+        args.getUint("insts", 200'000);
+    spec.configs[0].base.numCores = static_cast<unsigned>(
+        args.getUint("cores", spec.configs[0].base.numCores));
+
+    sweep::SweepRunner::Options opts;
+    opts.threads =
+        static_cast<unsigned>(args.getUint("threads", 1));
+    const bool table = args.getBool("table", true);
+    std::size_t done = 0;
+    const std::size_t total = spec.size();
+    opts.onRunDone = [&](const sweep::RunRecord &rec) {
+        ++done;
+        if (!table)
+            return;
+        if (rec.ok) {
+            std::printf("[%3zu/%zu] %-8s %-9s seed=%llu  ipc=%7.3f "
+                        "irlp=%5.2f readLat=%7.1fns  (%.0f ms)\n",
+                        done, total, rec.point.workload.c_str(),
+                        systemModeName(rec.point.mode),
+                        static_cast<unsigned long long>(
+                            rec.point.baseSeed),
+                        rec.results.ipcSum, rec.results.irlpMean,
+                        rec.results.avgReadLatencyNs, rec.wallMs);
+        } else {
+            std::printf("[%3zu/%zu] %-8s %-9s seed=%llu  FAILED: %s\n",
+                        done, total, rec.point.workload.c_str(),
+                        systemModeName(rec.point.mode),
+                        static_cast<unsigned long long>(
+                            rec.point.baseSeed),
+                        rec.error.c_str());
+        }
+        std::fflush(stdout);
+    };
+
+    std::printf("pcmap-sweep: %zu points (%zu workloads x %zu modes x "
+                "%zu seeds), %u thread%s\n",
+                total, spec.workloads.size(), spec.modes.size(),
+                spec.seeds.size(), std::max(1u, opts.threads),
+                opts.threads > 1 ? "s" : "");
+
+    const sweep::SweepRunner runner(opts);
+    const sweep::SweepReport report = runner.run(spec);
+
+    if (args.has("jsonl")) {
+        const std::string path = args.requireString("jsonl");
+        std::ofstream out(path);
+        if (!out)
+            fatal("cannot open '", path, "' for writing");
+        sweep::writeJsonl(report, out);
+        std::printf("wrote %zu rows to %s\n", report.rows.size(),
+                    path.c_str());
+    }
+    if (args.has("csv")) {
+        const std::string path = args.requireString("csv");
+        std::ofstream out(path);
+        if (!out)
+            fatal("cannot open '", path, "' for writing");
+        sweep::writeCsv(report, out);
+        std::printf("wrote %zu rows to %s\n", report.rows.size(),
+                    path.c_str());
+    }
+
+    const std::size_t failures = report.failures();
+    std::printf("sweep complete: %zu ok, %zu failed\n",
+                report.rows.size() - failures, failures);
+    return failures == 0 ? 0 : 1;
+}
