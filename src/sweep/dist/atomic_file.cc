@@ -1,0 +1,73 @@
+#include "sweep/dist/atomic_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "sim/log.h"
+
+namespace pcmap::sweep::dist {
+
+void
+atomicWriteFile(const std::string &path, const std::string &content)
+{
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                          0644);
+    if (fd < 0) {
+        fatal("cannot open '", tmp, "' for writing: ",
+              std::strerror(errno));
+    }
+    std::size_t off = 0;
+    while (off < content.size()) {
+        const ssize_t n =
+            ::write(fd, content.data() + off, content.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const int err = errno;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            fatal("write to '", tmp, "' failed: ", std::strerror(err));
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        const int err = errno;
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        fatal("fsync of '", tmp, "' failed: ", std::strerror(err));
+    }
+    if (::close(fd) != 0) {
+        const int err = errno;
+        ::unlink(tmp.c_str());
+        fatal("close of '", tmp, "' failed: ", std::strerror(err));
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int err = errno;
+        ::unlink(tmp.c_str());
+        fatal("rename '", tmp, "' -> '", path,
+              "' failed: ", std::strerror(err));
+    }
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot read '", path, "'");
+    std::ostringstream os;
+    os << in.rdbuf();
+    if (in.bad())
+        fatal("error while reading '", path, "'");
+    return os.str();
+}
+
+} // namespace pcmap::sweep::dist

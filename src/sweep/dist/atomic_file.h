@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Crash-safe whole-file writes.
+ *
+ * Every artifact a sweep persists (full JSONL/CSV reports, shard
+ * partials) goes through atomicWriteFile(): the content lands in
+ * `<path>.tmp`, is fsync()ed, and is then rename()d over the final
+ * path.  A run killed at any instant therefore leaves either the old
+ * file, no file, or the complete new file — never a truncated one
+ * that a later `resume=` or merge would misread.
+ */
+
+#ifndef PCMAP_SWEEP_DIST_ATOMIC_FILE_H
+#define PCMAP_SWEEP_DIST_ATOMIC_FILE_H
+
+#include <string>
+
+namespace pcmap::sweep::dist {
+
+/**
+ * Atomically replace @p path with @p content (write tmp, fsync,
+ * rename).  fatal() on any I/O error, naming the failing path.
+ */
+void atomicWriteFile(const std::string &path,
+                     const std::string &content);
+
+/** Read a whole file into a string; fatal() when it cannot be read. */
+std::string readFile(const std::string &path);
+
+} // namespace pcmap::sweep::dist
+
+#endif // PCMAP_SWEEP_DIST_ATOMIC_FILE_H

@@ -1,0 +1,270 @@
+#include "sweep/dist/orchestrator.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "sim/log.h"
+
+namespace pcmap::sweep::dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Supervision state of one worker slot. */
+struct Child
+{
+    const WorkerProcSpec *spec = nullptr;
+    pid_t pid = -1;
+    int fd = -1; ///< Read end of the output pipe; -1 once drained.
+    std::string buffer;
+    unsigned attempts = 0;
+    bool running = false; ///< Process spawned and not yet reaped.
+    bool exited = false;  ///< Reaped; rawStatus is valid.
+    bool timedOut = false;
+    int rawStatus = 0;
+    Clock::time_point deadline{};
+    bool finished = false;
+    WorkerProcResult result;
+};
+
+void
+spawn(Child &child, double timeout_sec)
+{
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0)
+        fatal("orchestrator: pipe() failed: ", std::strerror(errno));
+
+    // Prepare the exec argv before forking; only async-signal-safe
+    // calls happen in the child.
+    std::vector<char *> argv;
+    argv.reserve(child.spec->argv.size() + 1);
+    for (const std::string &arg : child.spec->argv)
+        argv.push_back(const_cast<char *>(arg.c_str()));
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(pipe_fds[0]);
+        ::close(pipe_fds[1]);
+        fatal("orchestrator: fork() failed: ", std::strerror(errno));
+    }
+    if (pid == 0) {
+        ::close(pipe_fds[0]);
+        ::dup2(pipe_fds[1], STDOUT_FILENO);
+        ::dup2(pipe_fds[1], STDERR_FILENO);
+        ::close(pipe_fds[1]);
+        ::execvp(argv[0], argv.data());
+        const char msg[] = "exec failed\n";
+        (void)!::write(STDERR_FILENO, msg, sizeof(msg) - 1);
+        ::_exit(127);
+    }
+
+    ::close(pipe_fds[1]);
+    ::fcntl(pipe_fds[0], F_SETFL, O_NONBLOCK);
+    ::fcntl(pipe_fds[0], F_SETFD, FD_CLOEXEC);
+    child.pid = pid;
+    child.fd = pipe_fds[0];
+    child.buffer.clear();
+    child.running = true;
+    child.exited = false;
+    child.timedOut = false;
+    ++child.attempts;
+    if (timeout_sec > 0.0) {
+        child.deadline =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   timeout_sec));
+    }
+}
+
+} // namespace
+
+Orchestrator::Orchestrator(Options options) : opts(std::move(options))
+{
+    if (opts.maxAttempts == 0)
+        opts.maxAttempts = 1;
+}
+
+std::vector<WorkerProcResult>
+Orchestrator::run(const std::vector<WorkerProcSpec> &specs) const
+{
+    std::vector<Child> children(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        children[i].spec = &specs[i];
+        spawn(children[i], opts.timeoutSec);
+    }
+
+    auto emitLines = [&](std::size_t i, bool flush_tail) {
+        Child &c = children[i];
+        for (;;) {
+            const auto nl = c.buffer.find('\n');
+            if (nl == std::string::npos)
+                break;
+            if (opts.onLine)
+                opts.onLine(i, c.buffer.substr(0, nl));
+            c.buffer.erase(0, nl + 1);
+        }
+        if (flush_tail && !c.buffer.empty()) {
+            if (opts.onLine)
+                opts.onLine(i, c.buffer);
+            c.buffer.clear();
+        }
+    };
+
+    auto allFinished = [&]() {
+        for (const Child &c : children) {
+            if (!c.finished)
+                return false;
+        }
+        return true;
+    };
+
+    while (!allFinished()) {
+        // Poll every open output pipe, waking early enough to enforce
+        // the nearest deadline.
+        std::vector<pollfd> fds;
+        std::vector<std::size_t> owners;
+        for (std::size_t i = 0; i < children.size(); ++i) {
+            if (children[i].fd >= 0) {
+                fds.push_back({children[i].fd, POLLIN, 0});
+                owners.push_back(i);
+            }
+        }
+        int wait_ms = 200;
+        if (opts.timeoutSec > 0.0) {
+            const auto now = Clock::now();
+            for (const Child &c : children) {
+                if (!c.running)
+                    continue;
+                const auto left =
+                    std::chrono::duration_cast<
+                        std::chrono::milliseconds>(c.deadline - now)
+                        .count();
+                wait_ms = std::max(
+                    0, std::min<int>(wait_ms,
+                                     static_cast<int>(left)));
+            }
+        }
+        if (!fds.empty()) {
+            const int rc = ::poll(fds.data(),
+                                  static_cast<nfds_t>(fds.size()),
+                                  wait_ms);
+            if (rc < 0 && errno != EINTR) {
+                fatal("orchestrator: poll() failed: ",
+                      std::strerror(errno));
+            }
+        } else {
+            // No pipes left to watch (children that closed stdout but
+            // have not exited yet); just pace the waitpid sweep.
+            ::usleep(10'000);
+        }
+
+        for (std::size_t f = 0; f < fds.size(); ++f) {
+            if (!(fds[f].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            const std::size_t i = owners[f];
+            Child &c = children[i];
+            char buf[4096];
+            for (;;) {
+                const ssize_t n = ::read(c.fd, buf, sizeof(buf));
+                if (n > 0) {
+                    c.buffer.append(buf,
+                                    static_cast<std::size_t>(n));
+                    continue;
+                }
+                if (n < 0 && (errno == EAGAIN || errno == EINTR))
+                    break;
+                // EOF (or a hard error): the attempt's output ended.
+                ::close(c.fd);
+                c.fd = -1;
+                break;
+            }
+            emitLines(i, /*flush_tail=*/c.fd < 0);
+        }
+
+        const auto now = Clock::now();
+        for (std::size_t i = 0; i < children.size(); ++i) {
+            Child &c = children[i];
+            if (c.running) {
+                int status = 0;
+                const pid_t reaped =
+                    ::waitpid(c.pid, &status, WNOHANG);
+                if (reaped == c.pid) {
+                    c.running = false;
+                    c.exited = true;
+                    c.rawStatus = status;
+                    // Everything the child wrote is in the pipe by
+                    // now; drain it and close rather than waiting
+                    // for EOF, which a surviving grandchild holding
+                    // the write end could postpone indefinitely.
+                    if (c.fd >= 0) {
+                        char buf[4096];
+                        for (;;) {
+                            const ssize_t n =
+                                ::read(c.fd, buf, sizeof(buf));
+                            if (n > 0) {
+                                c.buffer.append(
+                                    buf,
+                                    static_cast<std::size_t>(n));
+                                continue;
+                            }
+                            if (n < 0 && errno == EINTR)
+                                continue;
+                            break; // EOF or EAGAIN: done either way
+                        }
+                        ::close(c.fd);
+                        c.fd = -1;
+                        emitLines(i, /*flush_tail=*/true);
+                    }
+                } else if (opts.timeoutSec > 0.0 && !c.timedOut &&
+                           now >= c.deadline) {
+                    c.timedOut = true;
+                    ::kill(c.pid, SIGKILL);
+                }
+            }
+
+            // An attempt is over once the process is reaped and its
+            // pipe is fully drained.
+            if (!c.finished && c.exited && c.fd < 0) {
+                WorkerProcResult attempt;
+                attempt.attempts = c.attempts;
+                attempt.timedOut = c.timedOut;
+                attempt.exitCode =
+                    WIFEXITED(c.rawStatus)
+                        ? WEXITSTATUS(c.rawStatus)
+                        : 128 + WTERMSIG(c.rawStatus);
+                attempt.ok = attempt.exitCode == 0 && !c.timedOut;
+
+                const bool will_retry =
+                    !attempt.ok && c.attempts < opts.maxAttempts;
+                if (opts.onAttemptEnd)
+                    opts.onAttemptEnd(i, attempt, will_retry);
+                if (will_retry) {
+                    c.exited = false;
+                    spawn(c, opts.timeoutSec);
+                } else {
+                    c.finished = true;
+                    c.result = attempt;
+                }
+            }
+        }
+    }
+
+    std::vector<WorkerProcResult> results;
+    results.reserve(children.size());
+    for (const Child &c : children)
+        results.push_back(c.result);
+    return results;
+}
+
+} // namespace pcmap::sweep::dist

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Supervision of a fleet of worker processes.
+ *
+ * The orchestrator fork/execs one child per worker spec, captures
+ * each child's stdout+stderr line by line (for aggregated progress),
+ * enforces an optional per-attempt timeout, and retries a crashed or
+ * timed-out worker up to a bounded attempt count.  It is agnostic to
+ * what the children do — `pcmap-sweep procs=N` points it at shard
+ * workers of its own binary, and tests point it at shell scripts.
+ *
+ * A worker attempt counts as successful iff the child exits 0 within
+ * its deadline.  Workers write their outputs atomically (see
+ * atomic_file.h), so a killed attempt leaves no partial output for
+ * the retry to trip over.
+ */
+
+#ifndef PCMAP_SWEEP_DIST_ORCHESTRATOR_H
+#define PCMAP_SWEEP_DIST_ORCHESTRATOR_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pcmap::sweep::dist {
+
+/** Command line of one worker. */
+struct WorkerProcSpec
+{
+    /** argv[0] is the executable (PATH-resolved via execvp). */
+    std::vector<std::string> argv;
+    /** Label used in progress/diagnostic output ("shard 2/3"). */
+    std::string name;
+};
+
+/** Final state of one worker after all attempts. */
+struct WorkerProcResult
+{
+    bool ok = false;
+    /** Exit code of the last attempt; 128+signal for signal deaths. */
+    int exitCode = -1;
+    bool timedOut = false;
+    unsigned attempts = 0;
+};
+
+/** Runs worker fleets; cheap to construct. */
+class Orchestrator
+{
+  public:
+    struct Options
+    {
+        /** Total tries per worker (1 = no retry). */
+        unsigned maxAttempts = 3;
+        /** Per-attempt wall-clock budget in seconds; 0 = unlimited. */
+        double timeoutSec = 0.0;
+        /** One complete output line from a worker. */
+        std::function<void(std::size_t worker, const std::string &line)>
+            onLine;
+        /** An attempt ended; @p willRetry says a respawn follows. */
+        std::function<void(std::size_t worker,
+                           const WorkerProcResult &attempt,
+                           bool willRetry)>
+            onAttemptEnd;
+    };
+
+    Orchestrator() : Orchestrator(Options()) {}
+    explicit Orchestrator(Options options);
+
+    /**
+     * Run all workers concurrently to completion (with retries);
+     * results align with @p specs by position.  fatal() only on
+     * orchestration-infrastructure errors (pipe/fork failure).
+     */
+    std::vector<WorkerProcResult>
+    run(const std::vector<WorkerProcSpec> &specs) const;
+
+  private:
+    Options opts;
+};
+
+} // namespace pcmap::sweep::dist
+
+#endif // PCMAP_SWEEP_DIST_ORCHESTRATOR_H

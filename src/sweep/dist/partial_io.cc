@@ -1,0 +1,253 @@
+#include "sweep/dist/partial_io.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "sim/log.h"
+#include "sweep/dist/atomic_file.h"
+#include "sweep/sweep_io.h"
+
+namespace pcmap::sweep::dist {
+
+namespace {
+
+const char kMagic[] = "{\"pcmapSweepPartial\":1,";
+
+/**
+ * Extract the value text of `"key":` from one of our own JSON lines
+ * (first occurrence of the quoted key at top level; our writers never
+ * embed an unescaped `"key":` inside a string value).  Quoted values
+ * come back without the quotes.
+ */
+bool
+extractField(const std::string &line, const std::string &key,
+             std::string &out)
+{
+    const std::string needle = "\"" + key + "\":";
+    const auto pos = line.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    std::size_t i = pos + needle.size();
+    if (i >= line.size())
+        return false;
+    if (line[i] == '"') {
+        const auto close = line.find('"', i + 1);
+        if (close == std::string::npos)
+            return false;
+        out = line.substr(i + 1, close - i - 1);
+        return true;
+    }
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ',' && line[j] != '}')
+        ++j;
+    if (j == i)
+        return false;
+    out = line.substr(i, j - i);
+    return true;
+}
+
+bool
+extractSize(const std::string &line, const std::string &key,
+            std::size_t &out)
+{
+    std::string text;
+    if (!extractField(line, key, text))
+        return false;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0')
+        return false;
+    out = static_cast<std::size_t>(v);
+    return true;
+}
+
+} // namespace
+
+std::string
+headerLine(const PartialHeader &h)
+{
+    std::ostringstream os;
+    os << kMagic << "\"fingerprint\":\"" << fingerprintHex(h.fingerprint)
+       << "\",\"shard\":" << h.shard << ",\"shards\":" << h.shards
+       << ",\"indexBegin\":" << h.indexBegin
+       << ",\"indexEnd\":" << h.indexEnd
+       << ",\"totalPoints\":" << h.totalPoints << "}";
+    return os.str();
+}
+
+bool
+parsePartial(const std::string &content, Partial &out, std::string &err)
+{
+    out.rows.clear();
+    std::istringstream in(content);
+    std::string line;
+    if (!std::getline(in, line) ||
+        line.compare(0, sizeof(kMagic) - 1, kMagic) != 0) {
+        err = out.path + ": not a sweep partial (missing "
+              "pcmapSweepPartial header line)";
+        return false;
+    }
+
+    std::string fp_text;
+    std::size_t shard = 0, shards = 0;
+    if (!extractField(line, "fingerprint", fp_text) ||
+        fp_text.size() != 16 ||
+        !extractSize(line, "shard", shard) ||
+        !extractSize(line, "shards", shards) ||
+        !extractSize(line, "indexBegin", out.header.indexBegin) ||
+        !extractSize(line, "indexEnd", out.header.indexEnd) ||
+        !extractSize(line, "totalPoints", out.header.totalPoints)) {
+        err = out.path + ": malformed partial header: " + line;
+        return false;
+    }
+    char *end = nullptr;
+    out.header.fingerprint = std::strtoull(fp_text.c_str(), &end, 16);
+    if (end != fp_text.c_str() + 16) {
+        err = out.path + ": malformed fingerprint '" + fp_text + "'";
+        return false;
+    }
+    out.header.shard = static_cast<unsigned>(shard);
+    out.header.shards = static_cast<unsigned>(shards);
+    if (shard == 0 || shards == 0 || shard > shards ||
+        out.header.indexBegin > out.header.indexEnd ||
+        out.header.indexEnd > out.header.totalPoints) {
+        err = out.path + ": inconsistent partial header: " + line;
+        return false;
+    }
+
+    bool have_prev = false;
+    std::size_t prev = 0;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        PartialRow row;
+        if (!extractSize(line, "index", row.index)) {
+            err = out.path + ": row without an index: " + line;
+            return false;
+        }
+        std::string ok_text;
+        if (!extractField(line, "ok", ok_text) ||
+            (ok_text != "true" && ok_text != "false")) {
+            err = out.path + ": row without an ok field: " + line;
+            return false;
+        }
+        row.ok = ok_text == "true";
+        if (!out.header.slice().contains(row.index)) {
+            err = out.path + ": row index " +
+                  std::to_string(row.index) +
+                  " is outside the header's slice [" +
+                  std::to_string(out.header.indexBegin) + ", " +
+                  std::to_string(out.header.indexEnd) + ")";
+            return false;
+        }
+        if (have_prev && row.index <= prev) {
+            err = out.path + ": row indices not strictly ascending (" +
+                  std::to_string(prev) + " then " +
+                  std::to_string(row.index) + ")";
+            return false;
+        }
+        prev = row.index;
+        have_prev = true;
+        row.line = std::move(line);
+        out.rows.push_back(std::move(row));
+    }
+    return true;
+}
+
+Partial
+loadPartial(const std::string &path)
+{
+    Partial p;
+    p.path = path;
+    std::string err;
+    if (!parsePartial(readFile(path), p, err))
+        fatal(err);
+    return p;
+}
+
+std::string
+composePartial(const PartialHeader &h,
+               const std::vector<std::string> &row_lines)
+{
+    std::string out = headerLine(h);
+    out += "\n";
+    for (const std::string &line : row_lines) {
+        out += line;
+        out += "\n";
+    }
+    return out;
+}
+
+bool
+mergePartials(const std::vector<Partial> &parts, MergeOutcome &out,
+              std::string &err)
+{
+    out = MergeOutcome{};
+    if (parts.empty()) {
+        err = "nothing to merge: no partials given";
+        return false;
+    }
+    const PartialHeader &first = parts.front().header;
+    for (const Partial &p : parts) {
+        if (p.header.fingerprint != first.fingerprint) {
+            err = "spec fingerprint mismatch: " + parts.front().path +
+                  " has " + fingerprintHex(first.fingerprint) +
+                  " but " + p.path + " has " +
+                  fingerprintHex(p.header.fingerprint) +
+                  " — these partials come from different sweeps";
+            return false;
+        }
+        if (p.header.totalPoints != first.totalPoints) {
+            err = "totalPoints mismatch: " + parts.front().path +
+                  " expects " + std::to_string(first.totalPoints) +
+                  " points but " + p.path + " expects " +
+                  std::to_string(p.header.totalPoints);
+            return false;
+        }
+    }
+
+    std::vector<const PartialRow *> by_index(first.totalPoints,
+                                             nullptr);
+    for (const Partial &p : parts) {
+        for (const PartialRow &row : p.rows) {
+            if (by_index[row.index] != nullptr) {
+                err = "duplicate row for index " +
+                      std::to_string(row.index) + " (second copy in " +
+                      p.path + ")";
+                return false;
+            }
+            by_index[row.index] = &row;
+        }
+    }
+
+    std::vector<std::size_t> missing;
+    for (std::size_t i = 0; i < by_index.size(); ++i) {
+        if (by_index[i] == nullptr)
+            missing.push_back(i);
+    }
+    if (!missing.empty()) {
+        std::ostringstream os;
+        os << "incomplete coverage: " << missing.size() << " of "
+           << first.totalPoints << " indices missing (";
+        const std::size_t show = std::min<std::size_t>(missing.size(), 8);
+        for (std::size_t i = 0; i < show; ++i)
+            os << (i ? ", " : "") << missing[i];
+        if (missing.size() > show)
+            os << ", ...";
+        os << ")";
+        err = os.str();
+        return false;
+    }
+
+    for (const PartialRow *row : by_index) {
+        out.body += row->line;
+        out.body += "\n";
+        ++out.rows;
+        if (!row->ok)
+            ++out.failedRows;
+    }
+    return true;
+}
+
+} // namespace pcmap::sweep::dist

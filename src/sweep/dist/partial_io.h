@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The shard-partial JSONL format and the deterministic merge.
+ *
+ * A partial is one shard's output: a single header line
+ *
+ *   {"pcmapSweepPartial":1,"fingerprint":"<16 hex>","shard":K,
+ *    "shards":N,"indexBegin":B,"indexEnd":E,"totalPoints":T}
+ *
+ * followed by ordinary report rows (exactly the toJsonLine() bytes a
+ * single-process run would emit for those indices), in ascending
+ * index order within [B, E).  The fingerprint is
+ * specFingerprint(spec) of the sweep the shard belongs to, so
+ * partials from different sweeps can never silently merge.
+ *
+ * mergePartials() reassembles K partials into the plain JSONL body a
+ * `threads=1` run of the whole spec would have written — byte
+ * identical — after verifying fingerprints match, no index appears
+ * twice, and every index in [0, totalPoints) is covered.
+ */
+
+#ifndef PCMAP_SWEEP_DIST_PARTIAL_IO_H
+#define PCMAP_SWEEP_DIST_PARTIAL_IO_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sweep/dist/shard_plan.h"
+
+namespace pcmap::sweep::dist {
+
+/** The metadata line at the top of every shard partial. */
+struct PartialHeader
+{
+    std::uint64_t fingerprint = 0;
+    unsigned shard = 1;
+    unsigned shards = 1;
+    std::size_t indexBegin = 0; ///< First index of the slice.
+    std::size_t indexEnd = 0;   ///< One past the last index.
+    std::size_t totalPoints = 0;
+
+    ShardSlice slice() const { return {indexBegin, indexEnd}; }
+};
+
+/** Serialize a header as its JSON line (no trailing newline). */
+std::string headerLine(const PartialHeader &h);
+
+/** One row of a partial: its identity plus the verbatim line. */
+struct PartialRow
+{
+    std::size_t index = 0;
+    bool ok = false;
+    std::string line; ///< The exact toJsonLine() bytes.
+};
+
+/** A parsed partial file. */
+struct Partial
+{
+    std::string path = "<memory>"; ///< Provenance for error messages.
+    PartialHeader header;
+    std::vector<PartialRow> rows; ///< Ascending index order.
+};
+
+/**
+ * Parse partial-file @p content.  Returns false (with a description
+ * in @p err) when the header is missing/malformed, a row lacks an
+ * index, a row's index falls outside the header's slice, or rows are
+ * not in strictly ascending index order.  Rows may cover only part of
+ * the slice — that is exactly the crash/resume case.
+ */
+bool parsePartial(const std::string &content, Partial &out,
+                  std::string &err);
+
+/** Read + parse a partial from disk; fatal() on any problem. */
+Partial loadPartial(const std::string &path);
+
+/** Compose a partial file: header line + rows, newline-terminated. */
+std::string composePartial(const PartialHeader &h,
+                           const std::vector<std::string> &row_lines);
+
+/** What a successful merge produced. */
+struct MergeOutcome
+{
+    /** Plain JSONL body, index order — what writeJsonl() would emit. */
+    std::string body;
+    std::size_t rows = 0;
+    std::size_t failedRows = 0;
+};
+
+/**
+ * Merge K partials (any K, any order) into the full report body.
+ * Returns false with @p err describing the first problem found:
+ * mismatched fingerprints/totalPoints, duplicate indices, or
+ * incomplete coverage (listing the missing indices).
+ */
+bool mergePartials(const std::vector<Partial> &parts,
+                   MergeOutcome &out, std::string &err);
+
+} // namespace pcmap::sweep::dist
+
+#endif // PCMAP_SWEEP_DIST_PARTIAL_IO_H

@@ -1,0 +1,66 @@
+#include "sweep/dist/shard_plan.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "sim/log.h"
+#include "sweep/sweep_io.h"
+
+namespace pcmap::sweep::dist {
+
+std::optional<ShardRef>
+parseShardRef(const std::string &text)
+{
+    const auto slash = text.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= text.size()) {
+        return std::nullopt;
+    }
+    const std::string k_text = text.substr(0, slash);
+    const std::string n_text = text.substr(slash + 1);
+    for (const std::string &part : {k_text, n_text}) {
+        for (const char c : part) {
+            if (c < '0' || c > '9')
+                return std::nullopt;
+        }
+    }
+    char *end = nullptr;
+    const unsigned long long k = std::strtoull(k_text.c_str(), &end, 10);
+    const unsigned long long n = std::strtoull(n_text.c_str(), &end, 10);
+    if (n == 0 || k == 0 || k > n || n > 1u << 20)
+        return std::nullopt;
+    ShardRef ref;
+    ref.shard = static_cast<unsigned>(k);
+    ref.shards = static_cast<unsigned>(n);
+    return ref;
+}
+
+ShardSlice
+shardSlice(std::size_t total, unsigned shard, unsigned shards)
+{
+    if (shards == 0 || shard == 0 || shard > shards)
+        fatal("invalid shard reference ", shard, "/", shards);
+    const std::size_t base = total / shards;
+    const std::size_t extra = total % shards;
+    const std::size_t k = shard - 1; // 0-based position
+    ShardSlice slice;
+    slice.begin = k * base + std::min<std::size_t>(k, extra);
+    slice.end = slice.begin + base + (k < extra ? 1 : 0);
+    return slice;
+}
+
+ShardPlan
+ShardPlan::plan(const SweepSpec &spec, unsigned shards)
+{
+    if (shards == 0)
+        fatal("shard plan needs at least one shard");
+    ShardPlan p;
+    p.fingerprint = specFingerprint(spec);
+    p.totalPoints = spec.size();
+    p.slices.reserve(shards);
+    for (unsigned k = 1; k <= shards; ++k)
+        p.slices.push_back(shardSlice(p.totalPoints, k, shards));
+    return p;
+}
+
+} // namespace pcmap::sweep::dist

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Partitioning of a sweep's expanded index space across shards.
+ *
+ * A shard plan slices the canonical point range [0, spec.size()) into
+ * K contiguous, balanced, non-overlapping slices and stamps the plan
+ * with the spec's fingerprint.  Because per-point seeds are derived
+ * from (baseSeed, index) alone, any process that runs exactly its
+ * slice produces exactly the rows a single-process run would have
+ * produced for those indices — which is what makes the merged output
+ * byte-identical to a `threads=1` run.
+ */
+
+#ifndef PCMAP_SWEEP_DIST_SHARD_PLAN_H
+#define PCMAP_SWEEP_DIST_SHARD_PLAN_H
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sweep/sweep_spec.h"
+
+namespace pcmap::sweep::dist {
+
+/** Half-open index range [begin, end) of one shard. */
+struct ShardSlice
+{
+    std::size_t begin = 0;
+    std::size_t end = 0;
+
+    std::size_t size() const { return end - begin; }
+    bool contains(std::size_t i) const { return i >= begin && i < end; }
+};
+
+/** A 1-based "shard k of n" reference, as written on the CLI. */
+struct ShardRef
+{
+    unsigned shard = 1;  ///< 1..shards
+    unsigned shards = 1; ///< total shard count
+};
+
+/**
+ * Parse "K/N" (e.g. "2/3") into a ShardRef.  nullopt when the text is
+ * malformed, K is outside [1, N], or N is zero.
+ */
+std::optional<ShardRef> parseShardRef(const std::string &text);
+
+/**
+ * The slice of shard @p shard (1-based) out of @p shards over
+ * @p total points: contiguous ranges whose sizes differ by at most
+ * one, with the earlier shards taking the extra points.  Shards
+ * beyond @p total get an empty slice.
+ */
+ShardSlice shardSlice(std::size_t total, unsigned shard,
+                      unsigned shards);
+
+/** The full partition of a spec's index space. */
+struct ShardPlan
+{
+    std::uint64_t fingerprint = 0;
+    std::size_t totalPoints = 0;
+    std::vector<ShardSlice> slices; ///< slices[k-1] is shard k's.
+
+    /** Build the plan for @p shards shards of @p spec. */
+    static ShardPlan plan(const SweepSpec &spec, unsigned shards);
+};
+
+} // namespace pcmap::sweep::dist
+
+#endif // PCMAP_SWEEP_DIST_SHARD_PLAN_H

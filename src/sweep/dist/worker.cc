@@ -1,0 +1,88 @@
+#include "sweep/dist/worker.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sim/log.h"
+#include "sweep/dist/atomic_file.h"
+#include "sweep/dist/partial_io.h"
+#include "sweep/sweep_io.h"
+
+namespace pcmap::sweep::dist {
+
+WorkerOutcome
+runShardWorker(const WorkerJob &job)
+{
+    const std::vector<SweepPoint> points = job.spec.expand();
+    const std::uint64_t fp = specFingerprint(job.spec);
+    const ShardSlice slice =
+        shardSlice(points.size(), job.shard.shard, job.shard.shards);
+
+    // Rows an earlier partial already recorded ok, by index.
+    std::map<std::size_t, std::string> preserved;
+    if (!job.resumePath.empty()) {
+        const Partial prior = loadPartial(job.resumePath);
+        if (prior.header.fingerprint != fp) {
+            fatal("resume file '", job.resumePath,
+                  "' has spec fingerprint ",
+                  fingerprintHex(prior.header.fingerprint),
+                  " but this sweep is ", fingerprintHex(fp),
+                  " — it belongs to a different sweep");
+        }
+        if (prior.header.indexBegin != slice.begin ||
+            prior.header.indexEnd != slice.end ||
+            prior.header.totalPoints != points.size()) {
+            fatal("resume file '", job.resumePath, "' covers slice [",
+                  prior.header.indexBegin, ", ",
+                  prior.header.indexEnd, ") of ",
+                  prior.header.totalPoints,
+                  " points but this invocation is slice [", slice.begin,
+                  ", ", slice.end, ") of ", points.size());
+        }
+        for (const PartialRow &row : prior.rows) {
+            if (row.ok)
+                preserved.emplace(row.index, row.line);
+        }
+    }
+
+    std::vector<SweepPoint> to_run;
+    to_run.reserve(slice.size() - preserved.size());
+    for (std::size_t i = slice.begin; i < slice.end; ++i) {
+        if (!preserved.count(i))
+            to_run.push_back(points[i]);
+    }
+
+    const SweepRunner runner(job.runnerOpts);
+    const SweepReport report = runner.runPoints(to_run);
+
+    std::map<std::size_t, std::string> fresh;
+    WorkerOutcome outcome;
+    outcome.slice = slice;
+    outcome.ran = report.rows.size();
+    outcome.resumed = preserved.size();
+    outcome.failedRows = report.failures();
+    for (const RunRecord &rec : report.rows)
+        fresh.emplace(rec.point.index, toJsonLine(rec));
+
+    std::vector<std::string> row_lines;
+    row_lines.reserve(slice.size());
+    for (std::size_t i = slice.begin; i < slice.end; ++i) {
+        const auto kept = preserved.find(i);
+        row_lines.push_back(kept != preserved.end()
+                                ? std::move(kept->second)
+                                : std::move(fresh.at(i)));
+    }
+
+    PartialHeader header;
+    header.fingerprint = fp;
+    header.shard = job.shard.shard;
+    header.shards = job.shard.shards;
+    header.indexBegin = slice.begin;
+    header.indexEnd = slice.end;
+    header.totalPoints = points.size();
+    atomicWriteFile(job.outPath, composePartial(header, row_lines));
+    return outcome;
+}
+
+} // namespace pcmap::sweep::dist

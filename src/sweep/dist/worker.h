@@ -1,0 +1,54 @@
+/**
+ * @file
+ * One shard's work: run a slice of a spec and persist it as a
+ * crash-safe partial, optionally resuming from an earlier partial.
+ *
+ * This is the library behind `pcmap-sweep shard=K/N`: the CLI only
+ * parses arguments and forwards here, so tests exercise the exact
+ * production path (slice selection, resume skipping, atomic write)
+ * without spawning processes.
+ */
+
+#ifndef PCMAP_SWEEP_DIST_WORKER_H
+#define PCMAP_SWEEP_DIST_WORKER_H
+
+#include <string>
+
+#include "sweep/dist/shard_plan.h"
+#include "sweep/sweep_runner.h"
+
+namespace pcmap::sweep::dist {
+
+/** Everything one shard worker needs. */
+struct WorkerJob
+{
+    SweepSpec spec;
+    ShardRef shard;
+    /** Where the partial JSONL lands (written atomically). */
+    std::string outPath;
+    /**
+     * Optional path of an earlier partial of the same spec and slice:
+     * its ok rows are kept verbatim, and only failed or missing
+     * indices are re-run.  fatal() when the file's fingerprint or
+     * slice does not match this job.
+     */
+    std::string resumePath;
+    /** Thread count, stat collection, and progress callback. */
+    SweepRunner::Options runnerOpts;
+};
+
+/** What the worker did (the partial itself is on disk). */
+struct WorkerOutcome
+{
+    ShardSlice slice;
+    std::size_t ran = 0;        ///< Points actually simulated.
+    std::size_t resumed = 0;    ///< Ok rows carried over verbatim.
+    std::size_t failedRows = 0; ///< Failed rows in the final partial.
+};
+
+/** Execute @p job; returns after the partial is durably on disk. */
+WorkerOutcome runShardWorker(const WorkerJob &job);
+
+} // namespace pcmap::sweep::dist
+
+#endif // PCMAP_SWEEP_DIST_WORKER_H

@@ -1,0 +1,106 @@
+#include "sweep/sweep_cli.h"
+
+#include <cstdlib>
+
+#include "sim/log.h"
+#include "workload/mixes.h"
+
+namespace pcmap::sweep {
+
+std::vector<std::string>
+splitCommas(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char c : text) {
+        if (c == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+std::vector<std::string>
+parseWorkloads(const std::string &arg)
+{
+    if (arg == "mt")
+        return workload::evaluatedMtWorkloads();
+    if (arg == "mp")
+        return workload::evaluatedMpWorkloads();
+    if (arg == "evaluated")
+        return workload::evaluatedWorkloads();
+    const std::vector<std::string> names = splitCommas(arg);
+    if (names.empty())
+        fatal("workloads= needs at least one name");
+    return names;
+}
+
+std::vector<SystemMode>
+parseModes(const std::string &arg)
+{
+    if (arg == "all")
+        return {std::begin(kAllModes), std::end(kAllModes)};
+    if (arg == "pcmap") {
+        return {SystemMode::RoW_NR, SystemMode::WoW_NR,
+                SystemMode::RWoW_NR, SystemMode::RWoW_RD,
+                SystemMode::RWoW_RDE};
+    }
+    std::vector<SystemMode> modes;
+    for (const std::string &name : splitCommas(arg)) {
+        const auto mode = systemModeFromName(name);
+        if (!mode) {
+            fatal("unknown system mode '", name,
+                  "' (try Baseline, RoW-NR, WoW-NR, RWoW-NR, RWoW-RD, "
+                  "RWoW-RDE, all, pcmap)");
+        }
+        modes.push_back(*mode);
+    }
+    if (modes.empty())
+        fatal("modes= needs at least one mode");
+    return modes;
+}
+
+std::vector<std::uint64_t>
+parseSeeds(const std::string &arg)
+{
+    std::vector<std::uint64_t> seeds;
+    for (const std::string &tok : splitCommas(arg)) {
+        // strtoull would silently wrap a negative token ("-1" ->
+        // 2^64-1); reject it up front instead.
+        if (tok.find('-') != std::string::npos) {
+            fatal("seeds=: '", tok,
+                  "' is negative; seeds are unsigned 64-bit values");
+        }
+        char *end = nullptr;
+        const unsigned long long v =
+            std::strtoull(tok.c_str(), &end, 0);
+        if (end == tok.c_str() || *end != '\0')
+            fatal("seeds=: '", tok, "' is not an integer");
+        seeds.push_back(v);
+    }
+    if (seeds.empty())
+        fatal("seeds= needs at least one seed");
+    return seeds;
+}
+
+SweepSpec
+specFromConfig(const Config &args)
+{
+    SweepSpec spec;
+    spec.workloads = parseWorkloads(args.requireString("workloads"));
+    spec.modes = parseModes(args.getString("modes", "all"));
+    spec.seeds = parseSeeds(args.getString("seeds", "1"));
+    spec.configs[0].base.instructionsPerCore =
+        args.getUint("insts", 200'000);
+    spec.configs[0].base.numCores = static_cast<unsigned>(
+        args.getUint("cores", spec.configs[0].base.numCores));
+    return spec;
+}
+
+} // namespace pcmap::sweep

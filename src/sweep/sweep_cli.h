@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Parsing of pcmap-sweep's key=value arguments into a SweepSpec.
+ *
+ * Lives in the library (not the tool) so the parsers — including
+ * their rejection paths — are unit-testable under ScopedErrorTrap,
+ * and so other harnesses can accept the same axis syntax.
+ */
+
+#ifndef PCMAP_SWEEP_SWEEP_CLI_H
+#define PCMAP_SWEEP_SWEEP_CLI_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.h"
+#include "sweep/sweep_spec.h"
+
+namespace pcmap::sweep {
+
+/** Split on commas, dropping empty segments ("a,,b" -> {a, b}). */
+std::vector<std::string> splitCommas(const std::string &text);
+
+/**
+ * Workload axis: a comma list of mix/program names, or one of the
+ * groups "mt", "mp", "evaluated".  fatal() on an empty list.
+ */
+std::vector<std::string> parseWorkloads(const std::string &arg);
+
+/**
+ * Mode axis: a comma list of systemModeName() labels, or "all" (the
+ * six evaluated systems) or "pcmap" (the five PCMap systems).
+ * fatal() on an unknown name or empty list.
+ */
+std::vector<SystemMode> parseModes(const std::string &arg);
+
+/**
+ * Seed axis: a comma list of unsigned 64-bit seeds (decimal, or hex
+ * with 0x).  fatal() on non-integers and on negative tokens — seeds
+ * are unsigned, and letting strtoull wrap "-1" to 2^64-1 silently
+ * would make two typos collide on the same derived streams.
+ */
+std::vector<std::uint64_t> parseSeeds(const std::string &arg);
+
+/**
+ * Build the sweep described by the common axis keys: workloads=
+ * (required), modes=, seeds=, insts=, cores=.
+ */
+SweepSpec specFromConfig(const Config &args);
+
+} // namespace pcmap::sweep
+
+#endif // PCMAP_SWEEP_SWEEP_CLI_H

@@ -131,6 +131,87 @@ metricFields()
 } // namespace
 
 std::string
+stableSerialize(const SweepSpec &spec)
+{
+    // Every field here feeds the spec fingerprint: adding a field to
+    // SystemConfig that changes simulation results means adding it
+    // here too, or shards of differently-configured sweeps would
+    // carry equal fingerprints and merge silently.
+    std::ostringstream os;
+    os << "pcmap-sweep-spec v1\n";
+    os << "configs=" << spec.configs.size() << "\n";
+    for (const ConfigVariant &v : spec.configs) {
+        const SystemConfig &c = v.base;
+        os << "config.name=" << v.name << "\n";
+        os << "geometry=" << c.geometry.channels << ","
+           << c.geometry.ranksPerChannel << ","
+           << c.geometry.banksPerRank << "," << c.geometry.rowBytes
+           << "," << c.geometry.capacityBytes << ","
+           << static_cast<int>(c.geometry.interleave) << "\n";
+        const PcmTiming &t = c.timing;
+        os << "timing=" << t.memClock.periodTicks() << "," << t.tRCD
+           << "," << t.tCL << "," << t.tWL << "," << t.tCCD << ","
+           << t.tWTR << "," << t.tRTP << "," << t.tRP << ","
+           << t.tRRDact << "," << t.tRRDpre << "," << t.tStatus << ","
+           << fmtDouble(t.arrayReadNs) << "," << fmtDouble(t.resetNs)
+           << "," << fmtDouble(t.setNs) << "\n";
+        const CoreConfig &cc = c.core;
+        os << "core=" << cc.clock.periodTicks() << "," << cc.issueWidth
+           << "," << cc.maxOutstandingReads << "," << cc.robWindowInsts
+           << "," << cc.commitDelay << "," << cc.rollbackPenalty << ","
+           << cc.assumeAlwaysFaulty << "\n";
+        os << "system=" << c.numCores << "," << c.instructionsPerCore
+           << "\n";
+        os << "queues=" << c.readQueueCap << "," << c.writeQueueCap
+           << "," << fmtDouble(c.drainHighWatermark) << ","
+           << fmtDouble(c.drainLowWatermark) << ","
+           << c.perBankWriteQueues << "\n";
+        os << "switches=" << c.modelCodeUpdateTraffic << ","
+           << c.modelVerifyTraffic << "," << c.serveReadsDuringDrain
+           << "," << c.enableTwoStep << "," << c.rowMultiWordWrites
+           << "," << static_cast<int>(c.pagePolicy) << ","
+           << static_cast<int>(c.readScheduling) << ","
+           << c.enableWriteCancellation << "," << c.enablePreset
+           << "\n";
+        os << "caps=" << c.codeUpdateBacklogCap << ","
+           << c.specReadBufferCap << "," << c.wowMaxMerge << ","
+           << c.wowScanDepth << "\n";
+    }
+    os << "modes=";
+    for (std::size_t i = 0; i < spec.modes.size(); ++i)
+        os << (i ? "," : "") << systemModeName(spec.modes[i]);
+    os << "\nworkloads=";
+    for (std::size_t i = 0; i < spec.workloads.size(); ++i)
+        os << (i ? "," : "") << spec.workloads[i];
+    os << "\nseeds=";
+    for (std::size_t i = 0; i < spec.seeds.size(); ++i)
+        os << (i ? "," : "") << spec.seeds[i];
+    os << "\n";
+    return os.str();
+}
+
+std::uint64_t
+specFingerprint(const SweepSpec &spec)
+{
+    const std::string text = stableSerialize(spec);
+    std::uint64_t h = 14695981039346656037ull;
+    for (const char c : text) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::string
+fingerprintHex(std::uint64_t fp)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(fp));
+    return buf;
+}
+
+std::string
 toJsonLine(const RunRecord &rec)
 {
     std::ostringstream os;

@@ -63,8 +63,12 @@ SweepRunner::setRunFn(RunFn fn)
 SweepReport
 SweepRunner::run(const SweepSpec &spec) const
 {
-    const std::vector<SweepPoint> points = spec.expand();
+    return runPoints(spec.expand());
+}
 
+SweepReport
+SweepRunner::runPoints(const std::vector<SweepPoint> &points) const
+{
     SweepReport report;
     report.rows.resize(points.size());
 

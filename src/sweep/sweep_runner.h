@@ -83,6 +83,14 @@ class SweepRunner
      *  failures. */
     SweepReport run(const SweepSpec &spec) const;
 
+    /**
+     * Execute an explicit point list (e.g. one shard's slice of an
+     * expanded spec, or only the points a resume found missing).
+     * Points keep the indices and derived seeds they were expanded
+     * with; report rows come back in the order given.
+     */
+    SweepReport runPoints(const std::vector<SweepPoint> &points) const;
+
   private:
     Options opts;
     RunFn runFn;

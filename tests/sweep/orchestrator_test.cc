@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Orchestrator supervision tests, using /bin/sh workers so no
+ * simulator time is spent: line-by-line output capture, retry of
+ * crashed workers within the attempt budget, permanent failure once
+ * the budget is exhausted, and the per-attempt timeout kill.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sweep/dist/orchestrator.h"
+
+namespace pcmap::sweep::dist {
+namespace {
+
+WorkerProcSpec
+shWorker(const std::string &script, const std::string &name)
+{
+    WorkerProcSpec w;
+    w.argv = {"/bin/sh", "-c", script};
+    w.name = name;
+    return w;
+}
+
+TEST(OrchestratorTest, CapturesWorkerOutputLineByLine)
+{
+    Orchestrator::Options opts;
+    std::vector<std::string> lines[2];
+    opts.onLine = [&](std::size_t w, const std::string &line) {
+        lines[w].push_back(line);
+    };
+    const Orchestrator orch(opts);
+    const auto results = orch.run({
+        shWorker("echo alpha; echo beta", "w0"),
+        // stderr is captured too, and an unterminated final line is
+        // still delivered.
+        shWorker("echo gamma 1>&2; printf tail", "w1"),
+    });
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_TRUE(results[0].ok);
+    EXPECT_TRUE(results[1].ok);
+    EXPECT_EQ(results[0].attempts, 1u);
+    EXPECT_EQ(lines[0],
+              (std::vector<std::string>{"alpha", "beta"}));
+    EXPECT_EQ(lines[1],
+              (std::vector<std::string>{"gamma", "tail"}));
+}
+
+TEST(OrchestratorTest, RetriesACrashedWorkerAndSucceeds)
+{
+    // First attempt dies on SIGKILL; the marker file makes the retry
+    // succeed — exactly the "worker crashed mid-shard" scenario.
+    const std::string marker =
+        testing::TempDir() + "pcmap_orch_marker";
+    std::remove(marker.c_str());
+
+    Orchestrator::Options opts;
+    opts.maxAttempts = 3;
+    std::vector<std::pair<int, bool>> attempt_log;
+    opts.onAttemptEnd = [&](std::size_t, const WorkerProcResult &r,
+                            bool will_retry) {
+        attempt_log.emplace_back(r.exitCode, will_retry);
+    };
+    const Orchestrator orch(opts);
+    const auto results = orch.run({shWorker(
+        "if [ ! -e " + marker + " ]; then touch " + marker +
+            "; kill -9 $$; fi; echo recovered",
+        "crashy")});
+    std::remove(marker.c_str());
+
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].ok);
+    EXPECT_EQ(results[0].attempts, 2u);
+    EXPECT_EQ(results[0].exitCode, 0);
+    ASSERT_EQ(attempt_log.size(), 2u);
+    EXPECT_EQ(attempt_log[0].first, 128 + 9); // SIGKILL death
+    EXPECT_TRUE(attempt_log[0].second);       // retried
+    EXPECT_FALSE(attempt_log[1].second);
+}
+
+TEST(OrchestratorTest, GivesUpWhenTheRetryBudgetIsExhausted)
+{
+    Orchestrator::Options opts;
+    opts.maxAttempts = 2;
+    const Orchestrator orch(opts);
+    const auto results =
+        orch.run({shWorker("exit 3", "doomed"),
+                  shWorker("echo fine", "healthy")});
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_EQ(results[0].attempts, 2u);
+    EXPECT_EQ(results[0].exitCode, 3);
+    EXPECT_FALSE(results[0].timedOut);
+    // An unrelated worker is unaffected by its neighbour's failure.
+    EXPECT_TRUE(results[1].ok);
+}
+
+TEST(OrchestratorTest, KillsWorkersThatExceedTheTimeout)
+{
+    Orchestrator::Options opts;
+    opts.maxAttempts = 1;
+    opts.timeoutSec = 0.3;
+    const Orchestrator orch(opts);
+    const auto results =
+        orch.run({shWorker("sleep 30; echo never", "stuck")});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_TRUE(results[0].timedOut);
+    EXPECT_EQ(results[0].exitCode, 128 + 9);
+}
+
+TEST(OrchestratorTest, ExecFailureIsABoundedFailureNotAHang)
+{
+    Orchestrator::Options opts;
+    opts.maxAttempts = 2;
+    const Orchestrator orch(opts);
+    WorkerProcSpec missing;
+    missing.argv = {"/no/such/binary-pcmap"};
+    missing.name = "missing";
+    const auto results = orch.run({missing});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_EQ(results[0].exitCode, 127);
+    EXPECT_EQ(results[0].attempts, 2u);
+}
+
+} // namespace
+} // namespace pcmap::sweep::dist

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Partial-file format tests: header round-trips, parser rejection of
+ * malformed/mismatched content, crash-safe writes, and the merge
+ * invariants (fingerprint match, no duplicate indices, full
+ * coverage).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/log.h"
+#include "sweep/dist/atomic_file.h"
+#include "sweep/dist/partial_io.h"
+
+namespace pcmap::sweep::dist {
+namespace {
+
+std::string
+rowLine(std::size_t index, bool ok)
+{
+    return "{\"index\":" + std::to_string(index) +
+           ",\"config\":\"default\",\"mode\":\"Baseline\","
+           "\"workload\":\"w\",\"baseSeed\":1,\"runSeed\":" +
+           std::to_string(1000 + index) +
+           ",\"ok\":" + (ok ? "true" : "false") + ",\"error\":\"\"}";
+}
+
+PartialHeader
+header(std::uint64_t fp, unsigned shard, unsigned shards,
+       std::size_t begin, std::size_t end, std::size_t total)
+{
+    PartialHeader h;
+    h.fingerprint = fp;
+    h.shard = shard;
+    h.shards = shards;
+    h.indexBegin = begin;
+    h.indexEnd = end;
+    h.totalPoints = total;
+    return h;
+}
+
+Partial
+parsed(const std::string &content)
+{
+    Partial p;
+    std::string err;
+    EXPECT_TRUE(parsePartial(content, p, err)) << err;
+    return p;
+}
+
+TEST(PartialIo, HeaderRoundTripsThroughParse)
+{
+    const PartialHeader h = header(0xdeadbeefcafef00dull, 2, 3, 4, 7, 9);
+    const Partial p = parsed(composePartial(
+        h, {rowLine(4, true), rowLine(5, false), rowLine(6, true)}));
+    EXPECT_EQ(p.header.fingerprint, h.fingerprint);
+    EXPECT_EQ(p.header.shard, 2u);
+    EXPECT_EQ(p.header.shards, 3u);
+    EXPECT_EQ(p.header.indexBegin, 4u);
+    EXPECT_EQ(p.header.indexEnd, 7u);
+    EXPECT_EQ(p.header.totalPoints, 9u);
+    ASSERT_EQ(p.rows.size(), 3u);
+    EXPECT_EQ(p.rows[0].index, 4u);
+    EXPECT_TRUE(p.rows[0].ok);
+    EXPECT_FALSE(p.rows[1].ok);
+    EXPECT_EQ(p.rows[2].line, rowLine(6, true));
+}
+
+TEST(PartialIo, ParserRejectsMalformedContent)
+{
+    Partial p;
+    std::string err;
+    // Plain report rows without a header are not a partial.
+    EXPECT_FALSE(parsePartial(rowLine(0, true) + "\n", p, err));
+    EXPECT_NE(err.find("missing"), std::string::npos) << err;
+
+    // Row outside the header's slice.
+    EXPECT_FALSE(parsePartial(
+        composePartial(header(1, 1, 2, 0, 2, 4), {rowLine(2, true)}),
+        p, err));
+    EXPECT_NE(err.find("outside"), std::string::npos) << err;
+
+    // Rows out of order (also catches intra-file duplicates).
+    EXPECT_FALSE(parsePartial(
+        composePartial(header(1, 1, 1, 0, 4, 4),
+                       {rowLine(1, true), rowLine(0, true)}),
+        p, err));
+    EXPECT_NE(err.find("ascending"), std::string::npos) << err;
+
+    // Inconsistent header (slice beyond totalPoints).
+    EXPECT_FALSE(
+        parsePartial(composePartial(header(1, 1, 1, 0, 9, 4), {}), p,
+                     err));
+    EXPECT_NE(err.find("inconsistent"), std::string::npos) << err;
+}
+
+TEST(PartialIo, RowsMayCoverOnlyPartOfTheSlice)
+{
+    // The crash/resume case: a valid header with missing rows parses
+    // fine; coverage is the merge's concern.
+    const Partial p = parsed(
+        composePartial(header(1, 1, 1, 0, 4, 4),
+                       {rowLine(0, true), rowLine(3, false)}));
+    EXPECT_EQ(p.rows.size(), 2u);
+}
+
+TEST(PartialIo, MergeReassemblesInIndexOrderFromAnyInputOrder)
+{
+    const std::uint64_t fp = 42;
+    const Partial a = parsed(composePartial(
+        header(fp, 1, 3, 0, 2, 5), {rowLine(0, true), rowLine(1, true)}));
+    const Partial b = parsed(composePartial(
+        header(fp, 2, 3, 2, 4, 5),
+        {rowLine(2, false), rowLine(3, true)}));
+    const Partial c = parsed(
+        composePartial(header(fp, 3, 3, 4, 5, 5), {rowLine(4, true)}));
+
+    const std::string expected = rowLine(0, true) + "\n" +
+                                 rowLine(1, true) + "\n" +
+                                 rowLine(2, false) + "\n" +
+                                 rowLine(3, true) + "\n" +
+                                 rowLine(4, true) + "\n";
+    for (const auto &order :
+         std::vector<std::vector<Partial>>{{a, b, c},
+                                           {c, a, b},
+                                           {b, c, a}}) {
+        MergeOutcome out;
+        std::string err;
+        ASSERT_TRUE(mergePartials(order, out, err)) << err;
+        EXPECT_EQ(out.body, expected);
+        EXPECT_EQ(out.rows, 5u);
+        EXPECT_EQ(out.failedRows, 1u);
+    }
+}
+
+TEST(PartialIo, MergeRejectsFingerprintMismatch)
+{
+    const Partial a = parsed(
+        composePartial(header(1, 1, 2, 0, 1, 2), {rowLine(0, true)}));
+    Partial b = parsed(
+        composePartial(header(2, 2, 2, 1, 2, 2), {rowLine(1, true)}));
+    b.path = "b.jsonl";
+    MergeOutcome out;
+    std::string err;
+    EXPECT_FALSE(mergePartials({a, b}, out, err));
+    EXPECT_NE(err.find("fingerprint mismatch"), std::string::npos)
+        << err;
+    EXPECT_NE(err.find("b.jsonl"), std::string::npos) << err;
+}
+
+TEST(PartialIo, MergeRejectsDuplicateIndices)
+{
+    const Partial a = parsed(composePartial(
+        header(7, 1, 2, 0, 2, 3), {rowLine(0, true), rowLine(1, true)}));
+    const Partial b = parsed(composePartial(
+        header(7, 2, 2, 1, 3, 3), {rowLine(1, true), rowLine(2, true)}));
+    MergeOutcome out;
+    std::string err;
+    EXPECT_FALSE(mergePartials({a, b}, out, err));
+    EXPECT_NE(err.find("duplicate row for index 1"),
+              std::string::npos)
+        << err;
+}
+
+TEST(PartialIo, MergeReportsCoverageGaps)
+{
+    const Partial a = parsed(
+        composePartial(header(7, 1, 2, 0, 2, 5), {rowLine(0, true)}));
+    const Partial b = parsed(
+        composePartial(header(7, 2, 2, 2, 5, 5), {rowLine(3, true)}));
+    MergeOutcome out;
+    std::string err;
+    EXPECT_FALSE(mergePartials({a, b}, out, err));
+    EXPECT_NE(err.find("incomplete coverage"), std::string::npos)
+        << err;
+    // The missing indices (1, 2, 4) are listed.
+    EXPECT_NE(err.find("1, 2, 4"), std::string::npos) << err;
+
+    EXPECT_FALSE(mergePartials({}, out, err));
+    EXPECT_NE(err.find("no partials"), std::string::npos) << err;
+}
+
+TEST(PartialIo, AtomicWriteLeavesNoTmpAndLoadRoundTrips)
+{
+    const std::string path =
+        testing::TempDir() + "pcmap_partial_io_test.jsonl";
+    const std::string content = composePartial(
+        header(0xabc, 1, 1, 0, 1, 1), {rowLine(0, true)});
+    atomicWriteFile(path, content);
+    EXPECT_EQ(readFile(path), content);
+    // The temporary never survives a successful write.
+    std::ifstream tmp(path + ".tmp");
+    EXPECT_FALSE(tmp.good());
+
+    // Overwrite in place (the rename path over an existing file).
+    const std::string updated = composePartial(
+        header(0xabc, 1, 1, 0, 1, 1), {rowLine(0, false)});
+    atomicWriteFile(path, updated);
+    EXPECT_EQ(readFile(path), updated);
+
+    const Partial p = loadPartial(path);
+    EXPECT_EQ(p.path, path);
+    EXPECT_EQ(p.header.fingerprint, 0xabcu);
+    ASSERT_EQ(p.rows.size(), 1u);
+    EXPECT_FALSE(p.rows[0].ok);
+    std::remove(path.c_str());
+}
+
+TEST(PartialIo, LoadPartialIsFatalOnMissingOrGarbageFiles)
+{
+    ScopedErrorTrap trap;
+    EXPECT_THROW(loadPartial(testing::TempDir() +
+                             "pcmap_no_such_partial.jsonl"),
+                 SimError);
+    const std::string path =
+        testing::TempDir() + "pcmap_garbage_partial.jsonl";
+    atomicWriteFile(path, "not a partial\n");
+    EXPECT_THROW(loadPartial(path), SimError);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace pcmap::sweep::dist

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shard planning tests: K/N parsing, the contiguous balanced
+ * partition of the point space, and the plan's fingerprint stamp.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/log.h"
+#include "sweep/dist/shard_plan.h"
+#include "sweep/sweep_io.h"
+
+namespace pcmap::sweep::dist {
+namespace {
+
+TEST(ShardRef, ParsesWellFormedReferences)
+{
+    const auto ref = parseShardRef("2/3");
+    ASSERT_TRUE(ref.has_value());
+    EXPECT_EQ(ref->shard, 2u);
+    EXPECT_EQ(ref->shards, 3u);
+    EXPECT_TRUE(parseShardRef("1/1").has_value());
+    EXPECT_TRUE(parseShardRef("16/16").has_value());
+}
+
+TEST(ShardRef, RejectsMalformedReferences)
+{
+    for (const char *bad :
+         {"", "3", "3/", "/3", "0/3", "4/3", "1/0", "a/3", "1/b",
+          "-1/3", "1/-3", "1.5/3", "1 /3", "2//3"}) {
+        EXPECT_FALSE(parseShardRef(bad).has_value()) << bad;
+    }
+}
+
+TEST(ShardSlices, PartitionTheIndexSpaceContiguously)
+{
+    for (const std::size_t total : {0u, 1u, 7u, 16u, 100u}) {
+        for (const unsigned shards : {1u, 3u, 5u, 16u, 20u}) {
+            std::size_t expect_begin = 0;
+            std::size_t min_size = total, max_size = 0;
+            for (unsigned k = 1; k <= shards; ++k) {
+                const ShardSlice s = shardSlice(total, k, shards);
+                EXPECT_EQ(s.begin, expect_begin)
+                    << total << " " << k << "/" << shards;
+                EXPECT_LE(s.begin, s.end);
+                expect_begin = s.end;
+                min_size = std::min(min_size, s.size());
+                max_size = std::max(max_size, s.size());
+            }
+            EXPECT_EQ(expect_begin, total);
+            // Balanced: sizes differ by at most one.
+            EXPECT_LE(max_size - min_size, 1u)
+                << total << " over " << shards;
+        }
+    }
+}
+
+TEST(ShardSlices, MoreShardsThanPointsYieldEmptyTailSlices)
+{
+    EXPECT_EQ(shardSlice(2, 1, 4).size(), 1u);
+    EXPECT_EQ(shardSlice(2, 2, 4).size(), 1u);
+    EXPECT_EQ(shardSlice(2, 3, 4).size(), 0u);
+    EXPECT_EQ(shardSlice(2, 4, 4).size(), 0u);
+}
+
+TEST(ShardSlices, InvalidReferencesAreFatal)
+{
+    ScopedErrorTrap trap;
+    EXPECT_THROW(shardSlice(10, 0, 3), SimError);
+    EXPECT_THROW(shardSlice(10, 4, 3), SimError);
+    EXPECT_THROW(shardSlice(10, 1, 0), SimError);
+}
+
+TEST(ShardPlanTest, StampsFingerprintAndCoversSpec)
+{
+    SweepSpec spec;
+    spec.workloads = {"MP1", "MP4", "canneal"};
+    spec.seeds = {1, 2};
+    const ShardPlan plan = ShardPlan::plan(spec, 4);
+    EXPECT_EQ(plan.fingerprint, specFingerprint(spec));
+    EXPECT_EQ(plan.totalPoints, spec.size());
+    ASSERT_EQ(plan.slices.size(), 4u);
+    EXPECT_EQ(plan.slices.front().begin, 0u);
+    EXPECT_EQ(plan.slices.back().end, spec.size());
+}
+
+} // namespace
+} // namespace pcmap::sweep::dist

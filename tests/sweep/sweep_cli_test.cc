@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the pcmap-sweep argument parsers, including the rejection
+ * paths: notably that negative seed tokens are refused instead of
+ * being silently wrapped to huge unsigned values by strtoull.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/log.h"
+#include "sweep/sweep_cli.h"
+
+namespace pcmap::sweep {
+namespace {
+
+TEST(SweepCli, ParseSeedsAcceptsDecimalAndHexLists)
+{
+    EXPECT_EQ(parseSeeds("1"), (std::vector<std::uint64_t>{1}));
+    EXPECT_EQ(parseSeeds("3,1,2"),
+              (std::vector<std::uint64_t>{3, 1, 2}));
+    EXPECT_EQ(parseSeeds("0xff,10"),
+              (std::vector<std::uint64_t>{255, 10}));
+    EXPECT_EQ(parseSeeds("18446744073709551615"),
+              (std::vector<std::uint64_t>{
+                  18446744073709551615ull}));
+}
+
+TEST(SweepCli, ParseSeedsRejectsNegativeTokensInsteadOfWrapping)
+{
+    // Regression: strtoull("-1") yields 2^64-1 without complaint; the
+    // parser must refuse it.
+    ScopedErrorTrap trap;
+    EXPECT_THROW(parseSeeds("-1"), SimError);
+    EXPECT_THROW(parseSeeds("5,-2"), SimError);
+    EXPECT_THROW(parseSeeds("1,2,-0x10"), SimError);
+    try {
+        parseSeeds("-7");
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("negative"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(SweepCli, ParseSeedsRejectsGarbageAndEmptyLists)
+{
+    ScopedErrorTrap trap;
+    EXPECT_THROW(parseSeeds("abc"), SimError);
+    EXPECT_THROW(parseSeeds("1,two"), SimError);
+    EXPECT_THROW(parseSeeds("12x"), SimError);
+    EXPECT_THROW(parseSeeds(""), SimError);
+    EXPECT_THROW(parseSeeds(",,,"), SimError);
+}
+
+TEST(SweepCli, ParseModesGroupsAndLists)
+{
+    EXPECT_EQ(parseModes("all").size(), 6u);
+    EXPECT_EQ(parseModes("pcmap").size(), 5u);
+    const auto modes = parseModes("Baseline,RWoW-RDE");
+    ASSERT_EQ(modes.size(), 2u);
+    EXPECT_EQ(modes[0], SystemMode::Baseline);
+    EXPECT_EQ(modes[1], SystemMode::RWoW_RDE);
+
+    ScopedErrorTrap trap;
+    EXPECT_THROW(parseModes("NoSuchMode"), SimError);
+    EXPECT_THROW(parseModes(""), SimError);
+}
+
+TEST(SweepCli, ParseWorkloadsGroupsAndLists)
+{
+    EXPECT_FALSE(parseWorkloads("mt").empty());
+    EXPECT_FALSE(parseWorkloads("mp").empty());
+    EXPECT_EQ(parseWorkloads("evaluated").size(),
+              parseWorkloads("mt").size() +
+                  parseWorkloads("mp").size());
+    EXPECT_EQ(parseWorkloads("MP1,canneal"),
+              (std::vector<std::string>{"MP1", "canneal"}));
+
+    ScopedErrorTrap trap;
+    EXPECT_THROW(parseWorkloads(""), SimError);
+}
+
+TEST(SweepCli, SpecFromConfigAppliesDefaultsAndOverrides)
+{
+    Config args;
+    args.set("workloads", std::string("MP1,MP4"));
+    const SweepSpec defaults = specFromConfig(args);
+    EXPECT_EQ(defaults.workloads,
+              (std::vector<std::string>{"MP1", "MP4"}));
+    EXPECT_EQ(defaults.modes.size(), 6u);
+    EXPECT_EQ(defaults.seeds, (std::vector<std::uint64_t>{1}));
+    EXPECT_EQ(defaults.configs[0].base.instructionsPerCore, 200'000u);
+
+    args.set("modes", std::string("Baseline"));
+    args.set("seeds", std::string("4,5"));
+    args.set("insts", std::int64_t{1234});
+    args.set("cores", std::int64_t{2});
+    const SweepSpec spec = specFromConfig(args);
+    EXPECT_EQ(spec.modes, (std::vector<SystemMode>{
+                              SystemMode::Baseline}));
+    EXPECT_EQ(spec.seeds, (std::vector<std::uint64_t>{4, 5}));
+    EXPECT_EQ(spec.configs[0].base.instructionsPerCore, 1234u);
+    EXPECT_EQ(spec.configs[0].base.numCores, 2u);
+    EXPECT_EQ(spec.size(), 4u);
+}
+
+TEST(SweepCli, SpecFromConfigRequiresWorkloads)
+{
+    ScopedErrorTrap trap;
+    EXPECT_THROW(specFromConfig(Config{}), SimError);
+}
+
+} // namespace
+} // namespace pcmap::sweep

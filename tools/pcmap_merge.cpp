@@ -1,0 +1,97 @@
+/**
+ * @file
+ * pcmap-merge: reassemble shard partials into one sweep report.
+ *
+ * usage: pcmap-merge [out=PATH] PARTIAL [PARTIAL ...]
+ *
+ * Every input must be a shard partial written by `pcmap-sweep
+ * shard=K/N` (a pcmapSweepPartial header line followed by report
+ * rows).  The merge verifies that all partials carry the same spec
+ * fingerprint, that no point index appears twice, and that together
+ * they cover every index of the sweep — then writes the rows in point
+ * index order, which is byte-identical to what a single-process
+ * `threads=1` run of the same spec would have produced.
+ *
+ * With out=PATH the merged JSONL is written atomically (tmp + fsync +
+ * rename); without it the rows go to stdout.  Exit status is 0 on a
+ * complete, consistent merge and 1 on any mismatch (reported on
+ * stderr), so scripts can gate on it.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/log.h"
+#include "sweep/dist/atomic_file.h"
+#include "sweep/dist/partial_io.h"
+
+namespace {
+
+using namespace pcmap;
+
+void
+usage()
+{
+    std::puts(
+        "pcmap-merge: merge pcmap-sweep shard partials into one "
+        "report\n"
+        "\n"
+        "usage: pcmap-merge [out=PATH] PARTIAL [PARTIAL ...]\n"
+        "\n"
+        "  out=PATH   write the merged JSONL atomically to PATH\n"
+        "             (default: stdout)\n"
+        "  help=1     print this reference and exit\n"
+        "\n"
+        "Inputs are partials from `pcmap-sweep shard=K/N jsonl=...`,\n"
+        "in any order.  The merge fails (exit 1) when partials carry\n"
+        "different spec fingerprints, an index appears twice, or\n"
+        "coverage of the point space is incomplete.");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path;
+    std::vector<std::string> inputs;
+    bool want_help = argc <= 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string token = argv[i];
+        if (token.rfind("out=", 0) == 0)
+            out_path = token.substr(4);
+        else if (token == "help" || token == "help=1")
+            want_help = true;
+        else
+            inputs.push_back(token);
+    }
+    if (want_help || inputs.empty()) {
+        usage();
+        return want_help ? 0 : 1;
+    }
+
+    std::vector<sweep::dist::Partial> parts;
+    parts.reserve(inputs.size());
+    for (const std::string &path : inputs)
+        parts.push_back(sweep::dist::loadPartial(path));
+
+    sweep::dist::MergeOutcome merged;
+    std::string err;
+    if (!sweep::dist::mergePartials(parts, merged, err)) {
+        std::fprintf(stderr, "pcmap-merge: %s\n", err.c_str());
+        return 1;
+    }
+
+    if (out_path.empty()) {
+        std::fwrite(merged.body.data(), 1, merged.body.size(), stdout);
+    } else {
+        sweep::dist::atomicWriteFile(out_path, merged.body);
+        std::fprintf(stderr,
+                     "pcmap-merge: %zu partials, %zu rows (%zu "
+                     "failed) -> %s\n",
+                     parts.size(), merged.rows, merged.failedRows,
+                     out_path.c_str());
+    }
+    return 0;
+}

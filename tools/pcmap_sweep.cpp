@@ -1,165 +1,303 @@
 /**
  * @file
- * pcmap-sweep: run a matrix of PCMap simulations across a thread pool
- * and aggregate the results as JSONL/CSV.
+ * pcmap-sweep: run a matrix of PCMap simulations and aggregate the
+ * results as JSONL/CSV — on a thread pool, as one shard of a larger
+ * run, or as an orchestrator supervising shard worker processes.
  *
- * Arguments are "key=value" tokens:
- *   workloads=LIST  comma list of mix/program names, or one of the
- *                   groups "mt" (the six multi-threaded workloads),
- *                   "mp" (MP1-MP6), "evaluated" (both).  Required.
- *   modes=LIST      comma list of system modes ("Baseline,RWoW-RDE"),
- *                   or "all" (the six evaluated systems, default) or
- *                   "pcmap" (the five PCMap systems).
- *   seeds=LIST      comma list of base seeds (default "1").  Each
- *                   run's seed is derived as hash(baseSeed, index).
- *   insts=N         instructions per core per run (default 200000).
- *   cores=N         cores per simulated system (default 8).
- *   threads=N       worker threads (default 1).
- *   jsonl=PATH      write the aggregated report as JSONL.
- *   csv=PATH        write the aggregated report as CSV.
- *   table=BOOL      print the per-run summary table (default true).
+ * Run with no arguments or `help=1` for the key reference.  The
+ * distributed contract: per-point seeds depend only on (baseSeed,
+ * pointIndex), every artifact is written atomically, and shard
+ * partials carry the spec fingerprint — so `procs=N`, any manual
+ * `shard=K/N` + pcmap-merge combination, and a plain `threads=1` run
+ * all produce byte-identical JSONL.
  *
- * Exit status is 0 when every run succeeded, 1 otherwise, so CI can
- * gate on a smoke sweep.
+ * Exit status: plain and procs= modes exit 0 only when every run
+ * succeeded (CI gates on this); a shard worker exits 0 once its
+ * partial is durably written, even if some rows failed — failures are
+ * data (recorded per row, re-runnable via resume=), while a non-zero
+ * worker exit means the partial was not produced and the orchestrator
+ * should retry.
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "sim/config.h"
 #include "sim/log.h"
+#include "sweep/dist/atomic_file.h"
+#include "sweep/dist/orchestrator.h"
+#include "sweep/dist/partial_io.h"
+#include "sweep/dist/shard_plan.h"
+#include "sweep/dist/worker.h"
+#include "sweep/sweep_cli.h"
 #include "sweep/sweep_io.h"
 #include "sweep/sweep_runner.h"
-#include "workload/mixes.h"
 
 namespace {
 
 using namespace pcmap;
 
-std::vector<std::string>
-splitCommas(const std::string &text)
+void
+usage()
 {
-    std::vector<std::string> out;
-    std::string cur;
-    for (const char c : text) {
-        if (c == ',') {
-            if (!cur.empty())
-                out.push_back(cur);
-            cur.clear();
-        } else {
-            cur += c;
-        }
-    }
-    if (!cur.empty())
-        out.push_back(cur);
-    return out;
+    std::puts(
+        "pcmap-sweep: run a matrix of PCMap simulations\n"
+        "\n"
+        "usage: pcmap-sweep key=value ...\n"
+        "\n"
+        "axes:\n"
+        "  workloads=LIST  comma list of mix/program names, or a group:\n"
+        "                  mt | mp | evaluated.  Required.\n"
+        "  modes=LIST      comma list of system modes, or all | pcmap\n"
+        "                  (default all)\n"
+        "  seeds=LIST      comma list of unsigned base seeds (default 1);\n"
+        "                  per-run seed = hash(baseSeed, pointIndex)\n"
+        "  insts=N         instructions per core per run (default 200000)\n"
+        "  cores=N         cores per simulated system (default 8)\n"
+        "\n"
+        "execution:\n"
+        "  threads=N       worker threads in this process (default 1)\n"
+        "  procs=N         orchestrate N shard worker processes of this\n"
+        "                  binary; requires jsonl=, merges the partials\n"
+        "                  into it after verifying full coverage\n"
+        "  retries=R       extra attempts per crashed/timed-out worker\n"
+        "                  in procs= mode (default 2)\n"
+        "  workerTimeout=S kill a worker attempt after S seconds in\n"
+        "                  procs= mode (default 0 = unlimited)\n"
+        "  shard=K/N       run only shard K of N (1-based): the K-th\n"
+        "                  contiguous slice of the expanded point space.\n"
+        "                  jsonl= then names this shard's partial file\n"
+        "                  (header line + rows; merge with pcmap-merge)\n"
+        "  resume=PATH     with shard=K/N: read an earlier partial of\n"
+        "                  the same spec+slice, keep its ok rows, and\n"
+        "                  re-run only failed/missing points\n"
+        "\n"
+        "output:\n"
+        "  jsonl=PATH      write the report (atomically: tmp+rename)\n"
+        "  csv=PATH        write the report as CSV (plain mode only)\n"
+        "  table=BOOL      print the per-run summary table (default\n"
+        "                  true; forced off for procs= workers)\n"
+        "  progress=BOOL   emit machine-readable '@point I ok|fail'\n"
+        "                  lines (used by the procs= orchestrator)\n"
+        "  help=1          print this reference and exit\n"
+        "\n"
+        "exit status: 0 when every run succeeded (plain/procs modes) or\n"
+        "the partial was written (shard mode); non-zero otherwise.");
 }
 
-std::vector<std::string>
-parseWorkloads(const std::string &arg)
+/** Shared per-run console reporting for plain and shard modes. */
+sweep::SweepRunner::Options
+runnerOptions(const Config &args, std::size_t total, bool default_table)
 {
-    if (arg == "mt")
-        return workload::evaluatedMtWorkloads();
-    if (arg == "mp")
-        return workload::evaluatedMpWorkloads();
-    if (arg == "evaluated")
-        return workload::evaluatedWorkloads();
-    const std::vector<std::string> names = splitCommas(arg);
-    if (names.empty())
-        fatal("workloads= needs at least one name");
-    return names;
-}
-
-std::vector<SystemMode>
-parseModes(const std::string &arg)
-{
-    if (arg == "all")
-        return {std::begin(kAllModes), std::end(kAllModes)};
-    if (arg == "pcmap") {
-        return {SystemMode::RoW_NR, SystemMode::WoW_NR,
-                SystemMode::RWoW_NR, SystemMode::RWoW_RD,
-                SystemMode::RWoW_RDE};
-    }
-    std::vector<SystemMode> modes;
-    for (const std::string &name : splitCommas(arg)) {
-        const auto mode = systemModeFromName(name);
-        if (!mode) {
-            fatal("unknown system mode '", name,
-                  "' (try Baseline, RoW-NR, WoW-NR, RWoW-NR, RWoW-RD, "
-                  "RWoW-RDE, all, pcmap)");
-        }
-        modes.push_back(*mode);
-    }
-    if (modes.empty())
-        fatal("modes= needs at least one mode");
-    return modes;
-}
-
-std::vector<std::uint64_t>
-parseSeeds(const std::string &arg)
-{
-    std::vector<std::uint64_t> seeds;
-    for (const std::string &tok : splitCommas(arg)) {
-        char *end = nullptr;
-        const unsigned long long v = std::strtoull(tok.c_str(), &end, 0);
-        if (end == tok.c_str() || *end != '\0')
-            fatal("seeds=: '", tok, "' is not an integer");
-        seeds.push_back(v);
-    }
-    if (seeds.empty())
-        fatal("seeds= needs at least one seed");
-    return seeds;
-}
-
-} // namespace
-
-int
-main(int argc, char **argv)
-{
-    const Config args = Config::fromArgs(argc, argv);
-
-    sweep::SweepSpec spec;
-    spec.workloads = parseWorkloads(args.requireString("workloads"));
-    spec.modes = parseModes(args.getString("modes", "all"));
-    spec.seeds = parseSeeds(args.getString("seeds", "1"));
-    spec.configs[0].base.instructionsPerCore =
-        args.getUint("insts", 200'000);
-    spec.configs[0].base.numCores = static_cast<unsigned>(
-        args.getUint("cores", spec.configs[0].base.numCores));
-
     sweep::SweepRunner::Options opts;
-    opts.threads =
-        static_cast<unsigned>(args.getUint("threads", 1));
-    const bool table = args.getBool("table", true);
-    std::size_t done = 0;
-    const std::size_t total = spec.size();
-    opts.onRunDone = [&](const sweep::RunRecord &rec) {
-        ++done;
-        if (!table)
-            return;
-        if (rec.ok) {
-            std::printf("[%3zu/%zu] %-8s %-9s seed=%llu  ipc=%7.3f "
-                        "irlp=%5.2f readLat=%7.1fns  (%.0f ms)\n",
-                        done, total, rec.point.workload.c_str(),
-                        systemModeName(rec.point.mode),
-                        static_cast<unsigned long long>(
-                            rec.point.baseSeed),
-                        rec.results.ipcSum, rec.results.irlpMean,
-                        rec.results.avgReadLatencyNs, rec.wallMs);
-        } else {
-            std::printf("[%3zu/%zu] %-8s %-9s seed=%llu  FAILED: %s\n",
-                        done, total, rec.point.workload.c_str(),
-                        systemModeName(rec.point.mode),
-                        static_cast<unsigned long long>(
-                            rec.point.baseSeed),
-                        rec.error.c_str());
+    opts.threads = static_cast<unsigned>(args.getUint("threads", 1));
+    const bool table = args.getBool("table", default_table);
+    const bool progress = args.getBool("progress", false);
+    auto done = std::make_shared<std::size_t>(0);
+    opts.onRunDone = [=](const sweep::RunRecord &rec) {
+        ++*done;
+        if (progress) {
+            std::printf("@point %zu %s\n", rec.point.index,
+                        rec.ok ? "ok" : "fail");
+        }
+        if (table) {
+            if (rec.ok) {
+                std::printf(
+                    "[%3zu/%zu] %-8s %-9s seed=%llu  ipc=%7.3f "
+                    "irlp=%5.2f readLat=%7.1fns  (%.0f ms)\n",
+                    *done, total, rec.point.workload.c_str(),
+                    systemModeName(rec.point.mode),
+                    static_cast<unsigned long long>(rec.point.baseSeed),
+                    rec.results.ipcSum, rec.results.irlpMean,
+                    rec.results.avgReadLatencyNs, rec.wallMs);
+            } else {
+                std::printf(
+                    "[%3zu/%zu] %-8s %-9s seed=%llu  FAILED: %s\n",
+                    *done, total, rec.point.workload.c_str(),
+                    systemModeName(rec.point.mode),
+                    static_cast<unsigned long long>(rec.point.baseSeed),
+                    rec.error.c_str());
+            }
         }
         std::fflush(stdout);
     };
+    return opts;
+}
+
+/** `shard=K/N`: run one slice and write a crash-safe partial. */
+int
+workerMain(const Config &args, const sweep::SweepSpec &spec,
+           const std::string &shard_arg)
+{
+    const auto ref = sweep::dist::parseShardRef(shard_arg);
+    if (!ref) {
+        fatal("shard=: '", shard_arg,
+              "' is not K/N with 1 <= K <= N (e.g. shard=2/3)");
+    }
+    if (args.has("csv"))
+        fatal("csv= is not available in shard mode; merge the "
+              "partials with pcmap-merge first");
+    const std::string out_path = args.requireString("jsonl");
+
+    sweep::dist::WorkerJob job;
+    job.spec = spec;
+    job.shard = *ref;
+    job.outPath = out_path;
+    job.resumePath = args.getString("resume", "");
+    const auto slice = sweep::dist::shardSlice(spec.size(), ref->shard,
+                                               ref->shards);
+    job.runnerOpts = runnerOptions(args, slice.size(),
+                                   /*default_table=*/true);
+
+    std::printf("pcmap-sweep shard %u/%u: points [%zu, %zu) of %zu\n",
+                ref->shard, ref->shards, slice.begin, slice.end,
+                spec.size());
+    const sweep::dist::WorkerOutcome outcome =
+        sweep::dist::runShardWorker(job);
+    std::printf("shard %u/%u complete: %zu run (%zu resumed), "
+                "%zu failed rows -> %s\n",
+                ref->shard, ref->shards, outcome.ran, outcome.resumed,
+                outcome.failedRows, out_path.c_str());
+    // The partial is durably on disk: exit 0 so the orchestrator
+    // does not retry deterministic row failures.
+    return 0;
+}
+
+/** `procs=N`: fork/exec shard workers of this binary and merge. */
+int
+orchestratorMain(int argc, char **argv, const Config &args,
+                 const sweep::SweepSpec &spec)
+{
+    const unsigned procs =
+        static_cast<unsigned>(args.getUint("procs", 1));
+    if (procs == 0)
+        fatal("procs= must be at least 1");
+    if (args.has("resume"))
+        fatal("resume= applies to shard workers, not procs= mode; "
+              "re-running procs= re-runs only what the existing "
+              "partials are missing once you pass them to shard "
+              "workers yourself");
+    if (args.has("csv"))
+        fatal("csv= is not available in procs= mode; convert the "
+              "merged JSONL instead");
+    const std::string out_path = args.requireString("jsonl");
+    const std::size_t total = spec.size();
+
+    // Worker command lines: this binary, the original axis keys, and
+    // the shard/output/reporting overrides.
+    static const std::vector<std::string> kOrchKeys = {
+        "procs", "retries", "workerTimeout", "jsonl", "csv",
+        "table", "progress", "help",
+    };
+    std::vector<std::string> forwarded;
+    for (int i = 1; i < argc; ++i) {
+        const std::string token = argv[i];
+        const std::string key = token.substr(0, token.find('='));
+        if (std::find(kOrchKeys.begin(), kOrchKeys.end(), key) ==
+            kOrchKeys.end()) {
+            forwarded.push_back(token);
+        }
+    }
+    std::vector<sweep::dist::WorkerProcSpec> workers;
+    std::vector<std::string> partial_paths;
+    for (unsigned k = 1; k <= procs; ++k) {
+        std::ostringstream name;
+        name << "shard" << k << "of" << procs;
+        partial_paths.push_back(out_path + "." + name.str());
+        sweep::dist::WorkerProcSpec w;
+        w.name = name.str();
+        w.argv.push_back(argv[0]);
+        w.argv.insert(w.argv.end(), forwarded.begin(),
+                      forwarded.end());
+        w.argv.push_back("shard=" + std::to_string(k) + "/" +
+                         std::to_string(procs));
+        w.argv.push_back("jsonl=" + partial_paths.back());
+        w.argv.push_back("table=false");
+        w.argv.push_back("progress=true");
+        workers.push_back(std::move(w));
+    }
+
+    sweep::dist::Orchestrator::Options opts;
+    opts.maxAttempts =
+        1 + static_cast<unsigned>(args.getUint("retries", 2));
+    opts.timeoutSec = args.getDouble("workerTimeout", 0.0);
+    std::size_t done = 0;
+    opts.onLine = [&](std::size_t w, const std::string &line) {
+        std::size_t idx = 0;
+        char status[8] = {0};
+        if (std::sscanf(line.c_str(), "@point %zu %7s", &idx,
+                        status) == 2) {
+            ++done;
+            std::printf("[%3zu/%zu] shard %zu: point %zu %s\n", done,
+                        total, w + 1, idx, status);
+        } else if (!line.empty() && line[0] != '@') {
+            std::printf("[shard %zu] %s\n", w + 1, line.c_str());
+        }
+        std::fflush(stdout);
+    };
+    opts.onAttemptEnd = [&](std::size_t w,
+                            const sweep::dist::WorkerProcResult &r,
+                            bool will_retry) {
+        if (r.ok)
+            return;
+        warn("shard ", w + 1, "/", procs, " attempt ", r.attempts,
+             r.timedOut ? " timed out" : " failed", " (exit code ",
+             r.exitCode, "); ",
+             will_retry ? "retrying" : "giving up");
+    };
+
+    std::printf("pcmap-sweep: %zu points across %u worker processes "
+                "(max %u attempts each)\n",
+                total, procs, opts.maxAttempts);
+    const sweep::dist::Orchestrator orch(opts);
+    const std::vector<sweep::dist::WorkerProcResult> results =
+        orch.run(workers);
+
+    bool workers_ok = true;
+    for (unsigned k = 0; k < procs; ++k) {
+        if (!results[k].ok) {
+            std::fprintf(stderr,
+                         "pcmap-sweep: shard %u/%u failed after %u "
+                         "attempts (exit code %d%s)\n",
+                         k + 1, procs, results[k].attempts,
+                         results[k].exitCode,
+                         results[k].timedOut ? ", timed out" : "");
+            workers_ok = false;
+        }
+    }
+    if (!workers_ok)
+        return 1;
+
+    std::vector<sweep::dist::Partial> parts;
+    parts.reserve(procs);
+    for (const std::string &path : partial_paths)
+        parts.push_back(sweep::dist::loadPartial(path));
+    sweep::dist::MergeOutcome merged;
+    std::string err;
+    if (!sweep::dist::mergePartials(parts, merged, err))
+        fatal("merging worker partials: ", err);
+    sweep::dist::atomicWriteFile(out_path, merged.body);
+    std::printf("merged %u partials: %zu rows (%zu failed) -> %s\n",
+                procs, merged.rows, merged.failedRows,
+                out_path.c_str());
+    return merged.failedRows == 0 ? 0 : 1;
+}
+
+/** Plain single-process mode (optionally multi-threaded). */
+int
+plainMain(const Config &args, const sweep::SweepSpec &spec)
+{
+    if (args.has("resume"))
+        fatal("resume= needs shard=K/N (use shard=1/1 for a "
+              "whole-sweep resumable partial)");
+    const std::size_t total = spec.size();
+    sweep::SweepRunner::Options opts =
+        runnerOptions(args, total, /*default_table=*/true);
 
     std::printf("pcmap-sweep: %zu points (%zu workloads x %zu modes x "
                 "%zu seeds), %u thread%s\n",
@@ -172,19 +310,15 @@ main(int argc, char **argv)
 
     if (args.has("jsonl")) {
         const std::string path = args.requireString("jsonl");
-        std::ofstream out(path);
-        if (!out)
-            fatal("cannot open '", path, "' for writing");
-        sweep::writeJsonl(report, out);
+        sweep::dist::atomicWriteFile(path, sweep::toJsonl(report));
         std::printf("wrote %zu rows to %s\n", report.rows.size(),
                     path.c_str());
     }
     if (args.has("csv")) {
         const std::string path = args.requireString("csv");
-        std::ofstream out(path);
-        if (!out)
-            fatal("cannot open '", path, "' for writing");
-        sweep::writeCsv(report, out);
+        std::ostringstream csv;
+        sweep::writeCsv(report, csv);
+        sweep::dist::atomicWriteFile(path, csv.str());
         std::printf("wrote %zu rows to %s\n", report.rows.size(),
                     path.c_str());
     }
@@ -193,4 +327,33 @@ main(int argc, char **argv)
     std::printf("sweep complete: %zu ok, %zu failed\n",
                 report.rows.size() - failures, failures);
     return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc <= 1) {
+        usage();
+        return 0;
+    }
+    const Config args = Config::fromArgs(argc, argv);
+    if (args.getBool("help", false)) {
+        usage();
+        return 0;
+    }
+
+    const sweep::SweepSpec spec = sweep::specFromConfig(args);
+    const bool sharded = args.has("shard");
+    const bool orchestrated = args.has("procs");
+    if (sharded && orchestrated)
+        fatal("shard= and procs= are mutually exclusive (procs= "
+              "spawns its own shard workers)");
+
+    if (orchestrated)
+        return orchestratorMain(argc, argv, args, spec);
+    if (sharded)
+        return workerMain(args, spec, args.requireString("shard"));
+    return plainMain(args, spec);
 }
