@@ -52,18 +52,19 @@ banner(const char *title, const char *paper_ref, const HarnessConfig &hc)
 
 namespace {
 
-/** Metric values for one workload across all modes, from the report. */
+/** Metric values for one workload across all systems (preset columns
+ *  first, then any extra policy compositions), from the report. */
 std::vector<double>
 reportRow(const sweep::SweepReport &report, const HarnessConfig &hc,
+          const std::vector<std::string> &labels,
           const std::string &workload, Metric metric)
 {
     std::vector<double> vals;
-    for (const SystemMode mode : kAllModes) {
+    for (const std::string &label : labels) {
         const sweep::RunRecord *rec =
-            report.find("default", mode, workload, hc.seed);
+            report.find("default", label, workload, hc.seed);
         if (rec == nullptr || !rec->ok) {
-            fatal("figure sweep: run (", systemModeName(mode), ", ",
-                  workload, ") ",
+            fatal("figure sweep: run (", label, ", ", workload, ") ",
                   rec == nullptr ? "missing from report"
                                  : rec->error.c_str());
         }
@@ -142,23 +143,26 @@ figureSweep(const HarnessConfig &hc, Metric metric, bool normalize)
         sweep::writeJsonl(report, out);
     }
 
+    const std::vector<std::string> labels = hc.systemLabels();
     std::printf("%-14s", "workload");
     if (normalize)
         std::printf(" %9s", "base-abs");
     else
-        std::printf(" %9s", systemModeName(kAllModes[0]));
-    for (std::size_t m = 1; m < std::size(kAllModes); ++m)
-        std::printf(" %9s", systemModeName(kAllModes[m]));
+        std::printf(" %9s", labels[0].c_str());
+    for (std::size_t m = 1; m < labels.size(); ++m)
+        std::printf(" %9s", labels[m].c_str());
     std::printf("\n");
-    rule(74);
+    rule(static_cast<unsigned>(14 + 10 * labels.size()));
 
     // --- Multi-threaded workloads + Average(MT) over all of PARSEC ---
     for (const std::string &w : workload::evaluatedMtWorkloads())
-        printRow(w, reportRow(report, hc, w, metric), normalize);
+        printRow(w, reportRow(report, hc, labels, w, metric),
+                 normalize);
 
     std::vector<double> mt_avg;
     for (const std::string &w : workload::parsecPrograms()) {
-        std::vector<double> vals = reportRow(report, hc, w, metric);
+        std::vector<double> vals =
+            reportRow(report, hc, labels, w, metric);
         if (normalize && vals[0] != 0.0) {
             const double base = vals[0];
             for (std::size_t m = 1; m < vals.size(); ++m)
@@ -173,12 +177,13 @@ figureSweep(const HarnessConfig &hc, Metric metric, bool normalize)
     for (const double v : mt_avg)
         std::printf(" %9.3f", v);
     std::printf("\n");
-    rule(74);
+    rule(static_cast<unsigned>(14 + 10 * labels.size()));
 
     // --- Multiprogrammed mixes + Average(MP) ---
     std::vector<double> mp_avg;
     for (const std::string &w : workload::evaluatedMpWorkloads()) {
-        std::vector<double> vals = reportRow(report, hc, w, metric);
+        std::vector<double> vals =
+            reportRow(report, hc, labels, w, metric);
         printRow(w, vals, normalize);
         if (normalize && vals[0] != 0.0) {
             const double base = vals[0];

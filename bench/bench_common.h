@@ -7,6 +7,10 @@
  *   seed=N      simulation seed (default 1)
  *   threads=N   worker threads for the run matrix (default 1)
  *   jsonl=PATH  also write the raw sweep rows as JSONL
+ *   policy=LIST extra composed systems ("fg,row+rd") appended as
+ *               figure columns next to the six paper presets;
+ *               preset-equivalent compositions are dropped (their
+ *               column is already in the matrix)
  * plus harness-specific keys documented in each binary.
  *
  * The figure harnesses no longer loop over (mode, workload) by hand:
@@ -25,6 +29,7 @@
 
 #include "core/system.h"
 #include "sim/config.h"
+#include "sweep/sweep_cli.h"
 #include "sweep/sweep_runner.h"
 #include "workload/mixes.h"
 #include "workload/profile.h"
@@ -39,6 +44,8 @@ struct HarnessConfig
     unsigned threads = 1;
     /** When non-empty, figure harnesses dump raw rows here. */
     std::string jsonl;
+    /** Extra non-preset policy compositions, canonical form. */
+    std::vector<std::string> policies;
     Config raw;
 
     static HarnessConfig
@@ -51,6 +58,13 @@ struct HarnessConfig
         hc.threads = static_cast<unsigned>(
             hc.raw.getUint("threads", hc.threads));
         hc.jsonl = hc.raw.getString("jsonl", hc.jsonl);
+        if (hc.raw.has("policy")) {
+            for (const ControllerPolicy &p : sweep::parsePolicies(
+                     hc.raw.requireString("policy"))) {
+                if (!p.presetMode())
+                    hc.policies.push_back(p.composition());
+            }
+        }
         return hc;
     }
 
@@ -77,9 +91,21 @@ struct HarnessConfig
         sweep::SweepSpec spec;
         spec.configs[0].base = system(SystemMode::Baseline);
         spec.modes.assign(std::begin(kAllModes), std::end(kAllModes));
+        spec.policies = policies;
         spec.workloads = workloads;
         spec.seeds = {seed};
         return spec;
+    }
+
+    /** Figure column labels: the six presets plus extra policies. */
+    std::vector<std::string>
+    systemLabels() const
+    {
+        std::vector<std::string> labels;
+        for (const SystemMode mode : kAllModes)
+            labels.push_back(systemModeName(mode));
+        labels.insert(labels.end(), policies.begin(), policies.end());
+        return labels;
     }
 };
 

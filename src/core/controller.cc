@@ -1,10 +1,16 @@
+/**
+ * @file
+ * MemoryController core: construction (policy composition), the public
+ * enqueue interface, the kick scheduling loop, and the timing helpers
+ * every service path shares.  Read service lives in controller_read.cc,
+ * write service in controller_write.cc, background operations in
+ * controller_bg.cc.
+ */
+
 #include "core/controller.h"
 
 #include <algorithm>
-#include <memory>
 
-#include "ecc/line_codec.h"
-#include "ecc/secded.h"
 #include "sim/log.h"
 
 namespace pcmap {
@@ -14,10 +20,15 @@ MemoryController::MemoryController(std::string name,
                                    EventQueue &eq, BackingStore &store,
                                    const AddressMapper &mapper,
                                    unsigned channel)
-    : instName(std::move(name)), cfg(config), chipLayout(cfg.layout()),
-      eventq(eq), backing(store), addrMap(mapper), channelId(channel)
+    : instName(std::move(name)), cfg(config), eventq(eq), backing(store),
+      addrMap(mapper), channelId(channel)
 {
     cfg.validate();
+    const ControllerPolicy policy = ControllerPolicy::fromConfig(cfg);
+    lineLayout = policy.makeLayout();
+    scheduler = ControllerPolicy::makeScheduler(cfg, addrMap, *lineLayout);
+    coalescer =
+        ControllerPolicy::makeCoalescer(cfg, addrMap, *lineLayout, backing);
     const unsigned n_ranks = mapper.geometry().ranksPerChannel;
     for (unsigned r = 0; r < n_ranks; ++r)
         ranks.emplace_back(cfg.banksPerRank, cfg.hasPcc());
@@ -223,10 +234,11 @@ MemoryController::kick()
         if (!readQ.empty()) {
             maybeCancelActiveWrite(now);
             const bool immediate_only = draining;
-            if (!draining ||
-                (cfg.enableRoW && cfg.serveReadsDuringDrain) ||
+            if (!draining || scheduler->servesReadsDuringDrain() ||
                 cfg.enableWriteCancellation) {
-                ReadPlan plan = planRead(now, immediate_only);
+                ReadPlan plan =
+                    scheduler->planRead(readQ, bankView, *this, now,
+                                        immediate_only, pendingVerifies);
                 // During a drain an overlapped read must fit entirely
                 // inside the ongoing write's service window (as in
                 // Figure 5b), so it never pushes the next write back
@@ -340,935 +352,6 @@ MemoryController::reserveChips(unsigned rank, ChipMask chips,
         if (chips & (1u << c))
             ranks[rank].reserveChip(c, bank, row, start, end, is_write);
     }
-}
-
-// ---------------------------------------------------------------------
-// Read planning and issue
-// ---------------------------------------------------------------------
-
-MemoryController::ReadPlan
-MemoryController::planRead(Tick now, bool immediate_only)
-{
-    ReadPlan best;
-
-    // Strict FCFS considers only the oldest read.
-    const std::size_t scan_limit =
-        cfg.readScheduling == ReadScheduling::Fcfs
-            ? std::min<std::size_t>(1, readQ.size())
-            : readQ.size();
-    for (std::size_t i = 0; i < scan_limit; ++i) {
-        ReadEntry &entry = readQ[i];
-        const DecodedAddr loc = addrMap.decode(entry.req.addr);
-        const std::uint64_t line = addrMap.lineAddr(entry.req.addr);
-        const ChipMask data_mask = chipLayout.dataChips(line);
-        const unsigned ecc_chip = chipLayout.eccChip(line);
-        const ChipMask inline_mask =
-            data_mask | static_cast<ChipMask>(1u << ecc_chip);
-
-        // --- Normal (coarse) plan: all data chips plus ECC inline ---
-        Rank &rk = ranks[loc.rank];
-        ReadPlan normal;
-        normal.feasible = true;
-        normal.index = i;
-        normal.rank = loc.rank;
-        const Tick free_at = rk.freeAt(inline_mask, loc.bank);
-        normal.rowHit = rk.rowOpenAll(inline_mask, loc.bank, loc.row);
-        computeReadWindow(inline_mask, loc.bank, loc.row,
-                          std::max(now, free_at), normal.rowHit,
-                          normal.start, normal.end);
-        normal.chips = inline_mask;
-
-        if (free_at > now) {
-            // Blocked: is a write responsible?
-            for (unsigned c = 0; c < kChipsPerRank; ++c) {
-                if (!(inline_mask & (1u << c)))
-                    continue;
-                const ChipBankState &s = rk.state(c, loc.bank);
-                if (s.busyUntil > now && s.busyWithWrite) {
-                    entry.delayedByWrite = true;
-                    normal.delayedByWrite = true;
-                    break;
-                }
-            }
-        }
-
-        ReadPlan candidate = normal;
-
-        // --- Speculative plans (PCMap RoW machinery) ---
-        if (cfg.enableRoW && free_at > now &&
-            pendingVerifies < cfg.specReadBufferCap) {
-            const ChipMask busy = rk.busyChips(loc.bank, now);
-            const ChipMask busy_data = busy & data_mask;
-            const bool ecc_busy = (busy >> ecc_chip) & 1u;
-
-            if (busy_data == 0 && ecc_busy) {
-                // Data chips free; only the ECC check must wait.
-                // Deliver speculatively, defer the check.
-                ReadPlan spec;
-                spec.feasible = true;
-                spec.index = i;
-                spec.rank = loc.rank;
-                spec.chips = data_mask;
-                spec.speculative = true;
-                spec.eccDeferred = true;
-                spec.rowHit =
-                    rk.rowOpenAll(data_mask, loc.bank, loc.row);
-                computeReadWindow(data_mask, loc.bank, loc.row,
-                                  std::max(now,
-                                           rk.freeAt(data_mask,
-                                                     loc.bank)),
-                                  spec.rowHit, spec.start, spec.end);
-                if (spec.start < candidate.start)
-                    candidate = spec;
-            } else if (chipCount(busy_data) == 1) {
-                // Exactly one data chip busy with a write: RoW.
-                unsigned busy_chip = 0;
-                while (!((busy_data >> busy_chip) & 1u))
-                    ++busy_chip;
-                const ChipMask write_busy =
-                    rk.busyWriteChips(loc.bank, now);
-                const unsigned pcc_chip = chipLayout.pccChip(line);
-                const bool pcc_busy = (busy >> pcc_chip) & 1u;
-                const ChipMask others =
-                    data_mask & static_cast<ChipMask>(~busy_data);
-                if (((write_busy >> busy_chip) & 1u) && !pcc_busy &&
-                    rk.freeAt(others, loc.bank) <= now) {
-                    ReadPlan row_plan;
-                    row_plan.feasible = true;
-                    row_plan.index = i;
-                    row_plan.rank = loc.rank;
-                    row_plan.reconstruct = true;
-                    row_plan.speculative = true;
-                    row_plan.busyChip = busy_chip;
-                    row_plan.missingWord =
-                        chipLayout.wordForChip(line, busy_chip);
-                    pcmap_assert(row_plan.missingWord != kNoWord);
-                    ChipMask chips =
-                        others |
-                        static_cast<ChipMask>(1u << pcc_chip);
-                    if (!ecc_busy) {
-                        chips |=
-                            static_cast<ChipMask>(1u << ecc_chip);
-                    } else {
-                        row_plan.eccDeferred = true;
-                    }
-                    row_plan.chips = chips;
-                    row_plan.rowHit =
-                        rk.rowOpenAll(chips, loc.bank, loc.row);
-                    computeReadWindow(chips, loc.bank, loc.row, now,
-                                      row_plan.rowHit, row_plan.start,
-                                      row_plan.end);
-                    if (row_plan.start < candidate.start)
-                        candidate = row_plan;
-                }
-            }
-        }
-
-        // Keep the globally best candidate: earliest start, then
-        // row-buffer hit, then age (scan order), then non-speculative.
-        const bool better =
-            !best.feasible || candidate.start < best.start ||
-            (candidate.start == best.start && candidate.rowHit &&
-             !best.rowHit);
-        if (better)
-            best = candidate;
-    }
-
-    if (immediate_only && best.feasible && best.start > now)
-        best.feasible = false;
-    return best;
-}
-
-void
-MemoryController::issueRead(const ReadPlan &plan)
-{
-    const Tick now = eventq.now();
-    pcmap_assert(plan.index < readQ.size());
-    ReadEntry entry = std::move(readQ[plan.index]);
-    readQ.erase(readQ.begin() +
-                static_cast<std::ptrdiff_t>(plan.index));
-
-    const DecodedAddr loc = addrMap.decode(entry.req.addr);
-    const std::uint64_t line = addrMap.lineAddr(entry.req.addr);
-    const ChipMask data_mask = chipLayout.dataChips(line);
-
-    reserveChips(loc.rank, plan.chips, loc.bank, loc.row, plan.start,
-                 plan.end, false);
-    if (cfg.pagePolicy == PagePolicy::Closed) {
-        for (unsigned c = 0; c < kChipsPerRank; ++c) {
-            if (plan.chips & (1u << c))
-                ranks[loc.rank].closeRow(c, loc.bank);
-        }
-    }
-    unsigned num_cmds = plan.rowHit ? 1 : 2;
-    if (cfg.fineGrained && plan.speculative) {
-        // The controller polled the DIMM status register to learn
-        // which chips are busy (Section IV-D1).
-        num_cmds += static_cast<unsigned>(cfg.timing.tStatus);
-        ++counters.statusPolls;
-    }
-    occupyBuses(plan.chips, plan.end - cfg.timing.burstTicks(), plan.end,
-                false, num_cmds);
-    irlpTrackers[loc.rank].addOp(now, plan.start, plan.end,
-                                 plan.chips & data_mask, false);
-
-    if (plan.rowHit)
-        energyModel.recordBufferAccess(1);
-    else
-        energyModel.recordActivation(1);
-    energyModel.recordBusTransfer(chipCount(plan.chips));
-
-    if (plan.reconstruct)
-        ++counters.rowReads;
-    if (plan.eccDeferred)
-        ++counters.deferredEccReads;
-    if (plan.speculative)
-        ++pendingVerifies;
-    if (draining)
-        ++counters.readsIssuedDuringDrain;
-    counters.readQueueWaitSum += static_cast<double>(
-        plan.start - entry.req.enqueueTick);
-
-    const bool delayed = entry.delayedByWrite || plan.delayedByWrite;
-    notifyRetry(); // read-queue space freed
-
-    ++inFlight;
-    ReadPlan plan_copy = plan;
-    eventq.schedule(plan.end, [this, plan = plan_copy,
-                               entry = std::move(entry), loc,
-                               line, delayed]() mutable {
-        const Tick done = eventq.now();
-        const StoredLine &stored = backing.read(line);
-        CacheLine out = stored.data;
-        bool fault = false;
-
-        if (plan.reconstruct) {
-            out.w[plan.missingWord] = ecc::reconstructWord(
-                stored.data, plan.missingWord, stored.pcc);
-            const auto check = static_cast<std::uint8_t>(
-                (stored.ecc >> (8 * plan.missingWord)) & 0xFF);
-            const ecc::SecdedResult r =
-                ecc::secdedDecode(out.w[plan.missingWord], check);
-            fault = (r.status == ecc::SecdedStatus::CorrectedData &&
-                     r.data != out.w[plan.missingWord]) ||
-                    r.status == ecc::SecdedStatus::Uncorrectable;
-        }
-        if (!plan.speculative) {
-            // Inline SECDED: correct single-bit storage errors on the
-            // spot, as a conventional ECC DIMM read would.
-            ecc::checkLine(out, stored.ecc);
-        } else if (plan.eccDeferred) {
-            // The deferred check will look at every delivered word.
-            CacheLine probe = out;
-            const ecc::LineCheckResult r =
-                ecc::checkLine(probe, stored.ecc);
-            fault = fault || !r.ok || r.correctedWords != 0;
-        }
-
-        ReadResponse resp;
-        resp.id = entry.req.id;
-        resp.addr = entry.req.addr;
-        resp.coreId = entry.req.coreId;
-        resp.completionTick = done;
-        resp.data = out;
-        resp.speculative = plan.speculative;
-
-        ++counters.readsCompleted;
-        if (delayed)
-            ++counters.readsDelayedByWrite;
-        const double lat =
-            static_cast<double>(done - entry.req.enqueueTick);
-        counters.readLatencySum += lat;
-        counters.readLatencyMax = std::max(counters.readLatencyMax, lat);
-
-        if (plan.speculative)
-            queueVerifyOp(plan, entry.req, loc, fault);
-
-        --inFlight;
-        entry.cb(resp);
-        kick();
-    });
-}
-
-// ---------------------------------------------------------------------
-// Write service
-// ---------------------------------------------------------------------
-
-void
-MemoryController::completeSilentWrite(WriteEntry entry, WordMask essential)
-{
-    pcmap_assert(essential == 0);
-    ++counters.writesCompleted;
-    ++counters.writesSilent;
-    ++counters.essentialHist[0];
-    (void)entry;
-    notifyRetry();
-}
-
-EventHandle
-MemoryController::scheduleWriteCompletion(const WriteEntry &entry,
-                                          WordMask essential, Tick done,
-                                          bool track_active)
-{
-    (void)essential;
-    ++inFlight;
-    const std::uint64_t line = addrMap.lineAddr(entry.req.addr);
-    const CacheLine data = entry.req.data;
-    return eventq.schedule(done, [this, line, data, track_active]() {
-        // Recompute the change mask at commit time: an earlier write
-        // to the same line may have committed since this one was
-        // planned, and correctness requires applying every word that
-        // still differs.
-        const WordMask changed = backing.essentialWords(line, data);
-        const StoredLine before = backing.read(line);
-        backing.writeWords(line, data, changed);
-        const StoredLine &after = backing.read(line);
-
-        // Energy: the differential write reads the line, then pulses
-        // exactly the flipped bits of the data words plus the ECC and
-        // PCC code updates; the bus carried the essential words.
-        energyModel.recordActivation(1);
-        for (unsigned w = 0; w < kWordsPerLine; ++w) {
-            if (changed & (1u << w)) {
-                energyModel.recordWordWrite(before.data.w[w],
-                                            after.data.w[w]);
-                wearTracker.recordChipWrite(
-                    chipLayout.chipForWord(line, w));
-            }
-        }
-        if (before.ecc != after.ecc) {
-            energyModel.recordWordWrite(before.ecc, after.ecc);
-            wearTracker.recordChipWrite(chipLayout.eccChip(line));
-        }
-        if (cfg.hasPcc() && before.pcc != after.pcc) {
-            energyModel.recordWordWrite(before.pcc, after.pcc);
-            wearTracker.recordChipWrite(chipLayout.pccChip(line));
-        }
-        energyModel.recordBusTransfer(wordCount(changed));
-        if (changed != 0)
-            wearTracker.recordLineWrite(line);
-
-        ++counters.writesCompleted;
-        if (track_active)
-            activeWrite.valid = false;
-        --inFlight;
-        kick();
-    });
-}
-
-void
-MemoryController::queueCodeUpdates(std::uint64_t line_addr,
-                                   unsigned rank, unsigned bank,
-                                   std::uint64_t row, bool ecc, bool pcc,
-                                   Tick created)
-{
-    if (!cfg.modelCodeUpdateTraffic)
-        return;
-    if (ecc) {
-        BgOp op;
-        op.chips = static_cast<ChipMask>(
-            1u << chipLayout.eccChip(line_addr));
-        op.rank = rank;
-        op.bank = bank;
-        op.row = row;
-        op.duration = cfg.timing.chipWriteTicks();
-        op.isWrite = true;
-        op.created = created;
-        bgOps.push_back(std::move(op));
-        ++codeBacklog;
-    }
-    if (pcc && cfg.hasPcc()) {
-        BgOp op;
-        op.chips = static_cast<ChipMask>(
-            1u << chipLayout.pccChip(line_addr));
-        op.rank = rank;
-        op.bank = bank;
-        op.row = row;
-        op.duration = cfg.timing.chipWriteTicks();
-        op.isWrite = true;
-        op.created = created;
-        bgOps.push_back(std::move(op));
-        ++codeBacklog;
-    }
-}
-
-void
-MemoryController::queuePreset(std::uint64_t line_addr, unsigned rank,
-                              unsigned bank, std::uint64_t row)
-{
-    // The pre-SET pulses every cell of the line to 1, so it occupies
-    // the whole coarse write footprint (all data chips + ECC).
-    BgOp op;
-    op.chips = static_cast<ChipMask>((1u << (kDataChips + 1)) - 1);
-    op.rank = rank;
-    op.bank = bank;
-    op.row = row;
-    op.duration = cfg.timing.writeColTicks() +
-                  cfg.timing.burstTicks() +
-                  nsToTicks(cfg.timing.setNs);
-    op.isWrite = true;
-    op.created = eventq.now();
-    op.presetLine = line_addr;
-    op.onDone = [this, line_addr]() {
-        ++counters.presetsIssued;
-        // Energy: every 0 bit of the stored line gets a SET pulse.
-        const StoredLine &stored = backing.read(line_addr);
-        for (unsigned w = 0; w < kWordsPerLine; ++w)
-            energyModel.recordWordWrite(stored.data.w[w], ~0ull);
-        // Mark the buffered write (if still queued) as pre-SET.
-        for (WriteEntry &entry : writeQ) {
-            if (addrMap.lineAddr(entry.req.addr) == line_addr)
-                entry.presetDone = true;
-        }
-    };
-    bgOps.push_back(std::move(op));
-    ++codeBacklog; // shares the finite pending-op buffer
-}
-
-bool
-MemoryController::tryIssueWrites(Tick now, Tick &earliest)
-{
-    if (writeQ.empty())
-        return false;
-    if (codeBacklog >= cfg.codeUpdateBacklogCap) {
-        // The pending ECC/PCC update buffer is full: the fixed code
-        // chips cannot keep up and write service must wait for them
-        // (the contention the RDE rotation relieves).
-        earliest = now + cfg.timing.arrayWriteTicks() / 2;
-        return false;
-    }
-
-    // Mark the reads this drain step is holding up (Figure 1 metric).
-    if (!readQ.empty()) {
-        for (ReadEntry &r : readQ)
-            r.delayedByWrite = true;
-    }
-
-    // Oldest-first write selection among ranks whose write slot is
-    // free (one write group in service per rank).  The paper's
-    // scheduler rule 1 would prefer a one-essential-word write
-    // whenever reads wait, to maximize RoW opportunities; with WoW
-    // enabled that trade costs more consolidation bandwidth than the
-    // overlapped reads recover, so this implementation applies RoW
-    // only when the oldest eligible write happens to qualify.  See
-    // EXPERIMENTS.md.
-    std::size_t head_idx = writeQ.size();
-    Tick soonest_slot = kTickMax;
-    for (std::size_t i = 0; i < writeQ.size(); ++i) {
-        const unsigned w_rank = addrMap.decode(writeQ[i].req.addr).rank;
-        if (now >= writeSlotFreeAt[w_rank]) {
-            head_idx = i;
-            break;
-        }
-        soonest_slot = std::min(soonest_slot, writeSlotFreeAt[w_rank]);
-    }
-    if (head_idx == writeQ.size()) {
-        earliest = soonest_slot;
-        return false;
-    }
-    WriteEntry head = std::move(writeQ[head_idx]);
-    writeQ.erase(writeQ.begin() + static_cast<std::ptrdiff_t>(head_idx));
-
-    if (cfg.enablePreset && !head.presetDone) {
-        // The write outran its background pre-SET: drop the pending
-        // pulse instead of wasting it on a line leaving the queue.
-        const std::uint64_t head_line =
-            addrMap.lineAddr(head.req.addr);
-        for (std::size_t i = 0; i < bgOps.size(); ++i) {
-            if (bgOps[i].presetLine == head_line) {
-                pcmap_assert(codeBacklog > 0);
-                --codeBacklog;
-                bgOps.erase(bgOps.begin() +
-                            static_cast<std::ptrdiff_t>(i));
-                break;
-            }
-        }
-    }
-
-    const DecodedAddr loc = addrMap.decode(head.req.addr);
-    const std::uint64_t line = addrMap.lineAddr(head.req.addr);
-    const WordMask essential = backing.essentialWords(line, head.req.data);
-    const unsigned n_essential = wordCount(essential);
-    counters.essentialWordsSum += n_essential;
-
-    if (essential == 0) {
-        completeSilentWrite(std::move(head), essential);
-        return true;
-    }
-    ++counters.essentialHist[n_essential];
-
-    if (!cfg.fineGrained) {
-        // ------------------------------------------------------------
-        // Baseline coarse write: the whole 9-chip bank is locked in
-        // lockstep for the full write latency; only the essential
-        // chips (and the ECC chip) actually pulse their arrays, but
-        // none of the others can serve anything meanwhile.
-        // ------------------------------------------------------------
-        const ChipMask chips =
-            static_cast<ChipMask>((1u << (kDataChips + 1)) - 1);
-        const Tick lower =
-            std::max(now, ranks[loc.rank].freeAt(chips, loc.bank));
-        Tick s = 0;
-        Tick e = 0;
-        computeWriteWindow(chips, loc.bank, lower, s, e);
-        if (head.presetDone) {
-            // PreSET: only the fast RESET pulse remains (every cell
-            // is 1; the write resets the 0 bits of the new data).
-            e = s + cfg.timing.writeColTicks() +
-                cfg.timing.burstTicks() + nsToTicks(cfg.timing.resetNs);
-            ++counters.presetWrites;
-        }
-        reserveChips(loc.rank, chips, loc.bank, loc.row, s, e, true);
-        occupyBuses(chips,
-                    s + cfg.timing.writeColTicks(),
-                    s + cfg.timing.writeColTicks() +
-                        cfg.timing.burstTicks(),
-                    true, 2);
-        irlpTrackers[loc.rank].addOp(
-            now, s, e, chipLayout.chipsForWords(line, essential), true);
-        writeSlotFreeAt[loc.rank] = e;
-        const EventHandle completion = scheduleWriteCompletion(
-            head, essential, e, cfg.enableWriteCancellation);
-        if (cfg.enableWriteCancellation) {
-            activeWrite.valid = true;
-            activeWrite.rank = loc.rank;
-            activeWrite.bank = loc.bank;
-            activeWrite.start = s;
-            activeWrite.end = e;
-            activeWrite.completion = completion;
-            activeWrite.entry = std::move(head);
-        }
-        return true;
-    }
-
-    // ----------------------------------------------------------------
-    // Fine-grained PCMap write service.
-    // ----------------------------------------------------------------
-    const ChipMask data_chips = chipLayout.chipsForWords(line, essential);
-    const unsigned ecc_chip = chipLayout.eccChip(line);
-    const unsigned pcc_chip = chipLayout.pccChip(line);
-    // The controller polls the DIMM status register before scheduling.
-    unsigned num_cmds = 2 * chipCount(data_chips) +
-                        static_cast<unsigned>(cfg.timing.tStatus);
-    ++counters.statusPolls;
-
-    const bool two_step = cfg.enableRoW && cfg.enableTwoStep &&
-                          n_essential == 1 && !readQ.empty();
-
-    // Section IV-B4 extension: serialize a multi-word write into
-    // one-chip partial steps so RoW keeps working throughout.  Each
-    // step writes one essential word (the first also updates ECC);
-    // the PCC update follows the last step.  Write latency stretches
-    // to n_essential pulses, which is why the paper leaves this off.
-    const bool multi_step = cfg.enableRoW && cfg.rowMultiWordWrites &&
-                            !cfg.enableWoW && n_essential >= 2 &&
-                            !readQ.empty();
-    if (multi_step) {
-        std::vector<unsigned> step_chips;
-        for (unsigned w = 0; w < kWordsPerLine; ++w) {
-            if (essential & (1u << w))
-                step_chips.push_back(chipLayout.chipForWord(line, w));
-        }
-        const unsigned ecc_c = chipLayout.eccChip(line);
-        const unsigned pcc_c = chipLayout.pccChip(line);
-        const unsigned w_rank = loc.rank;
-        const unsigned bank = loc.bank;
-        const std::uint64_t row = loc.row;
-
-        // Step 0 now: first essential chip + the ECC chip.
-        const ChipMask first =
-            static_cast<ChipMask>(1u << step_chips[0]) |
-            static_cast<ChipMask>(1u << ecc_c);
-        const Tick lower =
-            std::max(now, ranks[w_rank].freeAt(first, bank));
-        Tick s0 = 0;
-        Tick e0 = 0;
-        computeWriteWindow(first, bank, lower, s0, e0);
-        reserveChips(w_rank, first, bank, row, s0, e0, true);
-        occupyBuses(first, s0 + cfg.timing.writeColTicks(),
-                    s0 + cfg.timing.writeColTicks() +
-                        cfg.timing.burstTicks(),
-                    true, num_cmds + 2);
-        irlpTrackers[w_rank].addOp(
-            now, s0, e0, static_cast<ChipMask>(1u << step_chips[0]),
-            true);
-
-        // Later steps chain as events so their chips stay visibly
-        // free (for RoW reads) until each step actually begins.
-        auto chain = std::make_shared<std::function<void(std::size_t)>>();
-        auto entry_ptr = std::make_shared<WriteEntry>(std::move(head));
-        *chain = [this, step_chips, w_rank, bank, row, pcc_c, entry_ptr,
-                  essential, chain](std::size_t idx) {
-            const Tick t0 = eventq.now();
-            const bool is_pcc = idx >= step_chips.size();
-            const ChipMask chips = static_cast<ChipMask>(
-                1u << (is_pcc ? pcc_c : step_chips[idx]));
-            const Tick lower2 =
-                std::max(t0, ranks[w_rank].freeAt(chips, bank));
-            Tick s1 = 0;
-            Tick e1 = 0;
-            computeWriteWindow(chips, bank, lower2, s1, e1);
-            reserveChips(w_rank, chips, bank, row, s1, e1, true);
-            occupyBuses(chips, s1 + cfg.timing.writeColTicks(),
-                        s1 + cfg.timing.writeColTicks() +
-                            cfg.timing.burstTicks(),
-                        true, 2);
-            irlpTrackers[w_rank].addOp(t0, s1, e1, is_pcc ? 0 : chips,
-                                       true);
-            if (is_pcc) {
-                // Chain complete; the write commits at the end of the
-                // last data step (this PCC pulse trails).
-                eventq.schedule(e1, [this]() { kick(); });
-                return;
-            }
-            const bool last_data = idx + 1 >= step_chips.size();
-            if (last_data) {
-                writeSlotFreeAt[w_rank] =
-                    std::max(writeSlotFreeAt[w_rank], e1);
-                scheduleWriteCompletion(*entry_ptr, essential, e1);
-            }
-            ++inFlight;
-            eventq.schedule(e1, [this, chain, idx]() {
-                --inFlight;
-                (*chain)(idx + 1);
-            });
-        };
-        writeSlotFreeAt[w_rank] =
-            e0 + (step_chips.size() - 1) * cfg.timing.chipWriteTicks();
-        ++counters.multiStepWrites;
-        ++inFlight;
-        eventq.schedule(e0, [this, chain]() {
-            --inFlight;
-            (*chain)(1);
-        });
-        return true;
-    }
-
-    if (two_step) {
-        // Step 1: the essential data chip and the ECC chip.
-        // Step 2: the PCC chip, scheduled immediately after with no
-        // interruption (Section IV-B1), so a concurrent RoW read can
-        // reconstruct against a consistent PCC.
-        const ChipMask step1 =
-            data_chips | static_cast<ChipMask>(1u << ecc_chip);
-        const Tick lower =
-            std::max(now, ranks[loc.rank].freeAt(step1, loc.bank));
-        Tick s1 = 0;
-        Tick e1 = 0;
-        computeWriteWindow(step1, loc.bank, lower, s1, e1);
-        reserveChips(loc.rank, step1, loc.bank, loc.row, s1, e1, true);
-        occupyBuses(step1,
-                    s1 + cfg.timing.writeColTicks(),
-                    s1 + cfg.timing.writeColTicks() +
-                        cfg.timing.burstTicks(),
-                    true, num_cmds + 2);
-
-        // Step 2 (the PCC update) must leave the PCC chip *free*
-        // during step 1 so concurrent RoW reads can use it for
-        // reconstruction; it is therefore issued by an event at the
-        // end of step 1 rather than reserved ahead of time.  The
-        // paper's "immediately after, with no interrupt" rule is
-        // honoured up to an in-flight RoW read's tail on the chip.
-        const ChipMask step2 = static_cast<ChipMask>(1u << pcc_chip);
-        const unsigned w_rank = loc.rank;
-        const unsigned bank = loc.bank;
-        const std::uint64_t row = loc.row;
-        ++inFlight;
-        eventq.schedule(e1, [this, step2, w_rank, bank, row]() {
-            const Tick t0 = eventq.now();
-            const Tick lower2 =
-                std::max(t0, ranks[w_rank].freeAt(step2, bank));
-            Tick s2 = 0;
-            Tick e2 = 0;
-            computeWriteWindow(step2, bank, lower2, s2, e2);
-            reserveChips(w_rank, step2, bank, row, s2, e2, true);
-            occupyBuses(step2,
-                        s2 + cfg.timing.writeColTicks(),
-                        s2 + cfg.timing.writeColTicks() +
-                            cfg.timing.burstTicks(),
-                        true, 2);
-            irlpTrackers[w_rank].addOp(t0, s2, e2, 0, true);
-            eventq.schedule(e2, [this]() {
-                --inFlight;
-                kick();
-            });
-        });
-
-        irlpTrackers[loc.rank].addOp(now, s1, e1, data_chips, true);
-        ++counters.twoStepWrites;
-        writeSlotFreeAt[loc.rank] = e1;
-        scheduleWriteCompletion(head, essential, e1);
-        return true;
-    }
-
-    // Parallel fine write, optionally consolidating further queued
-    // writes to the same bank whose essential chips do not overlap
-    // (WoW, Section IV-C).
-    struct Member
-    {
-        WriteEntry entry;
-        WordMask essential = 0;
-        ChipMask chips = 0;
-        std::uint64_t line = 0;
-        std::uint64_t row = 0;
-        unsigned nEssential = 0;
-    };
-
-    std::vector<Member> group;
-    group.push_back(Member{std::move(head), essential, data_chips, line,
-                           loc.row, n_essential});
-    ChipMask occupied = data_chips;
-
-    const Tick lower =
-        std::max(now, ranks[loc.rank].freeAt(data_chips, loc.bank));
-    Tick s = 0;
-    Tick e = 0;
-    computeWriteWindow(data_chips, loc.bank, lower, s, e);
-
-    if (cfg.enableWoW) {
-        const std::size_t scan_depth =
-            cfg.perBankWriteQueues
-                ? static_cast<std::size_t>(cfg.wowScanDepth) *
-                      cfg.banksPerRank
-                : cfg.wowScanDepth;
-        std::size_t scanned = 0;
-        for (auto it = writeQ.begin();
-             it != writeQ.end() && scanned < scan_depth &&
-             group.size() < cfg.wowMaxMerge;
-             ++scanned) {
-            const DecodedAddr cloc = addrMap.decode(it->req.addr);
-            if (cloc.bank != loc.bank || cloc.rank != loc.rank) {
-                ++it;
-                continue;
-            }
-            const std::uint64_t cline = addrMap.lineAddr(it->req.addr);
-            const WordMask cess =
-                backing.essentialWords(cline, it->req.data);
-            if (cess == 0) {
-                // Silent stores complete for free once they reach the
-                // queue head; no need to merge them.
-                ++it;
-                continue;
-            }
-            const ChipMask cchips =
-                chipLayout.chipsForWords(cline, cess);
-            if ((cchips & occupied) != 0 ||
-                ranks[loc.rank].freeAt(cchips, cloc.bank) > s) {
-                ++it;
-                continue;
-            }
-            Member m;
-            m.entry = std::move(*it);
-            m.essential = cess;
-            m.chips = cchips;
-            m.line = cline;
-            m.row = cloc.row;
-            m.nEssential = wordCount(cess);
-            counters.essentialWordsSum += m.nEssential;
-            ++counters.essentialHist[m.nEssential];
-            occupied |= cchips;
-            num_cmds += 2 * chipCount(cchips);
-            group.push_back(std::move(m));
-            it = writeQ.erase(it);
-        }
-    }
-
-    // Reserve every member's chips over the common window; each chip
-    // opens its own member's row (sub-ranked independence).
-    for (const Member &m : group) {
-        for (unsigned c = 0; c < kChipsPerRank; ++c) {
-            if (m.chips & (1u << c)) {
-                ranks[loc.rank].reserveChip(c, loc.bank, m.row, s, e,
-                                            true);
-            }
-        }
-        irlpTrackers[loc.rank].addOp(now, s, e, m.chips, true);
-        scheduleWriteCompletion(m.entry, m.essential, e);
-        queueCodeUpdates(m.line, loc.rank, loc.bank, m.row, true, true,
-                         now);
-    }
-    occupyBuses(occupied,
-                s + cfg.timing.writeColTicks(),
-                s + cfg.timing.writeColTicks() + cfg.timing.burstTicks(),
-                true, num_cmds);
-    if (group.size() > 1) {
-        ++counters.wowGroups;
-        counters.wowMergedWrites += group.size() - 1;
-    }
-    counters.wowGroupSizeSum += group.size();
-    writeSlotFreeAt[loc.rank] = e;
-    return true;
-}
-
-// ---------------------------------------------------------------------
-// Background operations: deferred code updates and verifications
-// ---------------------------------------------------------------------
-
-void
-MemoryController::queueVerifyOp(const ReadPlan &plan, const MemRequest &req,
-                                const DecodedAddr &loc, bool fault)
-{
-    BgOp op;
-    op.rank = loc.rank;
-    op.bank = loc.bank;
-    op.row = loc.row;
-    op.isWrite = false;
-    op.created = eventq.now();
-    ChipMask chips = 0;
-    if (plan.reconstruct && plan.busyChip != kNoWord)
-        chips |= static_cast<ChipMask>(1u << plan.busyChip);
-    if (plan.eccDeferred) {
-        const std::uint64_t line = addrMap.lineAddr(req.addr);
-        chips |= static_cast<ChipMask>(1u << chipLayout.eccChip(line));
-    }
-    pcmap_assert(chips != 0);
-    op.chips = chips;
-    op.duration = cfg.timing.readHitTicks();
-    const ReqId id = req.id;
-    const unsigned core = req.coreId;
-    op.onDone = [this, id, core, fault]() {
-        ++counters.verifiesCompleted;
-        pcmap_assert(pendingVerifies > 0);
-        --pendingVerifies;
-        if (fault)
-            ++counters.faultsDetected;
-        if (verifyCb)
-            verifyCb(id, core, fault);
-    };
-    if (!cfg.modelVerifyTraffic) {
-        // Ablation: the check is functionally performed but charged
-        // no chip time; report it one read-hit later.
-        ++inFlight;
-        eventq.schedule(eventq.now() + cfg.timing.readHitTicks(),
-                        [this, done = std::move(op.onDone)]() {
-                            --inFlight;
-                            done();
-                            kick();
-                        });
-        return;
-    }
-    bgOps.push_back(std::move(op));
-}
-
-bool
-MemoryController::readWantsBank(unsigned rank, unsigned bank) const
-{
-    for (const ReadEntry &r : readQ) {
-        const DecodedAddr loc = addrMap.decode(r.req.addr);
-        if (loc.rank == rank && loc.bank == bank)
-            return true;
-    }
-    return false;
-}
-
-bool
-MemoryController::readWantsChips(unsigned rank, unsigned bank,
-                                 ChipMask chips) const
-{
-    for (const ReadEntry &r : readQ) {
-        const DecodedAddr loc = addrMap.decode(r.req.addr);
-        if (loc.rank != rank || loc.bank != bank)
-            continue;
-        const std::uint64_t line = addrMap.lineAddr(r.req.addr);
-        const ChipMask needed =
-            chipLayout.dataChips(line) |
-            static_cast<ChipMask>(1u << chipLayout.eccChip(line));
-        if (needed & chips)
-            return true;
-    }
-    return false;
-}
-
-void
-MemoryController::tryIssueBgOps(Tick now)
-{
-    for (std::size_t i = 0; i < bgOps.size();) {
-        BgOp &op = bgOps[i];
-        // Both deferred kinds yield to pending reads (they are off the
-        // critical path), but verifications age out much faster: the
-        // controller wants the missing-word check soon after the
-        // blocking write so the rollback window stays small
-        // (Section IV-B3), while code updates can ride out a whole
-        // drain phase.
-        const Tick force_age =
-            op.isWrite ? kBgForceAge : kVerifyForceAge;
-        const bool aged = now - op.created >= force_age;
-        const Tick free_at =
-            ranks[op.rank].freeAt(op.chips, op.bank);
-        // Yield only to reads that actually need these chips, and not
-        // while draining (reads are held back then anyway).
-        const bool yields =
-            !draining && readWantsChips(op.rank, op.bank, op.chips);
-        Tick start;
-        if (free_at <= now && (aged || !yields)) {
-            start = now;
-        } else if (aged) {
-            start = free_at; // force foreground after starvation
-            ++counters.bgOpsForced;
-        } else {
-            ++i;
-            continue;
-        }
-
-        // Row activation if the op's row is not already open.
-        Tick duration = op.duration;
-        if (!op.isWrite &&
-            !ranks[op.rank].rowOpenAll(op.chips, op.bank, op.row)) {
-            duration += cfg.timing.actTicks();
-        }
-        const Tick end = start + duration;
-        reserveChips(op.rank, op.chips, op.bank, op.row, start, end,
-                     op.isWrite);
-        if (op.isWrite) {
-            pcmap_assert(codeBacklog > 0);
-            --codeBacklog;
-        }
-        ++counters.bgOpsIssued;
-        ++inFlight;
-        auto done_cb = std::move(op.onDone);
-        bgOps.erase(bgOps.begin() + static_cast<std::ptrdiff_t>(i));
-        eventq.schedule(end, [this, done_cb = std::move(done_cb)]() {
-            --inFlight;
-            if (done_cb)
-                done_cb();
-            kick();
-        });
-    }
-}
-
-void
-MemoryController::maybeCancelActiveWrite(Tick now)
-{
-    if (!cfg.enableWriteCancellation || !activeWrite.valid ||
-        readQ.empty()) {
-        return;
-    }
-    // Never cancel under drain pressure: with the write queue near
-    // full, retrying writes only deepens the backlog the reads are
-    // ultimately waiting on (the guard Qureshi et al. also apply).
-    if (draining)
-        return;
-    if (now >= activeWrite.end)
-        return; // effectively finished
-    // A coarse write blocks every chip, so any queued read benefits.
-    const Tick remaining = activeWrite.end - now;
-    const auto min_remaining = static_cast<Tick>(
-        cfg.cancelMinRemainingFrac *
-        static_cast<double>(activeWrite.end - activeWrite.start));
-    if (remaining < min_remaining)
-        return;
-    if (activeWrite.entry.cancels >= cfg.maxWriteCancels)
-        return;
-
-    eventq.cancel(activeWrite.completion);
-    --inFlight;
-    for (unsigned c = 0; c <= kDataChips; ++c)
-        ranks[activeWrite.rank].abortWrite(c, activeWrite.bank, now);
-    ++counters.writesCancelled;
-    ++activeWrite.entry.cancels;
-    writeQ.push_front(std::move(activeWrite.entry));
-    writeSlotFreeAt[activeWrite.rank] = now;
-    activeWrite.valid = false;
 }
 
 void

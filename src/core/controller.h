@@ -15,6 +15,17 @@
  *    essential chip sets are disjoint;
  *  - address-based rotation of data words and of the ECC/PCC words.
  *
+ * Policy layer
+ * ------------
+ * The mechanisms are not hard-coded: the controller composes three
+ * policy objects built by ControllerPolicy from its configuration —
+ * an AccessScheduler (read planning, drain behaviour, page policy),
+ * a WriteCoalescer (WoW grouping, two-/multi-step splitting) and a
+ * LineLayout (word/code placement, read materialization).  The
+ * controller keeps all timing-state mutation (reservations, buses,
+ * event scheduling); the policies only plan.  See DESIGN.md,
+ * "Controller policy layer".
+ *
  * Timing model
  * ------------
  * Transaction level with per-(chip, bank) reservations, per-chip data
@@ -34,13 +45,19 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/controller_config.h"
-#include "core/layout.h"
+#include "core/controller_stats.h"
+#include "core/policy/access_scheduler.h"
+#include "core/policy/controller_policy.h"
+#include "core/policy/line_layout.h"
+#include "core/policy/write_coalescer.h"
 #include "mem/address.h"
 #include "mem/backing_store.h"
+#include "mem/bank_state.h"
 #include "mem/energy.h"
 #include "mem/irlp.h"
 #include "mem/rank.h"
@@ -51,58 +68,6 @@
 
 namespace pcmap {
 
-/** Aggregate counters exposed by a controller for harvesting. */
-struct ControllerStats
-{
-    std::uint64_t readsEnqueued = 0;
-    std::uint64_t readsCompleted = 0;
-    std::uint64_t readsForwardedFromWq = 0;
-    std::uint64_t readsDelayedByWrite = 0;
-    std::uint64_t readsRejected = 0;
-
-    std::uint64_t writesEnqueued = 0;
-    std::uint64_t writesCoalesced = 0;
-    std::uint64_t writesCompleted = 0;
-    std::uint64_t writesSilent = 0;
-    std::uint64_t writesRejected = 0;
-
-    double readLatencySum = 0.0;  ///< ticks, completion - enqueue
-    double readLatencyMax = 0.0;
-    double readQueueWaitSum = 0.0; ///< ticks, issue-start - enqueue
-    std::uint64_t readsIssuedDuringDrain = 0;
-
-    std::uint64_t essentialWordsSum = 0;
-    std::uint64_t essentialHist[kWordsPerLine + 1] = {};
-
-    std::uint64_t rowReads = 0;        ///< reads served by reconstruction
-    std::uint64_t deferredEccReads = 0;///< reads with ECC check deferred
-    std::uint64_t verifiesCompleted = 0;
-    std::uint64_t faultsDetected = 0;
-
-    std::uint64_t twoStepWrites = 0;   ///< 1-word writes split for RoW
-    std::uint64_t multiStepWrites = 0; ///< §IV-B4 serialized writes
-    std::uint64_t writesCancelled = 0; ///< write-cancellation events
-    std::uint64_t presetsIssued = 0;   ///< background line pre-SETs
-    std::uint64_t presetWrites = 0;    ///< writes served RESET-only
-    std::uint64_t wowGroups = 0;       ///< write groups with >= 2 writes
-    std::uint64_t wowMergedWrites = 0; ///< writes that joined a group
-    std::uint64_t wowGroupSizeSum = 0;
-    std::uint64_t bgOpsIssued = 0;
-    std::uint64_t bgOpsForced = 0;     ///< aged out and issued foreground
-    std::uint64_t statusPolls = 0;
-
-    /** Mean effective read latency in nanoseconds. */
-    double
-    avgReadLatencyNs() const
-    {
-        return readsCompleted
-                   ? ticksToNs(static_cast<Tick>(
-                         readLatencySum /
-                         static_cast<double>(readsCompleted)))
-                   : 0.0;
-    }
-};
-
 /**
  * One channel's memory controller (Figure 7).
  *
@@ -110,7 +75,7 @@ struct ControllerStats
  * the background-operation list, and drives everything from the shared
  * event queue.
  */
-class MemoryController
+class MemoryController : private ReadWindowModel
 {
   public:
     using ReadCallback = MemoryPort::ReadCallback;
@@ -180,22 +145,12 @@ class MemoryController
     const std::string &name() const { return instName; }
     const ControllerConfig &config() const { return cfg; }
 
+    // --- Composed policy objects (read-only; for tests/diagnostics) ---
+    const LineLayout &layoutPolicy() const { return *lineLayout; }
+    const AccessScheduler &schedulerPolicy() const { return *scheduler; }
+    const WriteCoalescer &coalescerPolicy() const { return *coalescer; }
+
   private:
-    // --- Queue entry types ---
-    struct ReadEntry
-    {
-        MemRequest req;
-        ReadCallback cb;
-        bool delayedByWrite = false;
-    };
-
-    struct WriteEntry
-    {
-        MemRequest req;
-        unsigned cancels = 0;    ///< times cancelled by a read
-        bool presetDone = false; ///< line pre-SET while buffered
-    };
-
     /** A deferred code-update or verification on specific chips. */
     struct BgOp
     {
@@ -211,29 +166,9 @@ class MemoryController
         std::function<void()> onDone; ///< may be empty (code updates)
     };
 
-    /** Candidate plan for issuing one read. */
-    struct ReadPlan
-    {
-        bool feasible = false;
-        std::size_t index = 0;   ///< position in readQ
-        unsigned rank = 0;
-        Tick start = kTickMax;
-        Tick end = 0;
-        ChipMask chips = 0;      ///< chips read inline
-        bool rowHit = false;
-        bool speculative = false;///< some check deferred
-        bool reconstruct = false;///< RoW: one data word rebuilt via PCC
-        unsigned missingWord = kNoWord;
-        unsigned busyChip = kNoWord;
-        bool eccDeferred = false;///< ECC chip not read inline
-        bool delayedByWrite = false;
-    };
-
     // --- Scheduling ---
     void kick();
     void scheduleKick(Tick when);
-    /** Plan the best read to issue; does not mutate state. */
-    ReadPlan planRead(Tick now, bool immediate_only);
     void issueRead(const ReadPlan &plan);
     /**
      * Try to issue the head-of-queue write (plus WoW merges).
@@ -247,11 +182,13 @@ class MemoryController
     /**
      * Earliest feasible [start, end) of an array read transaction on
      * @p chips at (@p bank, @p row), honouring chip, lane, command-bus
-     * and turnaround constraints from @p lower_bound.
+     * and turnaround constraints from @p lower_bound.  Overrides the
+     * ReadWindowModel interface the access scheduler plans through.
      */
     void computeReadWindow(ChipMask chips, unsigned bank,
                            std::uint64_t row, Tick lower_bound,
-                           bool row_hit, Tick &start, Tick &end) const;
+                           bool row_hit, Tick &start,
+                           Tick &end) const override;
     /** Same for a write transaction (column write + burst + pulse). */
     void computeWriteWindow(ChipMask chips, unsigned bank, Tick lower_bound,
                             Tick &start, Tick &end) const;
@@ -310,14 +247,20 @@ class MemoryController
     // --- Construction-time state ---
     std::string instName;
     ControllerConfig cfg;
-    ChipLayout chipLayout;
     EventQueue &eventq;
     BackingStore &backing;
     const AddressMapper &addrMap;
     unsigned channelId;
 
+    // --- Composed policies (built from cfg by ControllerPolicy) ---
+    std::unique_ptr<LineLayout> lineLayout;
+    std::unique_ptr<AccessScheduler> scheduler;
+    std::unique_ptr<WriteCoalescer> coalescer;
+
     // --- Timing state ---
     std::vector<Rank> ranks;
+    /** Read-only facade the policies plan over (aliases ranks). */
+    BankStateView bankView{ranks};
     std::array<Tick, kChipsPerRank> laneFreeAt{};
     Tick cmdBusFreeAt = 0;
     Tick lastReadBurstEnd = 0;
@@ -339,8 +282,8 @@ class MemoryController
     ActiveCoarseWrite activeWrite;
 
     // --- Queues ---
-    std::deque<ReadEntry> readQ;
-    std::deque<WriteEntry> writeQ;
+    ReadQueue readQ;
+    WriteQueue writeQ;
     std::vector<BgOp> bgOps;
     unsigned codeBacklog = 0; ///< code updates within bgOps
     unsigned pendingVerifies = 0; ///< speculative reads not yet checked

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * MemoryController background operations: deferred ECC/PCC code
+ * updates, deferred SECDED verifications, and the PreSET comparator's
+ * background line pulses — everything that rides the bgOps list and
+ * yields to pending reads.
+ */
+
+#include "core/controller.h"
+
+#include "sim/log.h"
+
+namespace pcmap {
+
+void
+MemoryController::queueCodeUpdates(std::uint64_t line_addr,
+                                   unsigned rank, unsigned bank,
+                                   std::uint64_t row, bool ecc, bool pcc,
+                                   Tick created)
+{
+    if (!cfg.modelCodeUpdateTraffic)
+        return;
+    if (ecc) {
+        BgOp op;
+        op.chips = static_cast<ChipMask>(
+            1u << lineLayout->eccChip(line_addr));
+        op.rank = rank;
+        op.bank = bank;
+        op.row = row;
+        op.duration = cfg.timing.chipWriteTicks();
+        op.isWrite = true;
+        op.created = created;
+        bgOps.push_back(std::move(op));
+        ++codeBacklog;
+    }
+    if (pcc && cfg.hasPcc()) {
+        BgOp op;
+        op.chips = static_cast<ChipMask>(
+            1u << lineLayout->pccChip(line_addr));
+        op.rank = rank;
+        op.bank = bank;
+        op.row = row;
+        op.duration = cfg.timing.chipWriteTicks();
+        op.isWrite = true;
+        op.created = created;
+        bgOps.push_back(std::move(op));
+        ++codeBacklog;
+    }
+}
+
+void
+MemoryController::queuePreset(std::uint64_t line_addr, unsigned rank,
+                              unsigned bank, std::uint64_t row)
+{
+    // The pre-SET pulses every cell of the line to 1, so it occupies
+    // the whole coarse write footprint (all data chips + ECC).
+    BgOp op;
+    op.chips = static_cast<ChipMask>((1u << (kDataChips + 1)) - 1);
+    op.rank = rank;
+    op.bank = bank;
+    op.row = row;
+    op.duration = cfg.timing.writeColTicks() +
+                  cfg.timing.burstTicks() +
+                  nsToTicks(cfg.timing.setNs);
+    op.isWrite = true;
+    op.created = eventq.now();
+    op.presetLine = line_addr;
+    op.onDone = [this, line_addr]() {
+        ++counters.presetsIssued;
+        // Energy: every 0 bit of the stored line gets a SET pulse.
+        const StoredLine &stored = backing.read(line_addr);
+        for (unsigned w = 0; w < kWordsPerLine; ++w)
+            energyModel.recordWordWrite(stored.data.w[w], ~0ull);
+        // Mark the buffered write (if still queued) as pre-SET.
+        for (WriteEntry &entry : writeQ) {
+            if (addrMap.lineAddr(entry.req.addr) == line_addr)
+                entry.presetDone = true;
+        }
+    };
+    bgOps.push_back(std::move(op));
+    ++codeBacklog; // shares the finite pending-op buffer
+}
+
+void
+MemoryController::tryIssueBgOps(Tick now)
+{
+    for (std::size_t i = 0; i < bgOps.size();) {
+        BgOp &op = bgOps[i];
+        // Both deferred kinds yield to pending reads (they are off the
+        // critical path), but verifications age out much faster: the
+        // controller wants the missing-word check soon after the
+        // blocking write so the rollback window stays small
+        // (Section IV-B3), while code updates can ride out a whole
+        // drain phase.
+        const Tick force_age =
+            op.isWrite ? kBgForceAge : kVerifyForceAge;
+        const bool aged = now - op.created >= force_age;
+        const Tick free_at =
+            ranks[op.rank].freeAt(op.chips, op.bank);
+        // Yield only to reads that actually need these chips, and not
+        // while draining (reads are held back then anyway).
+        const bool yields =
+            !draining && readWantsChips(op.rank, op.bank, op.chips);
+        Tick start;
+        if (free_at <= now && (aged || !yields)) {
+            start = now;
+        } else if (aged) {
+            start = free_at; // force foreground after starvation
+            ++counters.bgOpsForced;
+        } else {
+            ++i;
+            continue;
+        }
+
+        // Row activation if the op's row is not already open.
+        Tick duration = op.duration;
+        if (!op.isWrite &&
+            !ranks[op.rank].rowOpenAll(op.chips, op.bank, op.row)) {
+            duration += cfg.timing.actTicks();
+        }
+        const Tick end = start + duration;
+        reserveChips(op.rank, op.chips, op.bank, op.row, start, end,
+                     op.isWrite);
+        if (op.isWrite) {
+            pcmap_assert(codeBacklog > 0);
+            --codeBacklog;
+        }
+        ++counters.bgOpsIssued;
+        ++inFlight;
+        auto done_cb = std::move(op.onDone);
+        bgOps.erase(bgOps.begin() + static_cast<std::ptrdiff_t>(i));
+        eventq.schedule(end, [this, done_cb = std::move(done_cb)]() {
+            --inFlight;
+            if (done_cb)
+                done_cb();
+            kick();
+        });
+    }
+}
+
+} // namespace pcmap

@@ -1,5 +1,8 @@
 #include "core/controller_config.h"
 
+#include <cctype>
+
+#include "core/policy/controller_policy.h"
 #include "sim/log.h"
 
 namespace pcmap {
@@ -18,6 +21,18 @@ systemModeName(SystemMode mode)
     pcmap_panic("unknown system mode");
 }
 
+std::string
+systemModeNames()
+{
+    std::string names;
+    for (const SystemMode mode : kAllModes) {
+        if (!names.empty())
+            names += ", ";
+        names += systemModeName(mode);
+    }
+    return names;
+}
+
 std::optional<SystemMode>
 systemModeFromName(const std::string &name)
 {
@@ -25,9 +40,15 @@ systemModeFromName(const std::string &name)
     for (char &c : canon) {
         if (c == '_')
             c = '-';
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
     }
     for (const SystemMode mode : kAllModes) {
-        if (canon == systemModeName(mode))
+        std::string label = systemModeName(mode);
+        for (char &c : label)
+            c = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        if (canon == label)
             return mode;
     }
     return std::nullopt;
@@ -37,35 +58,7 @@ ControllerConfig
 ControllerConfig::forMode(SystemMode mode)
 {
     ControllerConfig cfg;
-    switch (mode) {
-      case SystemMode::Baseline:
-        break;
-      case SystemMode::RoW_NR:
-        cfg.fineGrained = true;
-        cfg.enableRoW = true;
-        break;
-      case SystemMode::WoW_NR:
-        cfg.fineGrained = true;
-        cfg.enableWoW = true;
-        break;
-      case SystemMode::RWoW_NR:
-        cfg.fineGrained = true;
-        cfg.enableRoW = true;
-        cfg.enableWoW = true;
-        break;
-      case SystemMode::RWoW_RD:
-        cfg.fineGrained = true;
-        cfg.enableRoW = true;
-        cfg.enableWoW = true;
-        cfg.rotation = RotationMode::Data;
-        break;
-      case SystemMode::RWoW_RDE:
-        cfg.fineGrained = true;
-        cfg.enableRoW = true;
-        cfg.enableWoW = true;
-        cfg.rotation = RotationMode::DataEcc;
-        break;
-    }
+    ControllerPolicy::forMode(mode).applyTo(cfg);
     return cfg;
 }
 

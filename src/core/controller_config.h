@@ -40,10 +40,13 @@ enum class SystemMode
 /** Human-readable name of a system mode (matches the paper's labels). */
 const char *systemModeName(SystemMode mode);
 
+/** Comma-separated list of all mode labels (for error messages). */
+std::string systemModeNames();
+
 /**
- * Parse a mode from its systemModeName() label ("RWoW-RDE"); also
- * accepts '_' for '-' so shell-friendly spellings work.  nullopt on an
- * unknown name.
+ * Parse a mode from its systemModeName() label ("RWoW-RDE"),
+ * case-insensitively; also accepts '_' for '-' so shell-friendly
+ * spellings work.  nullopt on an unknown name.
  */
 std::optional<SystemMode> systemModeFromName(const std::string &name);
 

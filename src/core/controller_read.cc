@@ -1,0 +1,182 @@
+/**
+ * @file
+ * MemoryController read service: committing the plan the access
+ * scheduler produced (reservations, buses, stats) and completing it
+ * through the line layout's read materialization, plus the deferred
+ * SECDED verification of speculative reads.
+ */
+
+#include "core/controller.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace pcmap {
+
+void
+MemoryController::issueRead(const ReadPlan &plan)
+{
+    const Tick now = eventq.now();
+    pcmap_assert(plan.index < readQ.size());
+    ReadEntry entry = std::move(readQ[plan.index]);
+    readQ.erase(readQ.begin() +
+                static_cast<std::ptrdiff_t>(plan.index));
+
+    const DecodedAddr loc = addrMap.decode(entry.req.addr);
+    const std::uint64_t line = addrMap.lineAddr(entry.req.addr);
+    const ChipMask data_mask = lineLayout->dataChips(line);
+
+    reserveChips(loc.rank, plan.chips, loc.bank, loc.row, plan.start,
+                 plan.end, false);
+    if (scheduler->closesRowAfterAccess()) {
+        for (unsigned c = 0; c < kChipsPerRank; ++c) {
+            if (plan.chips & (1u << c))
+                ranks[loc.rank].closeRow(c, loc.bank);
+        }
+    }
+    unsigned num_cmds = plan.rowHit ? 1 : 2;
+    if (cfg.fineGrained && plan.speculative) {
+        // The controller polled the DIMM status register to learn
+        // which chips are busy (Section IV-D1).
+        num_cmds += static_cast<unsigned>(cfg.timing.tStatus);
+        ++counters.statusPolls;
+    }
+    occupyBuses(plan.chips, plan.end - cfg.timing.burstTicks(), plan.end,
+                false, num_cmds);
+    irlpTrackers[loc.rank].addOp(now, plan.start, plan.end,
+                                 plan.chips & data_mask, false);
+
+    if (plan.rowHit)
+        energyModel.recordBufferAccess(1);
+    else
+        energyModel.recordActivation(1);
+    energyModel.recordBusTransfer(chipCount(plan.chips));
+
+    if (plan.reconstruct)
+        ++counters.rowReads;
+    if (plan.eccDeferred)
+        ++counters.deferredEccReads;
+    if (plan.speculative)
+        ++pendingVerifies;
+    if (draining)
+        ++counters.readsIssuedDuringDrain;
+    counters.readQueueWaitSum += static_cast<double>(
+        plan.start - entry.req.enqueueTick);
+
+    const bool delayed = entry.delayedByWrite || plan.delayedByWrite;
+    notifyRetry(); // read-queue space freed
+
+    ++inFlight;
+    ReadPlan plan_copy = plan;
+    eventq.schedule(plan.end, [this, plan = plan_copy,
+                               entry = std::move(entry), loc,
+                               line, delayed]() mutable {
+        const Tick done = eventq.now();
+        const StoredLine &stored = backing.read(line);
+        CacheLine out;
+        const bool fault = lineLayout->materializeRead(
+            stored, plan.reconstruct, plan.missingWord, plan.speculative,
+            plan.eccDeferred, out);
+
+        ReadResponse resp;
+        resp.id = entry.req.id;
+        resp.addr = entry.req.addr;
+        resp.coreId = entry.req.coreId;
+        resp.completionTick = done;
+        resp.data = out;
+        resp.speculative = plan.speculative;
+
+        ++counters.readsCompleted;
+        if (delayed)
+            ++counters.readsDelayedByWrite;
+        const double lat =
+            static_cast<double>(done - entry.req.enqueueTick);
+        counters.readLatencySum += lat;
+        counters.readLatencyMax = std::max(counters.readLatencyMax, lat);
+
+        if (plan.speculative)
+            queueVerifyOp(plan, entry.req, loc, fault);
+
+        --inFlight;
+        entry.cb(resp);
+        kick();
+    });
+}
+
+void
+MemoryController::queueVerifyOp(const ReadPlan &plan, const MemRequest &req,
+                                const DecodedAddr &loc, bool fault)
+{
+    BgOp op;
+    op.rank = loc.rank;
+    op.bank = loc.bank;
+    op.row = loc.row;
+    op.isWrite = false;
+    op.created = eventq.now();
+    ChipMask chips = 0;
+    if (plan.reconstruct && plan.busyChip != kNoWord)
+        chips |= static_cast<ChipMask>(1u << plan.busyChip);
+    if (plan.eccDeferred) {
+        const std::uint64_t line = addrMap.lineAddr(req.addr);
+        chips |= static_cast<ChipMask>(1u << lineLayout->eccChip(line));
+    }
+    pcmap_assert(chips != 0);
+    op.chips = chips;
+    op.duration = cfg.timing.readHitTicks();
+    const ReqId id = req.id;
+    const unsigned core = req.coreId;
+    op.onDone = [this, id, core, fault]() {
+        ++counters.verifiesCompleted;
+        pcmap_assert(pendingVerifies > 0);
+        --pendingVerifies;
+        if (fault)
+            ++counters.faultsDetected;
+        if (verifyCb)
+            verifyCb(id, core, fault);
+    };
+    if (!cfg.modelVerifyTraffic) {
+        // Ablation: the check is functionally performed but charged
+        // no chip time; report it one read-hit later.
+        ++inFlight;
+        eventq.schedule(eventq.now() + cfg.timing.readHitTicks(),
+                        [this, done = std::move(op.onDone)]() {
+                            --inFlight;
+                            done();
+                            kick();
+                        });
+        return;
+    }
+    bgOps.push_back(std::move(op));
+}
+
+bool
+MemoryController::readWantsBank(unsigned rank, unsigned bank) const
+{
+    for (const ReadEntry &r : readQ) {
+        const DecodedAddr loc = addrMap.decode(r.req.addr);
+        if (loc.rank == rank && loc.bank == bank)
+            return true;
+    }
+    return false;
+}
+
+bool
+MemoryController::readWantsChips(unsigned rank, unsigned bank,
+                                 ChipMask chips) const
+{
+    for (const ReadEntry &r : readQ) {
+        const DecodedAddr loc = addrMap.decode(r.req.addr);
+        if (loc.rank != rank || loc.bank != bank)
+            continue;
+        const std::uint64_t line = addrMap.lineAddr(r.req.addr);
+        const ChipMask needed =
+            lineLayout->dataChips(line) |
+            static_cast<ChipMask>(1u << lineLayout->eccChip(line));
+        if (needed & chips)
+            return true;
+    }
+    return false;
+}
+
+} // namespace pcmap

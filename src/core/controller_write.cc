@@ -1,0 +1,428 @@
+/**
+ * @file
+ * MemoryController write service: committing the head write the access
+ * scheduler selected, split (two-step / multi-step) or grouped (WoW)
+ * as the write coalescer directs, plus write completion/commit and the
+ * write-cancellation comparator.
+ */
+
+#include "core/controller.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/log.h"
+
+namespace pcmap {
+
+void
+MemoryController::completeSilentWrite(WriteEntry entry, WordMask essential)
+{
+    pcmap_assert(essential == 0);
+    ++counters.writesCompleted;
+    ++counters.writesSilent;
+    ++counters.essentialHist[0];
+    (void)entry;
+    notifyRetry();
+}
+
+EventHandle
+MemoryController::scheduleWriteCompletion(const WriteEntry &entry,
+                                          WordMask essential, Tick done,
+                                          bool track_active)
+{
+    (void)essential;
+    ++inFlight;
+    const std::uint64_t line = addrMap.lineAddr(entry.req.addr);
+    const CacheLine data = entry.req.data;
+    return eventq.schedule(done, [this, line, data, track_active]() {
+        // Recompute the change mask at commit time: an earlier write
+        // to the same line may have committed since this one was
+        // planned, and correctness requires applying every word that
+        // still differs.
+        const WordMask changed = backing.essentialWords(line, data);
+        const StoredLine before = backing.read(line);
+        backing.writeWords(line, data, changed);
+        const StoredLine &after = backing.read(line);
+
+        // Energy: the differential write reads the line, then pulses
+        // exactly the flipped bits of the data words plus the ECC and
+        // PCC code updates; the bus carried the essential words.
+        energyModel.recordActivation(1);
+        for (unsigned w = 0; w < kWordsPerLine; ++w) {
+            if (changed & (1u << w)) {
+                energyModel.recordWordWrite(before.data.w[w],
+                                            after.data.w[w]);
+                wearTracker.recordChipWrite(
+                    lineLayout->chipForWord(line, w));
+            }
+        }
+        if (before.ecc != after.ecc) {
+            energyModel.recordWordWrite(before.ecc, after.ecc);
+            wearTracker.recordChipWrite(lineLayout->eccChip(line));
+        }
+        if (cfg.hasPcc() && before.pcc != after.pcc) {
+            energyModel.recordWordWrite(before.pcc, after.pcc);
+            wearTracker.recordChipWrite(lineLayout->pccChip(line));
+        }
+        energyModel.recordBusTransfer(wordCount(changed));
+        if (changed != 0)
+            wearTracker.recordLineWrite(line);
+
+        ++counters.writesCompleted;
+        if (track_active)
+            activeWrite.valid = false;
+        --inFlight;
+        kick();
+    });
+}
+
+bool
+MemoryController::tryIssueWrites(Tick now, Tick &earliest)
+{
+    if (writeQ.empty())
+        return false;
+    if (codeBacklog >= cfg.codeUpdateBacklogCap) {
+        // The pending ECC/PCC update buffer is full: the fixed code
+        // chips cannot keep up and write service must wait for them
+        // (the contention the RDE rotation relieves).
+        earliest = now + cfg.timing.arrayWriteTicks() / 2;
+        return false;
+    }
+
+    // Mark the reads this drain step is holding up (Figure 1 metric).
+    if (!readQ.empty()) {
+        for (ReadEntry &r : readQ)
+            r.delayedByWrite = true;
+    }
+
+    // Oldest-first write selection among ranks whose write slot is
+    // free (one write group in service per rank).  The paper's
+    // scheduler rule 1 would prefer a one-essential-word write
+    // whenever reads wait, to maximize RoW opportunities; with WoW
+    // enabled that trade costs more consolidation bandwidth than the
+    // overlapped reads recover, so this implementation applies RoW
+    // only when the oldest eligible write happens to qualify.  See
+    // EXPERIMENTS.md.
+    Tick soonest_slot = kTickMax;
+    const std::size_t head_idx =
+        scheduler->selectWrite(writeQ, writeSlotFreeAt, now, soonest_slot);
+    if (head_idx == writeQ.size()) {
+        earliest = soonest_slot;
+        return false;
+    }
+    WriteEntry head = std::move(writeQ[head_idx]);
+    writeQ.erase(writeQ.begin() + static_cast<std::ptrdiff_t>(head_idx));
+
+    if (cfg.enablePreset && !head.presetDone) {
+        // The write outran its background pre-SET: drop the pending
+        // pulse instead of wasting it on a line leaving the queue.
+        const std::uint64_t head_line =
+            addrMap.lineAddr(head.req.addr);
+        for (std::size_t i = 0; i < bgOps.size(); ++i) {
+            if (bgOps[i].presetLine == head_line) {
+                pcmap_assert(codeBacklog > 0);
+                --codeBacklog;
+                bgOps.erase(bgOps.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+                break;
+            }
+        }
+    }
+
+    const DecodedAddr loc = addrMap.decode(head.req.addr);
+    const std::uint64_t line = addrMap.lineAddr(head.req.addr);
+    const WordMask essential = backing.essentialWords(line, head.req.data);
+    const unsigned n_essential = wordCount(essential);
+    counters.essentialWordsSum += n_essential;
+
+    if (essential == 0) {
+        completeSilentWrite(std::move(head), essential);
+        return true;
+    }
+    ++counters.essentialHist[n_essential];
+
+    if (!cfg.fineGrained) {
+        // ------------------------------------------------------------
+        // Baseline coarse write: the whole 9-chip bank is locked in
+        // lockstep for the full write latency; only the essential
+        // chips (and the ECC chip) actually pulse their arrays, but
+        // none of the others can serve anything meanwhile.
+        // ------------------------------------------------------------
+        const ChipMask chips =
+            static_cast<ChipMask>((1u << (kDataChips + 1)) - 1);
+        const Tick lower =
+            std::max(now, ranks[loc.rank].freeAt(chips, loc.bank));
+        Tick s = 0;
+        Tick e = 0;
+        computeWriteWindow(chips, loc.bank, lower, s, e);
+        if (head.presetDone) {
+            // PreSET: only the fast RESET pulse remains (every cell
+            // is 1; the write resets the 0 bits of the new data).
+            e = s + cfg.timing.writeColTicks() +
+                cfg.timing.burstTicks() + nsToTicks(cfg.timing.resetNs);
+            ++counters.presetWrites;
+        }
+        reserveChips(loc.rank, chips, loc.bank, loc.row, s, e, true);
+        occupyBuses(chips,
+                    s + cfg.timing.writeColTicks(),
+                    s + cfg.timing.writeColTicks() +
+                        cfg.timing.burstTicks(),
+                    true, 2);
+        irlpTrackers[loc.rank].addOp(
+            now, s, e, lineLayout->chipsForWords(line, essential), true);
+        writeSlotFreeAt[loc.rank] = e;
+        const EventHandle completion = scheduleWriteCompletion(
+            head, essential, e, cfg.enableWriteCancellation);
+        if (cfg.enableWriteCancellation) {
+            activeWrite.valid = true;
+            activeWrite.rank = loc.rank;
+            activeWrite.bank = loc.bank;
+            activeWrite.start = s;
+            activeWrite.end = e;
+            activeWrite.completion = completion;
+            activeWrite.entry = std::move(head);
+        }
+        return true;
+    }
+
+    // ----------------------------------------------------------------
+    // Fine-grained PCMap write service.
+    // ----------------------------------------------------------------
+    const ChipMask data_chips = lineLayout->chipsForWords(line, essential);
+    const unsigned ecc_chip = lineLayout->eccChip(line);
+    const unsigned pcc_chip = lineLayout->pccChip(line);
+    // The controller polls the DIMM status register before scheduling.
+    unsigned num_cmds = 2 * chipCount(data_chips) +
+                        static_cast<unsigned>(cfg.timing.tStatus);
+    ++counters.statusPolls;
+
+    const bool two_step =
+        coalescer->splitTwoStep(n_essential, !readQ.empty());
+    const bool multi_step =
+        coalescer->splitMultiStep(n_essential, !readQ.empty());
+    if (multi_step) {
+        std::vector<unsigned> step_chips;
+        for (unsigned w = 0; w < kWordsPerLine; ++w) {
+            if (essential & (1u << w))
+                step_chips.push_back(lineLayout->chipForWord(line, w));
+        }
+        const unsigned ecc_c = lineLayout->eccChip(line);
+        const unsigned pcc_c = lineLayout->pccChip(line);
+        const unsigned w_rank = loc.rank;
+        const unsigned bank = loc.bank;
+        const std::uint64_t row = loc.row;
+
+        // Step 0 now: first essential chip + the ECC chip.
+        const ChipMask first =
+            static_cast<ChipMask>(1u << step_chips[0]) |
+            static_cast<ChipMask>(1u << ecc_c);
+        const Tick lower =
+            std::max(now, ranks[w_rank].freeAt(first, bank));
+        Tick s0 = 0;
+        Tick e0 = 0;
+        computeWriteWindow(first, bank, lower, s0, e0);
+        reserveChips(w_rank, first, bank, row, s0, e0, true);
+        occupyBuses(first, s0 + cfg.timing.writeColTicks(),
+                    s0 + cfg.timing.writeColTicks() +
+                        cfg.timing.burstTicks(),
+                    true, num_cmds + 2);
+        irlpTrackers[w_rank].addOp(
+            now, s0, e0, static_cast<ChipMask>(1u << step_chips[0]),
+            true);
+
+        // Later steps chain as events so their chips stay visibly
+        // free (for RoW reads) until each step actually begins.
+        auto chain = std::make_shared<std::function<void(std::size_t)>>();
+        auto entry_ptr = std::make_shared<WriteEntry>(std::move(head));
+        // The chain function must not own itself (shared_ptr cycle =
+        // leak); each scheduled step re-acquires ownership from the
+        // weak ref, and the pending event holds the only strong one.
+        std::weak_ptr<std::function<void(std::size_t)>> weak_chain =
+            chain;
+        *chain = [this, step_chips, w_rank, bank, row, pcc_c, entry_ptr,
+                  essential, weak_chain](std::size_t idx) {
+            const Tick t0 = eventq.now();
+            const bool is_pcc = idx >= step_chips.size();
+            const ChipMask chips = static_cast<ChipMask>(
+                1u << (is_pcc ? pcc_c : step_chips[idx]));
+            const Tick lower2 =
+                std::max(t0, ranks[w_rank].freeAt(chips, bank));
+            Tick s1 = 0;
+            Tick e1 = 0;
+            computeWriteWindow(chips, bank, lower2, s1, e1);
+            reserveChips(w_rank, chips, bank, row, s1, e1, true);
+            occupyBuses(chips, s1 + cfg.timing.writeColTicks(),
+                        s1 + cfg.timing.writeColTicks() +
+                            cfg.timing.burstTicks(),
+                        true, 2);
+            irlpTrackers[w_rank].addOp(t0, s1, e1, is_pcc ? 0 : chips,
+                                       true);
+            if (is_pcc) {
+                // Chain complete; the write commits at the end of the
+                // last data step (this PCC pulse trails).
+                eventq.schedule(e1, [this]() { kick(); });
+                return;
+            }
+            const bool last_data = idx + 1 >= step_chips.size();
+            if (last_data) {
+                writeSlotFreeAt[w_rank] =
+                    std::max(writeSlotFreeAt[w_rank], e1);
+                scheduleWriteCompletion(*entry_ptr, essential, e1);
+            }
+            ++inFlight;
+            eventq.schedule(e1, [this, next = weak_chain.lock(),
+                                 idx]() {
+                --inFlight;
+                (*next)(idx + 1);
+            });
+        };
+        writeSlotFreeAt[w_rank] =
+            e0 + (step_chips.size() - 1) * cfg.timing.chipWriteTicks();
+        ++counters.multiStepWrites;
+        ++inFlight;
+        eventq.schedule(e0, [this, chain]() {
+            --inFlight;
+            (*chain)(1);
+        });
+        return true;
+    }
+
+    if (two_step) {
+        // Step 1: the essential data chip and the ECC chip.
+        // Step 2: the PCC chip, scheduled immediately after with no
+        // interruption (Section IV-B1), so a concurrent RoW read can
+        // reconstruct against a consistent PCC.
+        const ChipMask step1 =
+            data_chips | static_cast<ChipMask>(1u << ecc_chip);
+        const Tick lower =
+            std::max(now, ranks[loc.rank].freeAt(step1, loc.bank));
+        Tick s1 = 0;
+        Tick e1 = 0;
+        computeWriteWindow(step1, loc.bank, lower, s1, e1);
+        reserveChips(loc.rank, step1, loc.bank, loc.row, s1, e1, true);
+        occupyBuses(step1,
+                    s1 + cfg.timing.writeColTicks(),
+                    s1 + cfg.timing.writeColTicks() +
+                        cfg.timing.burstTicks(),
+                    true, num_cmds + 2);
+
+        // Step 2 (the PCC update) must leave the PCC chip *free*
+        // during step 1 so concurrent RoW reads can use it for
+        // reconstruction; it is therefore issued by an event at the
+        // end of step 1 rather than reserved ahead of time.  The
+        // paper's "immediately after, with no interrupt" rule is
+        // honoured up to an in-flight RoW read's tail on the chip.
+        const ChipMask step2 = static_cast<ChipMask>(1u << pcc_chip);
+        const unsigned w_rank = loc.rank;
+        const unsigned bank = loc.bank;
+        const std::uint64_t row = loc.row;
+        ++inFlight;
+        eventq.schedule(e1, [this, step2, w_rank, bank, row]() {
+            const Tick t0 = eventq.now();
+            const Tick lower2 =
+                std::max(t0, ranks[w_rank].freeAt(step2, bank));
+            Tick s2 = 0;
+            Tick e2 = 0;
+            computeWriteWindow(step2, bank, lower2, s2, e2);
+            reserveChips(w_rank, step2, bank, row, s2, e2, true);
+            occupyBuses(step2,
+                        s2 + cfg.timing.writeColTicks(),
+                        s2 + cfg.timing.writeColTicks() +
+                            cfg.timing.burstTicks(),
+                        true, 2);
+            irlpTrackers[w_rank].addOp(t0, s2, e2, 0, true);
+            eventq.schedule(e2, [this]() {
+                --inFlight;
+                kick();
+            });
+        });
+
+        irlpTrackers[loc.rank].addOp(now, s1, e1, data_chips, true);
+        ++counters.twoStepWrites;
+        writeSlotFreeAt[loc.rank] = e1;
+        scheduleWriteCompletion(head, essential, e1);
+        return true;
+    }
+
+    // Parallel fine write, optionally consolidating further queued
+    // writes to the same bank whose essential chips do not overlap
+    // (WoW, Section IV-C).
+    std::vector<WriteGroupMember> group;
+    group.push_back(WriteGroupMember{std::move(head), essential,
+                                     data_chips, line, loc.row,
+                                     n_essential});
+    ChipMask occupied = data_chips;
+
+    const Tick lower =
+        std::max(now, ranks[loc.rank].freeAt(data_chips, loc.bank));
+    Tick s = 0;
+    Tick e = 0;
+    computeWriteWindow(data_chips, loc.bank, lower, s, e);
+
+    coalescer->collect(writeQ, loc.rank, loc.bank, s, bankView, group,
+                       occupied, num_cmds, counters);
+
+    // Reserve every member's chips over the common window; each chip
+    // opens its own member's row (sub-ranked independence).
+    for (const WriteGroupMember &m : group) {
+        for (unsigned c = 0; c < kChipsPerRank; ++c) {
+            if (m.chips & (1u << c)) {
+                ranks[loc.rank].reserveChip(c, loc.bank, m.row, s, e,
+                                            true);
+            }
+        }
+        irlpTrackers[loc.rank].addOp(now, s, e, m.chips, true);
+        scheduleWriteCompletion(m.entry, m.essential, e);
+        queueCodeUpdates(m.line, loc.rank, loc.bank, m.row, true, true,
+                         now);
+    }
+    occupyBuses(occupied,
+                s + cfg.timing.writeColTicks(),
+                s + cfg.timing.writeColTicks() + cfg.timing.burstTicks(),
+                true, num_cmds);
+    if (group.size() > 1) {
+        ++counters.wowGroups;
+        counters.wowMergedWrites += group.size() - 1;
+    }
+    counters.wowGroupSizeSum += group.size();
+    writeSlotFreeAt[loc.rank] = e;
+    return true;
+}
+
+void
+MemoryController::maybeCancelActiveWrite(Tick now)
+{
+    if (!cfg.enableWriteCancellation || !activeWrite.valid ||
+        readQ.empty()) {
+        return;
+    }
+    // Never cancel under drain pressure: with the write queue near
+    // full, retrying writes only deepens the backlog the reads are
+    // ultimately waiting on (the guard Qureshi et al. also apply).
+    if (draining)
+        return;
+    if (now >= activeWrite.end)
+        return; // effectively finished
+    // A coarse write blocks every chip, so any queued read benefits.
+    const Tick remaining = activeWrite.end - now;
+    const auto min_remaining = static_cast<Tick>(
+        cfg.cancelMinRemainingFrac *
+        static_cast<double>(activeWrite.end - activeWrite.start));
+    if (remaining < min_remaining)
+        return;
+    if (activeWrite.entry.cancels >= cfg.maxWriteCancels)
+        return;
+
+    eventq.cancel(activeWrite.completion);
+    --inFlight;
+    for (unsigned c = 0; c <= kDataChips; ++c)
+        ranks[activeWrite.rank].abortWrite(c, activeWrite.bank, now);
+    ++counters.writesCancelled;
+    ++activeWrite.entry.cancels;
+    writeQ.push_front(std::move(activeWrite.entry));
+    writeSlotFreeAt[activeWrite.rank] = now;
+    activeWrite.valid = false;
+}
+
+} // namespace pcmap

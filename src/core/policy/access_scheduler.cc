@@ -1,0 +1,186 @@
+#include "core/policy/access_scheduler.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace pcmap {
+
+std::size_t
+AccessScheduler::selectWrite(const WriteQueue &write_queue,
+                             const std::vector<Tick> &slot_free_at,
+                             Tick now, Tick &soonest) const
+{
+    std::size_t head_idx = write_queue.size();
+    Tick soonest_slot = kTickMax;
+    for (std::size_t i = 0; i < write_queue.size(); ++i) {
+        const unsigned w_rank =
+            addrMap.decode(write_queue[i].req.addr).rank;
+        if (now >= slot_free_at[w_rank]) {
+            head_idx = i;
+            break;
+        }
+        soonest_slot = std::min(soonest_slot, slot_free_at[w_rank]);
+    }
+    soonest = soonest_slot;
+    return head_idx;
+}
+
+ReadPlan
+FrFcfsScheduler::planRead(ReadQueue &read_queue,
+                          const BankStateView &banks,
+                          const ReadWindowModel &windows, Tick now,
+                          bool immediate_only,
+                          unsigned pending_verifies) const
+{
+    ReadPlan best;
+
+    // Strict FCFS considers only the oldest read.
+    const std::size_t scan_limit =
+        cfg.readScheduling == ReadScheduling::Fcfs
+            ? std::min<std::size_t>(1, read_queue.size())
+            : read_queue.size();
+    for (std::size_t i = 0; i < scan_limit; ++i) {
+        ReadEntry &entry = read_queue[i];
+        const DecodedAddr loc = addrMap.decode(entry.req.addr);
+        const std::uint64_t line = addrMap.lineAddr(entry.req.addr);
+        const ChipMask data_mask = layout.dataChips(line);
+        const unsigned ecc_chip = layout.eccChip(line);
+        const ChipMask inline_mask =
+            data_mask | static_cast<ChipMask>(1u << ecc_chip);
+
+        // --- Normal (coarse) plan: all data chips plus ECC inline ---
+        ReadPlan normal;
+        normal.feasible = true;
+        normal.index = i;
+        normal.rank = loc.rank;
+        const Tick free_at = banks.freeAt(loc.rank, inline_mask, loc.bank);
+        normal.rowHit =
+            banks.rowOpenAll(loc.rank, inline_mask, loc.bank, loc.row);
+        windows.computeReadWindow(inline_mask, loc.bank, loc.row,
+                                  std::max(now, free_at), normal.rowHit,
+                                  normal.start, normal.end);
+        normal.chips = inline_mask;
+
+        if (free_at > now) {
+            // Blocked: is a write responsible?
+            for (unsigned c = 0; c < kChipsPerRank; ++c) {
+                if (!(inline_mask & (1u << c)))
+                    continue;
+                const ChipBankState &s =
+                    banks.state(loc.rank, c, loc.bank);
+                if (s.busyUntil > now && s.busyWithWrite) {
+                    entry.delayedByWrite = true;
+                    normal.delayedByWrite = true;
+                    break;
+                }
+            }
+        }
+
+        ReadPlan candidate = normal;
+
+        // --- Speculative plans (PCMap RoW machinery) ---
+        if (free_at > now && pending_verifies < cfg.specReadBufferCap) {
+            considerSpeculative(entry, i, loc, line, data_mask, ecc_chip,
+                                banks, windows, now, candidate);
+        }
+
+        // Keep the globally best candidate: earliest start, then
+        // row-buffer hit, then age (scan order), then non-speculative.
+        const bool better =
+            !best.feasible || candidate.start < best.start ||
+            (candidate.start == best.start && candidate.rowHit &&
+             !best.rowHit);
+        if (better)
+            best = candidate;
+    }
+
+    if (immediate_only && best.feasible && best.start > now)
+        best.feasible = false;
+    return best;
+}
+
+void
+RowScheduler::considerSpeculative(const ReadEntry &entry,
+                                  std::size_t index,
+                                  const DecodedAddr &loc,
+                                  std::uint64_t line, ChipMask data_mask,
+                                  unsigned ecc_chip,
+                                  const BankStateView &banks,
+                                  const ReadWindowModel &windows,
+                                  Tick now, ReadPlan &candidate) const
+{
+    (void)entry;
+    const ChipMask busy = banks.busyChips(loc.rank, loc.bank, now);
+    const ChipMask busy_data = busy & data_mask;
+    const bool ecc_busy = (busy >> ecc_chip) & 1u;
+
+    if (busy_data == 0 && ecc_busy) {
+        // Data chips free; only the ECC check must wait.
+        // Deliver speculatively, defer the check.
+        ReadPlan spec;
+        spec.feasible = true;
+        spec.index = index;
+        spec.rank = loc.rank;
+        spec.chips = data_mask;
+        spec.speculative = true;
+        spec.eccDeferred = true;
+        spec.rowHit =
+            banks.rowOpenAll(loc.rank, data_mask, loc.bank, loc.row);
+        windows.computeReadWindow(
+            data_mask, loc.bank, loc.row,
+            std::max(now, banks.freeAt(loc.rank, data_mask, loc.bank)),
+            spec.rowHit, spec.start, spec.end);
+        if (spec.start < candidate.start)
+            candidate = spec;
+    } else if (chipCount(busy_data) == 1) {
+        // Exactly one data chip busy with a write: RoW.
+        unsigned busy_chip = 0;
+        while (!((busy_data >> busy_chip) & 1u))
+            ++busy_chip;
+        const ChipMask write_busy =
+            banks.busyWriteChips(loc.rank, loc.bank, now);
+        const unsigned pcc_chip = layout.pccChip(line);
+        const bool pcc_busy = (busy >> pcc_chip) & 1u;
+        const ChipMask others =
+            data_mask & static_cast<ChipMask>(~busy_data);
+        if (((write_busy >> busy_chip) & 1u) && !pcc_busy &&
+            banks.freeAt(loc.rank, others, loc.bank) <= now) {
+            ReadPlan row_plan;
+            row_plan.feasible = true;
+            row_plan.index = index;
+            row_plan.rank = loc.rank;
+            row_plan.reconstruct = true;
+            row_plan.speculative = true;
+            row_plan.busyChip = busy_chip;
+            row_plan.missingWord = layout.wordForChip(line, busy_chip);
+            pcmap_assert(row_plan.missingWord != kNoWord);
+            ChipMask chips =
+                others | static_cast<ChipMask>(1u << pcc_chip);
+            if (!ecc_busy) {
+                chips |= static_cast<ChipMask>(1u << ecc_chip);
+            } else {
+                row_plan.eccDeferred = true;
+            }
+            row_plan.chips = chips;
+            row_plan.rowHit =
+                banks.rowOpenAll(loc.rank, chips, loc.bank, loc.row);
+            windows.computeReadWindow(chips, loc.bank, loc.row, now,
+                                      row_plan.rowHit, row_plan.start,
+                                      row_plan.end);
+            if (row_plan.start < candidate.start)
+                candidate = row_plan;
+        }
+    }
+}
+
+std::unique_ptr<AccessScheduler>
+makeAccessScheduler(const ControllerConfig &cfg,
+                    const AddressMapper &mapper, const LineLayout &ll)
+{
+    if (cfg.enableRoW)
+        return std::make_unique<RowScheduler>(cfg, mapper, ll);
+    return std::make_unique<FrFcfsScheduler>(cfg, mapper, ll);
+}
+
+} // namespace pcmap

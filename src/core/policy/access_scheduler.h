@@ -1,0 +1,225 @@
+/**
+ * @file
+ * AccessScheduler policy: read/write queue arbitration for the memory
+ * controller.
+ *
+ * One of the three pluggable policy interfaces the controller composes
+ * (with WriteCoalescer and LineLayout).  A scheduler decides
+ *
+ *  - which queued read to issue next and over which chips (the
+ *    FR-FCFS / FCFS scan, the open/closed page policy, and — in the
+ *    RoW scheduler — the speculative read-under-write plans of
+ *    Section IV-B);
+ *  - which queued write may enter service (oldest-first among ranks
+ *    whose write slot is free);
+ *  - whether reads may still be served while the write queue drains.
+ *
+ * Planning is pure: schedulers look at queues and the read-only
+ * BankStateView but never reserve chips or touch buses — issuing and
+ * all timing-state mutation stay with the controller, which hands the
+ * scheduler its window arithmetic through the ReadWindowModel
+ * interface.
+ */
+
+#ifndef PCMAP_CORE_POLICY_ACCESS_SCHEDULER_H
+#define PCMAP_CORE_POLICY_ACCESS_SCHEDULER_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/controller_config.h"
+#include "core/policy/line_layout.h"
+#include "core/policy/write_coalescer.h"
+#include "mem/address.h"
+#include "mem/bank_state.h"
+#include "mem/request.h"
+#include "sim/types.h"
+
+namespace pcmap {
+
+/** One queued read awaiting service. */
+struct ReadEntry
+{
+    MemRequest req;
+    MemoryPort::ReadCallback cb;
+    bool delayedByWrite = false;
+};
+
+using ReadQueue = std::deque<ReadEntry>;
+
+/** Candidate plan for issuing one read. */
+struct ReadPlan
+{
+    bool feasible = false;
+    std::size_t index = 0;   ///< position in the read queue
+    unsigned rank = 0;
+    Tick start = kTickMax;
+    Tick end = 0;
+    ChipMask chips = 0;      ///< chips read inline
+    bool rowHit = false;
+    bool speculative = false;///< some check deferred
+    bool reconstruct = false;///< RoW: one data word rebuilt via PCC
+    unsigned missingWord = kNoWord;
+    unsigned busyChip = kNoWord;
+    bool eccDeferred = false;///< ECC chip not read inline
+    bool delayedByWrite = false;
+};
+
+/**
+ * Window arithmetic the controller lends to its scheduler: the
+ * earliest feasible [start, end) of an array read on @p chips,
+ * honouring lane, command-bus and turnaround state only the
+ * controller tracks.
+ */
+class ReadWindowModel
+{
+  public:
+    virtual void computeReadWindow(ChipMask chips, unsigned bank,
+                                   std::uint64_t row, Tick lower_bound,
+                                   bool row_hit, Tick &start,
+                                   Tick &end) const = 0;
+
+  protected:
+    ~ReadWindowModel() = default;
+};
+
+/** Abstract read/write arbitration policy. */
+class AccessScheduler
+{
+  public:
+    AccessScheduler(const ControllerConfig &config,
+                    const AddressMapper &mapper, const LineLayout &ll)
+        : cfg(config), addrMap(mapper), layout(ll)
+    {
+    }
+
+    virtual ~AccessScheduler() = default;
+
+    /** Component name as used in policy compositions ("row"). */
+    virtual const char *name() const = 0;
+
+    /**
+     * Plan the best read to issue; mutates only the entries'
+     * delayedByWrite marks.  With @p immediate_only, plans that
+     * cannot start at @p now are reported infeasible.
+     */
+    virtual ReadPlan planRead(ReadQueue &read_queue,
+                              const BankStateView &banks,
+                              const ReadWindowModel &windows, Tick now,
+                              bool immediate_only,
+                              unsigned pending_verifies) const = 0;
+
+    /**
+     * May reads still be served while the write queue drains?  The
+     * RoW scheduler keeps serving reads that can start immediately
+     * (Section IV-B); the conventional scheduler serves none.
+     */
+    virtual bool servesReadsDuringDrain() const { return false; }
+
+    /** True when the page policy closes rows after every access. */
+    bool
+    closesRowAfterAccess() const
+    {
+        return cfg.pagePolicy == PagePolicy::Closed;
+    }
+
+    /**
+     * Oldest-first write selection among ranks whose write slot is
+     * free (one write group in service per rank).
+     *
+     * @return Index into @p write_queue, or write_queue.size() when
+     *         no rank is free; @p soonest then holds the earliest
+     *         slot-free tick worth retrying at.
+     */
+    std::size_t selectWrite(const WriteQueue &write_queue,
+                            const std::vector<Tick> &slot_free_at,
+                            Tick now, Tick &soonest) const;
+
+  protected:
+    const ControllerConfig &cfg;
+    const AddressMapper &addrMap;
+    const LineLayout &layout;
+};
+
+/**
+ * The conventional scheduler: FR-FCFS (or strict FCFS) over inline
+ * reads that touch all data chips plus the ECC chip in lockstep.
+ */
+class FrFcfsScheduler : public AccessScheduler
+{
+  public:
+    using AccessScheduler::AccessScheduler;
+
+    const char *name() const override { return "frfcfs"; }
+
+    ReadPlan planRead(ReadQueue &read_queue, const BankStateView &banks,
+                      const ReadWindowModel &windows, Tick now,
+                      bool immediate_only,
+                      unsigned pending_verifies) const override;
+
+  protected:
+    /**
+     * Hook invoked per scanned read whose inline chips are blocked
+     * (and while speculative buffer entries remain): a subclass may
+     * offer a cheaper speculative plan to replace @p candidate.
+     */
+    virtual void
+    considerSpeculative(const ReadEntry &entry, std::size_t index,
+                        const DecodedAddr &loc, std::uint64_t line,
+                        ChipMask data_mask, unsigned ecc_chip,
+                        const BankStateView &banks,
+                        const ReadWindowModel &windows, Tick now,
+                        ReadPlan &candidate) const
+    {
+        (void)entry;
+        (void)index;
+        (void)loc;
+        (void)line;
+        (void)data_mask;
+        (void)ecc_chip;
+        (void)banks;
+        (void)windows;
+        (void)now;
+        (void)candidate;
+    }
+};
+
+/**
+ * The PCMap RoW scheduler (Section IV-B): on top of FR-FCFS, a read
+ * blocked by a fine-grained write may be served speculatively — by
+ * deferring the ECC check when only the ECC chip is busy, or by
+ * XOR-reconstructing the one busy data chip's word from the other
+ * seven plus PCC.
+ */
+class RowScheduler final : public FrFcfsScheduler
+{
+  public:
+    using FrFcfsScheduler::FrFcfsScheduler;
+
+    const char *name() const override { return "row"; }
+
+    bool
+    servesReadsDuringDrain() const override
+    {
+        return cfg.serveReadsDuringDrain;
+    }
+
+  protected:
+    void considerSpeculative(const ReadEntry &entry, std::size_t index,
+                             const DecodedAddr &loc, std::uint64_t line,
+                             ChipMask data_mask, unsigned ecc_chip,
+                             const BankStateView &banks,
+                             const ReadWindowModel &windows, Tick now,
+                             ReadPlan &candidate) const override;
+};
+
+/** Factory: the scheduler implied by @p cfg (RoW on/off). */
+std::unique_ptr<AccessScheduler>
+makeAccessScheduler(const ControllerConfig &cfg,
+                    const AddressMapper &mapper, const LineLayout &ll);
+
+} // namespace pcmap
+
+#endif // PCMAP_CORE_POLICY_ACCESS_SCHEDULER_H

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * ControllerPolicy: the composable replacement for the closed
+ * SystemMode matrix.
+ *
+ * A policy names which of the three pluggable controller interfaces
+ * get the PCMap treatment — the RoW access scheduler, the WoW write
+ * coalescer, the RD/RDE line layout — plus the fine-grained DIMM the
+ * mechanisms sit on.  Compositions are written as '+'-separated
+ * component strings:
+ *
+ *  | component | effect                                              |
+ *  |-----------|-----------------------------------------------------|
+ *  | base      | conventional 9-chip DIMM, coarse writes (alone only)|
+ *  | fg        | fine-grained (sub-ranked) PCMap DIMM                |
+ *  | row       | RoW read-under-write scheduler (implies fg)         |
+ *  | wow       | WoW disjoint-chip write coalescer (implies fg)      |
+ *  | rd        | rotate data words (lineAddr mod 8)                  |
+ *  | rde       | rotate data+ECC+PCC (lineAddr mod 10, implies fg)   |
+ *
+ * The paper's six systems remain canonical presets: every SystemMode
+ * maps to a composition and every preset-equivalent composition maps
+ * back, so "mode=RWoW-RDE" and "policy=row+wow+rde" are the same
+ * system, byte for byte.
+ */
+
+#ifndef PCMAP_CORE_POLICY_CONTROLLER_POLICY_H
+#define PCMAP_CORE_POLICY_CONTROLLER_POLICY_H
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/controller_config.h"
+#include "core/policy/access_scheduler.h"
+#include "core/policy/line_layout.h"
+#include "core/policy/write_coalescer.h"
+
+namespace pcmap {
+
+/** Composed controller policy: which mechanism fills each slot. */
+struct ControllerPolicy
+{
+    bool fineGrained = false;
+    bool enableRoW = false;
+    bool enableWoW = false;
+    RotationMode rotation = RotationMode::None;
+
+    /** The policy equivalent to one of the paper's six presets. */
+    static ControllerPolicy forMode(SystemMode mode);
+
+    /** The policy a fully-populated config implies. */
+    static ControllerPolicy fromConfig(const ControllerConfig &cfg);
+
+    /**
+     * Parse a '+'-separated composition ("row+wow+rde"), case-
+     * insensitive.  On failure returns nullopt and, when @p err is
+     * non-null, stores a message naming the offending component and
+     * listing the valid ones.
+     */
+    static std::optional<ControllerPolicy>
+    parse(const std::string &text, std::string *err = nullptr);
+
+    /** Canonical composition string ("base", "row+wow+rde", ...). */
+    std::string composition() const;
+
+    /** The preset this policy reproduces, if it is one of the six. */
+    std::optional<SystemMode> presetMode() const;
+
+    /** Overwrite the mechanism switches of @p cfg with this policy. */
+    void applyTo(ControllerConfig &cfg) const;
+
+    /** True when the mechanism switches match. */
+    bool operator==(const ControllerPolicy &other) const
+    {
+        return fineGrained == other.fineGrained &&
+               enableRoW == other.enableRoW &&
+               enableWoW == other.enableWoW &&
+               rotation == other.rotation;
+    }
+    bool operator!=(const ControllerPolicy &other) const
+    {
+        return !(*this == other);
+    }
+
+    // --- Policy-object factories -------------------------------------
+    /** The line layout this policy's rotation implies. */
+    std::unique_ptr<LineLayout> makeLayout() const;
+
+    /** The access scheduler for @p cfg (must carry this policy). */
+    static std::unique_ptr<AccessScheduler>
+    makeScheduler(const ControllerConfig &cfg, const AddressMapper &mapper,
+                  const LineLayout &layout);
+
+    /** The write coalescer for @p cfg (must carry this policy). */
+    static std::unique_ptr<WriteCoalescer>
+    makeCoalescer(const ControllerConfig &cfg, const AddressMapper &mapper,
+                  const LineLayout &layout, BackingStore &store);
+};
+
+} // namespace pcmap
+
+#endif // PCMAP_CORE_POLICY_CONTROLLER_POLICY_H

@@ -1,0 +1,168 @@
+#include "core/policy/line_layout.h"
+
+#include "ecc/line_codec.h"
+#include "sim/log.h"
+
+namespace pcmap {
+
+ChipMask
+LineLayout::chipsForWords(std::uint64_t line_addr, WordMask words) const
+{
+    ChipMask mask = 0;
+    for (unsigned w = 0; w < kWordsPerLine; ++w) {
+        if (words & (1u << w))
+            mask |= static_cast<ChipMask>(1u << chipForWord(line_addr, w));
+    }
+    return mask;
+}
+
+ChipMask
+LineLayout::dataChips(std::uint64_t line_addr) const
+{
+    return chipsForWords(line_addr, 0xFF);
+}
+
+ChipMask
+LineLayout::writeFootprint(std::uint64_t line_addr, WordMask words) const
+{
+    ChipMask mask = chipsForWords(line_addr, words);
+    mask |= static_cast<ChipMask>(1u << eccChip(line_addr));
+    if (hasPcc())
+        mask |= static_cast<ChipMask>(1u << pccChip(line_addr));
+    return mask;
+}
+
+bool
+LineLayout::materializeRead(const StoredLine &stored, bool reconstruct,
+                            unsigned missing_word, bool speculative,
+                            bool ecc_deferred, CacheLine &out) const
+{
+    out = stored.data;
+    bool fault = false;
+
+    if (reconstruct) {
+        out.w[missing_word] = ecc::reconstructWord(
+            stored.data, missing_word, stored.pcc);
+        fault = ecc::wordCheckFaults(out.w[missing_word], stored.ecc,
+                                     missing_word);
+    }
+    if (!speculative) {
+        // Inline SECDED: correct single-bit storage errors on the
+        // spot, as a conventional ECC DIMM read would.
+        ecc::checkLine(out, stored.ecc);
+    } else if (ecc_deferred) {
+        // The deferred check will look at every delivered word.
+        CacheLine probe = out;
+        const ecc::LineCheckResult r = ecc::checkLine(probe, stored.ecc);
+        fault = fault || !r.ok || r.correctedWords != 0;
+    }
+    return fault;
+}
+
+IdentityLayout::IdentityLayout(bool has_pcc)
+    : map(RotationMode::None, has_pcc)
+{
+}
+
+unsigned
+IdentityLayout::chipForWord(std::uint64_t line_addr, unsigned word) const
+{
+    return map.chipForWord(line_addr, word);
+}
+
+unsigned
+IdentityLayout::wordForChip(std::uint64_t line_addr, unsigned chip) const
+{
+    return map.wordForChip(line_addr, chip);
+}
+
+unsigned
+IdentityLayout::eccChip(std::uint64_t line_addr) const
+{
+    return map.eccChip(line_addr);
+}
+
+unsigned
+IdentityLayout::pccChip(std::uint64_t line_addr) const
+{
+    return map.pccChip(line_addr);
+}
+
+RotateDataLayout::RotateDataLayout(bool has_pcc)
+    : map(RotationMode::Data, has_pcc)
+{
+}
+
+unsigned
+RotateDataLayout::chipForWord(std::uint64_t line_addr, unsigned word) const
+{
+    return map.chipForWord(line_addr, word);
+}
+
+unsigned
+RotateDataLayout::wordForChip(std::uint64_t line_addr, unsigned chip) const
+{
+    return map.wordForChip(line_addr, chip);
+}
+
+unsigned
+RotateDataLayout::eccChip(std::uint64_t line_addr) const
+{
+    return map.eccChip(line_addr);
+}
+
+unsigned
+RotateDataLayout::pccChip(std::uint64_t line_addr) const
+{
+    return map.pccChip(line_addr);
+}
+
+RotateDataEccLayout::RotateDataEccLayout()
+    : map(RotationMode::DataEcc, true)
+{
+}
+
+unsigned
+RotateDataEccLayout::chipForWord(std::uint64_t line_addr,
+                                 unsigned word) const
+{
+    return map.chipForWord(line_addr, word);
+}
+
+unsigned
+RotateDataEccLayout::wordForChip(std::uint64_t line_addr,
+                                 unsigned chip) const
+{
+    return map.wordForChip(line_addr, chip);
+}
+
+unsigned
+RotateDataEccLayout::eccChip(std::uint64_t line_addr) const
+{
+    return map.eccChip(line_addr);
+}
+
+unsigned
+RotateDataEccLayout::pccChip(std::uint64_t line_addr) const
+{
+    return map.pccChip(line_addr);
+}
+
+std::unique_ptr<LineLayout>
+makeLineLayout(RotationMode rotation, bool has_pcc)
+{
+    switch (rotation) {
+      case RotationMode::None:
+        return std::make_unique<IdentityLayout>(has_pcc);
+      case RotationMode::Data:
+        return std::make_unique<RotateDataLayout>(has_pcc);
+      case RotationMode::DataEcc:
+        if (!has_pcc)
+            pcmap_panic(
+                "DataEcc rotation requires the 10-chip PCMap rank");
+        return std::make_unique<RotateDataEccLayout>();
+    }
+    pcmap_panic("unknown rotation mode");
+}
+
+} // namespace pcmap

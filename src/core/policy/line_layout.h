@@ -1,0 +1,159 @@
+/**
+ * @file
+ * LineLayout policy: where a line's data words and error codes live,
+ * and how stored bits become a delivered line.
+ *
+ * One of the three pluggable policy interfaces the memory controller
+ * composes (with AccessScheduler and WriteCoalescer).  A LineLayout
+ * answers two families of questions:
+ *
+ *  - *placement*: which chip holds data word i / the ECC word / the
+ *    PCC word of a line (the rotation schemes of Section IV-C2);
+ *  - *codec placement*: how a read materializes its delivered line
+ *    from the stored bits — inline SECDED for a normal read, PCC
+ *    reconstruction of the busy chip's word plus a precomputed
+ *    deferred-check outcome for the speculative RoW paths.
+ *
+ * The three implementations reproduce the paper's design points
+ * (identity, RD word rotation, RDE ECC/PCC rotation); a new layout is
+ * one subclass plus a ControllerPolicy component name.
+ */
+
+#ifndef PCMAP_CORE_POLICY_LINE_LAYOUT_H
+#define PCMAP_CORE_POLICY_LINE_LAYOUT_H
+
+#include <cstdint>
+#include <memory>
+
+#include "core/layout.h"
+#include "mem/backing_store.h"
+
+namespace pcmap {
+
+/** Abstract word/code placement + read-materialization policy. */
+class LineLayout
+{
+  public:
+    virtual ~LineLayout() = default;
+
+    /** Component name as used in policy compositions ("rd", "rde"). */
+    virtual const char *name() const = 0;
+
+    virtual RotationMode rotation() const = 0;
+    virtual bool hasPcc() const = 0;
+
+    /** Chip holding data word @p word (0..7) of @p line_addr. */
+    virtual unsigned chipForWord(std::uint64_t line_addr,
+                                 unsigned word) const = 0;
+
+    /**
+     * Data word (0..7) held by @p chip for @p line_addr, or kNoWord
+     * when that chip holds the line's ECC or PCC word.
+     */
+    virtual unsigned wordForChip(std::uint64_t line_addr,
+                                 unsigned chip) const = 0;
+
+    /** Chip holding the SECDED ECC word of @p line_addr. */
+    virtual unsigned eccChip(std::uint64_t line_addr) const = 0;
+
+    /** Chip holding the PCC parity word of @p line_addr. */
+    virtual unsigned pccChip(std::uint64_t line_addr) const = 0;
+
+    /** Chip mask covering the data words selected by @p words. */
+    ChipMask chipsForWords(std::uint64_t line_addr, WordMask words) const;
+
+    /** Chip mask of all eight data-word chips of @p line_addr. */
+    ChipMask dataChips(std::uint64_t line_addr) const;
+
+    /** Data chips of @p words plus the ECC chip plus PCC if present. */
+    ChipMask writeFootprint(std::uint64_t line_addr, WordMask words) const;
+
+    /**
+     * Materialize the line a read delivers from the stored bits.
+     *
+     * Non-speculative reads get the inline SECDED treatment (single
+     * bit storage errors corrected on the spot).  Speculative reads
+     * deliver uncorrected data and precompute the outcome of the
+     * deferred check: for a RoW reconstruction, @p missing_word is
+     * rebuilt from the other words plus PCC and checked against its
+     * SECDED byte; with @p ecc_deferred the whole delivered line is
+     * probed.
+     *
+     * @return True when the deferred verification must report a fault
+     *         (always false for non-speculative reads).
+     */
+    bool materializeRead(const StoredLine &stored, bool reconstruct,
+                         unsigned missing_word, bool speculative,
+                         bool ecc_deferred, CacheLine &out) const;
+};
+
+/** Figure 3a/3c: word i on chip i, ECC on chip 8, PCC on chip 9. */
+class IdentityLayout final : public LineLayout
+{
+  public:
+    explicit IdentityLayout(bool has_pcc);
+
+    const char *name() const override { return "nr"; }
+    RotationMode rotation() const override { return RotationMode::None; }
+    bool hasPcc() const override { return map.hasPcc(); }
+    unsigned chipForWord(std::uint64_t line_addr,
+                         unsigned word) const override;
+    unsigned wordForChip(std::uint64_t line_addr,
+                         unsigned chip) const override;
+    unsigned eccChip(std::uint64_t line_addr) const override;
+    unsigned pccChip(std::uint64_t line_addr) const override;
+
+  private:
+    ChipLayout map;
+};
+
+/** Section IV-C2 / Figure 6: data words rotate by lineAddr mod 8. */
+class RotateDataLayout final : public LineLayout
+{
+  public:
+    explicit RotateDataLayout(bool has_pcc);
+
+    const char *name() const override { return "rd"; }
+    RotationMode rotation() const override { return RotationMode::Data; }
+    bool hasPcc() const override { return map.hasPcc(); }
+    unsigned chipForWord(std::uint64_t line_addr,
+                         unsigned word) const override;
+    unsigned wordForChip(std::uint64_t line_addr,
+                         unsigned chip) const override;
+    unsigned eccChip(std::uint64_t line_addr) const override;
+    unsigned pccChip(std::uint64_t line_addr) const override;
+
+  private:
+    ChipLayout map;
+};
+
+/** RAID-5 style: all ten slots rotate by lineAddr mod 10 ("RDE"). */
+class RotateDataEccLayout final : public LineLayout
+{
+  public:
+    RotateDataEccLayout();
+
+    const char *name() const override { return "rde"; }
+    RotationMode rotation() const override
+    {
+        return RotationMode::DataEcc;
+    }
+    bool hasPcc() const override { return true; }
+    unsigned chipForWord(std::uint64_t line_addr,
+                         unsigned word) const override;
+    unsigned wordForChip(std::uint64_t line_addr,
+                         unsigned chip) const override;
+    unsigned eccChip(std::uint64_t line_addr) const override;
+    unsigned pccChip(std::uint64_t line_addr) const override;
+
+  private:
+    ChipLayout map;
+};
+
+/** Factory: the layout implementing @p rotation on a 9/10-chip rank. */
+std::unique_ptr<LineLayout> makeLineLayout(RotationMode rotation,
+                                           bool has_pcc);
+
+} // namespace pcmap
+
+#endif // PCMAP_CORE_POLICY_LINE_LAYOUT_H

@@ -4,6 +4,7 @@
 #include <iomanip>
 #include <ostream>
 
+#include "core/policy/controller_policy.h"
 #include "sim/log.h"
 #include "workload/profile.h"
 
@@ -13,6 +14,14 @@ ControllerConfig
 SystemConfig::controllerConfig() const
 {
     ControllerConfig mc = ControllerConfig::forMode(mode);
+    if (!policy.empty()) {
+        std::string err;
+        const std::optional<ControllerPolicy> p =
+            ControllerPolicy::parse(policy, &err);
+        if (!p)
+            fatal("policy: ", err);
+        p->applyTo(mc);
+    }
     mc.timing = timing;
     mc.banksPerRank = geometry.banksPerRank;
     mc.readQueueCap = readQueueCap;

@@ -27,6 +27,12 @@ namespace pcmap {
 struct SystemConfig
 {
     SystemMode mode = SystemMode::Baseline;
+    /**
+     * Composed controller policy ("row+wow+rde"); when non-empty its
+     * mechanism switches replace the mode preset's (see
+     * ControllerPolicy::parse for the component grammar).
+     */
+    std::string policy;
     MemGeometry geometry{};   ///< 4 channels, 8 GB by default.
     PcmTiming timing{};       ///< PCM device timing (sweepable).
     CoreConfig core{};        ///< Core model parameters.

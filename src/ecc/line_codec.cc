@@ -88,4 +88,15 @@ checkLine(CacheLine &line, std::uint64_t ecc_word)
     return result;
 }
 
+bool
+wordCheckFaults(std::uint64_t word, std::uint64_t ecc_word,
+                unsigned index)
+{
+    const auto check =
+        static_cast<std::uint8_t>((ecc_word >> (8 * index)) & 0xFF);
+    const SecdedResult r = secdedDecode(word, check);
+    return (r.status == SecdedStatus::CorrectedData && r.data != word) ||
+           r.status == SecdedStatus::Uncorrectable;
+}
+
 } // namespace pcmap::ecc

@@ -71,6 +71,16 @@ std::uint64_t reconstructWord(const CacheLine &line, unsigned missing,
  */
 LineCheckResult checkLine(CacheLine &line, std::uint64_t ecc_word);
 
+/**
+ * SECDED-check one delivered word against its check byte in the
+ * line's ECC word.  True when the word must be treated as faulty: the
+ * decode either corrected it to a different value or flagged it
+ * uncorrectable — the speculative-delivery outcome a deferred RoW
+ * verification reports (Section IV-B3).
+ */
+bool wordCheckFaults(std::uint64_t word, std::uint64_t ecc_word,
+                     unsigned index);
+
 } // namespace pcmap::ecc
 
 #endif // PCMAP_ECC_LINE_CODEC_H

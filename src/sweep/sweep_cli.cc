@@ -66,6 +66,23 @@ parseModes(const std::string &arg)
     return modes;
 }
 
+std::vector<ControllerPolicy>
+parsePolicies(const std::string &arg)
+{
+    std::vector<ControllerPolicy> policies;
+    for (const std::string &tok : splitCommas(arg)) {
+        std::string err;
+        const std::optional<ControllerPolicy> p =
+            ControllerPolicy::parse(tok, &err);
+        if (!p)
+            fatal("policy=: ", err);
+        policies.push_back(*p);
+    }
+    if (policies.empty())
+        fatal("policy= needs at least one composition");
+    return policies;
+}
+
 std::vector<std::uint64_t>
 parseSeeds(const std::string &arg)
 {
@@ -94,7 +111,24 @@ specFromConfig(const Config &args)
 {
     SweepSpec spec;
     spec.workloads = parseWorkloads(args.requireString("workloads"));
-    spec.modes = parseModes(args.getString("modes", "all"));
+    // A lone policy= replaces the default mode axis; an explicit
+    // modes= combines with it (modes first, then policies).
+    if (args.has("modes") || !args.has("policy"))
+        spec.modes = parseModes(args.getString("modes", "all"));
+    else
+        spec.modes.clear();
+    if (args.has("policy")) {
+        for (const ControllerPolicy &p :
+             parsePolicies(args.requireString("policy"))) {
+            // Preset-equivalent compositions join the mode axis so
+            // policy=row+wow+rde and modes=RWoW-RDE are the same
+            // sweep, byte for byte.
+            if (const auto preset = p.presetMode())
+                spec.modes.push_back(*preset);
+            else
+                spec.policies.push_back(p.composition());
+        }
+    }
     spec.seeds = parseSeeds(args.getString("seeds", "1"));
     spec.configs[0].base.instructionsPerCore =
         args.getUint("insts", 200'000);

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/policy/controller_policy.h"
 #include "sim/config.h"
 #include "sweep/sweep_spec.h"
 
@@ -36,6 +37,14 @@ std::vector<std::string> parseWorkloads(const std::string &arg);
 std::vector<SystemMode> parseModes(const std::string &arg);
 
 /**
+ * Policy axis: a comma list of '+'-composed controller policies
+ * ("row+wow+rde", components base|fg|row|wow|rd|rde).  fatal() on an
+ * unknown or conflicting component — the message names it and lists
+ * the valid ones — and on an empty list.
+ */
+std::vector<ControllerPolicy> parsePolicies(const std::string &arg);
+
+/**
  * Seed axis: a comma list of unsigned 64-bit seeds (decimal, or hex
  * with 0x).  fatal() on non-integers and on negative tokens — seeds
  * are unsigned, and letting strtoull wrap "-1" to 2^64-1 silently
@@ -45,7 +54,13 @@ std::vector<std::uint64_t> parseSeeds(const std::string &arg);
 
 /**
  * Build the sweep described by the common axis keys: workloads=
- * (required), modes=, seeds=, insts=, cores=.
+ * (required), modes=, policy=, seeds=, insts=, cores=.
+ *
+ * policy= entries equivalent to one of the six presets join the mode
+ * axis under the preset's name, so `policy=row+wow+rde` and
+ * `modes=RWoW-RDE` produce byte-identical reports; the rest land on
+ * the policy axis.  When only policy= is given it replaces the
+ * default mode axis rather than adding all six presets to it.
  */
 SweepSpec specFromConfig(const Config &args);
 

@@ -187,6 +187,14 @@ stableSerialize(const SweepSpec &spec)
     for (std::size_t i = 0; i < spec.seeds.size(); ++i)
         os << (i ? "," : "") << spec.seeds[i];
     os << "\n";
+    // Appended only when present so every fingerprint computed before
+    // the policy axis existed stays valid (shard partials carry it).
+    if (!spec.policies.empty()) {
+        os << "policies=";
+        for (std::size_t i = 0; i < spec.policies.size(); ++i)
+            os << (i ? "," : "") << spec.policies[i];
+        os << "\n";
+    }
     return os.str();
 }
 
@@ -217,7 +225,7 @@ toJsonLine(const RunRecord &rec)
     std::ostringstream os;
     os << "{\"index\":" << rec.point.index << ",\"config\":\""
        << jsonEscape(rec.point.configName) << "\",\"mode\":\""
-       << systemModeName(rec.point.mode) << "\",\"workload\":\""
+       << jsonEscape(rec.point.label()) << "\",\"workload\":\""
        << jsonEscape(rec.point.workload)
        << "\",\"baseSeed\":" << rec.point.baseSeed
        << ",\"runSeed\":" << rec.point.runSeed
@@ -298,7 +306,7 @@ writeCsv(const SweepReport &report, std::ostream &os)
                 c = ';';
         }
         os << rec.point.index << "," << rec.point.configName << ","
-           << systemModeName(rec.point.mode) << "," << rec.point.workload
+           << rec.point.label() << "," << rec.point.workload
            << "," << rec.point.baseSeed << "," << rec.point.runSeed
            << "," << (rec.ok ? "1" : "0") << "," << err;
         for (const auto &[name, get] : metricFields()) {

@@ -29,7 +29,25 @@ SweepReport::find(const std::string &config, SystemMode mode,
                   std::uint64_t base_seed) const
 {
     for (const RunRecord &r : rows) {
+        // Policy-axis rows carry their variant's base mode in
+        // point.mode; only label-less (mode-axis) rows match here.
         if (r.point.configName == config && r.point.mode == mode &&
+            r.point.policy.empty() &&
+            r.point.workload == workload &&
+            r.point.baseSeed == base_seed) {
+            return &r;
+        }
+    }
+    return nullptr;
+}
+
+const RunRecord *
+SweepReport::find(const std::string &config, const std::string &label,
+                  const std::string &workload,
+                  std::uint64_t base_seed) const
+{
+    for (const RunRecord &r : rows) {
+        if (r.point.configName == config && r.point.label() == label &&
             r.point.workload == workload &&
             r.point.baseSeed == base_seed) {
             return &r;

@@ -8,8 +8,8 @@ namespace pcmap::sweep {
 std::size_t
 SweepSpec::size() const
 {
-    return configs.size() * modes.size() * workloads.size() *
-           seeds.size();
+    return configs.size() * (modes.size() + policies.size()) *
+           workloads.size() * seeds.size();
 }
 
 std::vector<SweepPoint>
@@ -17,8 +17,9 @@ SweepSpec::expand() const
 {
     if (configs.empty())
         fatal("sweep spec has an empty config axis");
-    if (modes.empty())
-        fatal("sweep spec has an empty mode axis");
+    if (modes.empty() && policies.empty())
+        fatal("sweep spec has an empty system axis "
+              "(no modes and no policies)");
     if (workloads.empty())
         fatal("sweep spec has an empty workload axis");
     if (seeds.empty())
@@ -27,23 +28,33 @@ SweepSpec::expand() const
     std::vector<SweepPoint> points;
     points.reserve(size());
     for (const ConfigVariant &variant : configs) {
-        for (const SystemMode mode : modes) {
+        // Mode presets and composed policies share one system axis;
+        // only the composition reaches the config for policy points
+        // (SystemConfig::controllerConfig applies it over the preset).
+        const auto emit = [&](const SystemMode mode,
+                              const std::string &policy) {
             for (const std::string &workload : workloads) {
                 for (const std::uint64_t seed : seeds) {
                     SweepPoint p;
                     p.index = points.size();
                     p.configName = variant.name;
                     p.mode = mode;
+                    p.policy = policy;
                     p.workload = workload;
                     p.baseSeed = seed;
                     p.runSeed = Rng::deriveStream(seed, p.index);
                     p.config = variant.base;
                     p.config.mode = mode;
+                    p.config.policy = policy;
                     p.config.seed = p.runSeed;
                     points.push_back(std::move(p));
                 }
             }
-        }
+        };
+        for (const SystemMode mode : modes)
+            emit(mode, "");
+        for (const std::string &policy : policies)
+            emit(variant.base.mode, policy);
     }
     return points;
 }

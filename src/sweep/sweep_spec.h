@@ -34,13 +34,21 @@ struct SweepPoint
     std::size_t index = 0;
     std::string configName;
     SystemMode mode = SystemMode::Baseline;
+    /** Canonical composition when this point rides the policy axis. */
+    std::string policy;
     std::string workload;
     /** The seed-axis value this point came from. */
     std::uint64_t baseSeed = 1;
     /** Rng::deriveStream(baseSeed, index): the seed the run uses. */
     std::uint64_t runSeed = 1;
-    /** Resolved configuration (variant base + mode + runSeed). */
+    /** Resolved configuration (variant base + system + runSeed). */
     SystemConfig config{};
+
+    /** Report label: the preset's name, or the composition string. */
+    std::string label() const
+    {
+        return policy.empty() ? systemModeName(mode) : policy;
+    }
 };
 
 /**
@@ -54,6 +62,13 @@ struct SweepSpec
     /** Mode axis; defaults to all six evaluated systems. */
     std::vector<SystemMode> modes{std::begin(kAllModes),
                                   std::end(kAllModes)};
+    /**
+     * Policy axis: canonical composed-policy strings ("row+wow+rde"),
+     * expanded after the mode axis within each config.  Together with
+     * `modes` this forms the system axis; at least one of the two must
+     * be non-empty.
+     */
+    std::vector<std::string> policies;
     /** Workload axis (mix or program names; see makeWorkload()). */
     std::vector<std::string> workloads;
     /** Seed axis: base seeds, each expanded against every other axis. */
@@ -63,8 +78,9 @@ struct SweepSpec
     std::size_t size() const;
 
     /**
-     * Expand into the canonical point list (config-major, then mode,
-     * workload, seed).  fatal() when any axis is empty.
+     * Expand into the canonical point list (config-major, then system
+     * — modes before policies — then workload, seed).  fatal() when
+     * any axis is empty (the system axis needs modes or policies).
      */
     std::vector<SweepPoint> expand() const;
 };

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Refactor-equivalence harness for the policy layer.
+ *
+ * Two guarantees, both byte-level:
+ *
+ *  1. Every SystemMode preset and its canonical policy composition
+ *     (e.g. RWoW-RDE vs "row+wow+rde") produce identical sweep JSONL
+ *     modulo the system label, for every preset x smoke workload.
+ *
+ *  2. The six presets' JSONL output matches a checked-in snapshot
+ *     byte for byte, so any future policy-layer change that perturbs
+ *     simulation results is caught even if it perturbs both the
+ *     preset and the composed path the same way.
+ *
+ * Regenerate the snapshot after an intentional simulator change with:
+ *     PCMAP_UPDATE_GOLDEN=1 ./build/tests/policy_equivalence_test
+ * then review the diff like any other code change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/policy/controller_policy.h"
+#include "sweep/sweep_io.h"
+#include "sweep/sweep_runner.h"
+
+#ifndef PCMAP_GOLDEN_SWEEP_FILE
+#error "build must define PCMAP_GOLDEN_SWEEP_FILE"
+#endif
+
+namespace pcmap {
+namespace {
+
+/** Small but mechanism-exercising: both smoke workloads, 4 cores. */
+sweep::SweepSpec
+smokeSpec()
+{
+    sweep::SweepSpec spec;
+    spec.workloads = {"MP1", "canneal"};
+    spec.seeds = {1};
+    spec.configs[0].base.instructionsPerCore = 15'000;
+    return spec;
+}
+
+std::string
+runJsonl(const sweep::SweepSpec &spec)
+{
+    sweep::SweepRunner::Options opts;
+    opts.threads = 4;
+    return sweep::toJsonl(sweep::SweepRunner(opts).run(spec));
+}
+
+/** Replace every occurrence of @p from in @p text with @p to. */
+std::string
+relabel(std::string text, const std::string &from, const std::string &to)
+{
+    const std::string needle = "\"mode\":\"" + from + "\"";
+    const std::string repl = "\"mode\":\"" + to + "\"";
+    std::size_t pos = 0;
+    while ((pos = text.find(needle, pos)) != std::string::npos) {
+        text.replace(pos, needle.size(), repl);
+        pos += repl.size();
+    }
+    return text;
+}
+
+TEST(PolicyEquivalence, EveryPresetMatchesItsComposition)
+{
+    for (const SystemMode mode : kAllModes) {
+        const std::string composition =
+            ControllerPolicy::forMode(mode).composition();
+
+        sweep::SweepSpec as_mode = smokeSpec();
+        as_mode.modes = {mode};
+
+        // Force the composition down the policy-axis path (bypass the
+        // preset routing the CLI does) so the composed ControllerConfig
+        // itself is what gets exercised.
+        sweep::SweepSpec as_policy = smokeSpec();
+        as_policy.modes.clear();
+        as_policy.policies = {composition};
+
+        const std::string via_mode = runJsonl(as_mode);
+        const std::string via_policy = runJsonl(as_policy);
+        EXPECT_EQ(relabel(via_policy, composition, systemModeName(mode)),
+                  via_mode)
+            << systemModeName(mode) << " vs " << composition
+            << ": the composed policy must be byte-identical to the "
+               "preset";
+    }
+}
+
+TEST(PolicyEquivalence, SixPresetJsonlMatchesGoldenSnapshot)
+{
+    sweep::SweepSpec spec = smokeSpec();
+    spec.modes.assign(std::begin(kAllModes), std::end(kAllModes));
+    const std::string actual = runJsonl(spec);
+    ASSERT_FALSE(actual.empty());
+
+    const std::string path = PCMAP_GOLDEN_SWEEP_FILE;
+    if (std::getenv("PCMAP_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << actual;
+        GTEST_SKIP() << "golden sweep snapshot regenerated at " << path;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "cannot read golden file " << path
+        << "; regenerate with PCMAP_UPDATE_GOLDEN=1 "
+           "./build/tests/policy_equivalence_test";
+    std::ostringstream golden;
+    golden << in.rdbuf();
+
+    // Byte-for-byte: the simulator is deterministic and the JSONL
+    // formatter is locale-independent, so any diff is a real
+    // behavioural change (regenerate only if it is intentional).
+    EXPECT_EQ(actual, golden.str())
+        << "preset JSONL drifted from the snapshot; if intentional, "
+           "regenerate with PCMAP_UPDATE_GOLDEN=1 "
+           "./build/tests/policy_equivalence_test";
+}
+
+} // namespace
+} // namespace pcmap

@@ -111,5 +111,75 @@ TEST(SweepCli, SpecFromConfigRequiresWorkloads)
     EXPECT_THROW(specFromConfig(Config{}), SimError);
 }
 
+TEST(SweepCli, ParsePoliciesAcceptsCompositionLists)
+{
+    const auto policies = parsePolicies("base,row+wow+rde,fg+rd");
+    ASSERT_EQ(policies.size(), 3u);
+    EXPECT_EQ(policies[0].composition(), "base");
+    EXPECT_EQ(policies[1].composition(), "row+wow+rde");
+    EXPECT_EQ(policies[2].composition(), "fg+rd");
+    // Case and component order normalise away.
+    EXPECT_EQ(parsePolicies("RDE+WoW+Row")[0].composition(),
+              "row+wow+rde");
+}
+
+TEST(SweepCli, ParsePoliciesRejectsUnknownComponentsWithClearError)
+{
+    ScopedErrorTrap trap;
+    EXPECT_THROW(parsePolicies("row+bogus"), SimError);
+    EXPECT_THROW(parsePolicies("rd+rde"), SimError);
+    EXPECT_THROW(parsePolicies(""), SimError);
+    try {
+        parsePolicies("wow+nope");
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("nope"), std::string::npos) << what;
+        EXPECT_NE(what.find("base, fg, row, wow, rd, rde"),
+                  std::string::npos)
+            << "must list the valid components: " << what;
+    }
+}
+
+TEST(SweepCli, PolicyKeyRoutesPresetsOntoTheModeAxis)
+{
+    // Preset-equivalent compositions join the modes axis so their
+    // sweep rows are byte-identical to the named mode.
+    Config args;
+    args.set("workloads", std::string("MP1"));
+    args.set("policy", std::string("row+wow+rde"));
+    const SweepSpec spec = specFromConfig(args);
+    EXPECT_EQ(spec.modes,
+              (std::vector<SystemMode>{SystemMode::RWoW_RDE}));
+    EXPECT_TRUE(spec.policies.empty());
+    EXPECT_EQ(spec.size(), 1u);
+}
+
+TEST(SweepCli, PolicyKeyPutsNonPresetsOnThePolicyAxis)
+{
+    Config args;
+    args.set("workloads", std::string("MP1"));
+    args.set("policy", std::string("fg,row+wow"));
+    const SweepSpec spec = specFromConfig(args);
+    EXPECT_EQ(spec.modes,
+              (std::vector<SystemMode>{SystemMode::RWoW_NR}))
+        << "row+wow is the RWoW-NR preset";
+    EXPECT_EQ(spec.policies, (std::vector<std::string>{"fg"}));
+    EXPECT_EQ(spec.size(), 2u);
+}
+
+TEST(SweepCli, PolicyKeyCombinesWithExplicitModes)
+{
+    Config args;
+    args.set("workloads", std::string("MP1"));
+    args.set("modes", std::string("Baseline"));
+    args.set("policy", std::string("fg+rd"));
+    const SweepSpec spec = specFromConfig(args);
+    EXPECT_EQ(spec.modes,
+              (std::vector<SystemMode>{SystemMode::Baseline}));
+    EXPECT_EQ(spec.policies, (std::vector<std::string>{"fg+rd"}));
+    EXPECT_EQ(spec.size(), 2u);
+}
+
 } // namespace
 } // namespace pcmap::sweep

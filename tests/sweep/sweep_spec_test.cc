@@ -84,16 +84,55 @@ TEST(SweepSpec, ExpansionIsAPureFunctionOfTheSpec)
     }
 }
 
+TEST(SweepSpec, PolicyAxisExpandsAfterModes)
+{
+    SweepSpec spec;
+    spec.workloads = {"MP1"};
+    spec.modes = {SystemMode::Baseline};
+    spec.policies = {"fg", "row+rd"};
+    EXPECT_EQ(spec.size(), 3u);
+    const auto points = spec.expand();
+    ASSERT_EQ(points.size(), 3u);
+
+    EXPECT_EQ(points[0].mode, SystemMode::Baseline);
+    EXPECT_TRUE(points[0].policy.empty());
+    EXPECT_TRUE(points[0].config.policy.empty());
+    EXPECT_EQ(points[0].label(), "Baseline");
+
+    EXPECT_EQ(points[1].policy, "fg");
+    EXPECT_EQ(points[1].config.policy, "fg");
+    EXPECT_EQ(points[1].label(), "fg");
+    EXPECT_EQ(points[2].policy, "row+rd");
+    EXPECT_EQ(points[2].label(), "row+rd");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(points[i].index, i);
+        EXPECT_EQ(points[i].runSeed,
+                  Rng::deriveStream(points[i].baseSeed, i));
+    }
+}
+
+TEST(SweepSpec, PolicyOnlySpecNeedsNoModes)
+{
+    SweepSpec spec;
+    spec.workloads = {"MP1"};
+    spec.modes.clear();
+    spec.policies = {"row+wow"};
+    EXPECT_EQ(spec.size(), 1u);
+    const auto points = spec.expand();
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_EQ(points[0].label(), "row+wow");
+}
+
 TEST(SweepSpec, EmptyAxesAreFatal)
 {
     ScopedErrorTrap trap;
     SweepSpec no_workloads;
     EXPECT_THROW(no_workloads.expand(), SimError);
 
-    SweepSpec no_modes;
-    no_modes.workloads = {"MP1"};
-    no_modes.modes.clear();
-    EXPECT_THROW(no_modes.expand(), SimError);
+    SweepSpec no_system_axis;
+    no_system_axis.workloads = {"MP1"};
+    no_system_axis.modes.clear();
+    EXPECT_THROW(no_system_axis.expand(), SimError);
 
     SweepSpec no_seeds;
     no_seeds.workloads = {"MP1"};

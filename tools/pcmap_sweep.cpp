@@ -54,7 +54,12 @@ usage()
         "  workloads=LIST  comma list of mix/program names, or a group:\n"
         "                  mt | mp | evaluated.  Required.\n"
         "  modes=LIST      comma list of system modes, or all | pcmap\n"
-        "                  (default all)\n"
+        "                  (default all; omitted when policy= is given)\n"
+        "  policy=LIST     comma list of composed controller policies:\n"
+        "                  components base|fg|row|wow|rd|rde joined\n"
+        "                  with '+' (e.g. row+wow+rde).  Compositions\n"
+        "                  equivalent to a preset run under its mode\n"
+        "                  name; combines with an explicit modes=\n"
         "  seeds=LIST      comma list of unsigned base seeds (default 1);\n"
         "                  per-run seed = hash(baseSeed, pointIndex)\n"
         "  insts=N         instructions per core per run (default 200000)\n"
@@ -111,7 +116,7 @@ runnerOptions(const Config &args, std::size_t total, bool default_table)
                     "[%3zu/%zu] %-8s %-9s seed=%llu  ipc=%7.3f "
                     "irlp=%5.2f readLat=%7.1fns  (%.0f ms)\n",
                     *done, total, rec.point.workload.c_str(),
-                    systemModeName(rec.point.mode),
+                    rec.point.label().c_str(),
                     static_cast<unsigned long long>(rec.point.baseSeed),
                     rec.results.ipcSum, rec.results.irlpMean,
                     rec.results.avgReadLatencyNs, rec.wallMs);
@@ -119,7 +124,7 @@ runnerOptions(const Config &args, std::size_t total, bool default_table)
                 std::printf(
                     "[%3zu/%zu] %-8s %-9s seed=%llu  FAILED: %s\n",
                     *done, total, rec.point.workload.c_str(),
-                    systemModeName(rec.point.mode),
+                    rec.point.label().c_str(),
                     static_cast<unsigned long long>(rec.point.baseSeed),
                     rec.error.c_str());
             }
@@ -299,9 +304,10 @@ plainMain(const Config &args, const sweep::SweepSpec &spec)
     sweep::SweepRunner::Options opts =
         runnerOptions(args, total, /*default_table=*/true);
 
-    std::printf("pcmap-sweep: %zu points (%zu workloads x %zu modes x "
-                "%zu seeds), %u thread%s\n",
-                total, spec.workloads.size(), spec.modes.size(),
+    std::printf("pcmap-sweep: %zu points (%zu workloads x %zu systems "
+                "x %zu seeds), %u thread%s\n",
+                total, spec.workloads.size(),
+                spec.modes.size() + spec.policies.size(),
                 spec.seeds.size(), std::max(1u, opts.threads),
                 opts.threads > 1 ? "s" : "");
 
