@@ -126,6 +126,7 @@ figureWorkloads()
 void
 figureSweep(const HarnessConfig &hc, Metric metric, bool normalize)
 {
+    HostReport host;
     // Declare the whole run matrix up front and execute it through
     // the sweep runner (sharded across hc.threads workers), instead
     // of simulating inside the printing loops.
@@ -198,6 +199,12 @@ figureSweep(const HarnessConfig &hc, Metric metric, bool normalize)
     for (const double v : mp_avg)
         std::printf(" %9.3f", v);
     std::printf("\n");
+
+    for (const sweep::RunRecord &rec : report.rows) {
+        if (rec.ok)
+            host.add(rec.results);
+    }
+    host.print();
 }
 
 int

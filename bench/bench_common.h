@@ -29,12 +29,51 @@
 
 #include "core/system.h"
 #include "sim/config.h"
+#include "sim/perf.h"
 #include "sweep/sweep_cli.h"
 #include "sweep/sweep_runner.h"
 #include "workload/mixes.h"
 #include "workload/profile.h"
 
 namespace pcmap::bench {
+
+/**
+ * Uniform host wall-clock footer for the harnesses.
+ *
+ * Construct before the simulations start, add() every SystemResults
+ * produced, and print() once at the end; every harness then reports
+ * host throughput through the same perf::RunMetrics line as
+ * tools/pcmap-perf instead of ad-hoc timing printouts.
+ */
+class HostReport
+{
+  public:
+    /** Fold one finished run into the totals. */
+    void
+    add(const SystemResults &r)
+    {
+        total.eventsExecuted += r.hostEventsExecuted;
+        total.scheduleCalls += r.hostScheduleCalls;
+        total.requestsCompleted +=
+            r.readsCompleted + r.writesCompleted;
+        total.instructions += r.instRetired;
+        total.simTicks += r.simTicks;
+    }
+
+    /** Print the standard "host:" footer line. */
+    void
+    print() const
+    {
+        perf::RunMetrics m = total;
+        m.wallSeconds = timer.seconds();
+        std::printf("\nhost: %s peakRss=%ldKiB\n",
+                    perf::summaryLine(m).c_str(), perf::peakRssKb());
+    }
+
+  private:
+    perf::RunMetrics total;
+    perf::WallTimer timer;
+};
 
 /** Common harness parameters parsed from the command line. */
 struct HarnessConfig

@@ -29,6 +29,7 @@ main(int argc, char **argv)
            hc);
 
     const char *workloads[] = {"facesim", "MP3", "canneal", "MP4"};
+    HostReport host;
 
     std::printf("%-22s", "system");
     for (const char *w : workloads)
@@ -59,6 +60,7 @@ main(int argc, char **argv)
             cfg.enableWriteCancellation = row.cancel;
             cfg.enablePreset = row.preset;
             const SystemResults r = runWorkload(cfg, w);
+            host.add(r);
             std::printf("  %6.3f(%3.0fns)", r.ipcSum,
                         r.avgReadLatencyNs);
         }
@@ -82,10 +84,15 @@ main(int argc, char **argv)
         base.timing.setNs = set_ns;
         SystemConfig pre = base;
         pre.enablePreset = true;
-        const double b = runWorkload(base, "MP4").ipcSum;
-        const double p = runWorkload(pre, "MP4").ipcSum;
+        const SystemResults rb = runWorkload(base, "MP4");
+        const SystemResults rp = runWorkload(pre, "MP4");
+        host.add(rb);
+        host.add(rp);
+        const double b = rb.ipcSum;
+        const double p = rp.ipcSum;
         std::printf("  %-12.0f %10.3f %12.3f %+8.1f%%\n", set_ns, b,
                     p, 100.0 * (p / b - 1.0));
     }
+    host.print();
     return 0;
 }

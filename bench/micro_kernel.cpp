@@ -23,6 +23,13 @@ BM_EventScheduleFire(benchmark::State &state)
         eq.step();
     }
     benchmark::DoNotOptimize(count);
+    // Same rate key the perf harnesses report; also pins the
+    // steady-state pool size (one live event -> one chunk).
+    state.counters["events_per_sec"] = benchmark::Counter(
+        static_cast<double>(eq.counters().eventsExecuted),
+        benchmark::Counter::kIsRate);
+    state.counters["pool_slots"] = benchmark::Counter(
+        static_cast<double>(eq.poolSlots()));
 }
 BENCHMARK(BM_EventScheduleFire);
 

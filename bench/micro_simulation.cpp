@@ -41,17 +41,27 @@ BM_FullSystem(benchmark::State &state)
 {
     const auto mode = static_cast<SystemMode>(state.range(0));
     constexpr std::uint64_t kInsts = 50'000;
+    std::uint64_t events = 0;
+    std::uint64_t schedules = 0;
     for (auto _ : state) {
         SystemConfig cfg;
         cfg.mode = mode;
         cfg.instructionsPerCore = kInsts;
         cfg.seed = 1;
         const SystemResults r = runWorkload(cfg, "MP1");
+        events += r.hostEventsExecuted;
+        schedules += r.hostScheduleCalls;
         benchmark::DoNotOptimize(r.ipcSum);
     }
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations()) *
         static_cast<std::int64_t>(kInsts * 8));
+    // The same kernel rates tools/pcmap-perf reports, so the
+    // microbench and the harness numbers are directly comparable.
+    state.counters["events_per_sec"] = benchmark::Counter(
+        static_cast<double>(events), benchmark::Counter::kIsRate);
+    state.counters["schedule_calls_per_sec"] = benchmark::Counter(
+        static_cast<double>(schedules), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_FullSystem)
     ->Arg(static_cast<int>(SystemMode::Baseline))

@@ -34,6 +34,12 @@ MemoryController::MemoryController(std::string name,
         ranks.emplace_back(cfg.banksPerRank, cfg.hasPcc());
     writeSlotFreeAt.assign(n_ranks, 0);
     irlpTrackers.resize(n_ranks);
+
+    // Each channel sees roughly an even share of the written lines.
+    const unsigned n_channels =
+        std::max(1u, mapper.geometry().channels);
+    wearTracker.reserveLines(static_cast<std::size_t>(
+        cfg.footprintLinesHint / n_channels));
 }
 
 // ---------------------------------------------------------------------
@@ -44,11 +50,12 @@ bool
 MemoryController::enqueueRead(const MemRequest &req, ReadCallback cb)
 {
     const Tick now = eventq.now();
+    const std::uint64_t req_line = addrMap.lineAddr(req.addr);
 
     // Write-queue forwarding: a read that hits a buffered write-back is
     // answered from the queue without touching the PCM chips.
     for (const WriteEntry &w : writeQ) {
-        if (addrMap.lineAddr(w.req.addr) != addrMap.lineAddr(req.addr))
+        if (w.line != req_line)
             continue;
         ++counters.readsEnqueued;
         ++counters.readsForwardedFromWq;
@@ -85,6 +92,7 @@ MemoryController::enqueueRead(const MemRequest &req, ReadCallback cb)
     entry.req = req;
     entry.req.enqueueTick = now;
     entry.cb = std::move(cb);
+    entry.prime(addrMap, *lineLayout);
     readQ.push_back(std::move(entry));
     ++counters.readsEnqueued;
     scheduleKick(eventq.now());
@@ -94,21 +102,28 @@ MemoryController::enqueueRead(const MemRequest &req, ReadCallback cb)
 bool
 MemoryController::enqueueWrite(const MemRequest &req)
 {
+    const std::uint64_t req_line = addrMap.lineAddr(req.addr);
+
     // Coalesce with an already-buffered write-back to the same line.
     for (WriteEntry &w : writeQ) {
-        if (addrMap.lineAddr(w.req.addr) == addrMap.lineAddr(req.addr)) {
+        if (w.line == req_line) {
             w.req.data = req.data;
             ++counters.writesCoalesced;
             return true;
         }
     }
 
+    WriteEntry entry;
+    entry.req = req;
+    entry.req.enqueueTick = eventq.now();
+    entry.prime(addrMap);
+
     bool full;
     if (cfg.perBankWriteQueues) {
-        const unsigned bank = addrMap.decode(req.addr).bank;
+        const unsigned bank = entry.loc.bank;
         std::size_t in_bank = 0;
         for (const WriteEntry &w : writeQ) {
-            if (addrMap.decode(w.req.addr).bank == bank)
+            if (w.loc.bank == bank)
                 ++in_bank;
         }
         full = in_bank >= cfg.writeQueueCap;
@@ -120,17 +135,13 @@ MemoryController::enqueueWrite(const MemRequest &req)
         return false;
     }
 
-    WriteEntry entry;
-    entry.req = req;
-    entry.req.enqueueTick = eventq.now();
+    const DecodedAddr loc = entry.loc;
     writeQ.push_back(std::move(entry));
     ++counters.writesEnqueued;
     if (cfg.enablePreset && !draining) {
         // No point pre-SETting once the drain is imminent: the write
         // will reach service before the background pulse could run.
-        const DecodedAddr loc = addrMap.decode(req.addr);
-        queuePreset(addrMap.lineAddr(req.addr), loc.rank, loc.bank,
-                    loc.row);
+        queuePreset(req_line, loc.rank, loc.bank, loc.row);
     }
     scheduleKick(eventq.now());
     return true;
@@ -296,10 +307,12 @@ MemoryController::computeReadWindow(ChipMask chips, unsigned bank,
     // Write-to-read bus turnaround.
     burst_start = std::max(
         burst_start, lastWriteBurstEnd + cfg.timing.turnaroundTicks());
-    // Per-chip data lanes.
-    for (unsigned c = 0; c < kChipsPerRank; ++c) {
-        if (chips & (1u << c))
-            burst_start = std::max(burst_start, laneFreeAt[c]);
+    // Per-chip data lanes (no lane can push past laneMaxFree).
+    if (burst_start < laneMaxFree) {
+        for (unsigned c = 0; c < kChipsPerRank; ++c) {
+            if (chips & (1u << c))
+                burst_start = std::max(burst_start, laneFreeAt[c]);
+        }
     }
     start = burst_start - lead;
     end = burst_start + cfg.timing.burstTicks();
@@ -316,9 +329,11 @@ MemoryController::computeWriteWindow(ChipMask chips, unsigned bank,
     // Read-to-write turnaround (same penalty class as tWTR).
     burst_start = std::max(
         burst_start, lastReadBurstEnd + cfg.timing.turnaroundTicks());
-    for (unsigned c = 0; c < kChipsPerRank; ++c) {
-        if (chips & (1u << c))
-            burst_start = std::max(burst_start, laneFreeAt[c]);
+    if (burst_start < laneMaxFree) {
+        for (unsigned c = 0; c < kChipsPerRank; ++c) {
+            if (chips & (1u << c))
+                burst_start = std::max(burst_start, laneFreeAt[c]);
+        }
     }
     start = burst_start - lead;
     end = burst_start + cfg.timing.burstTicks() +
@@ -335,6 +350,8 @@ MemoryController::occupyBuses(ChipMask chips, Tick burst_start,
         if (chips & (1u << c))
             laneFreeAt[c] = std::max(laneFreeAt[c], burst_end);
     }
+    if (chips)
+        laneMaxFree = std::max(laneMaxFree, burst_end);
     if (is_write)
         lastWriteBurstEnd = std::max(lastWriteBurstEnd, burst_end);
     else

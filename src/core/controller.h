@@ -262,6 +262,8 @@ class MemoryController : private ReadWindowModel
     /** Read-only facade the policies plan over (aliases ranks). */
     BankStateView bankView{ranks};
     std::array<Tick, kChipsPerRank> laneFreeAt{};
+    /** max over laneFreeAt: a burst at or past it skips the lane walk. */
+    Tick laneMaxFree = 0;
     Tick cmdBusFreeAt = 0;
     Tick lastReadBurstEnd = 0;
     Tick lastWriteBurstEnd = 0;

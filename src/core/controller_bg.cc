@@ -73,7 +73,7 @@ MemoryController::queuePreset(std::uint64_t line_addr, unsigned rank,
             energyModel.recordWordWrite(stored.data.w[w], ~0ull);
         // Mark the buffered write (if still queued) as pre-SET.
         for (WriteEntry &entry : writeQ) {
-            if (addrMap.lineAddr(entry.req.addr) == line_addr)
+            if (entry.line == line_addr)
                 entry.presetDone = true;
         }
     };

@@ -23,9 +23,9 @@ MemoryController::issueRead(const ReadPlan &plan)
     readQ.erase(readQ.begin() +
                 static_cast<std::ptrdiff_t>(plan.index));
 
-    const DecodedAddr loc = addrMap.decode(entry.req.addr);
-    const std::uint64_t line = addrMap.lineAddr(entry.req.addr);
-    const ChipMask data_mask = lineLayout->dataChips(line);
+    const DecodedAddr loc = entry.loc;
+    const std::uint64_t line = entry.line;
+    const ChipMask data_mask = entry.dataMask;
 
     reserveChips(loc.rank, plan.chips, loc.bank, loc.row, plan.start,
                  plan.end, false);
@@ -154,8 +154,7 @@ bool
 MemoryController::readWantsBank(unsigned rank, unsigned bank) const
 {
     for (const ReadEntry &r : readQ) {
-        const DecodedAddr loc = addrMap.decode(r.req.addr);
-        if (loc.rank == rank && loc.bank == bank)
+        if (r.loc.rank == rank && r.loc.bank == bank)
             return true;
     }
     return false;
@@ -166,14 +165,9 @@ MemoryController::readWantsChips(unsigned rank, unsigned bank,
                                  ChipMask chips) const
 {
     for (const ReadEntry &r : readQ) {
-        const DecodedAddr loc = addrMap.decode(r.req.addr);
-        if (loc.rank != rank || loc.bank != bank)
+        if (r.loc.rank != rank || r.loc.bank != bank)
             continue;
-        const std::uint64_t line = addrMap.lineAddr(r.req.addr);
-        const ChipMask needed =
-            lineLayout->dataChips(line) |
-            static_cast<ChipMask>(1u << lineLayout->eccChip(line));
-        if (needed & chips)
+        if (r.inlineMask & chips)
             return true;
     }
     return false;

@@ -33,7 +33,7 @@ MemoryController::scheduleWriteCompletion(const WriteEntry &entry,
 {
     (void)essential;
     ++inFlight;
-    const std::uint64_t line = addrMap.lineAddr(entry.req.addr);
+    const std::uint64_t line = entry.line;
     const CacheLine data = entry.req.data;
     return eventq.schedule(done, [this, line, data, track_active]() {
         // Recompute the change mask at commit time: an earlier write
@@ -117,10 +117,8 @@ MemoryController::tryIssueWrites(Tick now, Tick &earliest)
     if (cfg.enablePreset && !head.presetDone) {
         // The write outran its background pre-SET: drop the pending
         // pulse instead of wasting it on a line leaving the queue.
-        const std::uint64_t head_line =
-            addrMap.lineAddr(head.req.addr);
         for (std::size_t i = 0; i < bgOps.size(); ++i) {
-            if (bgOps[i].presetLine == head_line) {
+            if (bgOps[i].presetLine == head.line) {
                 pcmap_assert(codeBacklog > 0);
                 --codeBacklog;
                 bgOps.erase(bgOps.begin() +
@@ -130,8 +128,8 @@ MemoryController::tryIssueWrites(Tick now, Tick &earliest)
         }
     }
 
-    const DecodedAddr loc = addrMap.decode(head.req.addr);
-    const std::uint64_t line = addrMap.lineAddr(head.req.addr);
+    const DecodedAddr loc = head.loc;
+    const std::uint64_t line = head.line;
     const WordMask essential = backing.essentialWords(line, head.req.data);
     const unsigned n_essential = wordCount(essential);
     counters.essentialWordsSum += n_essential;

@@ -12,95 +12,4 @@ ChipLayout::ChipLayout(RotationMode mode, bool has_pcc)
     }
 }
 
-unsigned
-ChipLayout::slotToChip(std::uint64_t line_addr, unsigned slot) const
-{
-    switch (rotation) {
-      case RotationMode::None:
-        return slot;
-      case RotationMode::Data:
-        // Only data slots rotate; code slots stay put.
-        if (slot >= kWordsPerLine)
-            return slot;
-        return static_cast<unsigned>((slot + line_addr % kDataChips) %
-                                     kDataChips);
-      case RotationMode::DataEcc:
-        return static_cast<unsigned>((slot + line_addr % kChipsPerRank) %
-                                     kChipsPerRank);
-    }
-    pcmap_panic("unknown rotation mode");
-}
-
-unsigned
-ChipLayout::chipForWord(std::uint64_t line_addr, unsigned word) const
-{
-    pcmap_assert(word < kWordsPerLine);
-    return slotToChip(line_addr, word);
-}
-
-unsigned
-ChipLayout::wordForChip(std::uint64_t line_addr, unsigned chip) const
-{
-    pcmap_assert(chip < kChipsPerRank);
-    switch (rotation) {
-      case RotationMode::None:
-        return chip < kWordsPerLine ? chip : kNoWord;
-      case RotationMode::Data: {
-        if (chip >= kDataChips)
-            return kNoWord;
-        const unsigned r =
-            static_cast<unsigned>(line_addr % kDataChips);
-        return (chip + kDataChips - r) % kDataChips;
-      }
-      case RotationMode::DataEcc: {
-        const unsigned r =
-            static_cast<unsigned>(line_addr % kChipsPerRank);
-        const unsigned slot = (chip + kChipsPerRank - r) % kChipsPerRank;
-        return slot < kWordsPerLine ? slot : kNoWord;
-      }
-    }
-    pcmap_panic("unknown rotation mode");
-}
-
-unsigned
-ChipLayout::eccChip(std::uint64_t line_addr) const
-{
-    return slotToChip(line_addr, kEccSlot);
-}
-
-unsigned
-ChipLayout::pccChip(std::uint64_t line_addr) const
-{
-    if (!pccPresent)
-        pcmap_panic("pccChip() queried on a rank without a PCC chip");
-    return slotToChip(line_addr, kPccSlot);
-}
-
-ChipMask
-ChipLayout::chipsForWords(std::uint64_t line_addr, WordMask words) const
-{
-    ChipMask mask = 0;
-    for (unsigned w = 0; w < kWordsPerLine; ++w) {
-        if (words & (1u << w))
-            mask |= static_cast<ChipMask>(1u << chipForWord(line_addr, w));
-    }
-    return mask;
-}
-
-ChipMask
-ChipLayout::dataChips(std::uint64_t line_addr) const
-{
-    return chipsForWords(line_addr, 0xFF);
-}
-
-ChipMask
-ChipLayout::writeFootprint(std::uint64_t line_addr, WordMask words) const
-{
-    ChipMask mask = chipsForWords(line_addr, words);
-    mask |= static_cast<ChipMask>(1u << eccChip(line_addr));
-    if (pccPresent)
-        mask |= static_cast<ChipMask>(1u << pccChip(line_addr));
-    return mask;
-}
-
 } // namespace pcmap

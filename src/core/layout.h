@@ -25,6 +25,7 @@
 #include <cstdint>
 
 #include "mem/line.h"
+#include "sim/log.h"
 
 namespace pcmap {
 
@@ -54,36 +55,118 @@ class ChipLayout
     RotationMode mode() const { return rotation; }
     bool hasPcc() const { return pccPresent; }
 
+    // The placement queries are defined inline: the controller's
+    // scheduling scans call them tens of millions of times per run,
+    // so they must not cost a cross-TU call each.
+
     /** Chip holding data word @p word (0..7) of line @p line_addr. */
-    unsigned chipForWord(std::uint64_t line_addr, unsigned word) const;
+    unsigned
+    chipForWord(std::uint64_t line_addr, unsigned word) const
+    {
+        pcmap_assert(word < kWordsPerLine);
+        return slotToChip(line_addr, word);
+    }
 
     /**
      * Data word (0..7) held by @p chip for @p line_addr, or kNoWord
      * when that chip holds the line's ECC or PCC word.
      */
-    unsigned wordForChip(std::uint64_t line_addr, unsigned chip) const;
+    unsigned
+    wordForChip(std::uint64_t line_addr, unsigned chip) const
+    {
+        pcmap_assert(chip < kChipsPerRank);
+        switch (rotation) {
+          case RotationMode::None:
+            return chip < kWordsPerLine ? chip : kNoWord;
+          case RotationMode::Data: {
+            if (chip >= kDataChips)
+                return kNoWord;
+            const unsigned r =
+                static_cast<unsigned>(line_addr % kDataChips);
+            return (chip + kDataChips - r) % kDataChips;
+          }
+          case RotationMode::DataEcc: {
+            const unsigned r =
+                static_cast<unsigned>(line_addr % kChipsPerRank);
+            const unsigned slot =
+                (chip + kChipsPerRank - r) % kChipsPerRank;
+            return slot < kWordsPerLine ? slot : kNoWord;
+          }
+        }
+        pcmap_panic("unknown rotation mode");
+    }
 
     /** Chip holding the SECDED ECC word of @p line_addr. */
-    unsigned eccChip(std::uint64_t line_addr) const;
+    unsigned
+    eccChip(std::uint64_t line_addr) const
+    {
+        return slotToChip(line_addr, kEccSlot);
+    }
 
     /** Chip holding the PCC parity word of @p line_addr. */
-    unsigned pccChip(std::uint64_t line_addr) const;
+    unsigned
+    pccChip(std::uint64_t line_addr) const
+    {
+        if (!pccPresent)
+            pcmap_panic("pccChip() queried on a rank without a PCC chip");
+        return slotToChip(line_addr, kPccSlot);
+    }
 
     /** Chip mask covering the data words selected by @p words. */
-    ChipMask chipsForWords(std::uint64_t line_addr, WordMask words) const;
+    ChipMask
+    chipsForWords(std::uint64_t line_addr, WordMask words) const
+    {
+        ChipMask mask = 0;
+        for (unsigned w = 0; w < kWordsPerLine; ++w) {
+            if (words & (1u << w)) {
+                mask |= static_cast<ChipMask>(
+                    1u << chipForWord(line_addr, w));
+            }
+        }
+        return mask;
+    }
 
     /** Chip mask of all eight data-word chips of @p line_addr. */
-    ChipMask dataChips(std::uint64_t line_addr) const;
+    ChipMask
+    dataChips(std::uint64_t line_addr) const
+    {
+        return chipsForWords(line_addr, 0xFF);
+    }
 
     /**
      * Full footprint of a write to @p line_addr updating @p words:
      * the data chips plus the ECC chip plus (when present) the PCC
      * chip.
      */
-    ChipMask writeFootprint(std::uint64_t line_addr, WordMask words) const;
+    ChipMask
+    writeFootprint(std::uint64_t line_addr, WordMask words) const
+    {
+        ChipMask mask = chipsForWords(line_addr, words);
+        mask |= static_cast<ChipMask>(1u << eccChip(line_addr));
+        if (pccPresent)
+            mask |= static_cast<ChipMask>(1u << pccChip(line_addr));
+        return mask;
+    }
 
   private:
-    unsigned slotToChip(std::uint64_t line_addr, unsigned slot) const;
+    unsigned
+    slotToChip(std::uint64_t line_addr, unsigned slot) const
+    {
+        switch (rotation) {
+          case RotationMode::None:
+            return slot;
+          case RotationMode::Data:
+            // Only data slots rotate; code slots stay put.
+            if (slot >= kWordsPerLine)
+                return slot;
+            return static_cast<unsigned>(
+                (slot + line_addr % kDataChips) % kDataChips);
+          case RotationMode::DataEcc:
+            return static_cast<unsigned>(
+                (slot + line_addr % kChipsPerRank) % kChipsPerRank);
+        }
+        pcmap_panic("unknown rotation mode");
+    }
 
     RotationMode rotation;
     bool pccPresent;

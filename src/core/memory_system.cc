@@ -6,7 +6,7 @@ namespace pcmap {
 
 MainMemory::MainMemory(const ControllerConfig &cfg,
                        const MemGeometry &geometry, EventQueue &eq)
-    : addrMap(geometry)
+    : addrMap(geometry), backing(cfg.footprintLinesHint)
 {
     controllers.reserve(geometry.channels);
     for (unsigned ch = 0; ch < geometry.channels; ++ch) {

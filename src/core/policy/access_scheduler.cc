@@ -13,14 +13,39 @@ AccessScheduler::selectWrite(const WriteQueue &write_queue,
 {
     std::size_t head_idx = write_queue.size();
     Tick soonest_slot = kTickMax;
-    for (std::size_t i = 0; i < write_queue.size(); ++i) {
-        const unsigned w_rank =
-            addrMap.decode(write_queue[i].req.addr).rank;
-        if (now >= slot_free_at[w_rank]) {
-            head_idx = i;
-            break;
+    // Selection depends only on per-rank slot state, so after the
+    // first (oldest) entry of a busy rank, later entries of that rank
+    // can neither be picked nor change soonest; once every rank has
+    // been seen busy the rest of the queue cannot matter at all.
+    const std::size_t num_ranks = slot_free_at.size();
+    if (num_ranks <= 32) {
+        std::uint32_t seen = 0;
+        const std::uint32_t all =
+            num_ranks == 32 ? 0xffffffffu
+                            : ((1u << num_ranks) - 1u);
+        for (std::size_t i = 0; i < write_queue.size(); ++i) {
+            const unsigned w_rank = write_queue[i].loc.rank;
+            const std::uint32_t bit = 1u << w_rank;
+            if (seen & bit)
+                continue;
+            if (now >= slot_free_at[w_rank]) {
+                head_idx = i;
+                break;
+            }
+            seen |= bit;
+            soonest_slot = std::min(soonest_slot, slot_free_at[w_rank]);
+            if (seen == all)
+                break;
         }
-        soonest_slot = std::min(soonest_slot, slot_free_at[w_rank]);
+    } else {
+        for (std::size_t i = 0; i < write_queue.size(); ++i) {
+            const unsigned w_rank = write_queue[i].loc.rank;
+            if (now >= slot_free_at[w_rank]) {
+                head_idx = i;
+                break;
+            }
+            soonest_slot = std::min(soonest_slot, slot_free_at[w_rank]);
+        }
     }
     soonest = soonest_slot;
     return head_idx;
@@ -35,6 +60,11 @@ FrFcfsScheduler::planRead(ReadQueue &read_queue,
 {
     ReadPlan best;
 
+    // Whether blocked entries get speculative plans at all this pass;
+    // hoisted so the scan can prune around it.
+    const bool spec_capable =
+        speculates() && pending_verifies < cfg.specReadBufferCap;
+
     // Strict FCFS considers only the oldest read.
     const std::size_t scan_limit =
         cfg.readScheduling == ReadScheduling::Fcfs
@@ -42,27 +72,25 @@ FrFcfsScheduler::planRead(ReadQueue &read_queue,
             : read_queue.size();
     for (std::size_t i = 0; i < scan_limit; ++i) {
         ReadEntry &entry = read_queue[i];
-        const DecodedAddr loc = addrMap.decode(entry.req.addr);
-        const std::uint64_t line = addrMap.lineAddr(entry.req.addr);
-        const ChipMask data_mask = layout.dataChips(line);
-        const unsigned ecc_chip = layout.eccChip(line);
-        const ChipMask inline_mask =
-            data_mask | static_cast<ChipMask>(1u << ecc_chip);
+        const DecodedAddr &loc = entry.loc;
+        const std::uint64_t line = entry.line;
+        const ChipMask data_mask = entry.dataMask;
+        const unsigned ecc_chip = entry.eccChip;
+        const ChipMask inline_mask = entry.inlineMask;
 
-        // --- Normal (coarse) plan: all data chips plus ECC inline ---
-        ReadPlan normal;
-        normal.feasible = true;
-        normal.index = i;
-        normal.rank = loc.rank;
-        const Tick free_at = banks.freeAt(loc.rank, inline_mask, loc.bank);
-        normal.rowHit =
-            banks.rowOpenAll(loc.rank, inline_mask, loc.bank, loc.row);
-        windows.computeReadWindow(inline_mask, loc.bank, loc.row,
-                                  std::max(now, free_at), normal.rowHit,
-                                  normal.start, normal.end);
-        normal.chips = inline_mask;
+        // Chip availability, clamped to now (the exact value is only
+        // ever consumed clamped).  The per-bank ceiling settles the
+        // common all-free case with one compare instead of a walk
+        // over the mask.
+        const Tick free_at =
+            banks.busyCeiling(loc.rank, loc.bank) <= now
+                ? now
+                : std::max(now, banks.freeAt(loc.rank, inline_mask,
+                                             loc.bank));
+        const bool blocked = free_at > now;
 
-        if (free_at > now) {
+        bool delayed_by_write = false;
+        if (blocked) {
             // Blocked: is a write responsible?
             for (unsigned c = 0; c < kChipsPerRank; ++c) {
                 if (!(inline_mask & (1u << c)))
@@ -71,16 +99,42 @@ FrFcfsScheduler::planRead(ReadQueue &read_queue,
                     banks.state(loc.rank, c, loc.bank);
                 if (s.busyUntil > now && s.busyWithWrite) {
                     entry.delayedByWrite = true;
-                    normal.delayedByWrite = true;
+                    delayed_by_write = true;
                     break;
                 }
             }
         }
 
+        const bool spec_here = blocked && spec_capable;
+
+        // Dominance prune: computeReadWindow never reports a start
+        // before its lower bound, so once some plan starts at or
+        // before free_at (winning the row-hit tiebreak), this entry's
+        // normal plan cannot displace it.  Exact only when no
+        // speculative plan will be consulted — those read around the
+        // busy chip and may start earlier than free_at.
+        if (!spec_here && best.feasible &&
+            (free_at > best.start ||
+             (free_at == best.start && best.rowHit)))
+            continue;
+
+        // --- Normal (coarse) plan: all data chips plus ECC inline ---
+        ReadPlan normal;
+        normal.feasible = true;
+        normal.index = i;
+        normal.rank = loc.rank;
+        normal.delayedByWrite = delayed_by_write;
+        normal.rowHit =
+            banks.rowOpenAll(loc.rank, inline_mask, loc.bank, loc.row);
+        windows.computeReadWindow(inline_mask, loc.bank, loc.row,
+                                  free_at, normal.rowHit, normal.start,
+                                  normal.end);
+        normal.chips = inline_mask;
+
         ReadPlan candidate = normal;
 
         // --- Speculative plans (PCMap RoW machinery) ---
-        if (free_at > now && pending_verifies < cfg.specReadBufferCap) {
+        if (spec_here) {
             considerSpeculative(entry, i, loc, line, data_mask, ecc_chip,
                                 banks, windows, now, candidate);
         }
@@ -110,7 +164,6 @@ RowScheduler::considerSpeculative(const ReadEntry &entry,
                                   const ReadWindowModel &windows,
                                   Tick now, ReadPlan &candidate) const
 {
-    (void)entry;
     const ChipMask busy = banks.busyChips(loc.rank, loc.bank, now);
     const ChipMask busy_data = busy & data_mask;
     const bool ecc_busy = (busy >> ecc_chip) & 1u;
@@ -140,7 +193,8 @@ RowScheduler::considerSpeculative(const ReadEntry &entry,
             ++busy_chip;
         const ChipMask write_busy =
             banks.busyWriteChips(loc.rank, loc.bank, now);
-        const unsigned pcc_chip = layout.pccChip(line);
+        const unsigned pcc_chip = entry.pccChip;
+        pcmap_assert(pcc_chip != kNoWord);
         const bool pcc_busy = (busy >> pcc_chip) & 1u;
         const ChipMask others =
             data_mask & static_cast<ChipMask>(~busy_data);

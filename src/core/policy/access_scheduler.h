@@ -45,6 +45,29 @@ struct ReadEntry
     MemRequest req;
     MemoryPort::ReadCallback cb;
     bool delayedByWrite = false;
+
+    // Address-derived invariants, primed once at enqueue.  The
+    // scheduler re-scans the whole queue on every kick, so deriving
+    // these per scan (a decode plus two virtual layout queries per
+    // entry) dominates planning cost on long queues.
+    DecodedAddr loc;
+    std::uint64_t line = 0;
+    ChipMask dataMask = 0;   ///< chips holding the 8 data words
+    ChipMask inlineMask = 0; ///< dataMask plus the ECC chip
+    unsigned eccChip = 0;
+    unsigned pccChip = kNoWord; ///< kNoWord on a rank without PCC
+
+    /** Fill the cached fields from req.addr; call once at enqueue. */
+    void
+    prime(const AddressMapper &map, const LineLayout &ll)
+    {
+        loc = map.decode(req.addr);
+        line = map.lineAddr(req.addr);
+        dataMask = ll.dataChips(line);
+        eccChip = ll.eccChip(line);
+        inlineMask = dataMask | static_cast<ChipMask>(1u << eccChip);
+        pccChip = ll.hasPcc() ? ll.pccChip(line) : kNoWord;
+    }
 };
 
 using ReadQueue = std::deque<ReadEntry>;
@@ -161,6 +184,13 @@ class FrFcfsScheduler : public AccessScheduler
 
   protected:
     /**
+     * Does considerSpeculative ever produce a plan?  When it cannot,
+     * planRead prunes normal plans that provably lose to the running
+     * best (their window's lower bound already starts too late).
+     */
+    virtual bool speculates() const { return false; }
+
+    /**
      * Hook invoked per scanned read whose inline chips are blocked
      * (and while speculative buffer entries remain): a subclass may
      * offer a cheaper speculative plan to replace @p candidate.
@@ -207,6 +237,8 @@ class RowScheduler final : public FrFcfsScheduler
     }
 
   protected:
+    bool speculates() const override { return true; }
+
     void considerSpeculative(const ReadEntry &entry, std::size_t index,
                              const DecodedAddr &loc, std::uint64_t line,
                              ChipMask data_mask, unsigned ecc_chip,

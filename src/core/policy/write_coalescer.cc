@@ -85,12 +85,12 @@ WowCoalescer::collect(WriteQueue &write_queue, unsigned rank,
          it != write_queue.end() && scanned < scan_depth &&
          group.size() < cfg.wowMaxMerge;
          ++scanned) {
-        const DecodedAddr cloc = addrMap.decode(it->req.addr);
+        const DecodedAddr &cloc = it->loc;
         if (cloc.bank != bank || cloc.rank != rank) {
             ++it;
             continue;
         }
-        const std::uint64_t cline = addrMap.lineAddr(it->req.addr);
+        const std::uint64_t cline = it->line;
         const WordMask cess = backing.essentialWords(cline, it->req.data);
         if (cess == 0) {
             // Silent stores complete for free once they reach the

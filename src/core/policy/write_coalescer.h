@@ -43,6 +43,20 @@ struct WriteEntry
     MemRequest req;
     unsigned cancels = 0;    ///< times cancelled by a read
     bool presetDone = false; ///< line pre-SET while buffered
+
+    // Address-derived invariants, primed once at enqueue (the write
+    // selection and coalescing scans would otherwise re-decode every
+    // queued entry on every kick).
+    DecodedAddr loc;
+    std::uint64_t line = 0;
+
+    /** Fill the cached fields from req.addr; call once at enqueue. */
+    void
+    prime(const AddressMapper &map)
+    {
+        loc = map.decode(req.addr);
+        line = map.lineAddr(req.addr);
+    }
 };
 
 using WriteQueue = std::deque<WriteEntry>;

@@ -56,8 +56,35 @@ System::System(const SystemConfig &config,
     }
     cfg.geometry.validate();
 
-    mem = std::make_unique<MainMemory>(cfg.controllerConfig(),
-                                       cfg.geometry, eventq);
+    // Size the functional stores for the lines this run can actually
+    // touch: per core, no more than its footprint and no more than
+    // its expected write count (a host-side hint only — results are
+    // identical without it).
+    std::uint64_t footprint_hint = 0;
+    std::uint64_t shared_footprint = 0;
+    std::uint64_t shared_writes = 0;
+    for (unsigned i = 0; i < cfg.numCores; ++i) {
+        const workload::AppProfile &prof =
+            workload::findProfile(spec.coreApps[i]);
+        const auto writes = static_cast<std::uint64_t>(
+            static_cast<double>(cfg.instructionsPerCore) * prof.wpki /
+            1000.0);
+        if (spec.sharedAddressSpace) {
+            // Threads write into one region; together they can touch
+            // at most its footprint, and at most their joint writes.
+            shared_footprint =
+                std::max(shared_footprint, prof.footprintLines);
+            shared_writes += writes;
+        } else {
+            footprint_hint += std::min(prof.footprintLines, writes);
+        }
+    }
+    if (spec.sharedAddressSpace)
+        footprint_hint = std::min(shared_footprint, shared_writes);
+
+    ControllerConfig mc_cfg = cfg.controllerConfig();
+    mc_cfg.footprintLinesHint = footprint_hint;
+    mem = std::make_unique<MainMemory>(mc_cfg, cfg.geometry, eventq);
 
     // Carve the physical line space into per-core regions for
     // multi-programmed runs; multi-threaded runs share one region.
@@ -225,6 +252,9 @@ System::run()
         res.wpki = 1000.0 * static_cast<double>(res.writesCompleted) /
                    static_cast<double>(total_insts);
     }
+    res.instRetired = total_insts;
+    res.hostEventsExecuted = eventq.counters().eventsExecuted;
+    res.hostScheduleCalls = eventq.counters().scheduleCalls;
     return res;
 }
 

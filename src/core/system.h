@@ -113,6 +113,15 @@ struct SystemResults
     /** Measured system RPKI / WPKI (sanity vs. Table II). */
     double rpki = 0.0;
     double wpki = 0.0;
+
+    // --- Host-side kernel counters -------------------------------------
+    // Deterministic (the same build and config always executes the
+    // identical event sequence), but host-facing: they feed the
+    // perf::RunMetrics reports of the bench harnesses and
+    // tools/pcmap-perf, and are never part of serialized sweep output.
+    std::uint64_t instRetired = 0;        ///< total across cores
+    std::uint64_t hostEventsExecuted = 0; ///< EventQueue counter
+    std::uint64_t hostScheduleCalls = 0;  ///< EventQueue counter
 };
 
 /**

@@ -10,7 +10,8 @@ CoreModel::CoreModel(unsigned id, const CoreConfig &config, EventQueue &eq,
                      MemoryPort &port, RequestSource &source,
                      std::uint64_t target_insts)
     : coreId(id), cfg(config), eventq(eq), mem(port), src(source),
-      targetInsts(target_insts)
+      targetInsts(target_insts),
+      readCb([this](const ReadResponse &resp) { onReadComplete(resp); })
 {
     if (cfg.issueWidth == 0)
         fatal("core issue width must be positive");
@@ -156,9 +157,7 @@ CoreModel::resume()
         req.type = ReqType::Read;
         req.addr = pendingOp.addr;
         req.coreId = coreId;
-        if (!mem.enqueueRead(req, [this](const ReadResponse &resp) {
-                onReadComplete(resp);
-            })) {
+        if (!mem.enqueueRead(req, readCb)) {
             --nextReqId;
             waitingRetry = true;
             stallStart = eventq.now();

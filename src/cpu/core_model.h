@@ -160,6 +160,12 @@ class CoreModel
     ReqId nextReqId = 1;
     CoreStats coreStats;
     Tick startTick = 0;
+
+    /**
+     * Read-completion callback, built once so issuing a read copies a
+     * small-buffer std::function instead of constructing one per read.
+     */
+    MemoryPort::ReadCallback readCb;
 };
 
 } // namespace pcmap

@@ -35,56 +35,21 @@ MemGeometry::validate() const
 AddressMapper::AddressMapper(const MemGeometry &geometry) : geom(geometry)
 {
     geom.validate();
-}
 
-std::uint64_t
-AddressMapper::lineAddr(std::uint64_t byte_addr) const
-{
-    return byte_addr / kLineBytes;
-}
-
-DecodedAddr
-AddressMapper::decode(std::uint64_t byte_addr) const
-{
-    std::uint64_t v = lineAddr(byte_addr) % geom.totalLines();
-
-    DecodedAddr loc;
-    if (geom.interleave == AddressInterleave::LineChannel) {
-        loc.channel = static_cast<unsigned>(v % geom.channels);
-        v /= geom.channels;
-    }
-    loc.column = static_cast<unsigned>(v % geom.linesPerRow());
-    v /= geom.linesPerRow();
-    loc.bank = static_cast<unsigned>(v % geom.banksPerRank);
-    v /= geom.banksPerRank;
-    loc.rank = static_cast<unsigned>(v % geom.ranksPerChannel);
-    v /= geom.ranksPerChannel;
-    if (geom.interleave == AddressInterleave::RegionChannel) {
-        loc.row = v % geom.rowsPerBank();
-        loc.channel =
-            static_cast<unsigned>(v / geom.rowsPerBank());
-    } else {
-        loc.row = v;
-    }
-    return loc;
-}
-
-std::uint64_t
-AddressMapper::encode(const DecodedAddr &loc) const
-{
-    std::uint64_t v;
-    if (geom.interleave == AddressInterleave::RegionChannel)
-        v = static_cast<std::uint64_t>(loc.channel) *
-                geom.rowsPerBank() +
-            loc.row;
-    else
-        v = loc.row;
-    v = v * geom.ranksPerChannel + loc.rank;
-    v = v * geom.banksPerRank + loc.bank;
-    v = v * geom.linesPerRow() + loc.column;
-    if (geom.interleave == AddressInterleave::LineChannel)
-        v = v * geom.channels + loc.channel;
-    return v * kLineBytes;
+    const auto bits = [](std::uint64_t pow2) {
+        return static_cast<unsigned>(std::countr_zero(pow2));
+    };
+    lineMask = geom.totalLines() - 1;
+    chBits = bits(geom.channels);
+    chMask = geom.channels - 1;
+    colBits = bits(geom.linesPerRow());
+    colMask = geom.linesPerRow() - 1;
+    bankBits = bits(geom.banksPerRank);
+    bankMask = geom.banksPerRank - 1;
+    rankBits = bits(geom.ranksPerChannel);
+    rankMask = geom.ranksPerChannel - 1;
+    rowBits = bits(geom.rowsPerBank());
+    rowMask = geom.rowsPerBank() - 1;
 }
 
 } // namespace pcmap

@@ -17,6 +17,7 @@
 #ifndef PCMAP_MEM_ADDRESS_H
 #define PCMAP_MEM_ADDRESS_H
 
+#include <bit>
 #include <cstdint>
 
 #include "mem/line.h"
@@ -99,17 +100,78 @@ class AddressMapper
 
     const MemGeometry &geometry() const { return geom; }
 
+    // decode() runs on every scheduling probe of every queued
+    // request — tens of millions of times per run — so it is defined
+    // inline and works in shifts and masks precomputed from the
+    // power-of-two geometry (validate() enforces pow2 fields) instead
+    // of chained divisions.
+
     /** Cache-line index of a byte address (addr / 64). */
-    std::uint64_t lineAddr(std::uint64_t byte_addr) const;
+    std::uint64_t
+    lineAddr(std::uint64_t byte_addr) const
+    {
+        return byte_addr / kLineBytes;
+    }
 
     /** Decode a byte address into its physical location. */
-    DecodedAddr decode(std::uint64_t byte_addr) const;
+    DecodedAddr
+    decode(std::uint64_t byte_addr) const
+    {
+        std::uint64_t v = lineAddr(byte_addr) & lineMask;
+
+        DecodedAddr loc;
+        if (geom.interleave == AddressInterleave::LineChannel) {
+            loc.channel = static_cast<unsigned>(v & chMask);
+            v >>= chBits;
+        }
+        loc.column = static_cast<unsigned>(v & colMask);
+        v >>= colBits;
+        loc.bank = static_cast<unsigned>(v & bankMask);
+        v >>= bankBits;
+        loc.rank = static_cast<unsigned>(v & rankMask);
+        v >>= rankBits;
+        if (geom.interleave == AddressInterleave::RegionChannel) {
+            loc.row = v & rowMask;
+            loc.channel = static_cast<unsigned>(v >> rowBits);
+        } else {
+            loc.row = v;
+        }
+        return loc;
+    }
 
     /** Inverse of decode(); returns the line-aligned byte address. */
-    std::uint64_t encode(const DecodedAddr &loc) const;
+    std::uint64_t
+    encode(const DecodedAddr &loc) const
+    {
+        std::uint64_t v;
+        if (geom.interleave == AddressInterleave::RegionChannel)
+            v = (static_cast<std::uint64_t>(loc.channel) << rowBits) |
+                loc.row;
+        else
+            v = loc.row;
+        v = (v << rankBits) | loc.rank;
+        v = (v << bankBits) | loc.bank;
+        v = (v << colBits) | loc.column;
+        if (geom.interleave == AddressInterleave::LineChannel)
+            v = (v << chBits) | loc.channel;
+        return v * kLineBytes;
+    }
 
   private:
     MemGeometry geom;
+
+    // Shift/mask decomposition of the validated pow2 geometry.
+    std::uint64_t lineMask = 0;
+    unsigned chBits = 0;
+    std::uint64_t chMask = 0;
+    unsigned colBits = 0;
+    std::uint64_t colMask = 0;
+    unsigned bankBits = 0;
+    std::uint64_t bankMask = 0;
+    unsigned rankBits = 0;
+    std::uint64_t rankMask = 0;
+    unsigned rowBits = 0;
+    std::uint64_t rowMask = 0;
 };
 
 } // namespace pcmap

@@ -4,17 +4,36 @@
 
 namespace pcmap {
 
-BackingStore::BackingStore()
+BackingStore::BackingStore(std::uint64_t footprint_lines_hint)
 {
     zeroLine.ecc = ecc::computeEccWord(zeroLine.data);
     zeroLine.pcc = ecc::computePccWord(zeroLine.data);
+    if (footprint_lines_hint > 0) {
+        pages.reserve(static_cast<std::size_t>(
+            footprint_lines_hint / kPageLines + 1));
+    }
 }
 
 const StoredLine &
 BackingStore::read(std::uint64_t line_addr) const
 {
-    auto it = lines.find(line_addr);
-    return it == lines.end() ? zeroLine : it->second;
+    const std::uint64_t page_idx = line_addr >> kPageShift;
+    const Page *p;
+    if (page_idx == mruIdx) {
+        p = mruPage;
+    } else {
+        auto it = pages.find(page_idx);
+        if (it == pages.end())
+            return zeroLine;
+        p = &it->second;
+        mruIdx = page_idx;
+        mruPage = const_cast<Page *>(p);
+    }
+    const std::uint64_t bit = 1ull << (line_addr & kLineIdxMask);
+    if (!(p->touched & bit))
+        return zeroLine;
+    return p->lines[static_cast<std::size_t>(
+        std::popcount(p->touched & (bit - 1)))];
 }
 
 WordMask
@@ -24,11 +43,31 @@ BackingStore::essentialWords(std::uint64_t line_addr,
     return read(line_addr).data.diffMask(new_data);
 }
 
+BackingStore::Page &
+BackingStore::pageFor(std::uint64_t page_idx)
+{
+    if (page_idx == mruIdx)
+        return *mruPage;
+    auto [it, inserted] = pages.try_emplace(page_idx);
+    mruIdx = page_idx;
+    mruPage = &it->second;
+    return it->second;
+}
+
 StoredLine &
 BackingStore::materialize(std::uint64_t line_addr)
 {
-    auto [it, inserted] = lines.try_emplace(line_addr, zeroLine);
-    return it->second;
+    Page &p = pageFor(line_addr >> kPageShift);
+    const std::uint64_t bit = 1ull << (line_addr & kLineIdxMask);
+    const auto pos = static_cast<std::size_t>(
+        std::popcount(p.touched & (bit - 1)));
+    if (!(p.touched & bit)) {
+        p.lines.insert(p.lines.begin() + static_cast<std::ptrdiff_t>(pos),
+                       zeroLine);
+        p.touched |= bit;
+        ++touchedLines;
+    }
+    return p.lines[pos];
 }
 
 WordMask

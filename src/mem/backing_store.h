@@ -8,13 +8,24 @@
  * word discovery, the RoW parity reconstruction, and the deferred
  * SECDED verification genuine computations rather than modelled flags,
  * and lets tests inject bit errors end to end.
+ *
+ * Storage is a two-level page directory: a hash map from page index to
+ * 64-line pages, with a one-entry MRU page cache in front of the hash.
+ * Consecutive line addresses share a page, so the essentialWords +
+ * writeWords pair of a write commit (and any read bursts with spatial
+ * locality) hash at most once.  Within a page, lines are kept compactly
+ * in a vector indexed through the page's touched-bit mask (popcount
+ * ranking), so memory stays proportional to the number of touched
+ * lines no matter how scattered the footprint is.
  */
 
 #ifndef PCMAP_MEM_BACKING_STORE_H
 #define PCMAP_MEM_BACKING_STORE_H
 
+#include <bit>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "ecc/line_codec.h"
 #include "mem/line.h"
@@ -33,7 +44,13 @@ struct StoredLine
 class BackingStore
 {
   public:
-    BackingStore();
+    /**
+     * @param footprint_lines_hint  Expected number of distinct lines
+     *        the run will touch (0 = unknown).  Purely a host-side
+     *        allocation hint — it presizes the page directory and has
+     *        no effect on simulated behaviour.
+     */
+    explicit BackingStore(std::uint64_t footprint_lines_hint = 0);
 
     /** Read the stored image of @p line_addr (zero line if untouched). */
     const StoredLine &read(std::uint64_t line_addr) const;
@@ -63,14 +80,40 @@ class BackingStore
      */
     void corruptDataBit(std::uint64_t line_addr, unsigned bit);
 
-    /** Number of lines materialized in the sparse map. */
-    std::size_t population() const { return lines.size(); }
+    /** Number of lines materialized in the sparse image. */
+    std::size_t population() const { return touchedLines; }
 
   private:
+    static constexpr unsigned kPageShift = 6;
+    static constexpr unsigned kPageLines = 1u << kPageShift;
+    static constexpr std::uint64_t kLineIdxMask = kPageLines - 1;
+
+    /**
+     * One 64-line page: the touched mask says which lines exist, and
+     * the vector holds exactly those lines in ascending line-index
+     * order.  Line i lives at rank popcount(touched & ((1 << i) - 1)).
+     */
+    struct Page
+    {
+        std::uint64_t touched = 0;
+        std::vector<StoredLine> lines;
+    };
+
+    /** Page for @p page_idx through the MRU cache, creating it. */
+    Page &pageFor(std::uint64_t page_idx);
+
+    /** Materialize @p line_addr (zero-initialized on first touch). */
     StoredLine &materialize(std::uint64_t line_addr);
 
-    std::unordered_map<std::uint64_t, StoredLine> lines;
+    // unordered_map is node-based, so Page addresses are stable across
+    // inserts and the MRU pointer survives directory growth.
+    std::unordered_map<std::uint64_t, Page> pages;
     StoredLine zeroLine;
+    std::size_t touchedLines = 0;
+
+    // One-entry MRU page cache (mutable: read() refreshes it).
+    mutable std::uint64_t mruIdx = ~std::uint64_t{0};
+    mutable Page *mruPage = nullptr;
 };
 
 } // namespace pcmap

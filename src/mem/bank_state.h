@@ -44,6 +44,13 @@ class BankStateView
         return rankState[rank].freeAt(chips, bank);
     }
 
+    /** Upper bound on freeAt for any mask (see Rank::busyCeiling). */
+    Tick
+    busyCeiling(unsigned rank, unsigned bank) const
+    {
+        return rankState[rank].busyCeiling(bank);
+    }
+
     /** True when every chip in @p chips has @p row open in @p bank. */
     bool
     rowOpenAll(unsigned rank, ChipMask chips, unsigned bank,

@@ -1,36 +1,15 @@
 #include "mem/rank.h"
 
-#include <algorithm>
-
 #include "sim/log.h"
 
 namespace pcmap {
 
 Rank::Rank(unsigned banks, bool has_pcc)
     : numBanks(banks), pccPresent(has_pcc),
-      states(static_cast<std::size_t>(kChipsPerRank) * banks)
+      states(static_cast<std::size_t>(kChipsPerRank) * banks),
+      bankCeil(banks, 0)
 {
     pcmap_assert(banks > 0);
-}
-
-ChipBankState &
-Rank::state(unsigned chip, unsigned bank)
-{
-    pcmap_assert(chip < kChipsPerRank && bank < numBanks);
-    return states[static_cast<std::size_t>(chip) * numBanks + bank];
-}
-
-const ChipBankState &
-Rank::state(unsigned chip, unsigned bank) const
-{
-    pcmap_assert(chip < kChipsPerRank && bank < numBanks);
-    return states[static_cast<std::size_t>(chip) * numBanks + bank];
-}
-
-Tick
-Rank::chipFreeAt(unsigned chip, unsigned bank) const
-{
-    return std::max(state(chip, bank).busyUntil, writeBusyUntil[chip]);
 }
 
 void
@@ -50,36 +29,6 @@ Rank::abortWrite(unsigned chip, unsigned bank, Tick now)
         writeBusyUntil[chip] = now;
 }
 
-Tick
-Rank::freeAt(ChipMask chips, unsigned bank) const
-{
-    Tick latest = 0;
-    for (unsigned c = 0; c < kChipsPerRank; ++c) {
-        if (!(chips & (1u << c)))
-            continue;
-        pcmap_assert(pccPresent || c != kPccSlot);
-        latest = std::max(latest, chipFreeAt(c, bank));
-    }
-    return latest;
-}
-
-bool
-Rank::rowOpen(unsigned chip, unsigned bank, std::uint64_t row) const
-{
-    const ChipBankState &s = state(chip, bank);
-    return s.openRow == static_cast<std::int64_t>(row);
-}
-
-bool
-Rank::rowOpenAll(ChipMask chips, unsigned bank, std::uint64_t row) const
-{
-    for (unsigned c = 0; c < kChipsPerRank; ++c) {
-        if ((chips & (1u << c)) && !rowOpen(c, bank, row))
-            return false;
-    }
-    return true;
-}
-
 void
 Rank::reserveChip(unsigned chip, unsigned bank, std::uint64_t row,
                   Tick start, Tick end, bool is_write)
@@ -95,32 +44,11 @@ Rank::reserveChip(unsigned chip, unsigned bank, std::uint64_t row,
     s.openRow = static_cast<std::int64_t>(row);
     s.busyUntil = end;
     s.busyWithWrite = is_write;
-    if (is_write)
+    bankCeil[bank] = std::max(bankCeil[bank], end);
+    if (is_write) {
         writeBusyUntil[chip] = std::max(writeBusyUntil[chip], end);
-}
-
-ChipMask
-Rank::busyChips(unsigned bank, Tick now) const
-{
-    ChipMask mask = 0;
-    for (unsigned c = 0; c < kChipsPerRank; ++c) {
-        if (chipFreeAt(c, bank) > now)
-            mask |= static_cast<ChipMask>(1u << c);
+        writeCeil = std::max(writeCeil, end);
     }
-    return mask;
-}
-
-ChipMask
-Rank::busyWriteChips(unsigned bank, Tick now) const
-{
-    ChipMask mask = 0;
-    for (unsigned c = 0; c < kChipsPerRank; ++c) {
-        const ChipBankState &s = state(c, bank);
-        const bool bank_write = s.busyUntil > now && s.busyWithWrite;
-        if (bank_write || writeBusyUntil[c] > now)
-            mask |= static_cast<ChipMask>(1u << c);
-    }
-    return mask;
 }
 
 } // namespace pcmap

@@ -19,12 +19,14 @@
 #ifndef PCMAP_MEM_RANK_H
 #define PCMAP_MEM_RANK_H
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <vector>
 
 #include "mem/line.h"
 #include "mem/timing.h"
+#include "sim/log.h"
 #include "sim/types.h"
 
 namespace pcmap {
@@ -59,19 +61,71 @@ class Rank
         return pccPresent ? kChipsPerRank : kChipsPerRank - 1;
     }
 
+    // The state queries are defined inline: the scheduler probes
+    // them on every planning pass (tens of millions of calls per
+    // run), so they must not cost a cross-TU call each.
+
     /** Mutable state of one chip-bank. */
-    ChipBankState &state(unsigned chip, unsigned bank);
-    const ChipBankState &state(unsigned chip, unsigned bank) const;
+    ChipBankState &
+    state(unsigned chip, unsigned bank)
+    {
+        pcmap_assert(chip < kChipsPerRank && bank < numBanks);
+        return states[static_cast<std::size_t>(chip) * numBanks + bank];
+    }
+
+    const ChipBankState &
+    state(unsigned chip, unsigned bank) const
+    {
+        pcmap_assert(chip < kChipsPerRank && bank < numBanks);
+        return states[static_cast<std::size_t>(chip) * numBanks + bank];
+    }
+
+    /**
+     * Upper bound on chipFreeAt over *all* chips of @p bank: a
+     * monotone ceiling maintained by reserveChip (write cancellation
+     * may leave it stale high, never low).  When the ceiling is at or
+     * below now, every chip of the bank is free and the scheduler can
+     * skip the per-chip freeAt walk for any mask.
+     */
+    Tick
+    busyCeiling(unsigned bank) const
+    {
+        pcmap_assert(bank < numBanks);
+        return std::max(bankCeil[bank], writeCeil);
+    }
 
     /** Earliest tick at which every chip in @p chips has bank free. */
-    Tick freeAt(ChipMask chips, unsigned bank) const;
+    Tick
+    freeAt(ChipMask chips, unsigned bank) const
+    {
+        Tick latest = 0;
+        for (unsigned c = 0; c < kChipsPerRank; ++c) {
+            if (!(chips & (1u << c)))
+                continue;
+            pcmap_assert(pccPresent || c != kPccSlot);
+            latest = std::max(latest, chipFreeAt(c, bank));
+        }
+        return latest;
+    }
 
     /** True when chip's bank currently holds @p row in its buffer. */
-    bool rowOpen(unsigned chip, unsigned bank, std::uint64_t row) const;
+    bool
+    rowOpen(unsigned chip, unsigned bank, std::uint64_t row) const
+    {
+        return state(chip, bank).openRow ==
+               static_cast<std::int64_t>(row);
+    }
 
     /** True when every chip in @p chips has @p row open in @p bank. */
-    bool rowOpenAll(ChipMask chips, unsigned bank,
-                    std::uint64_t row) const;
+    bool
+    rowOpenAll(ChipMask chips, unsigned bank, std::uint64_t row) const
+    {
+        for (unsigned c = 0; c < kChipsPerRank; ++c) {
+            if ((chips & (1u << c)) && !rowOpen(c, bank, row))
+                return false;
+        }
+        return true;
+    }
 
     /**
      * Reserve one chip's bank for [start, end), opening @p row.
@@ -90,7 +144,12 @@ class Rank
                      Tick start, Tick end, bool is_write);
 
     /** Earliest tick at which one chip can accept a new operation. */
-    Tick chipFreeAt(unsigned chip, unsigned bank) const;
+    Tick
+    chipFreeAt(unsigned chip, unsigned bank) const
+    {
+        return std::max(state(chip, bank).busyUntil,
+                        writeBusyUntil[chip]);
+    }
 
     /** Invalidate the open row of one chip-bank (closed-page policy). */
     void closeRow(unsigned chip, unsigned bank);
@@ -106,10 +165,30 @@ class Rank
      * The DIMM status register for @p bank at time @p now: a mask of
      * chips still busy (bit c set = chip c cannot accept a command).
      */
-    ChipMask busyChips(unsigned bank, Tick now) const;
+    ChipMask
+    busyChips(unsigned bank, Tick now) const
+    {
+        ChipMask mask = 0;
+        for (unsigned c = 0; c < kChipsPerRank; ++c) {
+            if (chipFreeAt(c, bank) > now)
+                mask |= static_cast<ChipMask>(1u << c);
+        }
+        return mask;
+    }
 
     /** Mask of chips busy specifically with a write at @p now. */
-    ChipMask busyWriteChips(unsigned bank, Tick now) const;
+    ChipMask
+    busyWriteChips(unsigned bank, Tick now) const
+    {
+        ChipMask mask = 0;
+        for (unsigned c = 0; c < kChipsPerRank; ++c) {
+            const ChipBankState &s = state(c, bank);
+            const bool bank_write = s.busyUntil > now && s.busyWithWrite;
+            if (bank_write || writeBusyUntil[c] > now)
+                mask |= static_cast<ChipMask>(1u << c);
+        }
+        return mask;
+    }
 
   private:
     unsigned numBanks;
@@ -117,6 +196,11 @@ class Rank
     std::vector<ChipBankState> states; ///< [chip * numBanks + bank]
     /** Chip-wide write occupancy (one array write per chip at a time). */
     std::array<Tick, kChipsPerRank> writeBusyUntil{};
+    /** Monotone per-bank ceiling over states[*][bank].busyUntil. */
+    std::vector<Tick> bankCeil;
+    /** Monotone ceiling over writeBusyUntil (writes block whole chips,
+     *  so it bounds every bank). */
+    Tick writeCeil = 0;
 };
 
 } // namespace pcmap

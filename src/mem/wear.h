@@ -36,6 +36,12 @@ class WearTracker
   public:
     WearTracker() = default;
 
+    /**
+     * Pre-size the per-line map for @p lines expected distinct lines
+     * (a host-side hint; counts are exact regardless).
+     */
+    void reserveLines(std::size_t lines) { lineWrites.reserve(lines); }
+
     /** Record an array write of @p words words on chip @p chip. */
     void
     recordChipWrite(unsigned chip, unsigned words = 1)

@@ -6,15 +6,35 @@
  * same tick execute in the order they were scheduled (a monotonically
  * increasing sequence number breaks ties), which makes every simulation
  * bit-reproducible regardless of container iteration quirks.
+ *
+ * The kernel is allocation-free on the steady-state path:
+ *
+ *  - Event records live in a pool of fixed-size chunks and are
+ *    recycled through a free list, so schedule/fire cycles reuse
+ *    storage instead of hitting the heap.  Chunks give every slot a
+ *    stable address, which lets callbacks run in place even when the
+ *    pool grows mid-callback.
+ *  - Callbacks are stored inline in the event record (up to
+ *    kInlineCallbackBytes, sized for the largest controller
+ *    completion closure); larger callables fall back to the heap and
+ *    are counted in Counters::oversizedCallbacks so regressions show
+ *    up in tests.
+ *  - The priority queue is a 4-ary array heap of 24-byte entries with
+ *    the exact (when, id) order of a binary heap of closures; each
+ *    event records its heap position, so cancel() removes its entry
+ *    directly instead of leaving a tombstone.
  */
 
 #ifndef PCMAP_SIM_EVENT_QUEUE_H
 #define PCMAP_SIM_EVENT_QUEUE_H
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
+#include <new>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -27,7 +47,8 @@ namespace pcmap {
  * Handle to a scheduled event, usable for cancellation.
  *
  * Handles are cheap value types; cancelling an already-executed or
- * already-cancelled event is a no-op.
+ * already-cancelled event is a no-op (ids are never reused, so a
+ * stale handle can never hit a recycled slot).
  */
 class EventHandle
 {
@@ -39,7 +60,10 @@ class EventHandle
 
   private:
     friend class EventQueue;
-    explicit EventHandle(std::uint64_t id_) : id(id_) {}
+    EventHandle(std::uint32_t slot_, std::uint64_t id_)
+        : slot(slot_), id(id_)
+    {}
+    std::uint32_t slot = 0;
     std::uint64_t id = 0;
 };
 
@@ -55,61 +79,126 @@ class EventQueue
   public:
     using Callback = std::function<void()>;
 
+    /**
+     * Capture bytes stored inline in an event record.  Sized for the
+     * largest steady-state closure (the controller's read-completion
+     * lambda carries a ReadEntry with a full cache line); anything
+     * bigger takes the counted heap fallback.
+     */
+    static constexpr std::size_t kInlineCallbackBytes = 256;
+
+    /**
+     * Host-side kernel counters (never feed back into simulation
+     * behaviour; consumed by tools/pcmap-perf and the perf benches).
+     */
+    struct Counters
+    {
+        std::uint64_t scheduleCalls = 0;
+        std::uint64_t eventsExecuted = 0;
+        std::uint64_t cancels = 0;
+        /** Callbacks too large for the pooled inline storage. */
+        std::uint64_t oversizedCallbacks = 0;
+    };
+
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
+    ~EventQueue()
+    {
+        // Destroy still-pending callbacks (their captures may own
+        // heap resources) without bothering to keep heap invariants.
+        for (const HeapEntry &entry : heap) {
+            Event &e = slotRef(entry.slot);
+            e.ops->destroy(e.storage);
+        }
+    }
+
     /** Current simulated time. */
     Tick now() const { return currentTick; }
 
+    /** Lifetime kernel counters for host-side perf measurement. */
+    const Counters &counters() const { return stats; }
+
     /**
-     * Schedule @p cb to run at absolute tick @p when.
+     * Schedule @p fn to run at absolute tick @p when.
      *
      * @param when Absolute tick; must be >= now().
-     * @param cb   Closure invoked when the event fires.
+     * @param fn   Closure invoked when the event fires.
      * @return A handle that can be used to cancel the event.
      */
+    template <typename F>
     EventHandle
-    schedule(Tick when, Callback cb)
+    schedule(Tick when, F &&fn)
     {
+        using Fd = std::decay_t<F>;
+        static_assert(std::is_invocable_r_v<void, Fd &>,
+                      "event callbacks take no arguments");
         if (when < currentTick)
             pcmap_panic("scheduling event in the past: ", when, " < ",
                         currentTick);
         const std::uint64_t id = ++nextId;
-        heap.push(Entry{when, id, std::move(cb)});
-        ++liveCount;
-        return EventHandle(id);
+        const std::uint32_t slot = allocSlot();
+        Event &e = slotRef(slot);
+        e.id = id;
+        if constexpr (fitsInline<Fd>()) {
+            ::new (static_cast<void *>(e.storage))
+                Fd(std::forward<F>(fn));
+            e.ops = &kInlineOps<Fd>;
+        } else {
+            ::new (static_cast<void *>(e.storage))
+                (Fd *)(new Fd(std::forward<F>(fn)));
+            e.ops = &kBoxedOps<Fd>;
+            ++stats.oversizedCallbacks;
+        }
+        heapPush(HeapEntry{when, id, slot});
+        ++stats.scheduleCalls;
+        return EventHandle(slot, id);
     }
 
-    /** Schedule @p cb to run @p delta ticks from now. */
+    /** Schedule @p fn to run @p delta ticks from now. */
+    template <typename F>
     EventHandle
-    scheduleIn(Tick delta, Callback cb)
+    scheduleIn(Tick delta, F &&fn)
     {
-        return schedule(currentTick + delta, std::move(cb));
+        return schedule(currentTick + delta, std::forward<F>(fn));
     }
 
     /**
      * Cancel a previously scheduled event.
      *
-     * Cancellation is lazy: the entry stays in the heap but is skipped
-     * when popped.  Returns true when the event had not yet fired.
+     * The event's heap entry is removed directly (its record stores
+     * its heap position) and the record is recycled immediately.
+     * Returns true when the event had not yet fired.
      */
     bool
     cancel(EventHandle h)
     {
         if (!h.valid())
             return false;
-        const bool was_live = cancelled.insert(h.id).second;
-        if (was_live && liveCount > 0)
-            --liveCount;
-        return was_live;
+        Event &e = slotRef(h.slot);
+        if (e.id != h.id)
+            return false; // already fired or cancelled
+        heapRemove(e.heapIndex);
+        e.id = 0;
+        e.ops->destroy(e.storage);
+        freeSlot(h.slot);
+        ++stats.cancels;
+        return true;
     }
 
     /** Number of events scheduled and not yet fired or cancelled. */
-    std::size_t pending() const { return liveCount; }
+    std::size_t pending() const { return heap.size(); }
 
     /** True when no live events remain. */
-    bool empty() const { return liveCount == 0; }
+    bool empty() const { return heap.empty(); }
+
+    /**
+     * Event-record slots ever allocated (pool high-water mark).
+     * Steady-state schedule/fire cycles recycle slots, so this stays
+     * flat once the peak concurrent event count has been reached.
+     */
+    std::size_t poolSlots() const { return slotsAllocated; }
 
     /**
      * Execute the single next event.
@@ -118,26 +207,36 @@ class EventQueue
     bool
     step()
     {
-        while (!heap.empty()) {
-            Entry e = heap.top();
-            heap.pop();
-            if (cancelled.erase(e.id) > 0)
-                continue;
-            pcmap_assert(e.when >= currentTick);
-            currentTick = e.when;
-            --liveCount;
-            e.cb();
-            return true;
-        }
-        return false;
+        if (heap.empty())
+            return false;
+        const HeapEntry top = heap.front();
+        pcmap_assert(top.when >= currentTick);
+        currentTick = top.when;
+        heapRemove(0);
+        Event &e = slotRef(top.slot);
+        pcmap_assert(e.id == top.id);
+        // Invalidate the id first so a stale handle cancelled from
+        // inside the callback is a no-op; recycle the slot only after
+        // the callback returns so a schedule() from inside it cannot
+        // reuse the storage it is executing from.
+        e.id = 0;
+        ++stats.eventsExecuted;
+        e.ops->invokeAndDestroy(e.storage);
+        freeSlot(top.slot);
+        return true;
     }
 
-    /** Run until the queue drains or @p limit ticks is reached. */
+    /**
+     * Run until the queue drains or @p limit ticks is reached.
+     * Cancelled events never advance time: when everything before
+     * @p limit was cancelled, now() stays where the last executed
+     * event left it.
+     */
     void
     run(Tick limit = kTickMax)
     {
         while (!heap.empty()) {
-            if (heap.top().when > limit) {
+            if (heap.front().when > limit) {
                 currentTick = limit;
                 return;
             }
@@ -158,29 +257,200 @@ class EventQueue
     }
 
   private:
-    struct Entry
+    /** Per-callable-type operations on the stored callback. */
+    struct CallbackOps
+    {
+        void (*invokeAndDestroy)(void *storage);
+        void (*destroy)(void *storage);
+    };
+
+    template <typename Fd>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fd) <= kInlineCallbackBytes &&
+               alignof(Fd) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fd>;
+    }
+
+    template <typename Fd>
+    static void
+    inlineInvokeAndDestroy(void *storage)
+    {
+        Fd *f = std::launder(reinterpret_cast<Fd *>(storage));
+        (*f)();
+        f->~Fd();
+    }
+
+    template <typename Fd>
+    static void
+    inlineDestroy(void *storage)
+    {
+        std::launder(reinterpret_cast<Fd *>(storage))->~Fd();
+    }
+
+    template <typename Fd>
+    static void
+    boxedInvokeAndDestroy(void *storage)
+    {
+        Fd *f = *std::launder(reinterpret_cast<Fd **>(storage));
+        (*f)();
+        delete f;
+    }
+
+    template <typename Fd>
+    static void
+    boxedDestroy(void *storage)
+    {
+        delete *std::launder(reinterpret_cast<Fd **>(storage));
+    }
+
+    template <typename Fd>
+    static constexpr CallbackOps kInlineOps{
+        &inlineInvokeAndDestroy<Fd>, &inlineDestroy<Fd>};
+
+    template <typename Fd>
+    static constexpr CallbackOps kBoxedOps{&boxedInvokeAndDestroy<Fd>,
+                                           &boxedDestroy<Fd>};
+
+    /** One pooled event record. */
+    struct Event
+    {
+        std::uint64_t id = 0; ///< 0 = free or already fired
+        std::uint32_t heapIndex = 0;
+        std::uint32_t nextFree = 0;
+        const CallbackOps *ops = nullptr;
+        alignas(std::max_align_t)
+            unsigned char storage[kInlineCallbackBytes];
+    };
+
+    static constexpr std::uint32_t kChunkSlots = 64;
+    static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+    struct Chunk
+    {
+        Event slots[kChunkSlots];
+    };
+
+    Event &
+    slotRef(std::uint32_t slot)
+    {
+        return chunks[slot / kChunkSlots]->slots[slot % kChunkSlots];
+    }
+
+    std::uint32_t
+    allocSlot()
+    {
+        if (freeHead != kNoSlot) {
+            const std::uint32_t slot = freeHead;
+            freeHead = slotRef(slot).nextFree;
+            return slot;
+        }
+        if (slotsAllocated == chunks.size() * kChunkSlots)
+            chunks.push_back(std::make_unique<Chunk>());
+        return static_cast<std::uint32_t>(slotsAllocated++);
+    }
+
+    void
+    freeSlot(std::uint32_t slot)
+    {
+        Event &e = slotRef(slot);
+        e.nextFree = freeHead;
+        freeHead = slot;
+    }
+
+    // --- 4-ary array heap ordered by (when, id) ----------------------
+    //
+    // The comparator is identical to the previous binary heap's, so
+    // pop order — and with it every simulated outcome — is unchanged;
+    // only the tree shape (fewer, cache-friendlier levels) differs.
+
+    struct HeapEntry
     {
         Tick when;
         std::uint64_t id;
-        Callback cb;
+        std::uint32_t slot;
     };
 
-    struct Later
+    static bool
+    before(const HeapEntry &a, const HeapEntry &b)
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.id > b.id;
-        }
-    };
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.id < b.id;
+    }
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
-    std::unordered_set<std::uint64_t> cancelled;
+    void
+    place(std::size_t pos, const HeapEntry &entry)
+    {
+        heap[pos] = entry;
+        slotRef(entry.slot).heapIndex =
+            static_cast<std::uint32_t>(pos);
+    }
+
+    void
+    siftUp(std::size_t pos, const HeapEntry &entry)
+    {
+        while (pos > 0) {
+            const std::size_t parent = (pos - 1) / 4;
+            if (!before(entry, heap[parent]))
+                break;
+            place(pos, heap[parent]);
+            pos = parent;
+        }
+        place(pos, entry);
+    }
+
+    void
+    siftDown(std::size_t pos, const HeapEntry &entry)
+    {
+        const std::size_t n = heap.size();
+        for (;;) {
+            const std::size_t first = pos * 4 + 1;
+            if (first >= n)
+                break;
+            std::size_t best = first;
+            const std::size_t last = std::min(first + 4, n);
+            for (std::size_t c = first + 1; c < last; ++c) {
+                if (before(heap[c], heap[best]))
+                    best = c;
+            }
+            if (!before(heap[best], entry))
+                break;
+            place(pos, heap[best]);
+            pos = best;
+        }
+        place(pos, entry);
+    }
+
+    void
+    heapPush(const HeapEntry &entry)
+    {
+        heap.emplace_back(); // hole filled by siftUp's final place()
+        siftUp(heap.size() - 1, entry);
+    }
+
+    /** Remove the entry at heap position @p pos in O(log n). */
+    void
+    heapRemove(std::size_t pos)
+    {
+        const HeapEntry moved = heap.back();
+        heap.pop_back();
+        if (pos == heap.size())
+            return;
+        if (pos > 0 && before(moved, heap[(pos - 1) / 4]))
+            siftUp(pos, moved);
+        else
+            siftDown(pos, moved);
+    }
+
+    std::vector<std::unique_ptr<Chunk>> chunks;
+    std::uint32_t freeHead = kNoSlot;
+    std::size_t slotsAllocated = 0;
+    std::vector<HeapEntry> heap;
     Tick currentTick = 0;
     std::uint64_t nextId = 0;
-    std::size_t liveCount = 0;
+    Counters stats;
 };
 
 } // namespace pcmap

@@ -1,0 +1,171 @@
+#include "sim/perf.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <sys/utsname.h>
+#endif
+
+namespace pcmap::perf {
+
+long
+peakRssKb()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+#if defined(__APPLE__)
+    return ru.ru_maxrss / 1024; // bytes on Darwin
+#else
+    return ru.ru_maxrss; // KiB on Linux
+#endif
+#else
+    return 0;
+#endif
+}
+
+MachineInfo
+machineInfo()
+{
+    MachineInfo mi;
+    mi.hardwareThreads = std::thread::hardware_concurrency();
+#if defined(__unix__) || defined(__APPLE__)
+    struct utsname un{};
+    if (uname(&un) == 0) {
+        mi.host = un.nodename;
+        mi.os = std::string(un.sysname) + " " + un.release + " " +
+                un.machine;
+    }
+#endif
+    std::ifstream cpuinfo("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(cpuinfo, line)) {
+        const auto key_end = line.find(':');
+        if (key_end == std::string::npos)
+            continue;
+        if (line.compare(0, 10, "model name") == 0) {
+            auto v = line.find_first_not_of(" \t", key_end + 1);
+            if (v != std::string::npos)
+                mi.cpu = line.substr(v);
+            break;
+        }
+    }
+    return mi;
+}
+
+namespace {
+
+double
+rate(std::uint64_t count, double seconds)
+{
+    return seconds > 0.0 ? static_cast<double>(count) / seconds : 0.0;
+}
+
+} // namespace
+
+double
+RunMetrics::eventsPerSec() const
+{
+    return rate(eventsExecuted, wallSeconds);
+}
+
+double
+RunMetrics::requestsPerSec() const
+{
+    return rate(requestsCompleted, wallSeconds);
+}
+
+double
+RunMetrics::instsPerSec() const
+{
+    return rate(instructions, wallSeconds);
+}
+
+RunMetrics &
+RunMetrics::operator+=(const RunMetrics &other)
+{
+    wallSeconds += other.wallSeconds;
+    eventsExecuted += other.eventsExecuted;
+    scheduleCalls += other.scheduleCalls;
+    requestsCompleted += other.requestsCompleted;
+    instructions += other.instructions;
+    simTicks += other.simTicks;
+    return *this;
+}
+
+std::string
+summaryLine(const RunMetrics &m)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "events/s=%.3g reqs/s=%.3g insts/s=%.3g wall=%.3fs",
+                  m.eventsPerSec(), m.requestsPerSec(), m.instsPerSec(),
+                  m.wallSeconds);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char esc[8];
+                std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+                out += esc;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+writeJson(const RunMetrics &m, std::ostream &os)
+{
+    std::ostringstream body;
+    body << "{\"label\": \"" << jsonEscape(m.label) << "\""
+         << ", \"wall_s\": " << m.wallSeconds
+         << ", \"events\": " << m.eventsExecuted
+         << ", \"schedule_calls\": " << m.scheduleCalls
+         << ", \"events_per_sec\": " << m.eventsPerSec()
+         << ", \"reqs\": " << m.requestsCompleted
+         << ", \"reqs_per_sec\": " << m.requestsPerSec()
+         << ", \"insts\": " << m.instructions
+         << ", \"insts_per_sec\": " << m.instsPerSec()
+         << ", \"sim_ticks\": " << m.simTicks << "}";
+    os << body.str();
+}
+
+void
+writeJson(const MachineInfo &mi, std::ostream &os)
+{
+    os << "{\"host\": \"" << jsonEscape(mi.host) << "\""
+       << ", \"os\": \"" << jsonEscape(mi.os) << "\""
+       << ", \"cpu\": \"" << jsonEscape(mi.cpu) << "\""
+       << ", \"hardware_threads\": " << mi.hardwareThreads << "}";
+}
+
+} // namespace pcmap::perf

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Host-side (wall-clock) performance measurement.
+ *
+ * The ROADMAP's north star is a simulator that "runs as fast as the
+ * hardware allows"; this header makes that a first-class, uniformly
+ * reported metric.  Every harness that prints wall-clock numbers does
+ * so through RunMetrics, and tools/pcmap-perf aggregates the same
+ * struct into the machine-readable BENCH_kernel.json trajectory that
+ * CI tracks.
+ *
+ * Host metrics are deliberately separate from the simulated statistics
+ * in sim/stats.h: simulated results are bit-deterministic, wall-clock
+ * numbers never are, and nothing here may feed back into simulation
+ * behaviour.
+ */
+
+#ifndef PCMAP_SIM_PERF_H
+#define PCMAP_SIM_PERF_H
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "sim/types.h"
+
+namespace pcmap::perf {
+
+/** Monotonic wall-clock stopwatch. */
+class WallTimer
+{
+  public:
+    WallTimer() : start(Clock::now()) {}
+
+    void restart() { start = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last restart(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start)
+            .count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start;
+};
+
+/** Peak resident set size of this process in KiB (0 when unknown). */
+long peakRssKb();
+
+/** Host identification recorded next to every measurement. */
+struct MachineInfo
+{
+    std::string host;
+    std::string os;
+    std::string cpu;
+    unsigned hardwareThreads = 0;
+};
+
+/** Best-effort host description (never fails; fields may be empty). */
+MachineInfo machineInfo();
+
+/**
+ * Wall-clock metrics of one simulation run (or an aggregate of runs).
+ *
+ * The counter fields come from EventQueue::counters() and the run's
+ * SystemResults; wallSeconds from a WallTimer around the run.  The
+ * derived rates guard against a zero denominator.
+ */
+struct RunMetrics
+{
+    std::string label;
+    double wallSeconds = 0.0;
+    std::uint64_t eventsExecuted = 0;
+    std::uint64_t scheduleCalls = 0;
+    std::uint64_t requestsCompleted = 0; ///< PCM reads + writes served
+    std::uint64_t instructions = 0;      ///< simulated instructions
+    Tick simTicks = 0;
+
+    double eventsPerSec() const;
+    double requestsPerSec() const;
+    double instsPerSec() const;
+
+    /** Accumulate another run (label is kept; times/counters add). */
+    RunMetrics &operator+=(const RunMetrics &other);
+};
+
+/** One-line human summary: "events/s=... reqs/s=... wall=...s". */
+std::string summaryLine(const RunMetrics &m);
+
+/** Escape a string for embedding in a JSON literal (no quotes added). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Write @p m as a flat JSON object (keys: label, wall_s, events,
+ * schedule_calls, events_per_sec, reqs, reqs_per_sec, insts,
+ * insts_per_sec, sim_ticks).  No trailing newline.
+ */
+void writeJson(const RunMetrics &m, std::ostream &os);
+
+/** Write @p mi as a JSON object (keys: host, os, cpu, hardware_threads). */
+void writeJson(const MachineInfo &mi, std::ostream &os);
+
+} // namespace pcmap::perf
+
+#endif // PCMAP_SIM_PERF_H

@@ -14,11 +14,54 @@ StatBase::StatBase(StatGroup &group, std::string name, std::string desc)
 
 namespace {
 
-void
-emit(std::ostream &os, const std::string &prefix, const std::string &name,
-     double value, const std::string &desc)
+/**
+ * Reusable "prefix + name [+ suffix]" key builder: one buffer serves
+ * every suffixed variant of a stat's dotted name, so multi-valued
+ * kinds don't chain fresh string concatenations per value.
+ */
+class KeyScratch
 {
-    os << std::left << std::setw(48) << (prefix + name) << " "
+  public:
+    KeyScratch(const std::string &prefix, const std::string &name)
+    {
+        buf.reserve(prefix.size() + name.size() + 16);
+        buf = prefix;
+        buf += name;
+        stem = buf.size();
+    }
+
+    /** The bare dotted name. */
+    const std::string &bare() const { return buf; }
+
+    /** The dotted name with @p suffix appended (e.g. ".mean"). */
+    const std::string &
+    with(const char *suffix)
+    {
+        buf.resize(stem);
+        buf += suffix;
+        return buf;
+    }
+
+    /** The dotted name with ".bucket<i>" appended. */
+    const std::string &
+    withBucket(std::size_t i)
+    {
+        buf.resize(stem);
+        buf += ".bucket";
+        buf += std::to_string(i);
+        return buf;
+    }
+
+  private:
+    std::string buf;
+    std::size_t stem;
+};
+
+void
+emit(std::ostream &os, const std::string &key, double value,
+     const std::string &desc)
+{
+    os << std::left << std::setw(48) << key << " "
        << std::right << std::setw(16) << std::setprecision(6) << value
        << "  # " << desc << "\n";
 }
@@ -28,29 +71,32 @@ emit(std::ostream &os, const std::string &prefix, const std::string &name,
 void
 Scalar::dump(std::ostream &os, const std::string &prefix) const
 {
-    emit(os, prefix, name(), total, description());
+    KeyScratch key(prefix, name());
+    emit(os, key.bare(), total, description());
 }
 
 void
 Scalar::collect(FlatStats &out, const std::string &prefix) const
 {
-    out.emplace_back(prefix + name(), total);
+    KeyScratch key(prefix, name());
+    out.emplace_back(key.bare(), total);
 }
 
 void
 Average::dump(std::ostream &os, const std::string &prefix) const
 {
-    emit(os, prefix, name() + ".mean", mean(), description());
-    emit(os, prefix, name() + ".samples",
-         static_cast<double>(count), description());
+    KeyScratch key(prefix, name());
+    emit(os, key.with(".mean"), mean(), description());
+    emit(os, key.with(".samples"), static_cast<double>(count),
+         description());
 }
 
 void
 Average::collect(FlatStats &out, const std::string &prefix) const
 {
-    out.emplace_back(prefix + name() + ".mean", mean());
-    out.emplace_back(prefix + name() + ".samples",
-                     static_cast<double>(count));
+    KeyScratch key(prefix, name());
+    out.emplace_back(key.with(".mean"), mean());
+    out.emplace_back(key.with(".samples"), static_cast<double>(count));
 }
 
 Distribution::Distribution(StatGroup &group, std::string name,
@@ -91,39 +137,37 @@ Distribution::sample(double v)
 void
 Distribution::dump(std::ostream &os, const std::string &prefix) const
 {
-    emit(os, prefix, name() + ".mean", mean(), description());
-    emit(os, prefix, name() + ".min", count ? minValue : 0.0,
+    KeyScratch key(prefix, name());
+    emit(os, key.with(".mean"), mean(), description());
+    emit(os, key.with(".min"), count ? minValue : 0.0, description());
+    emit(os, key.with(".max"), count ? maxValue : 0.0, description());
+    emit(os, key.with(".samples"), static_cast<double>(count),
          description());
-    emit(os, prefix, name() + ".max", count ? maxValue : 0.0,
+    emit(os, key.with(".underflow"), static_cast<double>(underflow),
          description());
-    emit(os, prefix, name() + ".samples",
-         static_cast<double>(count), description());
-    emit(os, prefix, name() + ".underflow",
-         static_cast<double>(underflow), description());
     for (std::size_t i = 0; i < buckets.size(); ++i) {
-        emit(os, prefix,
-             name() + ".bucket" + std::to_string(i),
-             static_cast<double>(buckets[i]), description());
+        emit(os, key.withBucket(i), static_cast<double>(buckets[i]),
+             description());
     }
-    emit(os, prefix, name() + ".overflow",
-         static_cast<double>(overflow), description());
+    emit(os, key.with(".overflow"), static_cast<double>(overflow),
+         description());
 }
 
 void
 Distribution::collect(FlatStats &out, const std::string &prefix) const
 {
-    out.emplace_back(prefix + name() + ".mean", mean());
-    out.emplace_back(prefix + name() + ".min", count ? minValue : 0.0);
-    out.emplace_back(prefix + name() + ".max", count ? maxValue : 0.0);
-    out.emplace_back(prefix + name() + ".samples",
-                     static_cast<double>(count));
-    out.emplace_back(prefix + name() + ".underflow",
+    KeyScratch key(prefix, name());
+    out.emplace_back(key.with(".mean"), mean());
+    out.emplace_back(key.with(".min"), count ? minValue : 0.0);
+    out.emplace_back(key.with(".max"), count ? maxValue : 0.0);
+    out.emplace_back(key.with(".samples"), static_cast<double>(count));
+    out.emplace_back(key.with(".underflow"),
                      static_cast<double>(underflow));
     for (std::size_t i = 0; i < buckets.size(); ++i) {
-        out.emplace_back(prefix + name() + ".bucket" + std::to_string(i),
+        out.emplace_back(key.withBucket(i),
                          static_cast<double>(buckets[i]));
     }
-    out.emplace_back(prefix + name() + ".overflow",
+    out.emplace_back(key.with(".overflow"),
                      static_cast<double>(overflow));
 }
 
@@ -138,37 +182,77 @@ Distribution::reset()
 void
 TimeWeighted::dump(std::ostream &os, const std::string &prefix) const
 {
-    emit(os, prefix, name() + ".timeMean", mean(), description());
-    emit(os, prefix, name() + ".max", maxValue, description());
+    KeyScratch key(prefix, name());
+    emit(os, key.with(".timeMean"), mean(), description());
+    emit(os, key.with(".max"), maxValue, description());
 }
 
 void
 TimeWeighted::collect(FlatStats &out, const std::string &prefix) const
 {
-    out.emplace_back(prefix + name() + ".timeMean", mean());
-    out.emplace_back(prefix + name() + ".max", maxValue);
+    KeyScratch key(prefix, name());
+    out.emplace_back(key.with(".timeMean"), mean());
+    out.emplace_back(key.with(".max"), maxValue);
 }
 
 void
 StatGroup::dump(std::ostream &os, const std::string &prefix) const
 {
-    const std::string here =
-        groupName.empty() ? prefix : prefix + groupName + ".";
+    std::string path;
+    path.reserve(prefix.size() + 64);
+    path = prefix;
+    dumpInto(os, path);
+}
+
+void
+StatGroup::dumpInto(std::ostream &os, std::string &path) const
+{
+    const std::size_t base = path.size();
+    if (!groupName.empty()) {
+        path += groupName;
+        path += '.';
+    }
     for (const StatBase *s : statList)
-        s->dump(os, here);
+        s->dump(os, path);
     for (const StatGroup *g : children)
-        g->dump(os, here);
+        g->dumpInto(os, path);
+    path.resize(base);
 }
 
 void
 StatGroup::collect(FlatStats &out, const std::string &prefix) const
 {
-    const std::string here =
-        groupName.empty() ? prefix : prefix + groupName + ".";
+    out.reserve(out.size() + flatSize());
+    std::string path;
+    path.reserve(prefix.size() + 64);
+    path = prefix;
+    collectInto(out, path);
+}
+
+void
+StatGroup::collectInto(FlatStats &out, std::string &path) const
+{
+    const std::size_t base = path.size();
+    if (!groupName.empty()) {
+        path += groupName;
+        path += '.';
+    }
     for (const StatBase *s : statList)
-        s->collect(out, here);
+        s->collect(out, path);
     for (const StatGroup *g : children)
-        g->collect(out, here);
+        g->collectInto(out, path);
+    path.resize(base);
+}
+
+std::size_t
+StatGroup::flatSize() const
+{
+    std::size_t n = 0;
+    for (const StatBase *s : statList)
+        n += s->flatSize();
+    for (const StatGroup *g : children)
+        n += g->flatSize();
+    return n;
 }
 
 FlatStats

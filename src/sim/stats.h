@@ -57,6 +57,9 @@ class StatBase
     virtual void collect(FlatStats &out,
                          const std::string &prefix) const = 0;
 
+    /** Number of (name, value) pairs collect() appends. */
+    virtual std::size_t flatSize() const = 0;
+
     /** Reset to the just-constructed state. */
     virtual void reset() = 0;
 
@@ -79,6 +82,7 @@ class Scalar : public StatBase
     void dump(std::ostream &os, const std::string &prefix) const override;
     void collect(FlatStats &out,
                  const std::string &prefix) const override;
+    std::size_t flatSize() const override { return 1; }
     void reset() override { total = 0.0; }
 
   private:
@@ -105,6 +109,7 @@ class Average : public StatBase
     void dump(std::ostream &os, const std::string &prefix) const override;
     void collect(FlatStats &out,
                  const std::string &prefix) const override;
+    std::size_t flatSize() const override { return 2; }
     void reset() override { sum = 0.0; count = 0; }
 
   private:
@@ -136,6 +141,7 @@ class Distribution : public StatBase
     void dump(std::ostream &os, const std::string &prefix) const override;
     void collect(FlatStats &out,
                  const std::string &prefix) const override;
+    std::size_t flatSize() const override { return 6 + buckets.size(); }
     void reset() override;
 
   private:
@@ -188,6 +194,7 @@ class TimeWeighted : public StatBase
     void dump(std::ostream &os, const std::string &prefix) const override;
     void collect(FlatStats &out,
                  const std::string &prefix) const override;
+    std::size_t flatSize() const override { return 2; }
 
     void
     reset() override
@@ -233,6 +240,9 @@ class StatGroup
      */
     void collect(FlatStats &out, const std::string &prefix = "") const;
 
+    /** Total (name, value) pairs this group and its children flatten to. */
+    std::size_t flatSize() const;
+
     /** Convenience: collect() into a fresh vector. */
     FlatStats flattened() const;
 
@@ -243,6 +253,12 @@ class StatGroup
     const StatBase *find(const std::string &name) const;
 
   private:
+    // The tree walks thread one growing dotted-path scratch through
+    // the recursion (append here, restore on return) so a deep tree
+    // costs no per-group string concatenations.
+    void dumpInto(std::ostream &os, std::string &path) const;
+    void collectInto(FlatStats &out, std::string &path) const;
+
     std::string groupName;
     std::vector<StatBase *> statList;
     std::vector<StatGroup *> children;

@@ -61,6 +61,7 @@ class SchedulerTest : public ::testing::Test
         ReadEntry e;
         e.req.type = ReqType::Read;
         e.req.addr = addr;
+        e.prime(mapper, nr);
         return e;
     }
 
@@ -232,8 +233,10 @@ TEST_F(SchedulerTest, SelectWritePicksOldestAmongFreeRanks)
     WriteEntry a;
     a.req.type = ReqType::Write;
     a.req.addr = addrAt(0, 0, 0);
+    a.prime(mapper);
     WriteEntry b = a;
     b.req.addr = addrAt(1, 0, 0);
+    b.prime(mapper);
     q.push_back(a);
     q.push_back(b);
 

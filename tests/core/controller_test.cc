@@ -580,12 +580,17 @@ TEST_F(ControllerTest, WriteCancellationBoundedRetries)
     build(SystemMode::Baseline, [](ControllerConfig &c) {
         c.enableWriteCancellation = true;
         c.maxWriteCancels = 2;
+        // Once the write turns sticky it blocks the bank for its full
+        // duration, so the 30 ns read stream backs up; give the queue
+        // room for the whole burst.
+        c.readQueueCap = 16;
     });
     write(addrFor(0, 1), 0b1);
     // A stream of reads that would cancel forever if unbounded.
     for (unsigned i = 0; i < 12; ++i) {
         runFor(30 * kNanosecond);
-        read(addrFor(0, 2 + i));
+        EXPECT_TRUE(read(addrFor(0, 2 + i))) << "read " << i
+            << " rejected at now=" << eq.now();
     }
     runAll();
     EXPECT_LE(mc->stats().writesCancelled, 2u);

@@ -52,6 +52,7 @@ class WowCollectTest : public ::testing::Test
             if (words & (1u << w))
                 e.req.data.w[w] = 0x0101010101010101ull * (w + 1);
         }
+        e.prime(mapper);
         return e;
     }
 
