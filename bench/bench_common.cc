@@ -134,6 +134,8 @@ figureSweep(const HarnessConfig &hc, Metric metric, bool normalize)
     sweep::SweepRunner::Options opts;
     opts.threads = hc.threads;
     opts.collectStats = !hc.jsonl.empty();
+    opts.obs = hc.obs.obs;
+    opts.obsPathPrefix = hc.obs.pathPrefix;
     const sweep::SweepReport report =
         sweep::SweepRunner(opts).run(spec);
 

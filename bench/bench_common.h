@@ -11,6 +11,10 @@
  *               figure columns next to the six paper presets;
  *               preset-equivalent compositions are dropped (their
  *               column is already in the matrix)
+ *   trace=PREFIX, obsEpoch=TICKS, obsOut=PREFIX, traceCap=N
+ *               observability, same syntax as pcmap-sweep: per-run
+ *               trace/timeline files named by the sweep point index;
+ *               zero overhead when omitted
  * plus harness-specific keys documented in each binary.
  *
  * The figure harnesses no longer loop over (mode, workload) by hand:
@@ -85,6 +89,8 @@ struct HarnessConfig
     std::string jsonl;
     /** Extra non-preset policy compositions, canonical form. */
     std::vector<std::string> policies;
+    /** Observability selections (trace=/obsEpoch=/obsOut=/traceCap=). */
+    sweep::ObsCliOptions obs;
     Config raw;
 
     static HarnessConfig
@@ -97,6 +103,7 @@ struct HarnessConfig
         hc.threads = static_cast<unsigned>(
             hc.raw.getUint("threads", hc.threads));
         hc.jsonl = hc.raw.getString("jsonl", hc.jsonl);
+        hc.obs = sweep::obsFromConfig(hc.raw);
         if (hc.raw.has("policy")) {
             for (const ControllerPolicy &p : sweep::parsePolicies(
                      hc.raw.requireString("policy"))) {

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "sim/log.h"
 
 namespace pcmap {
@@ -42,6 +43,27 @@ MemoryController::MemoryController(std::string name,
         cfg.footprintLinesHint / n_channels));
 }
 
+void
+MemoryController::setTraceRecorder(obs::TraceRecorder *rec)
+{
+    trace = rec;
+    scheduler->setTrace(rec, channelId);
+    coalescer->setTrace(rec, channelId);
+}
+
+unsigned
+MemoryController::busyBankCount(Tick now) const
+{
+    unsigned busy = 0;
+    for (const Rank &rank : ranks) {
+        for (unsigned b = 0; b < cfg.banksPerRank; ++b) {
+            if (rank.busyCeiling(b) > now)
+                ++busy;
+        }
+    }
+    return busy;
+}
+
 // ---------------------------------------------------------------------
 // Public request interface
 // ---------------------------------------------------------------------
@@ -67,6 +89,8 @@ MemoryController::enqueueRead(const MemRequest &req, ReadCallback cb)
         resp.speculative = false;
         const Tick done =
             now + cfg.timing.readColTicks() + cfg.timing.burstTicks();
+        PCMAP_OBS_TRACE(trace, obs::TracePoint::ReadForwarded, now, 0,
+                        req.id, 0, 0, channelId);
         ++inFlight;
         eventq.schedule(done, [this, resp, cb, enq = now]() mutable {
             resp.completionTick = eventq.now();
@@ -76,6 +100,10 @@ MemoryController::enqueueRead(const MemRequest &req, ReadCallback cb)
             counters.readLatencySum += lat;
             counters.readLatencyMax =
                 std::max(counters.readLatencyMax, lat);
+            counters.readLatencyHist.sample(resp.completionTick - enq);
+            PCMAP_OBS_TRACE(trace, obs::TracePoint::ReadComplete, enq,
+                            resp.completionTick - enq, resp.id,
+                            obs::kReadFlagForwarded, 0, channelId);
             --inFlight;
             cb(resp);
             kick();
@@ -85,6 +113,8 @@ MemoryController::enqueueRead(const MemRequest &req, ReadCallback cb)
 
     if (readQ.size() >= cfg.readQueueCap) {
         ++counters.readsRejected;
+        PCMAP_OBS_TRACE(trace, obs::TracePoint::ReadRejected, now, 0,
+                        req.id, 0, 0, channelId);
         return false;
     }
 
@@ -93,6 +123,13 @@ MemoryController::enqueueRead(const MemRequest &req, ReadCallback cb)
     entry.req.enqueueTick = now;
     entry.cb = std::move(cb);
     entry.prime(addrMap, *lineLayout);
+    if (trace != nullptr) {
+        trace->record(obs::TracePoint::ReadEnqueue, now, 0, req.id,
+                      readQ.size() + 1, 0, channelId, entry.loc.rank,
+                      entry.loc.bank);
+        trace->record(obs::TracePoint::QueueDepth, now, 0, 0,
+                      readQ.size() + 1, writeQ.size(), channelId);
+    }
     readQ.push_back(std::move(entry));
     ++counters.readsEnqueued;
     scheduleKick(eventq.now());
@@ -109,6 +146,9 @@ MemoryController::enqueueWrite(const MemRequest &req)
         if (w.line == req_line) {
             w.req.data = req.data;
             ++counters.writesCoalesced;
+            PCMAP_OBS_TRACE(trace, obs::TracePoint::WriteCoalesced,
+                            eventq.now(), 0, req_line, 0, 0, channelId,
+                            w.loc.rank, w.loc.bank);
             return true;
         }
     }
@@ -132,12 +172,22 @@ MemoryController::enqueueWrite(const MemRequest &req)
     }
     if (full) {
         ++counters.writesRejected;
+        PCMAP_OBS_TRACE(trace, obs::TracePoint::WriteRejected,
+                        eventq.now(), 0, req_line, 0, 0, channelId,
+                        entry.loc.rank, entry.loc.bank);
         return false;
     }
 
     const DecodedAddr loc = entry.loc;
     writeQ.push_back(std::move(entry));
     ++counters.writesEnqueued;
+    if (trace != nullptr) {
+        const Tick now = eventq.now();
+        trace->record(obs::TracePoint::WriteEnqueue, now, 0, req_line,
+                      writeQ.size(), 0, channelId, loc.rank, loc.bank);
+        trace->record(obs::TracePoint::QueueDepth, now, 0, 0,
+                      readQ.size(), writeQ.size(), channelId);
+    }
     if (cfg.enablePreset && !draining) {
         // No point pre-SETting once the drain is imminent: the write
         // will reach service before the background pulse could run.

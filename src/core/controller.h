@@ -63,10 +63,15 @@
 #include "mem/rank.h"
 #include "mem/request.h"
 #include "mem/wear.h"
+#include "obs/trace_event.h"
 #include "sim/event_queue.h"
 #include "sim/types.h"
 
 namespace pcmap {
+
+namespace obs {
+class TraceRecorder;
+} // namespace obs
 
 /**
  * One channel's memory controller (Figure 7).
@@ -106,6 +111,12 @@ class MemoryController : private ReadWindowModel
     void setRetryCallback(RetryCallback cb) { retryCb = std::move(cb); }
     void setVerifyCallback(VerifyCallback cb) { verifyCb = std::move(cb); }
 
+    /**
+     * Attach the run's trace recorder (null detaches).  Propagated to
+     * the composed scheduler/coalescer so policy decisions trace too.
+     */
+    void setTraceRecorder(obs::TraceRecorder *rec);
+
     /** Counters (live; finalize() closes time-weighted windows). */
     const ControllerStats &stats() const { return counters; }
 
@@ -141,6 +152,20 @@ class MemoryController : private ReadWindowModel
 
     std::size_t readQueueDepth() const { return readQ.size(); }
     std::size_t writeQueueDepth() const { return writeQ.size(); }
+
+    /**
+     * (rank, bank) pairs with any chip busy at @p now, for the epoch
+     * sampler's bank-busy fraction.  Uses the monotone busy ceiling,
+     * so write cancellation can leave it transiently stale-high.
+     */
+    unsigned busyBankCount(Tick now) const;
+
+    /** Total (rank, bank) pairs this controller manages. */
+    unsigned
+    totalBankCount() const
+    {
+        return static_cast<unsigned>(ranks.size()) * cfg.banksPerRank;
+    }
 
     const std::string &name() const { return instName; }
     const ControllerConfig &config() const { return cfg; }
@@ -211,12 +236,14 @@ class MemoryController : private ReadWindowModel
                           bool pcc, Tick created);
     /**
      * Schedule the functional commit + completion of one write.
+     * @param kind How the write was served (trace/latency labelling).
      * @param track_active When true the completion clears the
      *        cancellable activeWrite record.
      * @return Handle usable to cancel the completion.
      */
     EventHandle scheduleWriteCompletion(const WriteEntry &entry,
                                         WordMask essential, Tick done,
+                                        obs::WriteKind kind,
                                         bool track_active = false);
 
     /**
@@ -303,6 +330,9 @@ class MemoryController : private ReadWindowModel
     std::vector<IrlpTracker> irlpTrackers;
     EnergyModel energyModel;
     WearTracker wearTracker;
+
+    /** Run-level trace recorder; null when tracing is off. */
+    obs::TraceRecorder *trace = nullptr;
 
     /** Age beyond which a background code update goes foreground. */
     static constexpr Tick kBgForceAge = 3 * kMicrosecond;

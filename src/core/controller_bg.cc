@@ -8,6 +8,7 @@
 
 #include "core/controller.h"
 
+#include "obs/trace.h"
 #include "sim/log.h"
 
 namespace pcmap {
@@ -102,11 +103,13 @@ MemoryController::tryIssueBgOps(Tick now)
         const bool yields =
             !draining && readWantsChips(op.rank, op.bank, op.chips);
         Tick start;
+        bool forced = false;
         if (free_at <= now && (aged || !yields)) {
             start = now;
         } else if (aged) {
             start = free_at; // force foreground after starvation
             ++counters.bgOpsForced;
+            forced = true;
         } else {
             ++i;
             continue;
@@ -119,6 +122,18 @@ MemoryController::tryIssueBgOps(Tick now)
             duration += cfg.timing.actTicks();
         }
         const Tick end = start + duration;
+        if (trace != nullptr) {
+            const bool is_preset = op.presetLine != ~0ull;
+            const obs::BgKind bg_kind =
+                is_preset ? obs::BgKind::Preset
+                          : (op.isWrite ? obs::BgKind::CodeUpdate
+                                        : obs::BgKind::Verify);
+            trace->record(obs::TracePoint::BgIssue, start, duration,
+                          is_preset ? op.presetLine : 0, op.chips,
+                          static_cast<std::uint64_t>(bg_kind) |
+                              (forced ? obs::kBgForcedFlag : 0),
+                          channelId, op.rank, op.bank);
+        }
         reserveChips(op.rank, op.chips, op.bank, op.row, start, end,
                      op.isWrite);
         if (op.isWrite) {

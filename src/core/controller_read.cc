@@ -10,6 +10,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "sim/log.h"
 
 namespace pcmap {
@@ -63,8 +64,28 @@ MemoryController::issueRead(const ReadPlan &plan)
         ++counters.readsIssuedDuringDrain;
     counters.readQueueWaitSum += static_cast<double>(
         plan.start - entry.req.enqueueTick);
+    counters.queueResidencyHist.sample(plan.start -
+                                       entry.req.enqueueTick);
 
     const bool delayed = entry.delayedByWrite || plan.delayedByWrite;
+    if (trace != nullptr) {
+        const std::uint64_t flags =
+            (plan.rowHit ? obs::kReadFlagRowHit : 0) |
+            (plan.speculative ? obs::kReadFlagSpeculative : 0) |
+            (plan.reconstruct ? obs::kReadFlagReconstruct : 0) |
+            (plan.eccDeferred ? obs::kReadFlagEccDeferred : 0) |
+            (delayed ? obs::kReadFlagDelayedByWrite : 0);
+        trace->record(obs::TracePoint::ReadIssue, plan.start,
+                      plan.end - plan.start, entry.req.id, plan.chips,
+                      flags, channelId, loc.rank, loc.bank);
+        unsigned busy_lanes = 0;
+        for (unsigned c = 0; c < kChipsPerRank; ++c) {
+            if (laneFreeAt[c] > now)
+                ++busy_lanes;
+        }
+        trace->record(obs::TracePoint::LaneOccupancy, now, 0, 0,
+                      busy_lanes, 0, channelId);
+    }
     notifyRetry(); // read-queue space freed
 
     ++inFlight;
@@ -94,6 +115,19 @@ MemoryController::issueRead(const ReadPlan &plan)
             static_cast<double>(done - entry.req.enqueueTick);
         counters.readLatencySum += lat;
         counters.readLatencyMax = std::max(counters.readLatencyMax, lat);
+        counters.readLatencyHist.sample(done - entry.req.enqueueTick);
+        if (trace != nullptr) {
+            const std::uint64_t flags =
+                (plan.rowHit ? obs::kReadFlagRowHit : 0) |
+                (plan.speculative ? obs::kReadFlagSpeculative : 0) |
+                (plan.reconstruct ? obs::kReadFlagReconstruct : 0) |
+                (plan.eccDeferred ? obs::kReadFlagEccDeferred : 0) |
+                (delayed ? obs::kReadFlagDelayedByWrite : 0);
+            trace->record(obs::TracePoint::ReadComplete,
+                          entry.req.enqueueTick,
+                          done - entry.req.enqueueTick, entry.req.id,
+                          flags, 0, channelId, loc.rank, loc.bank);
+        }
 
         if (plan.speculative)
             queueVerifyOp(plan, entry.req, loc, fault);
@@ -126,12 +160,21 @@ MemoryController::queueVerifyOp(const ReadPlan &plan, const MemRequest &req,
     op.duration = cfg.timing.readHitTicks();
     const ReqId id = req.id;
     const unsigned core = req.coreId;
-    op.onDone = [this, id, core, fault]() {
+    PCMAP_OBS_TRACE(trace, obs::TracePoint::SpecDefer, op.created, 0,
+                    id, chips, 0, channelId, loc.rank, loc.bank);
+    const unsigned v_rank = loc.rank;
+    const unsigned v_bank = loc.bank;
+    op.onDone = [this, id, core, fault, v_rank, v_bank]() {
         ++counters.verifiesCompleted;
         pcmap_assert(pendingVerifies > 0);
         --pendingVerifies;
         if (fault)
             ++counters.faultsDetected;
+        PCMAP_OBS_TRACE(trace,
+                        fault ? obs::TracePoint::SpecRollback
+                              : obs::TracePoint::SpecVerify,
+                        eventq.now(), 0, id, 0, 0, channelId, v_rank,
+                        v_bank);
         if (verifyCb)
             verifyCb(id, core, fault);
     };

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "mem/line.h"
+#include "obs/histogram.h"
 #include "sim/types.h"
 
 namespace pcmap {
@@ -56,6 +57,14 @@ struct ControllerStats
     std::uint64_t bgOpsIssued = 0;
     std::uint64_t bgOpsForced = 0;     ///< aged out and issued foreground
     std::uint64_t statusPolls = 0;
+
+    // Latency-class distributions (always sampled; the log-bucketed
+    // histogram is a few ALU ops per sample and never allocates, so
+    // there is no toggle to invalidate the percentile exports).
+    obs::LogHistogram readLatencyHist;    ///< ticks, completion - enqueue
+    obs::LogHistogram writeLatencyHist;   ///< ticks, commit - enqueue
+    obs::LogHistogram queueResidencyHist; ///< ticks, service - enqueue
+    obs::LogHistogram writeIrlpHist;      ///< busy data chips per write
 
     /** Mean effective read latency in nanoseconds. */
     double

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/trace.h"
 #include "sim/log.h"
 
 namespace pcmap {
@@ -22,20 +23,32 @@ MemoryController::completeSilentWrite(WriteEntry entry, WordMask essential)
     ++counters.writesCompleted;
     ++counters.writesSilent;
     ++counters.essentialHist[0];
-    (void)entry;
+    const Tick now = eventq.now();
+    counters.writeLatencyHist.sample(now - entry.req.enqueueTick);
+    counters.queueResidencyHist.sample(now - entry.req.enqueueTick);
+    PCMAP_OBS_TRACE(trace, obs::TracePoint::WriteComplete,
+                    entry.req.enqueueTick, now - entry.req.enqueueTick,
+                    entry.line,
+                    static_cast<std::uint64_t>(obs::WriteKind::Silent),
+                    0, channelId, entry.loc.rank, entry.loc.bank);
     notifyRetry();
 }
 
 EventHandle
 MemoryController::scheduleWriteCompletion(const WriteEntry &entry,
                                           WordMask essential, Tick done,
+                                          obs::WriteKind kind,
                                           bool track_active)
 {
     (void)essential;
     ++inFlight;
     const std::uint64_t line = entry.line;
     const CacheLine data = entry.req.data;
-    return eventq.schedule(done, [this, line, data, track_active]() {
+    const Tick enq = entry.req.enqueueTick;
+    const unsigned w_rank = entry.loc.rank;
+    const unsigned w_bank = entry.loc.bank;
+    return eventq.schedule(done, [this, line, data, track_active, enq,
+                                  kind, w_rank, w_bank]() {
         // Recompute the change mask at commit time: an earlier write
         // to the same line may have committed since this one was
         // planned, and correctness requires applying every word that
@@ -70,6 +83,12 @@ MemoryController::scheduleWriteCompletion(const WriteEntry &entry,
             wearTracker.recordLineWrite(line);
 
         ++counters.writesCompleted;
+        const Tick commit = eventq.now();
+        counters.writeLatencyHist.sample(commit - enq);
+        PCMAP_OBS_TRACE(trace, obs::TracePoint::WriteComplete, enq,
+                        commit - enq, line,
+                        static_cast<std::uint64_t>(kind), 0, channelId,
+                        w_rank, w_bank);
         if (track_active)
             activeWrite.valid = false;
         --inFlight;
@@ -167,11 +186,20 @@ MemoryController::tryIssueWrites(Tick now, Tick &earliest)
                     s + cfg.timing.writeColTicks() +
                         cfg.timing.burstTicks(),
                     true, 2);
-        irlpTrackers[loc.rank].addOp(
-            now, s, e, lineLayout->chipsForWords(line, essential), true);
+        const ChipMask busy_data =
+            lineLayout->chipsForWords(line, essential);
+        irlpTrackers[loc.rank].addOp(now, s, e, busy_data, true);
+        counters.writeIrlpHist.sample(chipCount(busy_data));
+        counters.queueResidencyHist.sample(s - head.req.enqueueTick);
+        PCMAP_OBS_TRACE(trace, obs::TracePoint::WriteIssue, s, e - s,
+                        line, chips,
+                        static_cast<std::uint64_t>(
+                            obs::WriteKind::Coarse),
+                        channelId, loc.rank, loc.bank);
         writeSlotFreeAt[loc.rank] = e;
         const EventHandle completion = scheduleWriteCompletion(
-            head, essential, e, cfg.enableWriteCancellation);
+            head, essential, e, obs::WriteKind::Coarse,
+            cfg.enableWriteCancellation);
         if (cfg.enableWriteCancellation) {
             activeWrite.valid = true;
             activeWrite.rank = loc.rank;
@@ -228,6 +256,14 @@ MemoryController::tryIssueWrites(Tick now, Tick &earliest)
         irlpTrackers[w_rank].addOp(
             now, s0, e0, static_cast<ChipMask>(1u << step_chips[0]),
             true);
+        // One chip pulses at a time throughout the serialized chain.
+        counters.writeIrlpHist.sample(1);
+        counters.queueResidencyHist.sample(s0 - head.req.enqueueTick);
+        PCMAP_OBS_TRACE(trace, obs::TracePoint::WriteIssue, s0, e0 - s0,
+                        line, first,
+                        static_cast<std::uint64_t>(
+                            obs::WriteKind::MultiStep),
+                        channelId, w_rank, bank);
 
         // Later steps chain as events so their chips stay visibly
         // free (for RoW reads) until each step actually begins.
@@ -266,7 +302,8 @@ MemoryController::tryIssueWrites(Tick now, Tick &earliest)
             if (last_data) {
                 writeSlotFreeAt[w_rank] =
                     std::max(writeSlotFreeAt[w_rank], e1);
-                scheduleWriteCompletion(*entry_ptr, essential, e1);
+                scheduleWriteCompletion(*entry_ptr, essential, e1,
+                                        obs::WriteKind::MultiStep);
             }
             ++inFlight;
             eventq.schedule(e1, [this, next = weak_chain.lock(),
@@ -337,9 +374,17 @@ MemoryController::tryIssueWrites(Tick now, Tick &earliest)
         });
 
         irlpTrackers[loc.rank].addOp(now, s1, e1, data_chips, true);
+        counters.writeIrlpHist.sample(chipCount(data_chips));
+        counters.queueResidencyHist.sample(s1 - head.req.enqueueTick);
+        PCMAP_OBS_TRACE(trace, obs::TracePoint::WriteIssue, s1, e1 - s1,
+                        line, step1,
+                        static_cast<std::uint64_t>(
+                            obs::WriteKind::TwoStep),
+                        channelId, loc.rank, loc.bank);
         ++counters.twoStepWrites;
         writeSlotFreeAt[loc.rank] = e1;
-        scheduleWriteCompletion(head, essential, e1);
+        scheduleWriteCompletion(head, essential, e1,
+                                obs::WriteKind::TwoStep);
         return true;
     }
 
@@ -363,6 +408,9 @@ MemoryController::tryIssueWrites(Tick now, Tick &earliest)
 
     // Reserve every member's chips over the common window; each chip
     // opens its own member's row (sub-ranked independence).
+    // Per-write IRLP: every member's window sees the whole group's
+    // occupied data chips busy in parallel.
+    const unsigned group_busy = chipCount(occupied);
     for (const WriteGroupMember &m : group) {
         for (unsigned c = 0; c < kChipsPerRank; ++c) {
             if (m.chips & (1u << c)) {
@@ -371,7 +419,15 @@ MemoryController::tryIssueWrites(Tick now, Tick &earliest)
             }
         }
         irlpTrackers[loc.rank].addOp(now, s, e, m.chips, true);
-        scheduleWriteCompletion(m.entry, m.essential, e);
+        counters.writeIrlpHist.sample(group_busy);
+        counters.queueResidencyHist.sample(s - m.entry.req.enqueueTick);
+        PCMAP_OBS_TRACE(trace, obs::TracePoint::WriteIssue, s, e - s,
+                        m.line, m.chips,
+                        static_cast<std::uint64_t>(
+                            obs::WriteKind::Group),
+                        channelId, loc.rank, loc.bank);
+        scheduleWriteCompletion(m.entry, m.essential, e,
+                                obs::WriteKind::Group);
         queueCodeUpdates(m.line, loc.rank, loc.bank, m.row, true, true,
                          now);
     }
@@ -417,6 +473,9 @@ MemoryController::maybeCancelActiveWrite(Tick now)
     for (unsigned c = 0; c <= kDataChips; ++c)
         ranks[activeWrite.rank].abortWrite(c, activeWrite.bank, now);
     ++counters.writesCancelled;
+    PCMAP_OBS_TRACE(trace, obs::TracePoint::WriteCancel, now, 0,
+                    activeWrite.entry.line, activeWrite.entry.cancels,
+                    0, channelId, activeWrite.rank, activeWrite.bank);
     ++activeWrite.entry.cancels;
     writeQ.push_front(std::move(activeWrite.entry));
     writeSlotFreeAt[activeWrite.rank] = now;

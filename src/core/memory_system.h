@@ -40,6 +40,18 @@ class MainMemory : public MemoryPort
     void setRetryCallback(RetryCallback cb) override;
     void setVerifyCallback(VerifyCallback cb) override;
 
+    /**
+     * Attach one trace recorder shared by every controller (null
+     * detaches).  Each controller tags its events with its channel id,
+     * so a single recorder captures the whole memory system.
+     */
+    void
+    setTraceRecorder(obs::TraceRecorder *rec)
+    {
+        for (auto &mc : controllers)
+            mc->setTraceRecorder(rec);
+    }
+
     // Introspection ----------------------------------------------------
     unsigned channels() const
     {

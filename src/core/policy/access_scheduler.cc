@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "sim/log.h"
 
 namespace pcmap {
@@ -184,8 +185,16 @@ RowScheduler::considerSpeculative(const ReadEntry &entry,
             data_mask, loc.bank, loc.row,
             std::max(now, banks.freeAt(loc.rank, data_mask, loc.bank)),
             spec.rowHit, spec.start, spec.end);
-        if (spec.start < candidate.start)
+        if (spec.start < candidate.start) {
             candidate = spec;
+            // Planning repeats per kick until the entry issues, so the
+            // same request may log several SpecPlan events; the issue
+            // event is the authoritative one.
+            PCMAP_OBS_TRACE(traceRec, obs::TracePoint::SpecPlan, now, 0,
+                            entry.req.id, data_mask,
+                            obs::kReadFlagEccDeferred, traceChannel,
+                            loc.rank, loc.bank);
+        }
     } else if (chipCount(busy_data) == 1) {
         // Exactly one data chip busy with a write: RoW.
         unsigned busy_chip = 0;
@@ -222,8 +231,16 @@ RowScheduler::considerSpeculative(const ReadEntry &entry,
             windows.computeReadWindow(chips, loc.bank, loc.row, now,
                                       row_plan.rowHit, row_plan.start,
                                       row_plan.end);
-            if (row_plan.start < candidate.start)
+            if (row_plan.start < candidate.start) {
                 candidate = row_plan;
+                PCMAP_OBS_TRACE(traceRec, obs::TracePoint::SpecPlan,
+                                now, 0, entry.req.id, chips,
+                                obs::kReadFlagReconstruct |
+                                    (row_plan.eccDeferred
+                                         ? obs::kReadFlagEccDeferred
+                                         : 0),
+                                traceChannel, loc.rank, loc.bank);
+            }
         }
     }
 }

@@ -160,10 +160,20 @@ class AccessScheduler
                             const std::vector<Tick> &slot_free_at,
                             Tick now, Tick &soonest) const;
 
+    /** Attach the run's trace recorder (null = tracing off). */
+    void
+    setTrace(obs::TraceRecorder *rec, unsigned channel)
+    {
+        traceRec = rec;
+        traceChannel = channel;
+    }
+
   protected:
     const ControllerConfig &cfg;
     const AddressMapper &addrMap;
     const LineLayout &layout;
+    obs::TraceRecorder *traceRec = nullptr;
+    unsigned traceChannel = 0;
 };
 
 /**

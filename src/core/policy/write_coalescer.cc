@@ -1,5 +1,7 @@
 #include "core/policy/write_coalescer.h"
 
+#include "obs/trace.h"
+
 namespace pcmap {
 
 // ---------------------------------------------------------------------
@@ -81,9 +83,9 @@ WowCoalescer::collect(WriteQueue &write_queue, unsigned rank,
                   cfg.banksPerRank
             : cfg.wowScanDepth;
     std::size_t scanned = 0;
-    for (auto it = write_queue.begin();
-         it != write_queue.end() && scanned < scan_depth &&
-         group.size() < cfg.wowMaxMerge;
+    auto it = write_queue.begin();
+    for (; it != write_queue.end() && scanned < scan_depth &&
+           group.size() < cfg.wowMaxMerge;
          ++scanned) {
         const DecodedAddr &cloc = it->loc;
         if (cloc.bank != bank || cloc.rank != rank) {
@@ -95,12 +97,30 @@ WowCoalescer::collect(WriteQueue &write_queue, unsigned rank,
         if (cess == 0) {
             // Silent stores complete for free once they reach the
             // queue head; no need to merge them.
+            PCMAP_OBS_TRACE(traceRec, obs::TracePoint::WowReject,
+                            window_start, 0, cline,
+                            static_cast<std::uint64_t>(
+                                obs::WowReject::Silent),
+                            0, traceChannel, rank, bank);
             ++it;
             continue;
         }
         const ChipMask cchips = layout.chipsForWords(cline, cess);
-        if ((cchips & occupied) != 0 ||
-            banks.freeAt(rank, cchips, cloc.bank) > window_start) {
+        if ((cchips & occupied) != 0) {
+            PCMAP_OBS_TRACE(traceRec, obs::TracePoint::WowReject,
+                            window_start, 0, cline,
+                            static_cast<std::uint64_t>(
+                                obs::WowReject::ChipOverlap),
+                            cchips, traceChannel, rank, bank);
+            ++it;
+            continue;
+        }
+        if (banks.freeAt(rank, cchips, cloc.bank) > window_start) {
+            PCMAP_OBS_TRACE(traceRec, obs::TracePoint::WowReject,
+                            window_start, 0, cline,
+                            static_cast<std::uint64_t>(
+                                obs::WowReject::ChipsBusy),
+                            cchips, traceChannel, rank, bank);
             ++it;
             continue;
         }
@@ -116,7 +136,21 @@ WowCoalescer::collect(WriteQueue &write_queue, unsigned rank,
         occupied |= cchips;
         num_cmds += 2 * chipCount(cchips);
         group.push_back(std::move(m));
+        PCMAP_OBS_TRACE(traceRec, obs::TracePoint::WowAccept,
+                        window_start, 0, cline, cchips, group.size(),
+                        traceChannel, rank, bank);
         it = write_queue.erase(it);
+    }
+
+    // Terminal reason: why the scan stopped admitting (only worth a
+    // record when a limit cut the search short of the queue's end).
+    if (traceRec != nullptr && it != write_queue.end()) {
+        const obs::WowReject why = group.size() >= cfg.wowMaxMerge
+                                       ? obs::WowReject::GroupFull
+                                       : obs::WowReject::ScanExhausted;
+        traceRec->record(obs::TracePoint::WowReject, window_start, 0, 0,
+                         static_cast<std::uint64_t>(why), group.size(),
+                         traceChannel, rank, bank);
     }
 }
 

@@ -37,6 +37,10 @@
 
 namespace pcmap {
 
+namespace obs {
+class TraceRecorder;
+} // namespace obs
+
 /** One queued write-back awaiting service. */
 struct WriteEntry
 {
@@ -118,11 +122,21 @@ class WriteCoalescer
                          ChipMask &occupied, unsigned &num_cmds,
                          ControllerStats &stats) const = 0;
 
+    /** Attach the run's trace recorder (null = tracing off). */
+    void
+    setTrace(obs::TraceRecorder *rec, unsigned channel)
+    {
+        traceRec = rec;
+        traceChannel = channel;
+    }
+
   protected:
     const ControllerConfig &cfg;
     const AddressMapper &addrMap;
     const LineLayout &layout;
     BackingStore &backing;
+    obs::TraceRecorder *traceRec = nullptr;
+    unsigned traceChannel = 0;
 };
 
 /**

@@ -42,8 +42,32 @@ struct SystemStatExport::ControllerStatsMirror
                    "time-weighted busy chips during writes"),
           energyUj(group, "energyUj", "total PCM energy"),
           bitsSet(group, "bitsSet", "SET pulses issued"),
-          bitsReset(group, "bitsReset", "RESET pulses issued")
+          bitsReset(group, "bitsReset", "RESET pulses issued"),
+          readLatencyHistNs(group, "readLatencyHistNs",
+                            "read latency percentiles"),
+          writeLatencyHistNs(group, "writeLatencyHistNs",
+                             "write commit latency percentiles"),
+          queueResidencyNs(group, "queueResidencyNs",
+                           "arrival-to-service percentiles"),
+          writeIrlp(group, "writeIrlp",
+                    "busy data chips per write percentiles")
     {
+    }
+
+    /** Summary -> Percentiles values, with ticks scaled by @p scale. */
+    static stats::Percentiles::Values
+    percentileValues(const obs::LogHistogram &h, double scale)
+    {
+        const obs::LogHistogram::Summary s = h.summary();
+        stats::Percentiles::Values v;
+        v.p50 = static_cast<double>(s.p50) * scale;
+        v.p90 = static_cast<double>(s.p90) * scale;
+        v.p99 = static_cast<double>(s.p99) * scale;
+        v.p999 = static_cast<double>(s.p999) * scale;
+        v.max = static_cast<double>(s.max) * scale;
+        v.mean = s.mean * scale;
+        v.samples = static_cast<double>(s.samples);
+        return v;
     }
 
     void
@@ -80,6 +104,13 @@ struct SystemStatExport::ControllerStatsMirror
         energyUj.set(mc.energy().breakdown().totalUj());
         bitsSet.set(static_cast<double>(mc.energy().bitsSet()));
         bitsReset.set(static_cast<double>(mc.energy().bitsReset()));
+        // Latency histograms sample ticks (picoseconds); export ns.
+        readLatencyHistNs.set(percentileValues(s.readLatencyHist, 1e-3));
+        writeLatencyHistNs.set(
+            percentileValues(s.writeLatencyHist, 1e-3));
+        queueResidencyNs.set(
+            percentileValues(s.queueResidencyHist, 1e-3));
+        writeIrlp.set(percentileValues(s.writeIrlpHist, 1.0));
     }
 
     stats::StatGroup group;
@@ -104,6 +135,10 @@ struct SystemStatExport::ControllerStatsMirror
     stats::Scalar energyUj;
     stats::Scalar bitsSet;
     stats::Scalar bitsReset;
+    stats::Percentiles readLatencyHistNs;
+    stats::Percentiles writeLatencyHistNs;
+    stats::Percentiles queueResidencyNs;
+    stats::Percentiles writeIrlp;
 };
 
 SystemStatExport::SystemStatExport(MainMemory &memory) : mem(memory)

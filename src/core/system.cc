@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "core/policy/controller_policy.h"
+#include "obs/observer.h"
 #include "sim/log.h"
 #include "workload/profile.h"
 
@@ -124,9 +125,60 @@ System::System(const SystemConfig &config,
         if (core_id < cores.size())
             cores[core_id]->onVerify(id, fault);
     });
+
+    if (cfg.obs.enabled()) {
+        obsRun = std::make_unique<obs::RunObserver>(cfg.obs);
+        if (obsRun->recorder() != nullptr)
+            mem->setTraceRecorder(obsRun->recorder());
+    }
 }
 
 System::~System() = default;
+
+void
+System::sampleEpoch(Tick tick)
+{
+    obs::TimelineSample s;
+    s.tick = tick;
+    unsigned busy_banks = 0;
+    unsigned total_banks = 0;
+    // Same channel order and summation order as run()'s aggregation
+    // loop, so the final post-finalize sample restates the aggregate
+    // results bit-for-bit (obs_integration_test relies on this).
+    for (unsigned ch = 0; ch < mem->channels(); ++ch) {
+        const MemoryController &mc = mem->controller(ch);
+        const ControllerStats &cs = mc.stats();
+        s.readsCompleted += cs.readsCompleted;
+        s.writesCompleted += cs.writesCompleted;
+        s.rowReads += cs.rowReads;
+        s.deferredEccReads += cs.deferredEccReads;
+        s.writesEnqueued += cs.writesEnqueued;
+        s.wowGroups += cs.wowGroups;
+        s.wowMergedWrites += cs.wowMergedWrites;
+        s.irlpArea += mc.irlpArea();
+        s.irlpWindowTicks += mc.irlpWindowTicks();
+        s.irlpMax = std::max(
+            s.irlpMax, static_cast<std::uint32_t>(mc.irlpMaxSeen()));
+        s.readQueueDepth += mc.readQueueDepth();
+        s.writeQueueDepth += mc.writeQueueDepth();
+        busy_banks += mc.busyBankCount(tick);
+        total_banks += mc.totalBankCount();
+    }
+    if (total_banks > 0) {
+        s.bankBusyFraction = static_cast<double>(busy_banks) /
+                             static_cast<double>(total_banks);
+    }
+    obsRun->timeline().push(s);
+}
+
+void
+System::scheduleEpochSample(Tick at)
+{
+    epochEvent = eventq.schedule(at, [this, at]() {
+        sampleEpoch(at);
+        scheduleEpochSample(at + cfg.obs.epochTicks);
+    });
+}
 
 SystemResults
 System::run()
@@ -134,7 +186,20 @@ System::run()
     for (auto &c : cores)
         c->start();
 
-    eventq.run();
+    const bool epochs = obsRun && cfg.obs.epochTicks > 0;
+    if (epochs) {
+        // Sample at t = epoch, 2*epoch, ...  The sampler always keeps
+        // exactly one pending event alive, so run until it is the only
+        // thing left and cancel it: cancelled events never advance
+        // time, which keeps now() — and every result — identical to a
+        // run without observability.
+        scheduleEpochSample(cfg.obs.epochTicks);
+        eventq.runUntil([this]() { return eventq.pending() <= 1; });
+        eventq.cancel(epochEvent);
+        epochEvent = EventHandle();
+    } else {
+        eventq.run();
+    }
 
     for (const auto &c : cores) {
         if (!c->finished()) {
@@ -146,6 +211,12 @@ System::run()
 
     const Tick end = eventq.now();
     mem->finalize(end);
+
+    // Final exact sample: taken after finalize() closed the
+    // time-weighted windows, so the last timeline row restates the
+    // aggregate results below bit-for-bit.
+    if (epochs)
+        sampleEpoch(end);
 
     SystemResults res;
     res.workload = spec.name;

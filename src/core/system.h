@@ -17,11 +17,16 @@
 #include "core/controller_config.h"
 #include "core/memory_system.h"
 #include "cpu/core_model.h"
+#include "obs/obs_config.h"
 #include "sim/event_queue.h"
 #include "workload/generator.h"
 #include "workload/mixes.h"
 
 namespace pcmap {
+
+namespace obs {
+class RunObserver;
+} // namespace obs
 
 /** Full parameterization of a simulated system. */
 struct SystemConfig
@@ -60,6 +65,13 @@ struct SystemConfig
     unsigned specReadBufferCap = 8;
     unsigned wowMaxMerge = 8;
     unsigned wowScanDepth = 32;
+
+    /**
+     * Observability (tracing + epoch time-series).  Never affects
+     * simulated behaviour and is excluded from sweep fingerprints and
+     * serialized results.
+     */
+    obs::ObsConfig obs{};
 
     /** Build the controller configuration implied by this system. */
     ControllerConfig controllerConfig() const;
@@ -149,13 +161,27 @@ class System
         return static_cast<unsigned>(cores.size());
     }
 
+    /**
+     * The run's observer (trace ring + epoch timeline), or null when
+     * observability is disabled (cfg.obs.enabled() == false).
+     */
+    obs::RunObserver *observer() { return obsRun.get(); }
+    const obs::RunObserver *observer() const { return obsRun.get(); }
+
   private:
+    /** Append one cumulative timeline sample taken at @p tick. */
+    void sampleEpoch(Tick tick);
+    /** Schedule the next epoch sample at absolute tick @p at. */
+    void scheduleEpochSample(Tick at);
+
     SystemConfig cfg;
     workload::WorkloadSpec spec;
     EventQueue eventq;
     std::unique_ptr<MainMemory> mem;
     std::vector<std::unique_ptr<workload::SyntheticGenerator>> sources;
     std::vector<std::unique_ptr<CoreModel>> cores;
+    std::unique_ptr<obs::RunObserver> obsRun;
+    EventHandle epochEvent;
 };
 
 /** Convenience: build and run one (mode, workload) point. */

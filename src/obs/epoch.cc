@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Timeline JSONL writer and its exact-inverse parser.
+ */
+
+#include "obs/epoch.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json_mini.h"
+
+namespace pcmap::obs {
+
+namespace {
+
+/** Shortest decimal that round-trips a double, locale-independent. */
+void
+appendDouble(std::string &out, double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    for (int prec = 15; prec <= 16; ++prec) {
+        char shorter[40];
+        std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+        double back = 0.0;
+        std::sscanf(shorter, "%lf", &back);
+        if (back == v) {
+            out += shorter;
+            return;
+        }
+    }
+    out += buf;
+}
+
+void
+appendU64(std::string &out, std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    out += buf;
+}
+
+void
+appendSample(std::string &out, const TimelineSample &s)
+{
+    out += "{\"tick\":";
+    appendU64(out, s.tick);
+    out += ",\"readsCompleted\":";
+    appendU64(out, s.readsCompleted);
+    out += ",\"writesCompleted\":";
+    appendU64(out, s.writesCompleted);
+    out += ",\"rowReads\":";
+    appendU64(out, s.rowReads);
+    out += ",\"deferredEccReads\":";
+    appendU64(out, s.deferredEccReads);
+    out += ",\"writesEnqueued\":";
+    appendU64(out, s.writesEnqueued);
+    out += ",\"wowGroups\":";
+    appendU64(out, s.wowGroups);
+    out += ",\"wowMergedWrites\":";
+    appendU64(out, s.wowMergedWrites);
+    out += ",\"irlpArea\":";
+    appendDouble(out, s.irlpArea);
+    out += ",\"irlpWindowTicks\":";
+    appendDouble(out, s.irlpWindowTicks);
+    out += ",\"irlpMax\":";
+    appendU64(out, s.irlpMax);
+    out += ",\"readQueueDepth\":";
+    appendU64(out, s.readQueueDepth);
+    out += ",\"writeQueueDepth\":";
+    appendU64(out, s.writeQueueDepth);
+    out += ",\"bankBusyFraction\":";
+    appendDouble(out, s.bankBusyFraction);
+    out += "}\n";
+}
+
+} // namespace
+
+void
+writeTimelineJsonl(const Timeline &tl, std::ostream &out)
+{
+    std::string text;
+    text.reserve(tl.size() * 320);
+    for (const TimelineSample &s : tl.samples())
+        appendSample(text, s);
+    out << text;
+}
+
+std::string
+timelineJsonl(const Timeline &tl)
+{
+    std::ostringstream os;
+    writeTimelineJsonl(tl, os);
+    return os.str();
+}
+
+std::optional<TimelineSample>
+parseTimelineLine(const std::string &line, std::string *err)
+{
+    std::optional<JsonValue> doc = parseJson(line, err);
+    if (!doc)
+        return std::nullopt;
+    if (!doc->isObject()) {
+        if (err)
+            *err = "timeline row is not an object";
+        return std::nullopt;
+    }
+    static const char *const required[] = {
+        "tick",          "readsCompleted",   "writesCompleted",
+        "rowReads",      "deferredEccReads", "writesEnqueued",
+        "wowGroups",     "wowMergedWrites",  "irlpArea",
+        "irlpWindowTicks", "irlpMax",        "readQueueDepth",
+        "writeQueueDepth", "bankBusyFraction",
+    };
+    for (const char *key : required) {
+        const JsonValue *v = doc->get(key);
+        if (!v || !v->isNumber()) {
+            if (err) {
+                *err = "missing or non-numeric field '";
+                *err += key;
+                *err += "'";
+            }
+            return std::nullopt;
+        }
+    }
+    TimelineSample s;
+    s.tick = doc->get("tick")->asU64();
+    s.readsCompleted = doc->get("readsCompleted")->asU64();
+    s.writesCompleted = doc->get("writesCompleted")->asU64();
+    s.rowReads = doc->get("rowReads")->asU64();
+    s.deferredEccReads = doc->get("deferredEccReads")->asU64();
+    s.writesEnqueued = doc->get("writesEnqueued")->asU64();
+    s.wowGroups = doc->get("wowGroups")->asU64();
+    s.wowMergedWrites = doc->get("wowMergedWrites")->asU64();
+    s.irlpArea = doc->get("irlpArea")->asNumber();
+    s.irlpWindowTicks = doc->get("irlpWindowTicks")->asNumber();
+    s.irlpMax =
+        static_cast<std::uint32_t>(doc->get("irlpMax")->asU64());
+    s.readQueueDepth = doc->get("readQueueDepth")->asU64();
+    s.writeQueueDepth = doc->get("writeQueueDepth")->asU64();
+    s.bankBusyFraction = doc->get("bankBusyFraction")->asNumber();
+    return s;
+}
+
+} // namespace pcmap::obs

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Epoch time-series: periodic snapshots of the aggregate state the
+ * end-of-run stats only summarize.
+ *
+ * Samples carry *cumulative* counters (not per-epoch deltas), summed
+ * over channels in the same order System::run aggregates them.  That
+ * makes the final sample an exact restatement of the run's aggregate
+ * results — IRLP mean/max, RoW/WoW hit rates and write throughput can
+ * be recomputed from it bit-for-bit (obs_integration_test asserts
+ * this), and any epoch-over-epoch delta is just a subtraction.
+ *
+ * The JSONL writer uses shortest-round-trip double formatting, so a
+ * parsed timeline recomputes the same values exactly.
+ */
+
+#ifndef PCMAP_OBS_EPOCH_H
+#define PCMAP_OBS_EPOCH_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace pcmap::obs {
+
+/** One timeline row: cumulative counters as of `tick`. */
+struct TimelineSample
+{
+    Tick tick = 0;
+
+    std::uint64_t readsCompleted = 0;
+    std::uint64_t writesCompleted = 0;
+    std::uint64_t rowReads = 0;         ///< PCC-reconstructed reads
+    std::uint64_t deferredEccReads = 0; ///< ECC check deferred
+    std::uint64_t writesEnqueued = 0;
+    std::uint64_t wowGroups = 0;
+    std::uint64_t wowMergedWrites = 0;
+
+    double irlpArea = 0.0;        ///< integral of busy chips over windows
+    double irlpWindowTicks = 0.0; ///< total write-window ticks
+    std::uint32_t irlpMax = 0;    ///< peak concurrent busy data chips
+
+    std::uint64_t readQueueDepth = 0;  ///< instantaneous, all channels
+    std::uint64_t writeQueueDepth = 0; ///< instantaneous, all channels
+    double bankBusyFraction = 0.0;     ///< busy (rank,bank) pairs / total
+
+    // --- Derived rates (0 when the denominator is 0) ---
+    double
+    irlpMean() const
+    {
+        return irlpWindowTicks > 0.0 ? irlpArea / irlpWindowTicks : 0.0;
+    }
+
+    double
+    rowHitRate() const
+    {
+        return readsCompleted
+                   ? static_cast<double>(rowReads + deferredEccReads) /
+                         static_cast<double>(readsCompleted)
+                   : 0.0;
+    }
+
+    double
+    wowMergeRate() const
+    {
+        return writesCompleted
+                   ? static_cast<double>(wowMergedWrites) /
+                         static_cast<double>(writesCompleted)
+                   : 0.0;
+    }
+};
+
+/** An ordered run of timeline samples. */
+class Timeline
+{
+  public:
+    void push(const TimelineSample &s) { rows.push_back(s); }
+    const std::vector<TimelineSample> &samples() const { return rows; }
+    bool empty() const { return rows.empty(); }
+    std::size_t size() const { return rows.size(); }
+    const TimelineSample &back() const { return rows.back(); }
+
+  private:
+    std::vector<TimelineSample> rows;
+};
+
+/** Write one JSON object per sample; byte-deterministic. */
+void writeTimelineJsonl(const Timeline &tl, std::ostream &out);
+
+/** Convenience: timeline JSONL as a string. */
+std::string timelineJsonl(const Timeline &tl);
+
+/**
+ * Parse one timeline JSONL line back into a sample; nullopt (with
+ * @p err set when non-null) on malformed input.  Exact inverse of the
+ * writer for every value it emits.
+ */
+std::optional<TimelineSample>
+parseTimelineLine(const std::string &line, std::string *err = nullptr);
+
+} // namespace pcmap::obs
+
+#endif // PCMAP_OBS_EPOCH_H

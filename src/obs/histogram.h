@@ -1,0 +1,183 @@
+/**
+ * @file
+ * HDR-style log-bucketed histogram for latency-class quantities.
+ *
+ * Values up to 2^kSubBits are counted exactly; above that, each
+ * power-of-two octave is split into 2^kSubBits sub-buckets, bounding
+ * the relative quantization error of any reported percentile by
+ * 2^-kSubBits (~3%).  Everything is plain integer arithmetic over a
+ * fixed-size array: sampling is a handful of ALU ops and never
+ * allocates, so the histogram is cheap enough to live unconditionally
+ * in ControllerStats (sampling cost is paid whether or not tracing is
+ * enabled; the perf-smoke floor guards it).
+ *
+ * Header-only with no dependencies beyond <cstdint> so that core code
+ * can embed histograms without linking pcmap_obs.
+ */
+
+#ifndef PCMAP_OBS_HISTOGRAM_H
+#define PCMAP_OBS_HISTOGRAM_H
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace pcmap::obs {
+
+/** Log-bucketed histogram of non-negative 64-bit samples. */
+class LogHistogram
+{
+  public:
+    /** Sub-bucket resolution: 2^kSubBits buckets per octave. */
+    static constexpr unsigned kSubBits = 5;
+    static constexpr unsigned kSubCount = 1u << kSubBits;
+    /** Octave 0 (exact) + one group per leading-bit position above. */
+    static constexpr std::size_t kNumBuckets =
+        static_cast<std::size_t>(64 - kSubBits + 1) * kSubCount;
+
+    void
+    sample(std::uint64_t value)
+    {
+        ++counts[bucketIndex(value)];
+        ++total;
+        sum += static_cast<double>(value);
+        if (value > maxValue)
+            maxValue = value;
+        if (value < minValue)
+            minValue = value;
+    }
+
+    std::uint64_t samples() const { return total; }
+    std::uint64_t maxSeen() const { return total ? maxValue : 0; }
+    std::uint64_t minSeen() const { return total ? minValue : 0; }
+
+    double
+    mean() const
+    {
+        return total ? sum / static_cast<double>(total) : 0.0;
+    }
+
+    /**
+     * Value at or below which @p pct percent of samples fall,
+     * reported as the containing bucket's upper bound (clamped to the
+     * exact observed min/max so p0/p100 are exact).
+     */
+    std::uint64_t
+    percentile(double pct) const
+    {
+        if (total == 0)
+            return 0;
+        const double want = pct / 100.0 * static_cast<double>(total);
+        auto rank = static_cast<std::uint64_t>(std::ceil(want));
+        if (rank < 1)
+            rank = 1;
+        if (rank > total)
+            rank = total;
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < kNumBuckets; ++i) {
+            cum += counts[i];
+            if (cum >= rank) {
+                const std::uint64_t ub = bucketUpperBound(i);
+                if (ub > maxValue)
+                    return maxValue;
+                if (ub < minValue)
+                    return minValue;
+                return ub;
+            }
+        }
+        return maxValue;
+    }
+
+    /** The five-quantile digest exported through the stats tree. */
+    struct Summary
+    {
+        double p50 = 0.0;
+        double p90 = 0.0;
+        double p99 = 0.0;
+        double p999 = 0.0;
+        double max = 0.0;
+        double mean = 0.0;
+        std::uint64_t samples = 0;
+    };
+
+    Summary
+    summary() const
+    {
+        Summary s;
+        s.samples = total;
+        if (total == 0)
+            return s;
+        s.p50 = static_cast<double>(percentile(50.0));
+        s.p90 = static_cast<double>(percentile(90.0));
+        s.p99 = static_cast<double>(percentile(99.0));
+        s.p999 = static_cast<double>(percentile(99.9));
+        s.max = static_cast<double>(maxValue);
+        s.mean = mean();
+        return s;
+    }
+
+    void
+    merge(const LogHistogram &other)
+    {
+        for (std::size_t i = 0; i < kNumBuckets; ++i)
+            counts[i] += other.counts[i];
+        total += other.total;
+        sum += other.sum;
+        if (other.total) {
+            if (other.maxValue > maxValue || total == other.total)
+                maxValue = other.maxValue;
+            if (other.minValue < minValue)
+                minValue = other.minValue;
+        }
+    }
+
+    void
+    reset()
+    {
+        counts.fill(0);
+        total = 0;
+        sum = 0.0;
+        maxValue = 0;
+        minValue = ~0ull;
+    }
+
+    // --- Bucket geometry (exposed for tests and iteration) ---
+
+    static std::size_t
+    bucketIndex(std::uint64_t value)
+    {
+        if (value < kSubCount)
+            return static_cast<std::size_t>(value);
+        const unsigned shift = std::bit_width(value) - kSubBits - 1;
+        return static_cast<std::size_t>(
+            (static_cast<std::uint64_t>(shift) + 1) * kSubCount +
+            ((value >> shift) - kSubCount));
+    }
+
+    /** Largest value mapping to bucket @p index. */
+    static std::uint64_t
+    bucketUpperBound(std::size_t index)
+    {
+        if (index < kSubCount)
+            return index;
+        const unsigned shift =
+            static_cast<unsigned>(index / kSubCount) - 1;
+        const std::uint64_t sub = index % kSubCount;
+        return ((kSubCount + sub) << shift) + ((1ull << shift) - 1);
+    }
+
+    std::uint64_t bucketCount(std::size_t i) const { return counts[i]; }
+
+  private:
+    std::array<std::uint64_t, kNumBuckets> counts{};
+    std::uint64_t total = 0;
+    double sum = 0.0;
+    std::uint64_t maxValue = 0;
+    std::uint64_t minValue = ~0ull;
+};
+
+} // namespace pcmap::obs
+
+#endif // PCMAP_OBS_HISTOGRAM_H

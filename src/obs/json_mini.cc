@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Recursive-descent implementation of the minimal JSON reader.
+ */
+
+#include "obs/json_mini.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace pcmap::obs {
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s(text) {}
+
+    std::optional<JsonValue>
+    run(std::string *err)
+    {
+        std::optional<JsonValue> v = parseValue();
+        if (v) {
+            skipWs();
+            if (pos != s.size()) {
+                fail("trailing content");
+                v.reset();
+            }
+        }
+        if (!v && err)
+            *err = error;
+        return v;
+    }
+
+  private:
+    static constexpr std::size_t kMaxDepth = 64;
+
+    void
+    fail(const char *what)
+    {
+        if (error.empty()) {
+            error = what;
+            error += " at offset ";
+            error += std::to_string(pos);
+        }
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < s.size() && s[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::strlen(word);
+        if (s.compare(pos, n, word) == 0) {
+            pos += n;
+            return true;
+        }
+        return false;
+    }
+
+    std::optional<JsonValue>
+    parseValue()
+    {
+        if (++depth > kMaxDepth) {
+            fail("nesting too deep");
+            return std::nullopt;
+        }
+        skipWs();
+        std::optional<JsonValue> out;
+        if (pos >= s.size()) {
+            fail("unexpected end of input");
+        } else if (s[pos] == '{') {
+            out = parseObject();
+        } else if (s[pos] == '[') {
+            out = parseArray();
+        } else if (s[pos] == '"') {
+            std::string str;
+            if (parseString(str))
+                out = JsonValue::makeString(std::move(str));
+        } else if (literal("true")) {
+            out = JsonValue::makeBool(true);
+        } else if (literal("false")) {
+            out = JsonValue::makeBool(false);
+        } else if (literal("null")) {
+            out = JsonValue::makeNull();
+        } else {
+            out = parseNumber();
+        }
+        --depth;
+        return out;
+    }
+
+    std::optional<JsonValue>
+    parseObject()
+    {
+        ++pos; // '{'
+        JsonValue obj = JsonValue::makeObject();
+        skipWs();
+        if (consume('}'))
+            return obj;
+        while (true) {
+            skipWs();
+            std::string key;
+            if (pos >= s.size() || s[pos] != '"' || !parseString(key)) {
+                fail("expected object key");
+                return std::nullopt;
+            }
+            skipWs();
+            if (!consume(':')) {
+                fail("expected ':'");
+                return std::nullopt;
+            }
+            std::optional<JsonValue> v = parseValue();
+            if (!v)
+                return std::nullopt;
+            obj.fields.emplace_back(std::move(key), std::move(*v));
+            skipWs();
+            if (consume('}'))
+                return obj;
+            if (!consume(',')) {
+                fail("expected ',' or '}'");
+                return std::nullopt;
+            }
+        }
+    }
+
+    std::optional<JsonValue>
+    parseArray()
+    {
+        ++pos; // '['
+        JsonValue arr = JsonValue::makeArray();
+        skipWs();
+        if (consume(']'))
+            return arr;
+        while (true) {
+            std::optional<JsonValue> v = parseValue();
+            if (!v)
+                return std::nullopt;
+            arr.elems.push_back(std::move(*v));
+            skipWs();
+            if (consume(']'))
+                return arr;
+            if (!consume(',')) {
+                fail("expected ',' or ']'");
+                return std::nullopt;
+            }
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos; // '"'
+        while (pos < s.size()) {
+            const char c = s[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c == '\\') {
+                ++pos;
+                if (pos >= s.size()) {
+                    fail("unterminated escape");
+                    return false;
+                }
+                const char e = s[pos];
+                switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    if (pos + 4 >= s.size()) {
+                        fail("truncated \\u escape");
+                        return false;
+                    }
+                    unsigned cp = 0;
+                    for (int i = 1; i <= 4; ++i) {
+                        const char h = s[pos + i];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9')
+                            cp |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            cp |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            cp |= static_cast<unsigned>(h - 'A' + 10);
+                        else {
+                            fail("bad \\u escape");
+                            return false;
+                        }
+                    }
+                    pos += 4;
+                    // UTF-8 encode the BMP code point.
+                    if (cp < 0x80) {
+                        out += static_cast<char>(cp);
+                    } else if (cp < 0x800) {
+                        out += static_cast<char>(0xC0 | (cp >> 6));
+                        out += static_cast<char>(0x80 | (cp & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (cp >> 12));
+                        out += static_cast<char>(0x80 |
+                                                 ((cp >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (cp & 0x3F));
+                    }
+                    break;
+                }
+                default:
+                    fail("unknown escape");
+                    return false;
+                }
+                ++pos;
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                fail("control character in string");
+                return false;
+            } else {
+                out += c;
+                ++pos;
+            }
+        }
+        fail("unterminated string");
+        return false;
+    }
+
+    std::optional<JsonValue>
+    parseNumber()
+    {
+        const std::size_t start = pos;
+        if (pos < s.size() && (s[pos] == '-' || s[pos] == '+'))
+            ++pos;
+        bool any = false;
+        while (pos < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+                s[pos] == '+' || s[pos] == '-')) {
+            any = true;
+            ++pos;
+        }
+        if (!any) {
+            fail("expected value");
+            return std::nullopt;
+        }
+        const std::string tok = s.substr(start, pos - start);
+        char *end = nullptr;
+        const double v = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size()) {
+            pos = start;
+            fail("malformed number");
+            return std::nullopt;
+        }
+        return JsonValue::makeNumber(v, tok);
+    }
+
+    const std::string &s;
+    std::size_t pos = 0;
+    std::size_t depth = 0;
+    std::string error;
+};
+
+} // namespace
+
+std::uint64_t
+JsonValue::asU64() const
+{
+    if (!isNumber() || text.empty())
+        return 0;
+    for (const char c : text) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return 0; // signs, fractions, exponents: not a u64 token
+    }
+    return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+std::optional<JsonValue>
+parseJson(const std::string &input, std::string *err)
+{
+    return Parser(input).run(err);
+}
+
+} // namespace pcmap::obs

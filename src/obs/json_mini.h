@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON reader.
+ *
+ * Just enough JSON to validate and consume the files this subsystem
+ * writes (Chrome traces, trace/timeline JSONL) in tests and in
+ * `pcmap-trace` — objects, arrays, strings with escapes, numbers,
+ * booleans, null.  Objects preserve insertion order and allow
+ * duplicate keys (last one wins on lookup), which is all the tooling
+ * needs.  Not a general-purpose parser: no streaming, no \u surrogate
+ * pairing beyond BMP passthrough, input must be UTF-8.
+ */
+
+#ifndef PCMAP_OBS_JSON_MINI_H
+#define PCMAP_OBS_JSON_MINI_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pcmap::obs {
+
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() = default;
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool asBool() const { return boolean; }
+    double asNumber() const { return number; }
+    const std::string &asString() const { return text; }
+
+    /**
+     * Number re-read from its source token as an exact unsigned
+     * 64-bit integer (0 for non-numbers / non-integer tokens).
+     * Doubles only hold 53 bits; tick values need all 64.
+     */
+    std::uint64_t asU64() const;
+
+    const std::vector<JsonValue> &items() const { return elems; }
+
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return fields;
+    }
+
+    /** Object field by key (last occurrence), or nullptr. */
+    const JsonValue *
+    get(const std::string &key) const
+    {
+        const JsonValue *found = nullptr;
+        for (const auto &[k, v] : fields) {
+            if (k == key)
+                found = &v;
+        }
+        return found;
+    }
+
+    bool has(const std::string &key) const { return get(key) != nullptr; }
+
+    /** Field as number, or @p fallback when absent / not a number. */
+    double
+    numberOr(const std::string &key, double fallback) const
+    {
+        const JsonValue *v = get(key);
+        return v && v->isNumber() ? v->number : fallback;
+    }
+
+    // --- Construction (used by the parser) ---
+    static JsonValue makeNull() { return JsonValue(); }
+    static JsonValue
+    makeBool(bool b)
+    {
+        JsonValue v;
+        v.kind_ = Kind::Bool;
+        v.boolean = b;
+        return v;
+    }
+    static JsonValue
+    makeNumber(double d, std::string raw = {})
+    {
+        JsonValue v;
+        v.kind_ = Kind::Number;
+        v.number = d;
+        v.text = std::move(raw);
+        return v;
+    }
+    static JsonValue
+    makeString(std::string s)
+    {
+        JsonValue v;
+        v.kind_ = Kind::String;
+        v.text = std::move(s);
+        return v;
+    }
+    static JsonValue
+    makeArray()
+    {
+        JsonValue v;
+        v.kind_ = Kind::Array;
+        return v;
+    }
+    static JsonValue
+    makeObject()
+    {
+        JsonValue v;
+        v.kind_ = Kind::Object;
+        return v;
+    }
+
+    std::vector<JsonValue> elems;
+    std::vector<std::pair<std::string, JsonValue>> fields;
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+};
+
+/**
+ * Parse a complete JSON document.  Trailing whitespace is allowed;
+ * any other trailing content is an error.  On failure returns nullopt
+ * and, when @p err is non-null, a message with the byte offset.
+ */
+std::optional<JsonValue> parseJson(const std::string &input,
+                                   std::string *err = nullptr);
+
+} // namespace pcmap::obs
+
+#endif // PCMAP_OBS_JSON_MINI_H

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Observability knobs carried inside SystemConfig.
+ *
+ * Deliberately excluded from sweep serialization/fingerprints: the
+ * settings never change simulation results (asserted by
+ * obs_integration_test), only what gets recorded about them.
+ */
+
+#ifndef PCMAP_OBS_OBS_CONFIG_H
+#define PCMAP_OBS_OBS_CONFIG_H
+
+#include <cstddef>
+
+#include "sim/types.h"
+
+namespace pcmap::obs {
+
+struct ObsConfig
+{
+    /** Record request-lifecycle trace events. */
+    bool trace = false;
+
+    /** Ring capacity in events (rounded up to a power of two). */
+    std::size_t traceCapacity = 1u << 18;
+
+    /** Timeline sampling period in sim ticks; 0 disables the timeline. */
+    Tick epochTicks = 0;
+
+    /** Anything enabled at all? */
+    bool
+    enabled() const
+    {
+        return trace || epochTicks > 0;
+    }
+};
+
+} // namespace pcmap::obs
+
+#endif // PCMAP_OBS_OBS_CONFIG_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * RunObserver: the per-System bundle of observability state.
+ *
+ * Owns the trace recorder (when tracing is on) and the epoch
+ * timeline.  System creates one only when ObsConfig::enabled(), so a
+ * default-configured run carries no observability state at all.
+ */
+
+#ifndef PCMAP_OBS_OBSERVER_H
+#define PCMAP_OBS_OBSERVER_H
+
+#include <memory>
+
+#include "obs/epoch.h"
+#include "obs/obs_config.h"
+#include "obs/trace.h"
+
+namespace pcmap::obs {
+
+class RunObserver
+{
+  public:
+    explicit RunObserver(const ObsConfig &config) : cfg(config)
+    {
+        if (cfg.trace)
+            rec = std::make_unique<TraceRecorder>(cfg.traceCapacity);
+    }
+
+    const ObsConfig &config() const { return cfg; }
+
+    /** Null when tracing is off. */
+    TraceRecorder *recorder() { return rec.get(); }
+    const TraceRecorder *recorder() const { return rec.get(); }
+
+    Timeline &timeline() { return tl; }
+    const Timeline &timeline() const { return tl; }
+
+  private:
+    ObsConfig cfg;
+    std::unique_ptr<TraceRecorder> rec;
+    Timeline tl;
+};
+
+} // namespace pcmap::obs
+
+#endif // PCMAP_OBS_OBSERVER_H

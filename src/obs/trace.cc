@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Trace-point metadata tables and the Chrome/JSONL sinks.
+ */
+
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace pcmap::obs {
+
+const char *
+tracePointName(TracePoint p)
+{
+    switch (p) {
+    case TracePoint::ReadEnqueue: return "read.enqueue";
+    case TracePoint::ReadForwarded: return "read.forwarded";
+    case TracePoint::ReadRejected: return "read.rejected";
+    case TracePoint::ReadIssue: return "read.issue";
+    case TracePoint::ReadComplete: return "read";
+    case TracePoint::SpecPlan: return "row.spec_plan";
+    case TracePoint::SpecDefer: return "row.spec_defer";
+    case TracePoint::SpecVerify: return "row.verify";
+    case TracePoint::SpecRollback: return "row.rollback";
+    case TracePoint::WriteEnqueue: return "write.enqueue";
+    case TracePoint::WriteCoalesced: return "write.coalesced";
+    case TracePoint::WriteRejected: return "write.rejected";
+    case TracePoint::WriteIssue: return "write.issue";
+    case TracePoint::WriteComplete: return "write";
+    case TracePoint::WriteCancel: return "write.cancel";
+    case TracePoint::WowAccept: return "wow.accept";
+    case TracePoint::WowReject: return "wow.reject";
+    case TracePoint::BgIssue: return "bg.issue";
+    case TracePoint::QueueDepth: return "queue_depth";
+    case TracePoint::LaneOccupancy: return "lane_occupancy";
+    }
+    return "unknown";
+}
+
+char
+tracePointPhase(TracePoint p)
+{
+    switch (p) {
+    case TracePoint::ReadIssue:
+    case TracePoint::ReadComplete:
+    case TracePoint::WriteIssue:
+    case TracePoint::WriteComplete:
+    case TracePoint::BgIssue:
+        return 'X';
+    case TracePoint::QueueDepth:
+    case TracePoint::LaneOccupancy:
+        return 'C';
+    default:
+        return 'i';
+    }
+}
+
+const char *
+tracePointCategory(TracePoint p)
+{
+    switch (p) {
+    case TracePoint::ReadEnqueue:
+    case TracePoint::ReadForwarded:
+    case TracePoint::ReadRejected:
+    case TracePoint::ReadIssue:
+    case TracePoint::ReadComplete:
+        return "read";
+    case TracePoint::SpecPlan:
+    case TracePoint::SpecDefer:
+    case TracePoint::SpecVerify:
+    case TracePoint::SpecRollback:
+        return "row";
+    case TracePoint::WriteEnqueue:
+    case TracePoint::WriteCoalesced:
+    case TracePoint::WriteRejected:
+    case TracePoint::WriteIssue:
+    case TracePoint::WriteComplete:
+    case TracePoint::WriteCancel:
+        return "write";
+    case TracePoint::WowAccept:
+    case TracePoint::WowReject:
+        return "wow";
+    case TracePoint::BgIssue:
+        return "bg";
+    case TracePoint::QueueDepth:
+    case TracePoint::LaneOccupancy:
+        return "counter";
+    }
+    return "other";
+}
+
+const char *
+wowRejectName(WowReject r)
+{
+    switch (r) {
+    case WowReject::Silent: return "silent";
+    case WowReject::ChipOverlap: return "chip_overlap";
+    case WowReject::ChipsBusy: return "chips_busy";
+    case WowReject::GroupFull: return "group_full";
+    case WowReject::ScanExhausted: return "scan_exhausted";
+    }
+    return "unknown";
+}
+
+const char *
+writeKindName(WriteKind k)
+{
+    switch (k) {
+    case WriteKind::Coarse: return "coarse";
+    case WriteKind::TwoStep: return "two_step";
+    case WriteKind::MultiStep: return "multi_step";
+    case WriteKind::Group: return "group";
+    case WriteKind::Silent: return "silent";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/** Ticks (ps) rendered as a fixed-precision microsecond literal. */
+void
+appendMicros(std::string &out, Tick ticks)
+{
+    char buf[40];
+    // 1 tick = 1 ps = 1e-6 us; integer-split so the text is exact.
+    const std::uint64_t whole = ticks / 1'000'000ull;
+    const std::uint64_t frac = ticks % 1'000'000ull;
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%06" PRIu64, whole,
+                  frac);
+    out += buf;
+}
+
+void
+appendU64(std::string &out, std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    out += buf;
+}
+
+/** One event as a Chrome trace_event object (no trailing comma). */
+void
+appendChromeEvent(std::string &out, const TraceEvent &e)
+{
+    const char ph = tracePointPhase(e.point);
+    out += "{\"name\":\"";
+    out += tracePointName(e.point);
+    out += "\",\"cat\":\"";
+    out += tracePointCategory(e.point);
+    out += "\",\"ph\":\"";
+    out += ph;
+    out += "\",\"ts\":";
+    appendMicros(out, e.ts);
+    if (ph == 'X') {
+        out += ",\"dur\":";
+        appendMicros(out, e.dur);
+    }
+    // pid = channel so Perfetto shows one process row per channel;
+    // tid = bank so lifecycle events land on their bank's track
+    // (counters go on tid 0 to keep one series per channel).
+    out += ",\"pid\":";
+    appendU64(out, e.channel);
+    out += ",\"tid\":";
+    appendU64(out, ph == 'C' ? 0 : e.bank);
+    if (ph == 'i')
+        out += ",\"s\":\"t\"";
+    out += ",\"args\":{";
+    if (e.point == TracePoint::QueueDepth) {
+        out += "\"readQ\":";
+        appendU64(out, e.arg0);
+        out += ",\"writeQ\":";
+        appendU64(out, e.arg1);
+    } else if (e.point == TracePoint::LaneOccupancy) {
+        out += "\"busyLanes\":";
+        appendU64(out, e.arg0);
+    } else {
+        out += "\"id\":";
+        appendU64(out, e.id);
+        out += ",\"rank\":";
+        appendU64(out, e.rank);
+        out += ",\"bank\":";
+        appendU64(out, e.bank);
+        if (e.point == TracePoint::WowReject) {
+            out += ",\"reason\":\"";
+            out += wowRejectName(static_cast<WowReject>(e.arg0));
+            out += "\",\"chips\":";
+            appendU64(out, e.arg1);
+        } else if (e.point == TracePoint::WriteIssue ||
+                   e.point == TracePoint::WriteComplete) {
+            const auto kind = static_cast<WriteKind>(
+                e.point == TracePoint::WriteIssue ? e.arg1 : e.arg0);
+            out += ",\"kind\":\"";
+            out += writeKindName(kind);
+            out += "\"";
+            if (e.point == TracePoint::WriteIssue) {
+                out += ",\"chips\":";
+                appendU64(out, e.arg0);
+            }
+        } else {
+            out += ",\"arg0\":";
+            appendU64(out, e.arg0);
+            out += ",\"arg1\":";
+            appendU64(out, e.arg1);
+        }
+    }
+    out += "}}";
+}
+
+} // namespace
+
+void
+writeChromeTrace(const TraceRing &ring, std::ostream &out)
+{
+    std::string text;
+    text.reserve(ring.size() * 160 + 256);
+    text += "{\"displayTimeUnit\":\"ns\",\"otherData\":{"
+            "\"recorded\":";
+    appendU64(text, ring.recorded());
+    text += ",\"dropped\":";
+    appendU64(text, ring.dropped());
+    text += "},\"traceEvents\":[";
+    bool first = true;
+    ring.forEach([&](const TraceEvent &e) {
+        if (!first)
+            text += ",\n";
+        first = false;
+        appendChromeEvent(text, e);
+    });
+    text += "]}\n";
+    out << text;
+}
+
+void
+writeTraceJsonl(const TraceRing &ring, std::ostream &out)
+{
+    std::string text;
+    text.reserve(ring.size() * 140);
+    ring.forEach([&](const TraceEvent &e) {
+        text += "{\"pt\":\"";
+        text += tracePointName(e.point);
+        text += "\",\"ph\":\"";
+        text += tracePointPhase(e.point);
+        text += "\",\"ts\":";
+        appendU64(text, e.ts);
+        text += ",\"dur\":";
+        appendU64(text, e.dur);
+        text += ",\"id\":";
+        appendU64(text, e.id);
+        text += ",\"a0\":";
+        appendU64(text, e.arg0);
+        text += ",\"a1\":";
+        appendU64(text, e.arg1);
+        text += ",\"ch\":";
+        appendU64(text, e.channel);
+        text += ",\"rank\":";
+        appendU64(text, e.rank);
+        text += ",\"bank\":";
+        appendU64(text, e.bank);
+        text += "}\n";
+    });
+    out << text;
+}
+
+std::string
+chromeTraceJson(const TraceRing &ring)
+{
+    std::ostringstream os;
+    writeChromeTrace(ring, os);
+    return os.str();
+}
+
+std::string
+traceJsonl(const TraceRing &ring)
+{
+    std::ostringstream os;
+    writeTraceJsonl(ring, os);
+    return os.str();
+}
+
+} // namespace pcmap::obs

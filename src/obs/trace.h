@@ -1,0 +1,94 @@
+/**
+ * @file
+ * TraceRecorder: the per-run event collector, and its file sinks.
+ *
+ * Instrumented code holds a `TraceRecorder *` that is null when
+ * tracing is off, and records through PCMAP_OBS_TRACE — a macro that
+ * compiles to a single null check (and to nothing at all under
+ * -DPCMAP_OBS_NO_TRACE).  The disabled cost is one predictable branch
+ * per trace point; the CI perf-smoke events/s floor enforces that this
+ * stays unmeasurable.
+ *
+ * Sinks render the ring after the run:
+ *  - writeChromeTrace: Chrome trace_event JSON ("X"/"i"/"C" phases,
+ *    microsecond timestamps) loadable in chrome://tracing / Perfetto;
+ *  - writeTraceJsonl: one compact JSON object per event, for grep/jq.
+ *
+ * Both are byte-deterministic for a given ring content, which is what
+ * lets the sweep determinism test compare trace files across
+ * threads=1 and threads=8 runs.
+ */
+
+#ifndef PCMAP_OBS_TRACE_H
+#define PCMAP_OBS_TRACE_H
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/trace_ring.h"
+
+namespace pcmap::obs {
+
+/** Collects trace events for one simulated System. */
+class TraceRecorder
+{
+  public:
+    explicit TraceRecorder(std::size_t capacity) : ring_(capacity) {}
+
+    void
+    record(TracePoint point, Tick ts, Tick dur = 0,
+           std::uint64_t id = 0, std::uint64_t arg0 = 0,
+           std::uint64_t arg1 = 0, unsigned channel = 0,
+           unsigned rank = 0, unsigned bank = 0)
+    {
+        TraceEvent e;
+        e.ts = ts;
+        e.dur = dur;
+        e.id = id;
+        e.arg0 = arg0;
+        e.arg1 = arg1;
+        e.point = point;
+        e.channel = static_cast<std::uint8_t>(channel);
+        e.rank = static_cast<std::uint8_t>(rank);
+        e.bank = static_cast<std::uint8_t>(bank);
+        ring_.push(e);
+    }
+
+    const TraceRing &ring() const { return ring_; }
+    TraceRing &ring() { return ring_; }
+
+  private:
+    TraceRing ring_;
+};
+
+/**
+ * Record through a possibly-null recorder pointer.  The argument list
+ * after `rec` is forwarded to TraceRecorder::record.
+ */
+#ifndef PCMAP_OBS_NO_TRACE
+#define PCMAP_OBS_TRACE(rec, ...)                                      \
+    do {                                                               \
+        if (rec)                                                       \
+            (rec)->record(__VA_ARGS__);                                \
+    } while (0)
+#else
+#define PCMAP_OBS_TRACE(rec, ...)                                      \
+    do {                                                               \
+    } while (0)
+#endif
+
+/** Render the ring as Chrome trace_event JSON. */
+void writeChromeTrace(const TraceRing &ring, std::ostream &out);
+
+/** Render the ring as one-JSON-object-per-line JSONL. */
+void writeTraceJsonl(const TraceRing &ring, std::ostream &out);
+
+/** Convenience: Chrome trace JSON as a string. */
+std::string chromeTraceJson(const TraceRing &ring);
+
+/** Convenience: trace JSONL as a string. */
+std::string traceJsonl(const TraceRing &ring);
+
+} // namespace pcmap::obs
+
+#endif // PCMAP_OBS_TRACE_H

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The trace-point catalog and the POD event record.
+ *
+ * Every instrumented site in the controller/policy layer records one
+ * TraceEvent.  Events are fixed-size PODs so the ring buffer is a flat
+ * array with no per-event allocation; all string rendering happens in
+ * the sinks, after the run.
+ *
+ * Lifecycle ("X", complete) events carry a duration; instant ("i")
+ * events mark a decision point; counter ("C") events snapshot queue
+ * depths / lane occupancy.  See DESIGN.md "Observability" for the
+ * full catalog with per-point argument meanings.
+ */
+
+#ifndef PCMAP_OBS_TRACE_EVENT_H
+#define PCMAP_OBS_TRACE_EVENT_H
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace pcmap::obs {
+
+enum class TracePoint : std::uint8_t {
+    // --- Read lifecycle ---
+    ReadEnqueue,    ///< i: read entered the queue (arg0 = depth after)
+    ReadForwarded,  ///< i: answered from the write queue, no PCM access
+    ReadRejected,   ///< i: read queue full
+    ReadIssue,      ///< X: array access window (arg0 = chips, arg1 = flags)
+    ReadComplete,   ///< X: full enqueue->completion span (arg0 = flags)
+    // --- RoW speculation ---
+    SpecPlan,       ///< i: scheduler formed a speculative plan
+    SpecDefer,      ///< i: verification queued (arg0 = chips)
+    SpecVerify,     ///< i: deferred SECDED check passed
+    SpecRollback,   ///< i: deferred check failed; rollback triggered
+    // --- Write lifecycle ---
+    WriteEnqueue,   ///< i: write-back buffered (arg0 = depth after)
+    WriteCoalesced, ///< i: merged into an already-buffered line
+    WriteRejected,  ///< i: write queue full
+    WriteIssue,     ///< X: service window (arg0 = chips, arg1 = kind)
+    WriteComplete,  ///< X: full enqueue->commit span (arg0 = kind)
+    WriteCancel,    ///< i: in-flight coarse write cancelled for a read
+    // --- WoW coalescing ---
+    WowAccept,      ///< i: candidate joined group (arg0=chips, arg1=size)
+    WowReject,      ///< i: candidate rejected (arg0 = WowReject reason)
+    // --- Background machinery ---
+    BgIssue,        ///< X: background op window (arg0=chips, arg1=kind)
+    // --- Counters ---
+    QueueDepth,     ///< C: arg0 = read queue, arg1 = write queue
+    LaneOccupancy,  ///< C: arg0 = busy chip lanes at ts
+};
+
+/** Why a WoW merge candidate was not added to the group. */
+enum class WowReject : std::uint8_t {
+    Silent,        ///< no essential words; completed for free instead
+    ChipOverlap,   ///< essential chips intersect the group's set
+    ChipsBusy,     ///< chips free in-group but busy in the bank
+    GroupFull,     ///< group already at wowMaxMerge members
+    ScanExhausted, ///< scan depth hit before the queue ran out
+};
+
+/** How an issued write was served (WriteIssue/WriteComplete arg1/arg0). */
+enum class WriteKind : std::uint8_t {
+    Coarse,    ///< full-line (all data + ECC chips in lockstep)
+    TwoStep,   ///< 1-essential-word split: data+ECC now, PCC later
+    MultiStep, ///< serialized one-chip-at-a-time RoW write
+    Group,     ///< member of a WoW consolidation group
+    Silent,    ///< zero essential words; no array access
+};
+
+/** What a background op did (BgIssue arg1; bit 8 set when forced). */
+enum class BgKind : std::uint8_t {
+    CodeUpdate, ///< deferred ECC/PCC propagation (array write)
+    Verify,     ///< deferred SECDED verification (array read)
+    Preset,     ///< background line pre-SET
+};
+constexpr std::uint64_t kBgForcedFlag = 1ull << 8;
+
+// ReadIssue/ReadComplete arg flags.
+constexpr std::uint64_t kReadFlagRowHit = 1u << 0;
+constexpr std::uint64_t kReadFlagSpeculative = 1u << 1;
+constexpr std::uint64_t kReadFlagReconstruct = 1u << 2;
+constexpr std::uint64_t kReadFlagEccDeferred = 1u << 3;
+constexpr std::uint64_t kReadFlagDelayedByWrite = 1u << 4;
+constexpr std::uint64_t kReadFlagForwarded = 1u << 5;
+
+/** One recorded event; 40 bytes, trivially copyable. */
+struct TraceEvent
+{
+    Tick ts = 0;          ///< event (or window start) tick
+    Tick dur = 0;         ///< window length for "X" points, else 0
+    std::uint64_t id = 0; ///< request id (reads) or line addr (writes)
+    std::uint64_t arg0 = 0;
+    std::uint64_t arg1 = 0;
+    TracePoint point{};
+    std::uint8_t channel = 0;
+    std::uint8_t rank = 0;
+    std::uint8_t bank = 0;
+};
+
+/** Stable lower-case name used in sinks ("read.issue", ...). */
+const char *tracePointName(TracePoint p);
+
+/** Chrome trace_event phase for the point: 'X', 'i' or 'C'. */
+char tracePointPhase(TracePoint p);
+
+/** Category string for the point ("read", "write", "wow", ...). */
+const char *tracePointCategory(TracePoint p);
+
+/** Stable name for a WoW reject reason ("chip_overlap", ...). */
+const char *wowRejectName(WowReject r);
+
+/** Stable name for a write kind ("coarse", "group", ...). */
+const char *writeKindName(WriteKind k);
+
+} // namespace pcmap::obs
+
+#endif // PCMAP_OBS_TRACE_EVENT_H

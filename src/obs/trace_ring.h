@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fixed-capacity overwrite-oldest ring buffer of TraceEvents.
+ *
+ * Single-writer by construction: each System owns one recorder and a
+ * System runs entirely on one sweep-worker thread, so pushes need no
+ * atomics or locks — "lock-free" here means there is nothing to lock.
+ * When the ring fills, the oldest events are overwritten and counted
+ * as dropped; the sinks report the drop count so a truncated trace is
+ * never mistaken for a complete one.
+ */
+
+#ifndef PCMAP_OBS_TRACE_RING_H
+#define PCMAP_OBS_TRACE_RING_H
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace_event.h"
+
+namespace pcmap::obs {
+
+class TraceRing
+{
+  public:
+    /** @param capacity Rounded up to a power of two, minimum 2. */
+    explicit TraceRing(std::size_t capacity)
+    {
+        if (capacity < 2)
+            capacity = 2;
+        buf.resize(std::bit_ceil(capacity));
+    }
+
+    void
+    push(const TraceEvent &e)
+    {
+        buf[head & (buf.size() - 1)] = e;
+        ++head;
+    }
+
+    std::size_t capacity() const { return buf.size(); }
+
+    /** Events currently retained (<= capacity). */
+    std::size_t
+    size() const
+    {
+        return head < buf.size() ? static_cast<std::size_t>(head)
+                                 : buf.size();
+    }
+
+    /** Total events ever pushed. */
+    std::uint64_t recorded() const { return head; }
+
+    /** Events lost to overwrite. */
+    std::uint64_t dropped() const { return head - size(); }
+
+    /** The @p i-th oldest retained event (0 <= i < size()). */
+    const TraceEvent &
+    at(std::size_t i) const
+    {
+        return buf[(head - size() + i) & (buf.size() - 1)];
+    }
+
+    /** Visit retained events oldest to newest. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        const std::size_t n = size();
+        for (std::size_t i = 0; i < n; ++i)
+            fn(at(i));
+    }
+
+    void clear() { head = 0; }
+
+  private:
+    std::vector<TraceEvent> buf;
+    std::uint64_t head = 0;
+};
+
+} // namespace pcmap::obs
+
+#endif // PCMAP_OBS_TRACE_RING_H

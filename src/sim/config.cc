@@ -173,4 +173,56 @@ Config::keys() const
     return out;
 }
 
+namespace {
+
+std::string
+lowered(const std::string &s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(), ::tolower);
+    return out;
+}
+
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    // Two-row Levenshtein; candidate lists are short and words are
+    // key-sized, so the quadratic cost is negligible.
+    std::vector<std::size_t> prev(b.size() + 1);
+    std::vector<std::size_t> cur(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        prev[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t sub =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+} // namespace
+
+std::string
+closestMatch(const std::string &word,
+             const std::vector<std::string> &candidates)
+{
+    const std::string needle = lowered(word);
+    const std::size_t cutoff =
+        std::max<std::size_t>(2, needle.size() / 2);
+    std::size_t best_dist = cutoff + 1;
+    std::string best;
+    for (const std::string &cand : candidates) {
+        const std::size_t d = editDistance(needle, lowered(cand));
+        if (d < best_dist) {
+            best_dist = d;
+            best = cand;
+        }
+    }
+    return best;
+}
+
 } // namespace pcmap

@@ -62,6 +62,17 @@ class Config
     std::map<std::string, std::string> values;
 };
 
+/**
+ * The candidate most similar to @p word by edit distance
+ * (case-insensitive Levenshtein), for "unknown key, did you mean X?"
+ * diagnostics.  Empty when no candidate comes close — the distance
+ * must be at most half the word's length (minimum 2) to suggest, so a
+ * typo gets a pointer but an unrelated word doesn't get a misleading
+ * one.
+ */
+std::string closestMatch(const std::string &word,
+                         const std::vector<std::string> &candidates);
+
 } // namespace pcmap
 
 #endif // PCMAP_SIM_CONFIG_H

@@ -196,6 +196,32 @@ TimeWeighted::collect(FlatStats &out, const std::string &prefix) const
 }
 
 void
+Percentiles::dump(std::ostream &os, const std::string &prefix) const
+{
+    KeyScratch key(prefix, name());
+    emit(os, key.with(".p50"), vals.p50, description());
+    emit(os, key.with(".p90"), vals.p90, description());
+    emit(os, key.with(".p99"), vals.p99, description());
+    emit(os, key.with(".p999"), vals.p999, description());
+    emit(os, key.with(".max"), vals.max, description());
+    emit(os, key.with(".mean"), vals.mean, description());
+    emit(os, key.with(".samples"), vals.samples, description());
+}
+
+void
+Percentiles::collect(FlatStats &out, const std::string &prefix) const
+{
+    KeyScratch key(prefix, name());
+    out.emplace_back(key.with(".p50"), vals.p50);
+    out.emplace_back(key.with(".p90"), vals.p90);
+    out.emplace_back(key.with(".p99"), vals.p99);
+    out.emplace_back(key.with(".p999"), vals.p999);
+    out.emplace_back(key.with(".max"), vals.max);
+    out.emplace_back(key.with(".mean"), vals.mean);
+    out.emplace_back(key.with(".samples"), vals.samples);
+}
+
+void
 StatGroup::dump(std::ostream &os, const std::string &prefix) const
 {
     std::string path;

@@ -9,6 +9,7 @@
  *  - Average     : running mean of samples
  *  - Distribution: bucketed histogram with min/max/mean
  *  - TimeWeighted: value integrated over simulated time
+ *  - Percentiles : refreshed p50/p90/p99/p99.9/max/mean/samples summary
  */
 
 #ifndef PCMAP_SIM_STATS_H
@@ -211,6 +212,41 @@ class TimeWeighted : public StatBase
     double maxValue = 0.0;
     Tick lastTick = 0;
     bool hasValue = false;
+};
+
+/**
+ * A percentile summary of an externally maintained histogram (e.g.
+ * obs::LogHistogram).  The owner refreshes the seven values before
+ * each dump/collect; this class only names and exports them, keeping
+ * the stats package independent of any histogram implementation.
+ */
+class Percentiles : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    /** One refreshed summary value per exported key. */
+    struct Values
+    {
+        double p50 = 0.0;
+        double p90 = 0.0;
+        double p99 = 0.0;
+        double p999 = 0.0;
+        double max = 0.0;
+        double mean = 0.0;
+        double samples = 0.0;
+    };
+
+    void set(const Values &v) { vals = v; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void collect(FlatStats &out,
+                 const std::string &prefix) const override;
+    std::size_t flatSize() const override { return 7; }
+    void reset() override { vals = Values{}; }
+
+  private:
+    Values vals;
 };
 
 /** A named collection of statistics, possibly with child groups. */

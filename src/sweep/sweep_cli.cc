@@ -55,15 +55,50 @@ parseModes(const std::string &arg)
     for (const std::string &name : splitCommas(arg)) {
         const auto mode = systemModeFromName(name);
         if (!mode) {
-            fatal("unknown system mode '", name,
-                  "' (try Baseline, RoW-NR, WoW-NR, RWoW-NR, RWoW-RD, "
-                  "RWoW-RDE, all, pcmap)");
+            std::vector<std::string> known{"all", "pcmap"};
+            for (const SystemMode m : kAllModes)
+                known.emplace_back(systemModeName(m));
+            const std::string suggestion = closestMatch(name, known);
+            if (!suggestion.empty()) {
+                fatal("unknown system mode '", name,
+                      "'; did you mean '", suggestion, "'? (known: ",
+                      systemModeNames(), ", all, pcmap)");
+            }
+            fatal("unknown system mode '", name, "' (known: ",
+                  systemModeNames(), ", all, pcmap)");
         }
         modes.push_back(*mode);
     }
     if (modes.empty())
         fatal("modes= needs at least one mode");
     return modes;
+}
+
+ObsCliOptions
+obsFromConfig(const Config &args)
+{
+    ObsCliOptions out;
+    if (args.has("trace")) {
+        out.pathPrefix = args.requireString("trace");
+        if (out.pathPrefix.empty())
+            fatal("trace= needs a file prefix");
+        out.obs.trace = true;
+    }
+    out.obs.epochTicks = args.getUint("obsEpoch", 0);
+    const std::uint64_t cap =
+        args.getUint("traceCap", out.obs.traceCapacity);
+    if (cap < 2)
+        fatal("traceCap= must be at least 2 events");
+    out.obs.traceCapacity = static_cast<std::size_t>(cap);
+    if (out.obs.epochTicks > 0 && out.pathPrefix.empty() &&
+        !args.has("trace")) {
+        // Timeline-only runs still need somewhere to write.
+        out.pathPrefix = args.getString("obsOut", "");
+        if (out.pathPrefix.empty())
+            fatal("obsEpoch= needs trace=PREFIX or obsOut=PREFIX for "
+                  "the timeline files");
+    }
+    return out;
 }
 
 std::vector<ControllerPolicy>

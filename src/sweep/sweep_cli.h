@@ -15,10 +15,19 @@
 #include <vector>
 
 #include "core/policy/controller_policy.h"
+#include "obs/obs_config.h"
 #include "sim/config.h"
 #include "sweep/sweep_spec.h"
 
 namespace pcmap::sweep {
+
+/** Observability selections parsed from harness key=value args. */
+struct ObsCliOptions
+{
+    obs::ObsConfig obs{};
+    /** Output prefix for per-point trace/timeline files. */
+    std::string pathPrefix;
+};
 
 /** Split on commas, dropping empty segments ("a,,b" -> {a, b}). */
 std::vector<std::string> splitCommas(const std::string &text);
@@ -63,6 +72,15 @@ std::vector<std::uint64_t> parseSeeds(const std::string &arg);
  * default mode axis rather than adding all six presets to it.
  */
 SweepSpec specFromConfig(const Config &args);
+
+/**
+ * Parse the observability keys: trace=PREFIX (request-lifecycle
+ * tracing to "<PREFIX>.point<I>.trace.json"), obsEpoch=TICKS (epoch
+ * timeline to "<PREFIX>.point<I>.timeline.jsonl"; needs trace= or
+ * obsOut= for the prefix), traceCap=N (ring capacity, events; rounded
+ * up to a power of two).  fatal() on malformed values.
+ */
+ObsCliOptions obsFromConfig(const Config &args);
 
 } // namespace pcmap::sweep
 

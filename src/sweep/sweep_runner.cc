@@ -7,7 +7,10 @@
 #include <thread>
 
 #include "core/stat_export.h"
+#include "obs/observer.h"
+#include "obs/trace.h"
 #include "sim/log.h"
+#include "sweep/dist/atomic_file.h"
 #include "workload/mixes.h"
 
 namespace pcmap::sweep {
@@ -59,15 +62,34 @@ SweepReport::find(const std::string &config, const std::string &label,
 SweepRunner::SweepRunner(Options options) : opts(std::move(options))
 {
     const bool collect_stats = opts.collectStats;
-    runFn = [collect_stats](const SweepPoint &p, RunRecord &rec) {
-        System sys(p.config,
-                   workload::makeWorkload(p.workload,
-                                          p.config.numCores));
+    const obs::ObsConfig obs_cfg = opts.obs;
+    const std::string obs_prefix = opts.obsPathPrefix;
+    runFn = [collect_stats, obs_cfg,
+             obs_prefix](const SweepPoint &p, RunRecord &rec) {
+        SystemConfig cfg = p.config;
+        cfg.obs = obs_cfg;
+        System sys(cfg,
+                   workload::makeWorkload(p.workload, cfg.numCores));
         rec.results = sys.run();
         if (collect_stats) {
             SystemStatExport exporter(sys.memory());
             exporter.refresh();
             rec.stats = exporter.root().flattened();
+        }
+        const obs::RunObserver *ob = sys.observer();
+        if (ob != nullptr && !obs_prefix.empty()) {
+            const std::string base =
+                obs_prefix + ".point" + std::to_string(p.index);
+            if (ob->recorder() != nullptr) {
+                dist::atomicWriteFile(
+                    base + ".trace.json",
+                    obs::chromeTraceJson(ob->recorder()->ring()));
+            }
+            if (obs_cfg.epochTicks > 0) {
+                dist::atomicWriteFile(
+                    base + ".timeline.jsonl",
+                    obs::timelineJsonl(ob->timeline()));
+            }
         }
     };
 }

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs_config.h"
 #include "sim/stats.h"
 #include "sweep/sweep_spec.h"
 
@@ -67,6 +68,21 @@ class SweepRunner
         unsigned threads = 1;
         /** Also export the full SystemStatExport counter listing. */
         bool collectStats = true;
+        /**
+         * Per-run observability (tracing / epoch timeline).  Applied
+         * to every point's config; never affects results or the spec
+         * fingerprint.
+         */
+        obs::ObsConfig obs{};
+        /**
+         * Where per-point observability files land:
+         * "<prefix>.point<I>.trace.json" (Chrome trace) and
+         * "<prefix>.point<I>.timeline.jsonl" (epoch samples).  The
+         * point index I is unique across threads and shards, so the
+         * file set is deterministic at any thread count.  Required
+         * when obs.enabled(); files are written atomically.
+         */
+        std::string obsPathPrefix;
         /** Called after each run completes (from the worker thread,
          *  under a mutex — safe to print from).  Optional. */
         std::function<void(const RunRecord &)> onRunDone;

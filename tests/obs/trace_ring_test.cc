@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the trace ring buffer: capacity rounding, the
+ * overwrite-oldest wrap-around semantics, and the recorded/dropped
+ * accounting the sinks report.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/trace_ring.h"
+
+namespace pcmap::obs {
+namespace {
+
+TraceEvent
+ev(std::uint64_t id, Tick ts)
+{
+    TraceEvent e;
+    e.ts = ts;
+    e.id = id;
+    e.point = TracePoint::ReadEnqueue;
+    return e;
+}
+
+TEST(TraceRingTest, CapacityRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(TraceRing(2).capacity(), 2u);
+    EXPECT_EQ(TraceRing(3).capacity(), 4u);
+    EXPECT_EQ(TraceRing(4).capacity(), 4u);
+    EXPECT_EQ(TraceRing(5).capacity(), 8u);
+    EXPECT_EQ(TraceRing(1000).capacity(), 1024u);
+}
+
+TEST(TraceRingTest, TinyCapacityClampsToTwo)
+{
+    EXPECT_EQ(TraceRing(0).capacity(), 2u);
+    EXPECT_EQ(TraceRing(1).capacity(), 2u);
+}
+
+TEST(TraceRingTest, FillsWithoutDroppingUpToCapacity)
+{
+    TraceRing ring(4);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        ring.push(ev(i, i * 10));
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.recorded(), 4u);
+    EXPECT_EQ(ring.dropped(), 0u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(ring.at(i).id, i);
+}
+
+TEST(TraceRingTest, WrapAroundOverwritesOldest)
+{
+    TraceRing ring(4);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        ring.push(ev(i, i * 10));
+    // Events 0..5 were overwritten; 6..9 survive, oldest first.
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.recorded(), 10u);
+    EXPECT_EQ(ring.dropped(), 6u);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(ring.at(i).id, 6 + i);
+        EXPECT_EQ(ring.at(i).ts, (6 + i) * 10);
+    }
+}
+
+TEST(TraceRingTest, ForEachVisitsOldestToNewest)
+{
+    TraceRing ring(8);
+    for (std::uint64_t i = 0; i < 13; ++i)
+        ring.push(ev(i, i));
+    std::vector<std::uint64_t> seen;
+    ring.forEach([&](const TraceEvent &e) { seen.push_back(e.id); });
+    ASSERT_EQ(seen.size(), 8u);
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], 5 + i);
+}
+
+TEST(TraceRingTest, ClearResetsAllCounters)
+{
+    TraceRing ring(4);
+    for (std::uint64_t i = 0; i < 9; ++i)
+        ring.push(ev(i, i));
+    ring.clear();
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_EQ(ring.recorded(), 0u);
+    EXPECT_EQ(ring.dropped(), 0u);
+    ring.push(ev(42, 7));
+    EXPECT_EQ(ring.size(), 1u);
+    EXPECT_EQ(ring.at(0).id, 42u);
+}
+
+TEST(TraceRingTest, EventFieldsRoundTrip)
+{
+    TraceRing ring(2);
+    TraceEvent e;
+    e.ts = 123456789;
+    e.dur = 42;
+    e.id = ~0ull;
+    e.arg0 = kReadFlagRowHit | kReadFlagDelayedByWrite;
+    e.arg1 = 9;
+    e.point = TracePoint::WowReject;
+    e.channel = 3;
+    e.rank = 1;
+    e.bank = 7;
+    ring.push(e);
+    const TraceEvent &got = ring.at(0);
+    EXPECT_EQ(got.ts, e.ts);
+    EXPECT_EQ(got.dur, e.dur);
+    EXPECT_EQ(got.id, e.id);
+    EXPECT_EQ(got.arg0, e.arg0);
+    EXPECT_EQ(got.arg1, e.arg1);
+    EXPECT_EQ(got.point, TracePoint::WowReject);
+    EXPECT_EQ(got.channel, 3);
+    EXPECT_EQ(got.rank, 1);
+    EXPECT_EQ(got.bank, 7);
+}
+
+} // namespace
+} // namespace pcmap::obs

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests for the trace sinks and the minimal JSON reader: the Chrome
+ * trace_event output is valid JSON with the documented structure, the
+ * JSONL output round-trips every field, and json_mini itself handles
+ * the constructs the tooling relies on (64-bit integers, duplicate
+ * keys, escapes, error reporting).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/json_mini.h"
+#include "obs/trace.h"
+
+namespace pcmap::obs {
+namespace {
+
+TraceEvent
+make(TracePoint p, Tick ts, Tick dur = 0, std::uint64_t id = 0,
+     std::uint64_t a0 = 0, std::uint64_t a1 = 0, unsigned ch = 0,
+     unsigned rank = 0, unsigned bank = 0)
+{
+    TraceEvent e;
+    e.ts = ts;
+    e.dur = dur;
+    e.id = id;
+    e.arg0 = a0;
+    e.arg1 = a1;
+    e.point = p;
+    e.channel = static_cast<std::uint8_t>(ch);
+    e.rank = static_cast<std::uint8_t>(rank);
+    e.bank = static_cast<std::uint8_t>(bank);
+    return e;
+}
+
+/** A ring exercising every phase and arg layout. */
+TraceRing
+sampleRing()
+{
+    TraceRing ring(16);
+    ring.push(make(TracePoint::ReadEnqueue, 1000, 0, 7, 3, 0, 0, 0, 2));
+    ring.push(make(TracePoint::ReadIssue, 2000, 120'000, 7,
+                   8, kReadFlagRowHit, 0, 0, 2));
+    ring.push(make(TracePoint::ReadComplete, 1000, 150'000, 7,
+                   kReadFlagRowHit | kReadFlagEccDeferred, 0, 0, 0, 2));
+    ring.push(make(TracePoint::WriteIssue, 5000, 250'000, 0xabcd,
+                   4, static_cast<std::uint64_t>(WriteKind::Group),
+                   1, 0, 3));
+    ring.push(make(TracePoint::WriteComplete, 4000, 300'000, 0xabcd,
+                   static_cast<std::uint64_t>(WriteKind::Group), 0,
+                   1, 0, 3));
+    ring.push(make(TracePoint::WowReject, 6000, 0, 0xdead,
+                   static_cast<std::uint64_t>(WowReject::ChipOverlap),
+                   5, 1, 0, 4));
+    ring.push(make(TracePoint::QueueDepth, 7000, 0, 0, 12, 30, 2));
+    ring.push(make(TracePoint::LaneOccupancy, 8000, 0, 0, 6, 0, 2));
+    return ring;
+}
+
+TEST(ChromeTraceTest, OutputIsValidJsonWithHeader)
+{
+    const TraceRing ring = sampleRing();
+    std::string err;
+    const auto doc = parseJson(chromeTraceJson(ring), &err);
+    ASSERT_TRUE(doc) << err;
+    ASSERT_TRUE(doc->isObject());
+    EXPECT_EQ(doc->get("displayTimeUnit")->asString(), "ns");
+    const JsonValue *other = doc->get("otherData");
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(other->get("recorded")->asU64(), ring.recorded());
+    EXPECT_EQ(other->get("dropped")->asU64(), 0u);
+    const JsonValue *events = doc->get("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    EXPECT_EQ(events->items().size(), ring.size());
+}
+
+TEST(ChromeTraceTest, EventsCarryDocumentedFields)
+{
+    const auto doc = parseJson(chromeTraceJson(sampleRing()));
+    const auto &events = doc->get("traceEvents")->items();
+
+    // Complete events ("X") have a duration; ts is microseconds with
+    // six exact fractional digits (1 tick = 1 ps = 1e-6 us).
+    const JsonValue &read = events[2];
+    EXPECT_EQ(read.get("name")->asString(), "read");
+    EXPECT_EQ(read.get("cat")->asString(), "read");
+    EXPECT_EQ(read.get("ph")->asString(), "X");
+    EXPECT_DOUBLE_EQ(read.get("ts")->asNumber(), 0.001);
+    EXPECT_DOUBLE_EQ(read.get("dur")->asNumber(), 0.15);
+    EXPECT_EQ(read.get("args")->get("arg0")->asU64(),
+              kReadFlagRowHit | kReadFlagEccDeferred);
+
+    // Instant events carry the scope field Perfetto expects.
+    const JsonValue &enq = events[0];
+    EXPECT_EQ(enq.get("ph")->asString(), "i");
+    EXPECT_EQ(enq.get("s")->asString(), "t");
+    EXPECT_EQ(enq.get("tid")->asU64(), 2u);
+
+    // Write events name their kind; issue windows add the chip count.
+    const JsonValue &wissue = events[3];
+    EXPECT_EQ(wissue.get("args")->get("kind")->asString(), "group");
+    EXPECT_EQ(wissue.get("args")->get("chips")->asU64(), 4u);
+    const JsonValue &wdone = events[4];
+    EXPECT_EQ(wdone.get("args")->get("kind")->asString(), "group");
+    EXPECT_EQ(wdone.get("pid")->asU64(), 1u);
+
+    // WoW rejects name the reason.
+    const JsonValue &rej = events[5];
+    EXPECT_EQ(rej.get("name")->asString(), "wow.reject");
+    EXPECT_EQ(rej.get("args")->get("reason")->asString(),
+              "chip_overlap");
+    EXPECT_EQ(rej.get("args")->get("chips")->asU64(), 5u);
+
+    // Counters land on tid 0 with their dedicated arg names.
+    const JsonValue &qd = events[6];
+    EXPECT_EQ(qd.get("ph")->asString(), "C");
+    EXPECT_EQ(qd.get("tid")->asU64(), 0u);
+    EXPECT_EQ(qd.get("args")->get("readQ")->asU64(), 12u);
+    EXPECT_EQ(qd.get("args")->get("writeQ")->asU64(), 30u);
+    const JsonValue &lane = events[7];
+    EXPECT_EQ(lane.get("args")->get("busyLanes")->asU64(), 6u);
+}
+
+TEST(ChromeTraceTest, DroppedCountSurvivesOverwrite)
+{
+    TraceRing ring(4);
+    for (std::uint64_t i = 0; i < 11; ++i)
+        ring.push(make(TracePoint::ReadEnqueue, i * 100, 0, i));
+    const auto doc = parseJson(chromeTraceJson(ring));
+    ASSERT_TRUE(doc);
+    EXPECT_EQ(doc->get("otherData")->get("recorded")->asU64(), 11u);
+    EXPECT_EQ(doc->get("otherData")->get("dropped")->asU64(), 7u);
+    EXPECT_EQ(doc->get("traceEvents")->items().size(), 4u);
+    // Surviving events are the newest, oldest first.
+    EXPECT_EQ(doc->get("traceEvents")
+                  ->items()[0]
+                  .get("args")
+                  ->get("id")
+                  ->asU64(),
+              7u);
+}
+
+TEST(ChromeTraceTest, ByteDeterministic)
+{
+    const TraceRing ring = sampleRing();
+    EXPECT_EQ(chromeTraceJson(ring), chromeTraceJson(ring));
+}
+
+TEST(TraceJsonlTest, EveryFieldRoundTrips)
+{
+    const TraceRing ring = sampleRing();
+    const std::string text = traceJsonl(ring);
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start < text.size()) {
+        const std::size_t nl = text.find('\n', start);
+        lines.push_back(text.substr(start, nl - start));
+        start = nl + 1;
+    }
+    ASSERT_EQ(lines.size(), ring.size());
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        std::string err;
+        const auto row = parseJson(lines[i], &err);
+        ASSERT_TRUE(row) << "line " << i << ": " << err;
+        const TraceEvent &e = ring.at(i);
+        EXPECT_EQ(row->get("pt")->asString(), tracePointName(e.point));
+        EXPECT_EQ(row->get("ph")->asString(),
+                  std::string(1, tracePointPhase(e.point)));
+        EXPECT_EQ(row->get("ts")->asU64(), e.ts);
+        EXPECT_EQ(row->get("dur")->asU64(), e.dur);
+        EXPECT_EQ(row->get("id")->asU64(), e.id);
+        EXPECT_EQ(row->get("a0")->asU64(), e.arg0);
+        EXPECT_EQ(row->get("a1")->asU64(), e.arg1);
+        EXPECT_EQ(row->get("ch")->asU64(), e.channel);
+        EXPECT_EQ(row->get("rank")->asU64(), e.rank);
+        EXPECT_EQ(row->get("bank")->asU64(), e.bank);
+    }
+}
+
+// --- json_mini ------------------------------------------------------
+
+TEST(JsonMiniTest, ParsesScalarsAndContainers)
+{
+    const auto doc = parseJson(
+        R"({"a": 1, "b": -2.5e1, "c": "x\ty", "d": [true, false, null],
+            "e": {"nested": []}})");
+    ASSERT_TRUE(doc);
+    EXPECT_DOUBLE_EQ(doc->get("a")->asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(doc->get("b")->asNumber(), -25.0);
+    EXPECT_EQ(doc->get("c")->asString(), "x\ty");
+    const auto &d = doc->get("d")->items();
+    ASSERT_EQ(d.size(), 3u);
+    EXPECT_TRUE(d[0].asBool());
+    EXPECT_FALSE(d[1].asBool());
+    EXPECT_TRUE(d[2].isNull());
+    EXPECT_TRUE(doc->get("e")->get("nested")->isArray());
+}
+
+TEST(JsonMiniTest, U64KeepsAll64Bits)
+{
+    // 2^64 - 1 is not representable as a double; asU64 re-reads the
+    // raw token.
+    const auto doc = parseJson(R"({"t": 18446744073709551615})");
+    ASSERT_TRUE(doc);
+    EXPECT_EQ(doc->get("t")->asU64(), ~0ull);
+}
+
+TEST(JsonMiniTest, DuplicateKeysLastWins)
+{
+    const auto doc = parseJson(R"({"k": 1, "k": 2})");
+    ASSERT_TRUE(doc);
+    EXPECT_DOUBLE_EQ(doc->get("k")->asNumber(), 2.0);
+    EXPECT_EQ(doc->members().size(), 2u);
+}
+
+TEST(JsonMiniTest, RejectsMalformedInputWithOffset)
+{
+    std::string err;
+    EXPECT_FALSE(parseJson("{", &err));
+    EXPECT_FALSE(err.empty());
+    err.clear();
+    EXPECT_FALSE(parseJson("[1, 2,]", &err));
+    EXPECT_FALSE(err.empty());
+    err.clear();
+    EXPECT_FALSE(parseJson("{} trailing", &err));
+    EXPECT_FALSE(err.empty());
+    err.clear();
+    EXPECT_FALSE(parseJson(R"({"k": nope})", &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(JsonMiniTest, StringEscapes)
+{
+    const auto doc = parseJson(R"({"s": "a\"b\\c\ndA"})");
+    ASSERT_TRUE(doc);
+    EXPECT_EQ(doc->get("s")->asString(), "a\"b\\c\ndA");
+}
+
+} // namespace
+} // namespace pcmap::obs

@@ -91,8 +91,47 @@ usage()
         "                  lines (used by the procs= orchestrator)\n"
         "  help=1          print this reference and exit\n"
         "\n"
+        "observability (zero overhead when omitted):\n"
+        "  trace=PREFIX    record request-lifecycle traces per point to\n"
+        "                  PREFIX.point<I>.trace.json (Chrome trace\n"
+        "                  JSON; load in Perfetto or pcmap-trace)\n"
+        "  obsEpoch=TICKS  sample an epoch timeline every TICKS sim\n"
+        "                  ticks (1 tick = 1 ps) per point to\n"
+        "                  PREFIX.point<I>.timeline.jsonl\n"
+        "  obsOut=PREFIX   output prefix for obsEpoch= without trace=\n"
+        "  traceCap=N      trace ring capacity in events (default 2^18;\n"
+        "                  oldest events are overwritten beyond it)\n"
+        "\n"
         "exit status: 0 when every run succeeded (plain/procs modes) or\n"
         "the partial was written (shard mode); non-zero otherwise.");
+}
+
+/** Every key pcmap-sweep understands, for typo diagnostics. */
+const std::vector<std::string> kKnownKeys = {
+    "workloads", "modes",    "policy",        "seeds",
+    "insts",     "cores",    "threads",       "procs",
+    "retries",   "workerTimeout", "shard",    "resume",
+    "jsonl",     "csv",      "table",         "progress",
+    "help",      "trace",    "obsEpoch",      "obsOut",
+    "traceCap",
+};
+
+/** Reject unknown keys, suggesting the closest known one. */
+void
+validateKeys(const Config &args)
+{
+    for (const std::string &key : args.keys()) {
+        if (std::find(kKnownKeys.begin(), kKnownKeys.end(), key) !=
+            kKnownKeys.end()) {
+            continue;
+        }
+        const std::string suggestion = closestMatch(key, kKnownKeys);
+        if (!suggestion.empty()) {
+            fatal("unknown key '", key, "'; did you mean '", suggestion,
+                  "'? (help=1 lists every key)");
+        }
+        fatal("unknown key '", key, "' (help=1 lists every key)");
+    }
 }
 
 /** Shared per-run console reporting for plain and shard modes. */
@@ -101,6 +140,9 @@ runnerOptions(const Config &args, std::size_t total, bool default_table)
 {
     sweep::SweepRunner::Options opts;
     opts.threads = static_cast<unsigned>(args.getUint("threads", 1));
+    const sweep::ObsCliOptions obs = sweep::obsFromConfig(args);
+    opts.obs = obs.obs;
+    opts.obsPathPrefix = obs.pathPrefix;
     const bool table = args.getBool("table", default_table);
     const bool progress = args.getBool("progress", false);
     auto done = std::make_shared<std::size_t>(0);
@@ -349,6 +391,7 @@ main(int argc, char **argv)
         usage();
         return 0;
     }
+    validateKeys(args);
 
     const sweep::SweepSpec spec = sweep::specFromConfig(args);
     const bool sharded = args.has("shard");

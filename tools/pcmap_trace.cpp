@@ -1,0 +1,535 @@
+/**
+ * @file
+ * pcmap-trace: validate, summarize and merge the observability files
+ * pcmap-sweep emits (Chrome trace_event JSON and epoch-timeline
+ * JSONL).
+ *
+ *   pcmap-trace check FILE...            validate schemas; exit 1 on
+ *                                        the first malformed file
+ *   pcmap-trace summary FILE [top=N]     event counts, the N slowest
+ *                                        requests, per-bank conflict
+ *                                        attribution (trace files) or
+ *                                        run-level rates (timelines)
+ *   pcmap-trace merge out=PATH FILE...   combine Chrome traces into
+ *                                        one Perfetto-loadable file
+ *                                        (per-input pid offset keeps
+ *                                        points distinguishable)
+ *
+ * File kind is sniffed from content, not extension: a document whose
+ * root object carries `traceEvents` is a Chrome trace; JSONL whose
+ * rows carry `tick` is a timeline; rows with `pt` are trace JSONL.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/epoch.h"
+#include "obs/json_mini.h"
+#include "obs/trace_event.h"
+#include "sim/log.h"
+#include "sweep/dist/atomic_file.h"
+
+namespace {
+
+using namespace pcmap;
+
+void
+usage()
+{
+    std::puts(
+        "pcmap-trace: inspect pcmap observability files\n"
+        "\n"
+        "usage:\n"
+        "  pcmap-trace check FILE...          validate trace/timeline\n"
+        "                                     schemas\n"
+        "  pcmap-trace summary FILE [top=N]   counts, slowest requests\n"
+        "                                     and per-bank conflict\n"
+        "                                     attribution (default\n"
+        "                                     top=10)\n"
+        "  pcmap-trace merge out=PATH FILE... combine Chrome traces\n"
+        "                                     into one file");
+}
+
+/** What one input file turned out to contain. */
+enum class FileKind { ChromeTrace, Timeline, TraceJsonl };
+
+/** Non-empty lines of a JSONL body. */
+std::vector<std::string>
+splitLines(const std::string &body)
+{
+    std::vector<std::string> lines;
+    std::istringstream is(body);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (!line.empty())
+            lines.push_back(line);
+    }
+    return lines;
+}
+
+/** Validate one Chrome trace_event document; fatal() on violations. */
+std::size_t
+checkChromeTrace(const std::string &path, const obs::JsonValue &doc)
+{
+    const obs::JsonValue *other = doc.get("otherData");
+    if (other == nullptr || !other->isObject())
+        fatal(path, ": missing otherData object");
+    for (const char *key : {"recorded", "dropped"}) {
+        const obs::JsonValue *v = other->get(key);
+        if (v == nullptr || !v->isNumber())
+            fatal(path, ": otherData.", key, " missing or not a number");
+    }
+    const obs::JsonValue *events = doc.get("traceEvents");
+    if (events == nullptr || !events->isArray())
+        fatal(path, ": missing traceEvents array");
+    std::size_t n = 0;
+    for (const obs::JsonValue &e : events->items()) {
+        ++n;
+        if (!e.isObject())
+            fatal(path, ": traceEvents[", n - 1, "] is not an object");
+        for (const char *key : {"name", "cat", "ph"}) {
+            const obs::JsonValue *v = e.get(key);
+            if (v == nullptr || !v->isString())
+                fatal(path, ": event ", n - 1, ": '", key,
+                      "' missing or not a string");
+        }
+        for (const char *key : {"ts", "pid", "tid"}) {
+            const obs::JsonValue *v = e.get(key);
+            if (v == nullptr || !v->isNumber())
+                fatal(path, ": event ", n - 1, ": '", key,
+                      "' missing or not a number");
+        }
+        const std::string &ph = e.get("ph")->asString();
+        if (ph.size() != 1 || std::strchr("XiC", ph[0]) == nullptr)
+            fatal(path, ": event ", n - 1, ": phase '", ph,
+                  "' is not one of X, i, C");
+        if (ph == "X" &&
+            (e.get("dur") == nullptr || !e.get("dur")->isNumber()))
+            fatal(path, ": event ", n - 1,
+                  ": complete event without a numeric 'dur'");
+        const obs::JsonValue *args = e.get("args");
+        if (args == nullptr || !args->isObject())
+            fatal(path, ": event ", n - 1, ": missing args object");
+    }
+    return n;
+}
+
+/** Validate one trace-JSONL row; fatal() on violations. */
+void
+checkTraceJsonlRow(const std::string &path, std::size_t lineno,
+                   const obs::JsonValue &row)
+{
+    for (const char *key : {"pt", "ph"}) {
+        const obs::JsonValue *v = row.get(key);
+        if (v == nullptr || !v->isString())
+            fatal(path, ":", lineno, ": '", key,
+                  "' missing or not a string");
+    }
+    for (const char *key :
+         {"ts", "dur", "id", "a0", "a1", "ch", "rank", "bank"}) {
+        const obs::JsonValue *v = row.get(key);
+        if (v == nullptr || !v->isNumber())
+            fatal(path, ":", lineno, ": '", key,
+                  "' missing or not a number");
+    }
+}
+
+/** Parse @p path, classify it, and validate; fatal() when invalid. */
+FileKind
+checkFile(const std::string &path, std::size_t &rows)
+{
+    const std::string body = sweep::dist::readFile(path);
+    if (body.empty())
+        fatal(path, ": empty file");
+    // A Chrome trace is one JSON document; JSONL is one per line.
+    if (body[0] == '{' && body.find("\"traceEvents\"") !=
+                              std::string::npos) {
+        std::string err;
+        const auto doc = obs::parseJson(body, &err);
+        if (!doc)
+            fatal(path, ": ", err);
+        if (!doc->isObject())
+            fatal(path, ": root is not an object");
+        rows = checkChromeTrace(path, *doc);
+        return FileKind::ChromeTrace;
+    }
+    const std::vector<std::string> lines = splitLines(body);
+    if (lines.empty())
+        fatal(path, ": no JSONL rows");
+    FileKind kind = FileKind::Timeline;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        std::string err;
+        const auto row = obs::parseJson(lines[i], &err);
+        if (!row)
+            fatal(path, ":", i + 1, ": ", err);
+        if (!row->isObject())
+            fatal(path, ":", i + 1, ": row is not an object");
+        if (row->has("tick")) {
+            kind = FileKind::Timeline;
+            if (!obs::parseTimelineLine(lines[i], &err))
+                fatal(path, ":", i + 1, ": ", err);
+        } else if (row->has("pt")) {
+            kind = FileKind::TraceJsonl;
+            checkTraceJsonlRow(path, i + 1, *row);
+        } else {
+            fatal(path, ":", i + 1,
+                  ": row is neither a timeline sample (tick=) nor a "
+                  "trace event (pt=)");
+        }
+    }
+    rows = lines.size();
+    return kind;
+}
+
+int
+checkMain(const std::vector<std::string> &files)
+{
+    if (files.empty())
+        fatal("check: needs at least one file");
+    for (const std::string &path : files) {
+        std::size_t rows = 0;
+        const FileKind kind = checkFile(path, rows);
+        const char *what = kind == FileKind::ChromeTrace
+                               ? "chrome-trace events"
+                               : (kind == FileKind::Timeline
+                                      ? "timeline samples"
+                                      : "trace-jsonl events");
+        std::printf("OK %s: %zu %s\n", path.c_str(), rows, what);
+    }
+    return 0;
+}
+
+/** One completed request pulled out of a Chrome trace for ranking. */
+struct Completion
+{
+    double durUs = 0.0;
+    double tsUs = 0.0;
+    std::uint64_t id = 0;
+    unsigned channel = 0;
+    unsigned rank = 0;
+    unsigned bank = 0;
+    bool isWrite = false;
+    std::uint64_t flags = 0;   ///< reads: arg0 flag bits
+    std::string kind;          ///< writes: coarse/two_step/...
+};
+
+std::string
+readFlagNames(std::uint64_t flags)
+{
+    std::string out;
+    const std::pair<std::uint64_t, const char *> names[] = {
+        {obs::kReadFlagRowHit, "rowHit"},
+        {obs::kReadFlagSpeculative, "spec"},
+        {obs::kReadFlagReconstruct, "reconstruct"},
+        {obs::kReadFlagEccDeferred, "eccDeferred"},
+        {obs::kReadFlagDelayedByWrite, "delayedByWrite"},
+        {obs::kReadFlagForwarded, "forwarded"},
+    };
+    for (const auto &[bit, name] : names) {
+        if (flags & bit) {
+            if (!out.empty())
+                out += "+";
+            out += name;
+        }
+    }
+    return out.empty() ? "-" : out;
+}
+
+int
+summaryMain(const std::vector<std::string> &files, std::size_t top_n)
+{
+    if (files.size() != 1)
+        fatal("summary: needs exactly one file");
+    const std::string &path = files[0];
+    std::size_t rows = 0;
+    const FileKind kind = checkFile(path, rows);
+
+    if (kind == FileKind::Timeline) {
+        const std::vector<std::string> lines =
+            splitLines(sweep::dist::readFile(path));
+        obs::TimelineSample last;
+        for (const std::string &line : lines)
+            last = *obs::parseTimelineLine(line);
+        std::printf("timeline %s: %zu samples over %.3f ms\n",
+                    path.c_str(), rows,
+                    static_cast<double>(last.tick) / 1e9);
+        std::printf("  reads=%llu writes=%llu rowReads=%llu "
+                    "eccDeferred=%llu wowMerged=%llu\n",
+                    static_cast<unsigned long long>(last.readsCompleted),
+                    static_cast<unsigned long long>(
+                        last.writesCompleted),
+                    static_cast<unsigned long long>(last.rowReads),
+                    static_cast<unsigned long long>(
+                        last.deferredEccReads),
+                    static_cast<unsigned long long>(
+                        last.wowMergedWrites));
+        std::printf("  irlpMean=%.3f irlpMax=%u rowHitRate=%.4f "
+                    "wowMergeRate=%.4f\n",
+                    last.irlpMean(), last.irlpMax, last.rowHitRate(),
+                    last.wowMergeRate());
+        return 0;
+    }
+    if (kind == FileKind::TraceJsonl)
+        fatal("summary: expects a Chrome trace (.trace.json) or a "
+              "timeline (.timeline.jsonl), not trace JSONL");
+
+    const auto doc = obs::parseJson(sweep::dist::readFile(path));
+    const obs::JsonValue *events = doc->get("traceEvents");
+    const obs::JsonValue *other = doc->get("otherData");
+    std::map<std::string, std::size_t> by_name;
+    std::vector<Completion> completions;
+    // Conflict attribution: reads flagged delayed-by-write, per bank.
+    std::map<std::string, std::size_t> conflicts;
+    for (const obs::JsonValue &e : events->items()) {
+        const std::string &name = e.get("name")->asString();
+        ++by_name[name];
+        if (name != "read" && name != "write")
+            continue;
+        const obs::JsonValue *args = e.get("args");
+        Completion c;
+        c.durUs = e.numberOr("dur", 0.0);
+        c.tsUs = e.numberOr("ts", 0.0);
+        c.id = args->get("id") ? args->get("id")->asU64() : 0;
+        c.channel = static_cast<unsigned>(e.numberOr("pid", 0.0));
+        c.rank = static_cast<unsigned>(args->numberOr("rank", 0.0));
+        c.bank = static_cast<unsigned>(args->numberOr("bank", 0.0));
+        c.isWrite = name == "write";
+        if (c.isWrite) {
+            const obs::JsonValue *k = args->get("kind");
+            c.kind = k != nullptr ? k->asString() : "?";
+        } else {
+            c.flags =
+                args->get("arg0") ? args->get("arg0")->asU64() : 0;
+            if (c.flags & obs::kReadFlagDelayedByWrite) {
+                char key[48];
+                std::snprintf(key, sizeof(key), "ch%u.rank%u.bank%u",
+                              c.channel, c.rank, c.bank);
+                ++conflicts[key];
+            }
+        }
+        completions.push_back(std::move(c));
+    }
+
+    std::printf("trace %s: %zu events (%llu recorded, %llu dropped)\n",
+                path.c_str(), rows,
+                static_cast<unsigned long long>(
+                    other->get("recorded")->asU64()),
+                static_cast<unsigned long long>(
+                    other->get("dropped")->asU64()));
+    std::printf("events by name:\n");
+    for (const auto &[name, count] : by_name)
+        std::printf("  %-18s %8zu\n", name.c_str(), count);
+
+    std::stable_sort(completions.begin(), completions.end(),
+                     [](const Completion &a, const Completion &b) {
+                         return a.durUs > b.durUs;
+                     });
+    std::printf("slowest %zu requests (enqueue-to-completion):\n",
+                std::min(top_n, completions.size()));
+    for (std::size_t i = 0; i < completions.size() && i < top_n; ++i) {
+        const Completion &c = completions[i];
+        std::printf("  %-5s id=%-10llu %10.3f us  ts=%.3f us  "
+                    "ch%u.rank%u.bank%u  %s\n",
+                    c.isWrite ? "write" : "read",
+                    static_cast<unsigned long long>(c.id), c.durUs,
+                    c.tsUs, c.channel, c.rank, c.bank,
+                    c.isWrite ? c.kind.c_str()
+                              : readFlagNames(c.flags).c_str());
+    }
+
+    std::vector<std::pair<std::string, std::size_t>> ranked(
+        conflicts.begin(), conflicts.end());
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.second > b.second;
+                     });
+    std::printf("read/write conflicts by bank (delayed-by-write "
+                "reads):\n");
+    if (ranked.empty())
+        std::printf("  none\n");
+    for (std::size_t i = 0; i < ranked.size() && i < top_n; ++i) {
+        std::printf("  %-20s %8zu\n", ranked[i].first.c_str(),
+                    ranked[i].second);
+    }
+    return 0;
+}
+
+// --- merge -----------------------------------------------------------
+
+/** Append @p v re-serialized (raw number tokens kept exact). */
+void
+appendJson(std::string &out, const obs::JsonValue &v)
+{
+    switch (v.kind()) {
+    case obs::JsonValue::Kind::Null:
+        out += "null";
+        return;
+    case obs::JsonValue::Kind::Bool:
+        out += v.asBool() ? "true" : "false";
+        return;
+    case obs::JsonValue::Kind::Number:
+        if (!v.asString().empty()) {
+            out += v.asString(); // the exact source token
+        } else {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.17g", v.asNumber());
+            out += buf;
+        }
+        return;
+    case obs::JsonValue::Kind::String:
+        out += '"';
+        for (const char c : v.asString()) {
+            switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+            }
+        }
+        out += '"';
+        return;
+    case obs::JsonValue::Kind::Array: {
+        out += '[';
+        bool first = true;
+        for (const obs::JsonValue &item : v.items()) {
+            if (!first)
+                out += ',';
+            first = false;
+            appendJson(out, item);
+        }
+        out += ']';
+        return;
+    }
+    case obs::JsonValue::Kind::Object: {
+        out += '{';
+        bool first = true;
+        for (const auto &[key, val] : v.members()) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += '"';
+            out += key;
+            out += "\":";
+            appendJson(out, val);
+        }
+        out += '}';
+        return;
+    }
+    }
+}
+
+/**
+ * Each input's channels land on their own pid band so merged points
+ * stay side by side in Perfetto; comfortably above any channel count.
+ */
+constexpr std::uint64_t kMergePidStride = 100;
+
+int
+mergeMain(const std::string &out_path,
+          const std::vector<std::string> &files)
+{
+    if (out_path.empty())
+        fatal("merge: needs out=PATH");
+    if (files.empty())
+        fatal("merge: needs at least one input file");
+    std::uint64_t recorded = 0;
+    std::uint64_t dropped = 0;
+    std::string events;
+    bool first = true;
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        std::size_t rows = 0;
+        if (checkFile(files[i], rows) != FileKind::ChromeTrace)
+            fatal("merge: ", files[i], " is not a Chrome trace file");
+        const auto doc =
+            obs::parseJson(sweep::dist::readFile(files[i]));
+        const obs::JsonValue *other = doc->get("otherData");
+        recorded += other->get("recorded")->asU64();
+        dropped += other->get("dropped")->asU64();
+        for (const obs::JsonValue &e :
+             doc->get("traceEvents")->items()) {
+            obs::JsonValue shifted = e;
+            for (auto &[key, val] : shifted.fields) {
+                if (key == "pid") {
+                    val = obs::JsonValue::makeNumber(
+                        val.asNumber() +
+                            static_cast<double>(i * kMergePidStride),
+                        std::to_string(val.asU64() +
+                                       i * kMergePidStride));
+                }
+            }
+            if (!first)
+                events += ",\n";
+            first = false;
+            appendJson(events, shifted);
+        }
+    }
+    std::string out;
+    out.reserve(events.size() + 256);
+    out += "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"recorded\":";
+    out += std::to_string(recorded);
+    out += ",\"dropped\":";
+    out += std::to_string(dropped);
+    out += ",\"mergedFiles\":";
+    out += std::to_string(files.size());
+    out += "},\"traceEvents\":[";
+    out += events;
+    out += "]}\n";
+    sweep::dist::atomicWriteFile(out_path, out);
+    std::printf("merged %zu files -> %s\n", files.size(),
+                out_path.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc <= 1) {
+        usage();
+        return 0;
+    }
+    const std::string cmd = argv[1];
+    std::vector<std::string> files;
+    std::size_t top_n = 10;
+    std::string out_path;
+    for (int i = 2; i < argc; ++i) {
+        const std::string token = argv[i];
+        if (token.rfind("top=", 0) == 0) {
+            top_n = static_cast<std::size_t>(
+                std::strtoull(token.c_str() + 4, nullptr, 10));
+            if (top_n == 0)
+                fatal("top= must be positive");
+        } else if (token.rfind("out=", 0) == 0) {
+            out_path = token.substr(4);
+        } else {
+            files.push_back(token);
+        }
+    }
+    if (cmd == "check")
+        return checkMain(files);
+    if (cmd == "summary")
+        return summaryMain(files, top_n);
+    if (cmd == "merge")
+        return mergeMain(out_path, files);
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+        usage();
+        return 0;
+    }
+    fatal("unknown subcommand '", cmd,
+          "' (expected check, summary, or merge)");
+}
