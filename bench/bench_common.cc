@@ -121,6 +121,60 @@ figureWorkloads()
     return all;
 }
 
+/**
+ * Cross-organization summary for multi-org figure runs: per-device
+ * write latency (rounds x pulse), the Baseline vs RWoW-RDE mean MP
+ * read latency, and the round-boundary pause count — the headline
+ * "asymmetry widens, pausing pays off more" table.
+ */
+void
+printOrgComparison(const sweep::SweepReport &report,
+                   const HarnessConfig &hc)
+{
+    std::printf("\nDevice-organization comparison (MP mean)\n");
+    std::printf("%-5s %6s %10s %11s %11s %8s %12s\n", "org", "rounds",
+                "writeNs", "baseReadNs", "rwowReadNs", "gain",
+                "roundPauses");
+    rule(70);
+    for (const DeviceOrg org : hc.orgs) {
+        PcmTiming t = hc.system(SystemMode::Baseline).timing;
+        if (org != DeviceOrg::Slc)
+            t = t.withOrg(org);
+        const double write_ns =
+            static_cast<double>(t.writeRounds) * t.arrayWriteNs();
+
+        const auto mp_mean = [&](const std::string &label) {
+            std::vector<double> vals;
+            for (const std::string &w :
+                 workload::evaluatedMpWorkloads()) {
+                const sweep::RunRecord *rec =
+                    report.find("default", label, w, hc.seed);
+                if (rec != nullptr && rec->ok)
+                    vals.push_back(rec->results.avgReadLatencyNs);
+            }
+            return mean(vals);
+        };
+        std::string suffix;
+        if (org != DeviceOrg::Slc)
+            suffix = std::string("@") + deviceOrgName(org);
+        const double base_lat =
+            mp_mean(systemModeName(SystemMode::Baseline) + suffix);
+        const double rwow_lat =
+            mp_mean(systemModeName(SystemMode::RWoW_RDE) + suffix);
+
+        std::uint64_t pauses = 0;
+        for (const sweep::RunRecord &rec : report.rows) {
+            if (rec.ok && rec.point.org == org)
+                pauses += rec.results.writeRoundPauses;
+        }
+        std::printf("%-5s %6u %10.0f %11.1f %11.1f %7.2fx %12llu\n",
+                    deviceOrgName(org), t.writeRounds, write_ns,
+                    base_lat, rwow_lat,
+                    rwow_lat > 0.0 ? base_lat / rwow_lat : 0.0,
+                    static_cast<unsigned long long>(pauses));
+    }
+}
+
 } // namespace
 
 void
@@ -146,61 +200,78 @@ figureSweep(const HarnessConfig &hc, Metric metric, bool normalize)
         sweep::writeJsonl(report, out);
     }
 
-    const std::vector<std::string> labels = hc.systemLabels();
-    std::printf("%-14s", "workload");
-    if (normalize)
-        std::printf(" %9s", "base-abs");
-    else
-        std::printf(" %9s", labels[0].c_str());
-    for (std::size_t m = 1; m < labels.size(); ++m)
-        std::printf(" %9s", labels[m].c_str());
-    std::printf("\n");
-    rule(static_cast<unsigned>(14 + 10 * labels.size()));
+    // One table block per device organization; with the default
+    // org=slc this prints exactly the classic single table.
+    const auto print_tables = [&](const std::vector<std::string>
+                                      &labels) {
+        std::printf("%-14s", "workload");
+        if (normalize)
+            std::printf(" %9s", "base-abs");
+        else
+            std::printf(" %9s", labels[0].c_str());
+        for (std::size_t m = 1; m < labels.size(); ++m)
+            std::printf(" %9s", labels[m].c_str());
+        std::printf("\n");
+        rule(static_cast<unsigned>(14 + 10 * labels.size()));
 
-    // --- Multi-threaded workloads + Average(MT) over all of PARSEC ---
-    for (const std::string &w : workload::evaluatedMtWorkloads())
-        printRow(w, reportRow(report, hc, labels, w, metric),
-                 normalize);
+        // --- Multi-threaded workloads + Average(MT) over PARSEC ---
+        for (const std::string &w : workload::evaluatedMtWorkloads())
+            printRow(w, reportRow(report, hc, labels, w, metric),
+                     normalize);
 
-    std::vector<double> mt_avg;
-    for (const std::string &w : workload::parsecPrograms()) {
-        std::vector<double> vals =
-            reportRow(report, hc, labels, w, metric);
-        if (normalize && vals[0] != 0.0) {
-            const double base = vals[0];
-            for (std::size_t m = 1; m < vals.size(); ++m)
-                vals[m] /= base;
+        std::vector<double> mt_avg;
+        for (const std::string &w : workload::parsecPrograms()) {
+            std::vector<double> vals =
+                reportRow(report, hc, labels, w, metric);
+            if (normalize && vals[0] != 0.0) {
+                const double base = vals[0];
+                for (std::size_t m = 1; m < vals.size(); ++m)
+                    vals[m] /= base;
+            }
+            accumulate(mt_avg, vals);
         }
-        accumulate(mt_avg, vals);
-    }
-    scale(mt_avg, 1.0 / static_cast<double>(
-                      workload::parsecPrograms().size()));
-    // Average rows are already normalized per workload; print raw.
-    std::printf("%-14s", "Average(MT)");
-    for (const double v : mt_avg)
-        std::printf(" %9.3f", v);
-    std::printf("\n");
-    rule(static_cast<unsigned>(14 + 10 * labels.size()));
+        scale(mt_avg, 1.0 / static_cast<double>(
+                          workload::parsecPrograms().size()));
+        // Average rows are already normalized per workload; print raw.
+        std::printf("%-14s", "Average(MT)");
+        for (const double v : mt_avg)
+            std::printf(" %9.3f", v);
+        std::printf("\n");
+        rule(static_cast<unsigned>(14 + 10 * labels.size()));
 
-    // --- Multiprogrammed mixes + Average(MP) ---
-    std::vector<double> mp_avg;
-    for (const std::string &w : workload::evaluatedMpWorkloads()) {
-        std::vector<double> vals =
-            reportRow(report, hc, labels, w, metric);
-        printRow(w, vals, normalize);
-        if (normalize && vals[0] != 0.0) {
-            const double base = vals[0];
-            for (std::size_t m = 1; m < vals.size(); ++m)
-                vals[m] /= base;
+        // --- Multiprogrammed mixes + Average(MP) ---
+        std::vector<double> mp_avg;
+        for (const std::string &w : workload::evaluatedMpWorkloads()) {
+            std::vector<double> vals =
+                reportRow(report, hc, labels, w, metric);
+            printRow(w, vals, normalize);
+            if (normalize && vals[0] != 0.0) {
+                const double base = vals[0];
+                for (std::size_t m = 1; m < vals.size(); ++m)
+                    vals[m] /= base;
+            }
+            accumulate(mp_avg, vals);
         }
-        accumulate(mp_avg, vals);
+        scale(mp_avg, 1.0 / static_cast<double>(
+                          workload::evaluatedMpWorkloads().size()));
+        std::printf("%-14s", "Average(MP)");
+        for (const double v : mp_avg)
+            std::printf(" %9.3f", v);
+        std::printf("\n");
+    };
+
+    for (std::size_t oi = 0; oi < hc.orgs.size(); ++oi) {
+        if (hc.orgs.size() > 1) {
+            if (oi > 0)
+                std::printf("\n");
+            std::printf("-- org=%s --\n",
+                        deviceOrgName(hc.orgs[oi]));
+        }
+        print_tables(hc.systemLabels(hc.orgs[oi]));
     }
-    scale(mp_avg, 1.0 / static_cast<double>(
-                      workload::evaluatedMpWorkloads().size()));
-    std::printf("%-14s", "Average(MP)");
-    for (const double v : mp_avg)
-        std::printf(" %9.3f", v);
-    std::printf("\n");
+
+    if (hc.orgs.size() > 1)
+        printOrgComparison(report, hc);
 
     for (const sweep::RunRecord &rec : report.rows) {
         if (rec.ok)

@@ -11,6 +11,9 @@
  *               figure columns next to the six paper presets;
  *               preset-equivalent compositions are dropped (their
  *               column is already in the matrix)
+ *   org=LIST    device organizations (slc,mlc,tlc,qlc or all;
+ *               default slc): figure tables repeat per org, and a
+ *               multi-org run appends a cross-org comparison table
  *   trace=PREFIX, obsEpoch=TICKS, obsOut=PREFIX, traceCap=N
  *               observability, same syntax as pcmap-sweep: per-run
  *               trace/timeline files named by the sweep point index;
@@ -89,6 +92,8 @@ struct HarnessConfig
     std::string jsonl;
     /** Extra non-preset policy compositions, canonical form. */
     std::vector<std::string> policies;
+    /** Device organizations to run (org=LIST; default SLC only). */
+    std::vector<DeviceOrg> orgs{DeviceOrg::Slc};
     /** Observability selections (trace=/obsEpoch=/obsOut=/traceCap=). */
     sweep::ObsCliOptions obs;
     Config raw;
@@ -111,6 +116,8 @@ struct HarnessConfig
                     hc.policies.push_back(p.composition());
             }
         }
+        if (hc.raw.has("org"))
+            hc.orgs = sweep::parseOrgs(hc.raw.requireString("org"));
         return hc;
     }
 
@@ -140,6 +147,7 @@ struct HarnessConfig
         spec.policies = policies;
         spec.workloads = workloads;
         spec.seeds = {seed};
+        spec.orgs = orgs;
         return spec;
     }
 
@@ -151,6 +159,24 @@ struct HarnessConfig
         for (const SystemMode mode : kAllModes)
             labels.push_back(systemModeName(mode));
         labels.insert(labels.end(), policies.begin(), policies.end());
+        return labels;
+    }
+
+    /**
+     * Column labels under one device organization: the report labels
+     * carry an "@org" suffix off the default, mirroring
+     * SweepPoint::label().
+     */
+    std::vector<std::string>
+    systemLabels(DeviceOrg org) const
+    {
+        std::vector<std::string> labels = systemLabels();
+        if (org != DeviceOrg::Slc) {
+            for (std::string &l : labels) {
+                l += '@';
+                l += deviceOrgName(org);
+            }
+        }
         return labels;
     }
 };

@@ -15,6 +15,8 @@
  *   insts      instructions per core           (default 1000000)
  *   cores      number of cores                 (default 8)
  *   seed       simulation seed                 (default 1)
+ *   org        PCM cell organization slc|mlc|tlc|qlc (default slc);
+ *              applied before readns/writens so those still override
  *   readns     PCM array read latency, ns      (default 60)
  *   writens    PCM SET latency, ns             (default 120)
  *   wq / rq    write / read queue capacities   (default 32 / 8)
@@ -65,8 +67,18 @@ main(int argc, char **argv)
     cfg.instructionsPerCore = args.getUint("insts", 1'000'000);
     cfg.numCores = static_cast<unsigned>(args.getUint("cores", 8));
     cfg.seed = args.getUint("seed", 1);
-    cfg.timing.arrayReadNs = args.getDouble("readns", 60.0);
-    cfg.timing.setNs = args.getDouble("writens", 120.0);
+    if (args.has("org")) {
+        const std::string org_name = args.requireString("org");
+        const auto org = deviceOrgFromName(org_name);
+        if (!org) {
+            fatal("unknown device organization '", org_name,
+                  "' (known: ", deviceOrgNames(), ")");
+        }
+        cfg.timing = cfg.timing.withOrg(*org);
+    }
+    cfg.timing.arrayReadNs =
+        args.getDouble("readns", cfg.timing.arrayReadNs);
+    cfg.timing.setNs = args.getDouble("writens", cfg.timing.setNs);
     cfg.writeQueueCap =
         static_cast<unsigned>(args.getUint("wq", cfg.writeQueueCap));
     cfg.readQueueCap =

@@ -22,7 +22,8 @@ MemoryController::MemoryController(std::string name,
                                    const AddressMapper &mapper,
                                    unsigned channel)
     : instName(std::move(name)), cfg(config), eventq(eq), backing(store),
-      addrMap(mapper), channelId(channel)
+      addrMap(mapper), channelId(channel),
+      energyModel(EnergyParams::forOrg(config.timing.org))
 {
     cfg.validate();
     const ControllerPolicy policy = ControllerPolicy::fromConfig(cfg);
@@ -326,6 +327,15 @@ MemoryController::kick()
             Tick earliest = kTickMax;
             if (tryIssueWrites(now, earliest)) {
                 updateDrainState();
+                // Issue freed write-queue space: wake any core whose
+                // enqueueWrite was rejected.  Without this, a core
+                // that stalls while no reads are in flight is only
+                // ever retried by a later read issue or silent write
+                // — if neither happens before the queue drains, the
+                // event queue empties with the core still stalled
+                // (deadlock; easiest to hit with MLC+ rounds
+                // lengthening the drain).
+                notifyRetry();
                 progress = true;
                 continue;
             }
@@ -386,8 +396,10 @@ MemoryController::computeWriteWindow(ChipMask chips, unsigned bank,
         }
     }
     start = burst_start - lead;
+    // Array occupancy covers every programming round of the write
+    // (one round for SLC; the full program-and-verify train for MLC+).
     end = burst_start + cfg.timing.burstTicks() +
-          cfg.timing.arrayWriteTicks();
+          cfg.timing.totalWritePulseTicks();
 }
 
 void

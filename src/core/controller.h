@@ -305,6 +305,11 @@ class MemoryController : private ReadWindowModel
         unsigned bank = 0;
         Tick start = 0;
         Tick end = 0;
+        /** First tick of the array pulse train (after column + burst). */
+        Tick pulseStart = 0;
+        /** One programming round's pulse length; 0 for single-round
+         *  (SLC) writes, which cancel immediately as before. */
+        Tick roundTicks = 0;
         EventHandle completion;
         WriteEntry entry;
     };

@@ -60,9 +60,11 @@ MemoryController::queuePreset(std::uint64_t line_addr, unsigned rank,
     op.rank = rank;
     op.bank = bank;
     op.row = row;
+    // MLC+ cells take one SET-length pulse per programming round.
     op.duration = cfg.timing.writeColTicks() +
                   cfg.timing.burstTicks() +
-                  nsToTicks(cfg.timing.setNs);
+                  static_cast<Tick>(cfg.timing.writeRounds) *
+                      nsToTicks(cfg.timing.setNs);
     op.isWrite = true;
     op.created = eventq.now();
     op.presetLine = line_addr;

@@ -58,6 +58,12 @@ struct ControllerStats
     std::uint64_t bgOpsForced = 0;     ///< aged out and issued foreground
     std::uint64_t statusPolls = 0;
 
+    // Multi-round (MLC+) write programming.  Both stay zero for
+    // single-round organizations, so org=slc output is unchanged and
+    // downstream exporters gate on writeRoundsIssued > 0.
+    std::uint64_t writeRoundsIssued = 0; ///< programming rounds issued
+    std::uint64_t writeRoundPauses = 0;  ///< round-boundary pauses/cancels
+
     // Latency-class distributions (always sampled; the log-bucketed
     // histogram is a few ALU ops per sample and never allocates, so
     // there is no toggle to invalidate the percentile exports).

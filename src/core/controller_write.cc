@@ -104,8 +104,12 @@ MemoryController::tryIssueWrites(Tick now, Tick &earliest)
     if (codeBacklog >= cfg.codeUpdateBacklogCap) {
         // The pending ECC/PCC update buffer is full: the fixed code
         // chips cannot keep up and write service must wait for them
-        // (the contention the RDE rotation relieves).
-        earliest = now + cfg.timing.arrayWriteTicks() / 2;
+        // (the contention the RDE rotation relieves).  The retry
+        // horizon must track the *full* write occupancy — a code
+        // update on an MLC+ chip holds it for every programming
+        // round, so retrying at half a single round's pulse would
+        // spin the kick loop without ever finding the chips free.
+        earliest = now + cfg.timing.totalWritePulseTicks() / 2;
         return false;
     }
 
@@ -173,12 +177,25 @@ MemoryController::tryIssueWrites(Tick now, Tick &earliest)
         Tick s = 0;
         Tick e = 0;
         computeWriteWindow(chips, loc.bank, lower, s, e);
+        // A round-boundary cancellation kept head.roundsDone rounds in
+        // the array; the re-issued write programs only the remainder.
+        if (head.roundsDone > 0)
+            e -= static_cast<Tick>(head.roundsDone) *
+                 cfg.timing.roundTicks();
         if (head.presetDone) {
             // PreSET: only the fast RESET pulse remains (every cell
-            // is 1; the write resets the 0 bits of the new data).
+            // is 1; the write resets the 0 bits of the new data) —
+            // one RESET-length pulse per outstanding round.
             e = s + cfg.timing.writeColTicks() +
-                cfg.timing.burstTicks() + nsToTicks(cfg.timing.resetNs);
+                cfg.timing.burstTicks() +
+                static_cast<Tick>(cfg.timing.writeRounds -
+                                  head.roundsDone) *
+                    nsToTicks(cfg.timing.resetNs);
             ++counters.presetWrites;
+        }
+        if (cfg.timing.writeRounds > 1) {
+            counters.writeRoundsIssued +=
+                cfg.timing.writeRounds - head.roundsDone;
         }
         reserveChips(loc.rank, chips, loc.bank, loc.row, s, e, true);
         occupyBuses(chips,
@@ -206,6 +223,13 @@ MemoryController::tryIssueWrites(Tick now, Tick &earliest)
             activeWrite.bank = loc.bank;
             activeWrite.start = s;
             activeWrite.end = e;
+            activeWrite.pulseStart =
+                s + cfg.timing.writeColTicks() + cfg.timing.burstTicks();
+            activeWrite.roundTicks =
+                cfg.timing.writeRounds > 1
+                    ? (head.presetDone ? nsToTicks(cfg.timing.resetNs)
+                                       : cfg.timing.roundTicks())
+                    : 0;
             activeWrite.completion = completion;
             activeWrite.entry = std::move(head);
         }
@@ -315,6 +339,13 @@ MemoryController::tryIssueWrites(Tick now, Tick &earliest)
         writeSlotFreeAt[w_rank] =
             e0 + (step_chips.size() - 1) * cfg.timing.chipWriteTicks();
         ++counters.multiStepWrites;
+        if (cfg.timing.writeRounds > 1) {
+            // Each serialized chip step runs its full round train
+            // (data steps plus the trailing PCC step).
+            counters.writeRoundsIssued +=
+                static_cast<std::uint64_t>(cfg.timing.writeRounds) *
+                (step_chips.size() + 1);
+        }
         ++inFlight;
         eventq.schedule(e0, [this, chain]() {
             --inFlight;
@@ -382,6 +413,10 @@ MemoryController::tryIssueWrites(Tick now, Tick &earliest)
                             obs::WriteKind::TwoStep),
                         channelId, loc.rank, loc.bank);
         ++counters.twoStepWrites;
+        if (cfg.timing.writeRounds > 1) {
+            // Both steps (data+ECC, then PCC) pulse every round.
+            counters.writeRoundsIssued += 2 * cfg.timing.writeRounds;
+        }
         writeSlotFreeAt[loc.rank] = e1;
         scheduleWriteCompletion(head, essential, e1,
                                 obs::WriteKind::TwoStep);
@@ -406,6 +441,24 @@ MemoryController::tryIssueWrites(Tick now, Tick &earliest)
     coalescer->collect(writeQ, loc.rank, loc.bank, s, bankView, group,
                        occupied, num_cmds, counters);
 
+    // Multi-round (MLC+) group writes chain their programming rounds
+    // as events when the coalescer would pause for reads: only the
+    // round in flight is reserved, so at every round boundary the
+    // chips look free to read planning and waiting reads slip into
+    // the gap before the next round re-reserves.  Single-round (SLC)
+    // writes, and configurations without RoW, keep the one-shot
+    // full-window reservation below.
+    const unsigned rounds = cfg.timing.writeRounds;
+    const bool chain_rounds =
+        rounds > 1 && coalescer->pauseAtRoundBoundary(true);
+    const Tick pulse = cfg.timing.roundTicks();
+    const Tick e_first =
+        chain_rounds ? e - static_cast<Tick>(rounds - 1) * pulse : e;
+    if (rounds > 1) {
+        counters.writeRoundsIssued +=
+            static_cast<std::uint64_t>(rounds) * group.size();
+    }
+
     // Reserve every member's chips over the common window; each chip
     // opens its own member's row (sub-ranked independence).
     // Per-write IRLP: every member's window sees the whole group's
@@ -414,11 +467,11 @@ MemoryController::tryIssueWrites(Tick now, Tick &earliest)
     for (const WriteGroupMember &m : group) {
         for (unsigned c = 0; c < kChipsPerRank; ++c) {
             if (m.chips & (1u << c)) {
-                ranks[loc.rank].reserveChip(c, loc.bank, m.row, s, e,
-                                            true);
+                ranks[loc.rank].reserveChip(c, loc.bank, m.row, s,
+                                            e_first, true);
             }
         }
-        irlpTrackers[loc.rank].addOp(now, s, e, m.chips, true);
+        irlpTrackers[loc.rank].addOp(now, s, e_first, m.chips, true);
         counters.writeIrlpHist.sample(group_busy);
         counters.queueResidencyHist.sample(s - m.entry.req.enqueueTick);
         PCMAP_OBS_TRACE(trace, obs::TracePoint::WriteIssue, s, e - s,
@@ -426,8 +479,10 @@ MemoryController::tryIssueWrites(Tick now, Tick &earliest)
                         static_cast<std::uint64_t>(
                             obs::WriteKind::Group),
                         channelId, loc.rank, loc.bank);
-        scheduleWriteCompletion(m.entry, m.essential, e,
-                                obs::WriteKind::Group);
+        if (!chain_rounds) {
+            scheduleWriteCompletion(m.entry, m.essential, e,
+                                    obs::WriteKind::Group);
+        }
         queueCodeUpdates(m.line, loc.rank, loc.bank, m.row, true, true,
                          now);
     }
@@ -440,7 +495,72 @@ MemoryController::tryIssueWrites(Tick now, Tick &earliest)
         counters.wowMergedWrites += group.size() - 1;
     }
     counters.wowGroupSizeSum += group.size();
+    // Conservative estimate covering the whole round train; chained
+    // rounds raise it if pauses push the tail out, so no second group
+    // can grab the rank's write slot mid-chain.
     writeSlotFreeAt[loc.rank] = e;
+
+    if (chain_rounds) {
+        auto members =
+            std::make_shared<std::vector<WriteGroupMember>>(
+                std::move(group));
+        const unsigned w_rank = loc.rank;
+        const unsigned w_bank = loc.bank;
+        // Same weak-ref chain shape as the multi-step path: each
+        // pending event holds the only strong ref to the chain fn.
+        auto chain = std::make_shared<std::function<void(unsigned)>>();
+        std::weak_ptr<std::function<void(unsigned)>> weak_chain = chain;
+        *chain = [this, members, w_rank, w_bank, pulse, rounds,
+                  weak_chain](unsigned round) {
+            const Tick t0 = eventq.now();
+            // Round boundary: give queued reads first claim on the
+            // chips (they plan against the un-reserved gap), then
+            // start the next round once every member chip is free
+            // again.  RoW's preemption of an in-flight MLC write.
+            if (coalescer->pauseAtRoundBoundary(!readQ.empty()))
+                kick();
+            ChipMask all = 0;
+            for (const WriteGroupMember &m : *members)
+                all |= m.chips;
+            const Tick rs =
+                std::max(t0, ranks[w_rank].freeAt(all, w_bank));
+            if (rs > t0)
+                ++counters.writeRoundPauses;
+            const Tick re = rs + pulse;
+            for (const WriteGroupMember &m : *members) {
+                for (unsigned c = 0; c < kChipsPerRank; ++c) {
+                    if (m.chips & (1u << c)) {
+                        ranks[w_rank].reserveChip(c, w_bank, m.row, rs,
+                                                  re, true);
+                    }
+                }
+                irlpTrackers[w_rank].addOp(t0, rs, re, m.chips, true);
+            }
+            if (round + 1 >= rounds) {
+                writeSlotFreeAt[w_rank] =
+                    std::max(writeSlotFreeAt[w_rank], re);
+                for (const WriteGroupMember &m : *members) {
+                    scheduleWriteCompletion(m.entry, m.essential, re,
+                                            obs::WriteKind::Group);
+                }
+                return;
+            }
+            writeSlotFreeAt[w_rank] = std::max(
+                writeSlotFreeAt[w_rank],
+                re + static_cast<Tick>(rounds - round - 1) * pulse);
+            ++inFlight;
+            eventq.schedule(re, [this, next = weak_chain.lock(),
+                                 round]() {
+                --inFlight;
+                (*next)(round + 1);
+            });
+        };
+        ++inFlight;
+        eventq.schedule(e_first, [this, chain]() {
+            --inFlight;
+            (*chain)(1);
+        });
+    }
     return true;
 }
 
@@ -458,8 +578,26 @@ MemoryController::maybeCancelActiveWrite(Tick now)
         return;
     if (now >= activeWrite.end)
         return; // effectively finished
+
     // A coarse write blocks every chip, so any queued read benefits.
-    const Tick remaining = activeWrite.end - now;
+    // Single-round (SLC) writes abort immediately and lose the pulse,
+    // as before.  Multi-round (MLC+) writes release at the *next
+    // round boundary* instead: the round in flight completes, the
+    // rounds already programmed are kept (entry.roundsDone), and only
+    // the remainder is re-queued — cancellation degenerates into the
+    // write-pausing of the MLC PCM literature.
+    Tick release = now;
+    unsigned rounds_kept = 0;
+    if (activeWrite.roundTicks > 0 && now > activeWrite.pulseStart) {
+        const Tick rt = activeWrite.roundTicks;
+        const Tick into = now - activeWrite.pulseStart;
+        rounds_kept = static_cast<unsigned>((into + rt - 1) / rt);
+        release = activeWrite.pulseStart +
+                  static_cast<Tick>(rounds_kept) * rt;
+        if (release >= activeWrite.end)
+            return; // inside the last round; let it finish
+    }
+    const Tick remaining = activeWrite.end - release;
     const auto min_remaining = static_cast<Tick>(
         cfg.cancelMinRemainingFrac *
         static_cast<double>(activeWrite.end - activeWrite.start));
@@ -471,14 +609,18 @@ MemoryController::maybeCancelActiveWrite(Tick now)
     eventq.cancel(activeWrite.completion);
     --inFlight;
     for (unsigned c = 0; c <= kDataChips; ++c)
-        ranks[activeWrite.rank].abortWrite(c, activeWrite.bank, now);
+        ranks[activeWrite.rank].abortWrite(c, activeWrite.bank, release);
     ++counters.writesCancelled;
-    PCMAP_OBS_TRACE(trace, obs::TracePoint::WriteCancel, now, 0,
+    if (rounds_kept > 0) {
+        activeWrite.entry.roundsDone += rounds_kept;
+        ++counters.writeRoundPauses;
+    }
+    PCMAP_OBS_TRACE(trace, obs::TracePoint::WriteCancel, release, 0,
                     activeWrite.entry.line, activeWrite.entry.cancels,
                     0, channelId, activeWrite.rank, activeWrite.bank);
     ++activeWrite.entry.cancels;
     writeQ.push_front(std::move(activeWrite.entry));
-    writeSlotFreeAt[activeWrite.rank] = now;
+    writeSlotFreeAt[activeWrite.rank] = release;
     activeWrite.valid = false;
 }
 

@@ -47,6 +47,13 @@ struct WriteEntry
     MemRequest req;
     unsigned cancels = 0;    ///< times cancelled by a read
     bool presetDone = false; ///< line pre-SET while buffered
+    /**
+     * Programming rounds already committed to the array.  Only ever
+     * non-zero for MLC+ organizations (timing.writeRounds > 1): a
+     * round-boundary cancellation keeps the finished rounds, so the
+     * re-issued write programs only the remainder.
+     */
+    unsigned roundsDone = 0;
 
     // Address-derived invariants, primed once at enqueue (the write
     // selection and coalescing scans would otherwise re-decode every
@@ -121,6 +128,20 @@ class WriteCoalescer
                          std::vector<WriteGroupMember> &group,
                          ChipMask &occupied, unsigned &num_cmds,
                          ControllerStats &stats) const = 0;
+
+    /**
+     * Should an in-flight multi-round (MLC+) write pause at the next
+     * round boundary so waiting reads can slip in (the write-pausing
+     * generalization of RoW)?  Never consulted for single-round
+     * organizations.  The default ties pausing to the RoW switch:
+     * a controller that cannot serve reads around writes gains
+     * nothing from pausing them.
+     */
+    virtual bool
+    pauseAtRoundBoundary(bool reads_waiting) const
+    {
+        return cfg.enableRoW && reads_waiting;
+    }
 
     /** Attach the run's trace recorder (null = tracing off). */
     void

@@ -1,5 +1,6 @@
 #include "core/stat_export.h"
 
+#include <optional>
 #include <ostream>
 
 namespace pcmap {
@@ -7,7 +8,8 @@ namespace pcmap {
 /** One controller's stat objects plus the refresh logic. */
 struct SystemStatExport::ControllerStatsMirror
 {
-    explicit ControllerStatsMirror(const std::string &name)
+    explicit ControllerStatsMirror(const std::string &name,
+                                   bool multi_round)
         : group(name),
           readsCompleted(group, "reads", "PCM reads served"),
           readsForwarded(group, "readsForwarded",
@@ -52,6 +54,15 @@ struct SystemStatExport::ControllerStatsMirror
           writeIrlp(group, "writeIrlp",
                     "busy data chips per write percentiles")
     {
+        // Registered only for multi-round (MLC+) organizations: the
+        // counters stay zero on SLC, and adding rows there would
+        // perturb the byte-stable org=slc stat dump.
+        if (multi_round) {
+            writeRounds.emplace(group, "writeRounds",
+                                "MLC+ programming rounds issued");
+            writeRoundPauses.emplace(group, "writeRoundPauses",
+                                     "round-boundary pauses for reads");
+        }
     }
 
     /** Summary -> Percentiles values, with ticks scaled by @p scale. */
@@ -98,6 +109,12 @@ struct SystemStatExport::ControllerStatsMirror
         wowGroups.set(static_cast<double>(s.wowGroups));
         wowMerged.set(static_cast<double>(s.wowMergedWrites));
         statusPolls.set(static_cast<double>(s.statusPolls));
+        if (writeRounds)
+            writeRounds->set(static_cast<double>(s.writeRoundsIssued));
+        if (writeRoundPauses) {
+            writeRoundPauses->set(
+                static_cast<double>(s.writeRoundPauses));
+        }
         irlpMean.set(mc.irlpWindowTicks() > 0.0
                          ? mc.irlpArea() / mc.irlpWindowTicks()
                          : 0.0);
@@ -131,6 +148,8 @@ struct SystemStatExport::ControllerStatsMirror
     stats::Scalar wowGroups;
     stats::Scalar wowMerged;
     stats::Scalar statusPolls;
+    std::optional<stats::Scalar> writeRounds;
+    std::optional<stats::Scalar> writeRoundPauses;
     stats::Scalar irlpMean;
     stats::Scalar energyUj;
     stats::Scalar bitsSet;
@@ -145,7 +164,8 @@ SystemStatExport::SystemStatExport(MainMemory &memory) : mem(memory)
 {
     for (unsigned ch = 0; ch < mem.channels(); ++ch) {
         mirrors.push_back(std::make_unique<ControllerStatsMirror>(
-            mem.controller(ch).name()));
+            mem.controller(ch).name(),
+            mem.controller(ch).config().timing.writeRounds > 1));
         rootGroup.addChild(&mirrors.back()->group);
     }
 }

@@ -253,6 +253,8 @@ System::run()
         res.twoStepWrites += s.twoStepWrites;
         res.wowGroups += s.wowGroups;
         res.wowMergedWrites += s.wowMergedWrites;
+        res.writeRoundsIssued += s.writeRoundsIssued;
+        res.writeRoundPauses += s.writeRoundPauses;
         delayed += s.readsDelayedByWrite;
         lat_weighted += s.readLatencySum;
         res.readsIssuedDuringDrain += s.readsIssuedDuringDrain;
@@ -394,6 +396,16 @@ dumpResults(const SystemResults &r, std::ostream &os)
          "consolidated write groups");
     line(os, "wow.mergedWrites", static_cast<double>(r.wowMergedWrites),
          "", "writes that joined a group");
+    if (r.writeRoundsIssued > 0) {
+        // Multi-round (MLC+) organizations only; absent for org=slc so
+        // the default dump stays byte-identical.
+        line(os, "mlc.writeRounds",
+             static_cast<double>(r.writeRoundsIssued), "",
+             "programming rounds issued");
+        line(os, "mlc.roundPauses",
+             static_cast<double>(r.writeRoundPauses), "",
+             "round-boundary pauses for reads");
+    }
     line(os, "spec.reads", static_cast<double>(r.specReads), "",
          "speculative deliveries");
     line(os, "spec.consumedBeforeVerify",

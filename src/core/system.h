@@ -109,6 +109,12 @@ struct SystemResults
     std::uint64_t readsIssuedDuringDrain = 0;
     double avgReadQueueWaitNs = 0.0;
 
+    // Multi-round (MLC+) write programming; both zero on single-round
+    // organizations, so downstream reporting gates on
+    // writeRoundsIssued > 0 and org=slc output is unchanged.
+    std::uint64_t writeRoundsIssued = 0;
+    std::uint64_t writeRoundPauses = 0;
+
     // --- Energy (microjoules) and endurance ---
     double energyUj = 0.0;
     double energyArrayReadUj = 0.0;

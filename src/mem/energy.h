@@ -26,6 +26,7 @@
 #include <cstdint>
 
 #include "mem/line.h"
+#include "mem/timing.h"
 
 namespace pcmap {
 
@@ -37,6 +38,40 @@ struct EnergyParams
     double resetPjPerBit = 19.2;
     double rowBufferPjPerBit = 0.93;
     double busPjPerBit = 1.1;
+
+    /**
+     * Coefficients for a device organization.  SLC is the Lee et al.
+     * table above; denser cells sense against finer margins (higher
+     * read energy) and pay the iterative program-and-verify rounds'
+     * pulses per flipped bit, so SET/RESET energy scales with the
+     * round count while row-buffer and bus energy — interface-side
+     * costs — stay put.
+     */
+    static EnergyParams
+    forOrg(DeviceOrg org)
+    {
+        EnergyParams p;
+        switch (org) {
+          case DeviceOrg::Slc:
+            break;
+          case DeviceOrg::Mlc:
+            p.arrayReadPjPerBit = 3.20;
+            p.setPjPerBit = 20.2;
+            p.resetPjPerBit = 28.8;
+            break;
+          case DeviceOrg::Tlc:
+            p.arrayReadPjPerBit = 4.10;
+            p.setPjPerBit = 27.0;
+            p.resetPjPerBit = 38.4;
+            break;
+          case DeviceOrg::Qlc:
+            p.arrayReadPjPerBit = 5.30;
+            p.setPjPerBit = 40.5;
+            p.resetPjPerBit = 57.6;
+            break;
+        }
+        return p;
+    }
 };
 
 /** Accumulated energy, broken down by component (picojoules). */

@@ -157,7 +157,10 @@ class Rank
     /**
      * Abort an in-progress write on @p chip at @p bank effective
      * @p now: the chip-bank and the chip-wide write occupancy are
-     * released immediately (write cancellation).
+     * clamped down to @p now (write cancellation).  Passing a future
+     * tick implements a *round-boundary* release for multi-round
+     * (MLC+) writes — the chip stays busy until the round in flight
+     * finishes, then frees without the remaining rounds.
      */
     void abortWrite(unsigned chip, unsigned bank, Tick now);
 

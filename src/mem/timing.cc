@@ -4,6 +4,94 @@
 
 namespace pcmap {
 
+const char *
+deviceOrgName(DeviceOrg org)
+{
+    switch (org) {
+      case DeviceOrg::Slc: return "slc";
+      case DeviceOrg::Mlc: return "mlc";
+      case DeviceOrg::Tlc: return "tlc";
+      case DeviceOrg::Qlc: return "qlc";
+    }
+    return "?";
+}
+
+std::string
+deviceOrgNames()
+{
+    std::string out;
+    for (const DeviceOrg org : kAllOrgs) {
+        if (!out.empty())
+            out += ", ";
+        out += deviceOrgName(org);
+    }
+    return out;
+}
+
+std::optional<DeviceOrg>
+deviceOrgFromName(const std::string &name)
+{
+    std::string lower;
+    lower.reserve(name.size());
+    for (const char c : name)
+        lower += (c >= 'A' && c <= 'Z') ? static_cast<char>(c + 32) : c;
+    for (const DeviceOrg org : kAllOrgs) {
+        if (lower == deviceOrgName(org))
+            return org;
+    }
+    return std::nullopt;
+}
+
+PcmTiming
+PcmTiming::withOrg(DeviceOrg o) const
+{
+    // Per-org array latency / round tables, ramulator-PCM-style.  The
+    // SLC row is the paper's Table I; denser rows follow the MLC PCM
+    // literature's shape: sensing slows roughly linearly with the
+    // number of resolvable levels, and programming needs more (and
+    // individually longer) program-and-verify rounds.
+    //
+    //   org  read   SET   RESET  rounds  full write  write/read
+    //   slc   60ns  120ns   50ns    1       120 ns      2.0x
+    //   mlc  120ns  150ns  100ns    2       300 ns      2.5x
+    //   tlc  180ns  170ns  120ns    4       680 ns      3.8x
+    //   qlc  240ns  180ns  140ns    8      1440 ns      6.0x
+    //
+    // Reads, per-round pulses and total write latencies are all
+    // strictly monotone in density, and the write/read ratio widens —
+    // the regime where write-occupied banks throttle read parallelism
+    // hardest (device_org_test pins all three properties).
+    PcmTiming t = *this;
+    t.org = o;
+    switch (o) {
+      case DeviceOrg::Slc:
+        t.arrayReadNs = 60.0;
+        t.setNs = 120.0;
+        t.resetNs = 50.0;
+        t.writeRounds = 1;
+        break;
+      case DeviceOrg::Mlc:
+        t.arrayReadNs = 120.0;
+        t.setNs = 150.0;
+        t.resetNs = 100.0;
+        t.writeRounds = 2;
+        break;
+      case DeviceOrg::Tlc:
+        t.arrayReadNs = 180.0;
+        t.setNs = 170.0;
+        t.resetNs = 120.0;
+        t.writeRounds = 4;
+        break;
+      case DeviceOrg::Qlc:
+        t.arrayReadNs = 240.0;
+        t.setNs = 180.0;
+        t.resetNs = 140.0;
+        t.writeRounds = 8;
+        break;
+    }
+    return t;
+}
+
 void
 PcmTiming::validate() const
 {
@@ -13,6 +101,9 @@ PcmTiming::validate() const
         fatal("memory clock period must be positive");
     if (tCCD == 0)
         fatal("tCCD must be positive");
+    if (writeRounds == 0)
+        fatal("writeRounds must be at least 1 (SLC programs in one "
+              "round; MLC+ in several)");
 }
 
 } // namespace pcmap

@@ -13,9 +13,48 @@
 #ifndef PCMAP_MEM_TIMING_H
 #define PCMAP_MEM_TIMING_H
 
+#include <cstdint>
+#include <optional>
+#include <string>
+
 #include "sim/types.h"
 
 namespace pcmap {
+
+/**
+ * PCM cell organization: bits stored per cell.
+ *
+ * Denser organizations read slower (finer sensing margins) and write
+ * much slower: programming an MLC+ cell takes several program-and-
+ * verify rounds (iterative SET/RESET pulses with a read-back between
+ * them), so the read/write asymmetry that motivates the paper's
+ * access-parallelism mechanisms widens with density.  Slc reproduces
+ * the paper's Table I exactly and is the default everywhere.
+ */
+enum class DeviceOrg : std::uint8_t
+{
+    Slc, ///< 1 bit/cell — the paper's evaluated device (default).
+    Mlc, ///< 2 bits/cell.
+    Tlc, ///< 3 bits/cell.
+    Qlc, ///< 4 bits/cell.
+};
+
+/** All organizations, densest last (sweep/figure presentation order). */
+inline constexpr DeviceOrg kAllOrgs[] = {
+    DeviceOrg::Slc, DeviceOrg::Mlc, DeviceOrg::Tlc, DeviceOrg::Qlc,
+};
+
+/** Lower-case name of an organization ("slc", "mlc", ...). */
+const char *deviceOrgName(DeviceOrg org);
+
+/** Comma-separated list of all org names (for error messages). */
+std::string deviceOrgNames();
+
+/**
+ * Parse an organization from its name, case-insensitively.
+ * nullopt on an unknown name.
+ */
+std::optional<DeviceOrg> deviceOrgFromName(const std::string &name);
 
 /** Timing parameters for the PCM memory system. */
 struct PcmTiming
@@ -40,14 +79,41 @@ struct PcmTiming
     double resetNs = 50.0;       ///< RESET (amorphize) pulse.
     double setNs = 120.0;        ///< SET (crystallize) pulse.
 
+    // --- Cell organization (density axis) ---
+    /** Organization these array latencies model (informational tag;
+     *  the latencies and round count below carry the behaviour). */
+    DeviceOrg org = DeviceOrg::Slc;
+    /**
+     * Programming rounds per array write.  SLC programs in a single
+     * pulse; MLC+ cells need several program-and-verify rounds, each
+     * one pulse long, and a controller that knows the round cadence
+     * can pause or cancel an in-flight write at a round boundary
+     * without losing the rounds already committed (the write-pausing
+     * family of techniques the multi-round model enables).
+     */
+    unsigned writeRounds = 1;
+
     /**
      * Effective cell-write time for a word that changed.  A real
      * differential write takes max(SET, RESET) over the flipped bits;
      * with both polarities almost always present in an 8-byte word,
      * the SET pulse dominates, which is also the paper's assumption
-     * (write latency = 120 ns = 2x the 60 ns read).
+     * (write latency = 120 ns = 2x the 60 ns read).  For MLC+ this is
+     * the duration of ONE programming round; a full write takes
+     * writeRounds of them.
      */
     double arrayWriteNs() const { return setNs > resetNs ? setNs : resetNs; }
+
+    /**
+     * Copy of this timing with the array latencies and round count of
+     * @p o applied; interface constants (tCL, tWL, bus clock, ...) are
+     * preserved, so a config that customized them keeps them across
+     * the org axis.  withOrg(Slc) restores the paper's Table I cells.
+     */
+    PcmTiming withOrg(DeviceOrg o) const;
+
+    /** Default timing for one organization (Table-I interface). */
+    static PcmTiming forOrg(DeviceOrg o) { return PcmTiming{}.withOrg(o); }
 
     // --- Derived tick values ---
     Tick cycles(Cycles c) const { return memClock.cyclesToTicks(c); }
@@ -72,6 +138,16 @@ struct PcmTiming
     Tick arrayReadTicks() const { return nsToTicks(arrayReadNs); }
     Tick arrayWriteTicks() const { return nsToTicks(arrayWriteNs()); }
 
+    /** One programming round's pulse time (== arrayWriteTicks). */
+    Tick roundTicks() const { return arrayWriteTicks(); }
+
+    /** Array occupancy of a complete write: all programming rounds. */
+    Tick
+    totalWritePulseTicks() const
+    {
+        return static_cast<Tick>(writeRounds) * arrayWriteTicks();
+    }
+
     /**
      * Total bank-occupancy of a row-hit read transaction: column read
      * plus the data burst.
@@ -94,15 +170,16 @@ struct PcmTiming
 
     /**
      * Bank/chip occupancy of writing one word into the PCM array:
-     * column write, burst, then the cell write pulse.  The read-
+     * column write, burst, then the cell write pulse(s).  The read-
      * before-write comparison happens inside the array write window
      * (the chip overlaps it with the pulse setup), matching the
-     * paper's flat 120 ns write service time.
+     * paper's flat 120 ns write service time for SLC; MLC+ devices
+     * occupy the chip for every programming round.
      */
     Tick
     chipWriteTicks() const
     {
-        return writeColTicks() + burstTicks() + arrayWriteTicks();
+        return writeColTicks() + burstTicks() + totalWritePulseTicks();
     }
 
     /**

@@ -118,6 +118,34 @@ parsePolicies(const std::string &arg)
     return policies;
 }
 
+std::vector<DeviceOrg>
+parseOrgs(const std::string &arg)
+{
+    if (arg == "all")
+        return {std::begin(kAllOrgs), std::end(kAllOrgs)};
+    std::vector<DeviceOrg> orgs;
+    for (const std::string &name : splitCommas(arg)) {
+        const auto org = deviceOrgFromName(name);
+        if (!org) {
+            std::vector<std::string> known{"all"};
+            for (const DeviceOrg o : kAllOrgs)
+                known.emplace_back(deviceOrgName(o));
+            const std::string suggestion = closestMatch(name, known);
+            if (!suggestion.empty()) {
+                fatal("unknown device organization '", name,
+                      "'; did you mean '", suggestion, "'? (known: ",
+                      deviceOrgNames(), ", all)");
+            }
+            fatal("unknown device organization '", name, "' (known: ",
+                  deviceOrgNames(), ", all)");
+        }
+        orgs.push_back(*org);
+    }
+    if (orgs.empty())
+        fatal("org= needs at least one organization");
+    return orgs;
+}
+
 std::vector<std::uint64_t>
 parseSeeds(const std::string &arg)
 {
@@ -165,6 +193,8 @@ specFromConfig(const Config &args)
         }
     }
     spec.seeds = parseSeeds(args.getString("seeds", "1"));
+    if (args.has("org"))
+        spec.orgs = parseOrgs(args.requireString("org"));
     spec.configs[0].base.instructionsPerCore =
         args.getUint("insts", 200'000);
     spec.configs[0].base.numCores = static_cast<unsigned>(

@@ -62,8 +62,16 @@ std::vector<ControllerPolicy> parsePolicies(const std::string &arg);
 std::vector<std::uint64_t> parseSeeds(const std::string &arg);
 
 /**
+ * Device-organization axis: a comma list of org names (slc, mlc,
+ * tlc, qlc; case-insensitive) or "all" for every organization,
+ * densest last.  fatal() on an unknown name — with a closest-match
+ * suggestion — and on an empty list.
+ */
+std::vector<DeviceOrg> parseOrgs(const std::string &arg);
+
+/**
  * Build the sweep described by the common axis keys: workloads=
- * (required), modes=, policy=, seeds=, insts=, cores=.
+ * (required), modes=, policy=, seeds=, org=, insts=, cores=.
  *
  * policy= entries equivalent to one of the six presets join the mode
  * axis under the preset's name, so `policy=row+wow+rde` and

@@ -176,6 +176,13 @@ stableSerialize(const SweepSpec &spec)
         os << "caps=" << c.codeUpdateBacklogCap << ","
            << c.specReadBufferCap << "," << c.wowMaxMerge << ","
            << c.wowScanDepth << "\n";
+        // Conditional, like the policies= line below: a variant on
+        // the default single-round SLC organization serializes as it
+        // always did, keeping pre-org fingerprints valid.
+        if (c.timing.org != DeviceOrg::Slc || c.timing.writeRounds != 1) {
+            os << "org=" << deviceOrgName(c.timing.org) << ","
+               << c.timing.writeRounds << "\n";
+        }
     }
     os << "modes=";
     for (std::size_t i = 0; i < spec.modes.size(); ++i)
@@ -193,6 +200,14 @@ stableSerialize(const SweepSpec &spec)
         os << "policies=";
         for (std::size_t i = 0; i < spec.policies.size(); ++i)
             os << (i ? "," : "") << spec.policies[i];
+        os << "\n";
+    }
+    // Same append-only rule for the device-organization axis: the
+    // default {slc} serializes nothing.
+    if (spec.orgs.size() != 1 || spec.orgs[0] != DeviceOrg::Slc) {
+        os << "orgs=";
+        for (std::size_t i = 0; i < spec.orgs.size(); ++i)
+            os << (i ? "," : "") << deviceOrgName(spec.orgs[i]);
         os << "\n";
     }
     return os.str();

@@ -8,8 +8,9 @@ namespace pcmap::sweep {
 std::size_t
 SweepSpec::size() const
 {
-    return configs.size() * (modes.size() + policies.size()) *
-           workloads.size() * seeds.size();
+    return orgs.size() * configs.size() *
+           (modes.size() + policies.size()) * workloads.size() *
+           seeds.size();
 }
 
 std::vector<SweepPoint>
@@ -24,37 +25,53 @@ SweepSpec::expand() const
         fatal("sweep spec has an empty workload axis");
     if (seeds.empty())
         fatal("sweep spec has an empty seed axis");
+    if (orgs.empty())
+        fatal("sweep spec has an empty device-organization axis");
 
     std::vector<SweepPoint> points;
     points.reserve(size());
-    for (const ConfigVariant &variant : configs) {
-        // Mode presets and composed policies share one system axis;
-        // only the composition reaches the config for policy points
-        // (SystemConfig::controllerConfig applies it over the preset).
-        const auto emit = [&](const SystemMode mode,
-                              const std::string &policy) {
-            for (const std::string &workload : workloads) {
-                for (const std::uint64_t seed : seeds) {
-                    SweepPoint p;
-                    p.index = points.size();
-                    p.configName = variant.name;
-                    p.mode = mode;
-                    p.policy = policy;
-                    p.workload = workload;
-                    p.baseSeed = seed;
-                    p.runSeed = Rng::deriveStream(seed, p.index);
-                    p.config = variant.base;
-                    p.config.mode = mode;
-                    p.config.policy = policy;
-                    p.config.seed = p.runSeed;
-                    points.push_back(std::move(p));
+    // The org axis is outermost: a spec whose orgs begin with Slc
+    // emits the exact legacy point list (same indexes and derived
+    // seeds) before any denser organization's points.
+    for (const DeviceOrg org : orgs) {
+        for (const ConfigVariant &variant : configs) {
+            // Mode presets and composed policies share one system axis;
+            // only the composition reaches the config for policy points
+            // (SystemConfig::controllerConfig applies it over the
+            // preset).
+            const auto emit = [&](const SystemMode mode,
+                                  const std::string &policy) {
+                for (const std::string &workload : workloads) {
+                    for (const std::uint64_t seed : seeds) {
+                        SweepPoint p;
+                        p.index = points.size();
+                        p.configName = variant.name;
+                        p.mode = mode;
+                        p.policy = policy;
+                        p.workload = workload;
+                        p.baseSeed = seed;
+                        p.runSeed = Rng::deriveStream(seed, p.index);
+                        p.org = org;
+                        p.config = variant.base;
+                        // Slc leaves the variant's timing untouched
+                        // (it may carry custom array latencies a
+                        // withOrg round-trip would clobber).
+                        if (org != DeviceOrg::Slc) {
+                            p.config.timing =
+                                variant.base.timing.withOrg(org);
+                        }
+                        p.config.mode = mode;
+                        p.config.policy = policy;
+                        p.config.seed = p.runSeed;
+                        points.push_back(std::move(p));
+                    }
                 }
-            }
-        };
-        for (const SystemMode mode : modes)
-            emit(mode, "");
-        for (const std::string &policy : policies)
-            emit(variant.base.mode, policy);
+            };
+            for (const SystemMode mode : modes)
+                emit(mode, "");
+            for (const std::string &policy : policies)
+                emit(variant.base.mode, policy);
+        }
     }
     return points;
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/system.h"
+#include "mem/timing.h"
 
 namespace pcmap::sweep {
 
@@ -41,13 +42,24 @@ struct SweepPoint
     std::uint64_t baseSeed = 1;
     /** Rng::deriveStream(baseSeed, index): the seed the run uses. */
     std::uint64_t runSeed = 1;
+    /** Device organization this point runs under. */
+    DeviceOrg org = DeviceOrg::Slc;
     /** Resolved configuration (variant base + system + runSeed). */
     SystemConfig config{};
 
-    /** Report label: the preset's name, or the composition string. */
+    /**
+     * Report label: the preset's name, or the composition string —
+     * suffixed "@mlc"/"@tlc"/"@qlc" off the default organization, so
+     * org=slc labels (and every existing report) are unchanged.
+     */
     std::string label() const
     {
-        return policy.empty() ? systemModeName(mode) : policy;
+        std::string l = policy.empty() ? systemModeName(mode) : policy;
+        if (org != DeviceOrg::Slc) {
+            l += '@';
+            l += deviceOrgName(org);
+        }
+        return l;
     }
 };
 
@@ -73,14 +85,24 @@ struct SweepSpec
     std::vector<std::string> workloads;
     /** Seed axis: base seeds, each expanded against every other axis. */
     std::vector<std::uint64_t> seeds{1};
+    /**
+     * Device-organization axis, expanded *outermost*: all points of
+     * the first org precede all points of the second, so a spec whose
+     * orgs start with Slc (the default) expands to the exact legacy
+     * point list — same indexes, same derived seeds — followed by the
+     * denser organizations.  Non-Slc orgs replace each variant's array
+     * timing via PcmTiming::withOrg (interface constants preserved).
+     */
+    std::vector<DeviceOrg> orgs{DeviceOrg::Slc};
 
     /** Number of points the expansion produces. */
     std::size_t size() const;
 
     /**
-     * Expand into the canonical point list (config-major, then system
-     * — modes before policies — then workload, seed).  fatal() when
-     * any axis is empty (the system axis needs modes or policies).
+     * Expand into the canonical point list (org-major, then config,
+     * then system — modes before policies — then workload, seed).
+     * fatal() when any axis is empty (the system axis needs modes or
+     * policies).
      */
     std::vector<SweepPoint> expand() const;
 };

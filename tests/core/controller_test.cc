@@ -598,6 +598,94 @@ TEST_F(ControllerTest, WriteCancellationBoundedRetries)
     EXPECT_EQ(done.size(), 12u);
 }
 
+TEST_F(ControllerTest, MultiRoundWriteCancelsAtRoundBoundaries)
+{
+    // Regression for the multi-round (MLC+) write model: the retry
+    // and cancellation math once assumed a write occupies its chips
+    // for a single pulse.  A QLC write under a read storm must abort
+    // only at programming-round boundaries, keep the rounds it
+    // already committed (so each retry is shorter), respect the
+    // cancel bound, and drain the read queue completely.
+    build(SystemMode::Baseline, [](ControllerConfig &c) {
+        c.timing = c.timing.withOrg(DeviceOrg::Qlc);
+        c.enableWriteCancellation = true;
+        c.maxWriteCancels = 2;
+        c.readQueueCap = 16;
+    });
+    const PcmTiming t = PcmTiming::forOrg(DeviceOrg::Qlc);
+    write(addrFor(0, 1), 0b1);
+    for (unsigned i = 0; i < 12; ++i) {
+        runFor(30 * kNanosecond);
+        EXPECT_TRUE(read(addrFor(0, 2 + i))) << "read " << i
+            << " rejected at now=" << eq.now();
+    }
+    runAll();
+    EXPECT_LE(mc->stats().writesCancelled, 2u);
+    EXPECT_EQ(mc->stats().writesCompleted, 1u);
+    EXPECT_EQ(done.size(), 12u);
+    // Boundary aborts happened and were counted as committed rounds.
+    EXPECT_GE(mc->stats().writeRoundPauses, 1u);
+    // Every cancel keeps >= 1 committed round, so across all retries
+    // the chips see at most one full write's worth of extra rounds —
+    // never "cancels x writeRounds" restarts from scratch.
+    EXPECT_GE(mc->stats().writeRoundsIssued, t.writeRounds);
+    EXPECT_LE(mc->stats().writeRoundsIssued,
+              t.writeRounds + mc->stats().writesCancelled *
+                                  (t.writeRounds - 1));
+    EXPECT_TRUE(mc->idle());
+}
+
+TEST_F(ControllerTest, WriteIssueWakesWriterStalledOnFullQueue)
+{
+    // Deadlock regression: a writer rejected by a full write queue is
+    // only ever resumed by a retry notification.  Retries used to
+    // fire solely on read issues and silent write completions, so an
+    // all-write phase (no reads in flight) could drain the queue to
+    // empty without ever waking the stalled writer — the event queue
+    // emptied mid-run.  Long multi-round QLC writes made this easy to
+    // hit at scale (RoW-NR @ qlc, canneal); the fix notifies on every
+    // write issue, which is when queue space actually frees.
+    build(SystemMode::RoW_NR, [](ControllerConfig &c) {
+        c.timing = c.timing.withOrg(DeviceOrg::Qlc);
+        c.writeQueueCap = 4;
+    });
+    std::uint64_t row = 1;
+    while (write(addrFor(0, row), 0b11)) {
+        ++row;
+        ASSERT_LT(row, 100u) << "write queue never filled";
+    }
+    EXPECT_EQ(mc->stats().writesRejected, 1u);
+
+    // Model the stalled core: re-enqueue the rejected write on retry.
+    const std::uint64_t stranded = addrFor(0, row);
+    bool accepted = false;
+    mc->setRetryCallback([&] {
+        if (!accepted)
+            accepted = write(stranded, 0b11);
+    });
+    runAll();
+    EXPECT_TRUE(accepted)
+        << "no retry notification reached the stalled writer";
+    EXPECT_EQ(mc->stats().writesCompleted, mc->stats().writesEnqueued);
+    EXPECT_TRUE(mc->idle());
+}
+
+TEST_F(ControllerTest, SingleRoundOrgKeepsRoundCountersAtZero)
+{
+    // The round counters are gated on writeRounds > 1 so slc output
+    // (results dump, stat export, sweep JSONL) stays byte-identical.
+    build(SystemMode::Baseline, [](ControllerConfig &c) {
+        c.enableWriteCancellation = true;
+    });
+    write(addrFor(0, 1), 0b1);
+    runFor(5 * kNanosecond);
+    read(addrFor(0, 2));
+    runAll();
+    EXPECT_GE(mc->stats().writesCancelled, 1u);
+    EXPECT_EQ(mc->stats().writeRoundsIssued, 0u);
+    EXPECT_EQ(mc->stats().writeRoundPauses, 0u);
+}
+
 TEST_F(ControllerTest, CancelledWriteStillCommitsData)
 {
     build(SystemMode::Baseline, [](ControllerConfig &c) {

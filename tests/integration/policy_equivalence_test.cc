@@ -8,10 +8,13 @@
  *     (e.g. RWoW-RDE vs "row+wow+rde") produce identical sweep JSONL
  *     modulo the system label, for every preset x smoke workload.
  *
- *  2. The six presets' JSONL output matches a checked-in snapshot
+ *  2. The six presets' JSONL output — across all four device
+ *     organizations, slc block first — matches a checked-in snapshot
  *     byte for byte, so any future policy-layer change that perturbs
  *     simulation results is caught even if it perturbs both the
- *     preset and the composed path the same way.
+ *     preset and the composed path the same way.  The slc prefix of
+ *     the snapshot is additionally pinned to equal the legacy
+ *     (org-free) sweep output.
  *
  * Regenerate the snapshot after an intentional simulator change with:
  *     PCMAP_UPDATE_GOLDEN=1 ./build/tests/policy_equivalence_test
@@ -95,11 +98,19 @@ TEST(PolicyEquivalence, EveryPresetMatchesItsComposition)
     }
 }
 
-TEST(PolicyEquivalence, SixPresetJsonlMatchesGoldenSnapshot)
+/** The golden matrix: six presets x four device organizations. */
+sweep::SweepSpec
+goldenSpec()
 {
     sweep::SweepSpec spec = smokeSpec();
     spec.modes.assign(std::begin(kAllModes), std::end(kAllModes));
-    const std::string actual = runJsonl(spec);
+    spec.orgs.assign(std::begin(kAllOrgs), std::end(kAllOrgs));
+    return spec;
+}
+
+TEST(PolicyEquivalence, SixPresetJsonlMatchesGoldenSnapshot)
+{
+    const std::string actual = runJsonl(goldenSpec());
     ASSERT_FALSE(actual.empty());
 
     const std::string path = PCMAP_GOLDEN_SWEEP_FILE;
@@ -125,6 +136,21 @@ TEST(PolicyEquivalence, SixPresetJsonlMatchesGoldenSnapshot)
         << "preset JSONL drifted from the snapshot; if intentional, "
            "regenerate with PCMAP_UPDATE_GOLDEN=1 "
            "./build/tests/policy_equivalence_test";
+}
+
+TEST(PolicyEquivalence, SlcGoldenPrefixEqualsLegacySixPresetSweep)
+{
+    // The org axis expands slc-first, so the first quarter of the
+    // golden matrix must be byte-for-byte what the pre-org-axis
+    // six-preset sweep produced — org=slc is not allowed to perturb a
+    // single existing row.
+    sweep::SweepSpec legacy = smokeSpec();
+    legacy.modes.assign(std::begin(kAllModes), std::end(kAllModes));
+    const std::string legacy_jsonl = runJsonl(legacy);
+    const std::string full = runJsonl(goldenSpec());
+    ASSERT_FALSE(legacy_jsonl.empty());
+    ASSERT_GT(full.size(), legacy_jsonl.size());
+    EXPECT_EQ(full.substr(0, legacy_jsonl.size()), legacy_jsonl);
 }
 
 } // namespace

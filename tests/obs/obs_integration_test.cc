@@ -77,6 +77,55 @@ TEST(ObsIntegrationTest, ObservabilityNeverChangesResults)
     EXPECT_EQ(off.instRetired, on.instRetired);
 }
 
+TEST(ObsIntegrationTest, ObservabilityIsInvariantForEveryDeviceOrg)
+{
+    // The multi-round write path (round chaining, boundary
+    // pause/cancel) schedules its own continuation events; the epoch
+    // sampler must stay invisible to it for every organization, with
+    // cancellation enabled so the round-boundary abort path runs.
+    // Two configs per org: the RWoW-RDE preset covers the fine-grained
+    // round-chaining path, the Baseline + write-cancellation config
+    // covers the coarse round-boundary abort path (cancellation only
+    // exists on the conventional-DIMM baseline).
+    std::vector<SystemConfig> bases(2, baseConfig());
+    bases[1].mode = SystemMode::Baseline;
+    bases[1].enableWriteCancellation = true;
+    for (const SystemConfig &base : bases)
+    for (const DeviceOrg org : kAllOrgs) {
+        SystemConfig plain = base;
+        plain.timing = PcmTiming::forOrg(org);
+        System a(plain, workload::makeWorkload("streamcluster",
+                                               plain.numCores));
+        const SystemResults off = a.run();
+
+        SystemConfig traced = plain;
+        traced.obs.trace = true;
+        traced.obs.epochTicks = 1'000'000;
+        System b(traced, workload::makeWorkload("streamcluster",
+                                                traced.numCores));
+        const SystemResults on = b.run();
+
+        EXPECT_EQ(off.simTicks, on.simTicks) << deviceOrgName(org);
+        EXPECT_EQ(off.readsCompleted, on.readsCompleted)
+            << deviceOrgName(org);
+        EXPECT_EQ(off.writesCompleted, on.writesCompleted)
+            << deviceOrgName(org);
+        EXPECT_EQ(off.avgReadLatencyNs, on.avgReadLatencyNs)
+            << deviceOrgName(org);
+        EXPECT_EQ(off.energyUj, on.energyUj) << deviceOrgName(org);
+        EXPECT_EQ(off.writeRoundsIssued, on.writeRoundsIssued)
+            << deviceOrgName(org);
+        EXPECT_EQ(off.writeRoundPauses, on.writeRoundPauses)
+            << deviceOrgName(org);
+        if (org == DeviceOrg::Slc) {
+            EXPECT_EQ(off.writeRoundsIssued, 0u)
+                << "single-round orgs must not count rounds";
+        } else {
+            EXPECT_GT(off.writeRoundsIssued, 0u) << deviceOrgName(org);
+        }
+    }
+}
+
 TEST(ObsIntegrationTest, FinalSampleRestatesAggregateResultsExactly)
 {
     SystemConfig cfg = baseConfig();

@@ -75,6 +75,38 @@ TEST(SweepDeterminism, SeedsIgnoreCompletionOrder)
     }
 }
 
+TEST(SweepDeterminism, OrgAxisIsByteIdenticalAcrossThreadCounts)
+{
+    // The multi-round write machinery (round chaining, boundary
+    // pause/cancel) runs inside the simulated controller, so denser
+    // organizations must shard across workers exactly as cleanly as
+    // slc does.
+    SweepSpec spec = matrixSpec();
+    spec.orgs.assign(std::begin(kAllOrgs), std::end(kAllOrgs));
+    const auto run_at = [&spec](unsigned threads) {
+        SweepRunner::Options opts;
+        opts.threads = threads;
+        return toJsonl(SweepRunner(opts).run(spec));
+    };
+    const std::string serial = run_at(1);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, run_at(8));
+}
+
+TEST(SweepDeterminism, SlcPrefixOfMultiOrgSweepMatchesLegacySweep)
+{
+    // org expansion is slc-first and org-major, so the first quarter
+    // of a four-org report must be byte-for-byte the legacy report.
+    SweepSpec multi = matrixSpec();
+    multi.orgs.assign(std::begin(kAllOrgs), std::end(kAllOrgs));
+    const std::string legacy =
+        toJsonl(SweepRunner().run(matrixSpec()));
+    const std::string all = toJsonl(SweepRunner().run(multi));
+    ASSERT_FALSE(legacy.empty());
+    ASSERT_GT(all.size(), legacy.size());
+    EXPECT_EQ(all.substr(0, legacy.size()), legacy);
+}
+
 TEST(SweepDeterminism, SerializationExcludesWallClock)
 {
     // A field that differs between runs of identical work would break

@@ -44,6 +44,8 @@ usage()
         "                  mt | mp | evaluated (default MP1,canneal)\n"
         "  modes=LIST      comma list of system modes, or all | pcmap\n"
         "                  (default all)\n"
+        "  org=NAME        PCM cell organization slc|mlc|tlc|qlc\n"
+        "                  (default slc)\n"
         "  insts=N         instructions per core per run (default 120000)\n"
         "  cores=N         cores per simulated system (default 8)\n"
         "  seed=N          base seed for every run (default 1)\n"
@@ -60,13 +62,16 @@ usage()
 /** One (mode, workload) simulation, returning its host metrics. */
 perf::RunMetrics
 measurePoint(SystemMode mode, const std::string &workload,
-             std::uint64_t insts, unsigned cores, std::uint64_t seed)
+             std::uint64_t insts, unsigned cores, std::uint64_t seed,
+             DeviceOrg org)
 {
     SystemConfig cfg;
     cfg.mode = mode;
     cfg.numCores = cores;
     cfg.instructionsPerCore = insts;
     cfg.seed = seed;
+    if (org != DeviceOrg::Slc)
+        cfg.timing = cfg.timing.withOrg(org);
 
     System sys(cfg, workload::makeWorkload(workload, cfg.numCores));
     perf::WallTimer timer;
@@ -145,6 +150,16 @@ main(int argc, char **argv)
     const std::uint64_t seed = args.getUint("seed", 1);
     const std::uint64_t repeat = args.getUint("repeat", 1);
     const bool table = args.getBool("table", true);
+    DeviceOrg org = DeviceOrg::Slc;
+    if (args.has("org")) {
+        const std::string org_name = args.requireString("org");
+        const auto parsed = deviceOrgFromName(org_name);
+        if (!parsed) {
+            fatal("unknown device organization '", org_name,
+                  "' (known: ", deviceOrgNames(), ")");
+        }
+        org = *parsed;
+    }
     if (repeat == 0)
         fatal("repeat= must be at least 1");
 
@@ -164,7 +179,7 @@ main(int argc, char **argv)
         for (const SystemMode mode : modes) {
             for (const std::string &w : workloads) {
                 perf::RunMetrics m =
-                    measurePoint(mode, w, insts, cores, seed);
+                    measurePoint(mode, w, insts, cores, seed, org);
                 if (table) {
                     std::printf("  %-18s %s\n", m.label.c_str(),
                                 perf::summaryLine(m).c_str());

@@ -62,6 +62,9 @@ usage()
         "                  name; combines with an explicit modes=\n"
         "  seeds=LIST      comma list of unsigned base seeds (default 1);\n"
         "                  per-run seed = hash(baseSeed, pointIndex)\n"
+        "  org=LIST        comma list of PCM cell organizations:\n"
+        "                  slc | mlc | tlc | qlc, or all (default slc).\n"
+        "                  Non-slc rows are labelled mode@org\n"
         "  insts=N         instructions per core per run (default 200000)\n"
         "  cores=N         cores per simulated system (default 8)\n"
         "\n"
@@ -109,7 +112,7 @@ usage()
 /** Every key pcmap-sweep understands, for typo diagnostics. */
 const std::vector<std::string> kKnownKeys = {
     "workloads", "modes",    "policy",        "seeds",
-    "insts",     "cores",    "threads",       "procs",
+    "org",       "insts",    "cores",    "threads",       "procs",
     "retries",   "workerTimeout", "shard",    "resume",
     "jsonl",     "csv",      "table",         "progress",
     "help",      "trace",    "obsEpoch",      "obsOut",
