@@ -18,6 +18,11 @@
  *               observability, same syntax as pcmap-sweep: per-run
  *               trace/timeline files named by the sweep point index;
  *               zero overhead when omitted
+ *   tenants=N, rate=, burst=, qos=, window=, reqs=, arb=, linkGbps=,
+ *   linkNs=, linkQueue=
+ *               multi-tenant request fabric, same syntax as
+ *               pcmap-sweep (see sweep::fabricFromConfig); off unless
+ *               tenants= is given
  * plus harness-specific keys documented in each binary.
  *
  * The figure harnesses no longer loop over (mode, workload) by hand:
@@ -96,6 +101,8 @@ struct HarnessConfig
     std::vector<DeviceOrg> orgs{DeviceOrg::Slc};
     /** Observability selections (trace=/obsEpoch=/obsOut=/traceCap=). */
     sweep::ObsCliOptions obs;
+    /** Multi-tenant fabric (tenants=/rate=/qos=/...; off by default). */
+    fabric::FabricConfig fabric;
     Config raw;
 
     static HarnessConfig
@@ -109,6 +116,7 @@ struct HarnessConfig
             hc.raw.getUint("threads", hc.threads));
         hc.jsonl = hc.raw.getString("jsonl", hc.jsonl);
         hc.obs = sweep::obsFromConfig(hc.raw);
+        hc.fabric = sweep::fabricFromConfig(hc.raw);
         if (hc.raw.has("policy")) {
             for (const ControllerPolicy &p : sweep::parsePolicies(
                      hc.raw.requireString("policy"))) {
@@ -129,6 +137,7 @@ struct HarnessConfig
         cfg.mode = mode;
         cfg.instructionsPerCore = insts;
         cfg.seed = seed;
+        cfg.fabric = fabric;
         return cfg;
     }
 

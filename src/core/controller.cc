@@ -369,10 +369,9 @@ MemoryController::computeReadWindow(ChipMask chips, unsigned bank,
         burst_start, lastWriteBurstEnd + cfg.timing.turnaroundTicks());
     // Per-chip data lanes (no lane can push past laneMaxFree).
     if (burst_start < laneMaxFree) {
-        for (unsigned c = 0; c < kChipsPerRank; ++c) {
-            if (chips & (1u << c))
-                burst_start = std::max(burst_start, laneFreeAt[c]);
-        }
+        forEachSetBit(chips, [&](unsigned c) {
+            burst_start = std::max(burst_start, laneFreeAt[c]);
+        });
     }
     start = burst_start - lead;
     end = burst_start + cfg.timing.burstTicks();
@@ -390,10 +389,9 @@ MemoryController::computeWriteWindow(ChipMask chips, unsigned bank,
     burst_start = std::max(
         burst_start, lastReadBurstEnd + cfg.timing.turnaroundTicks());
     if (burst_start < laneMaxFree) {
-        for (unsigned c = 0; c < kChipsPerRank; ++c) {
-            if (chips & (1u << c))
-                burst_start = std::max(burst_start, laneFreeAt[c]);
-        }
+        forEachSetBit(chips, [&](unsigned c) {
+            burst_start = std::max(burst_start, laneFreeAt[c]);
+        });
     }
     start = burst_start - lead;
     // Array occupancy covers every programming round of the write
@@ -408,10 +406,9 @@ MemoryController::occupyBuses(ChipMask chips, Tick burst_start,
                               unsigned num_cmds)
 {
     (void)burst_start; // lanes are held conservatively to burst_end
-    for (unsigned c = 0; c < kChipsPerRank; ++c) {
-        if (chips & (1u << c))
-            laneFreeAt[c] = std::max(laneFreeAt[c], burst_end);
-    }
+    forEachSetBit(chips, [&](unsigned c) {
+        laneFreeAt[c] = std::max(laneFreeAt[c], burst_end);
+    });
     if (chips)
         laneMaxFree = std::max(laneMaxFree, burst_end);
     if (is_write)
@@ -427,10 +424,9 @@ MemoryController::reserveChips(unsigned rank, ChipMask chips,
                                unsigned bank, std::uint64_t row,
                                Tick start, Tick end, bool is_write)
 {
-    for (unsigned c = 0; c < kChipsPerRank; ++c) {
-        if (chips & (1u << c))
-            ranks[rank].reserveChip(c, bank, row, start, end, is_write);
-    }
+    forEachSetBit(chips, [&](unsigned c) {
+        ranks[rank].reserveChip(c, bank, row, start, end, is_write);
+    });
 }
 
 void

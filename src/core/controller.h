@@ -86,6 +86,7 @@ class MemoryController : private ReadWindowModel
     using ReadCallback = MemoryPort::ReadCallback;
     using VerifyCallback = MemoryPort::VerifyCallback;
     using RetryCallback = MemoryPort::RetryCallback;
+    using WriteCompleteCallback = MemoryPort::WriteCompleteCallback;
 
     /**
      * @param name    Instance name for diagnostics ("mc0", ...).
@@ -110,6 +111,11 @@ class MemoryController : private ReadWindowModel
 
     void setRetryCallback(RetryCallback cb) { retryCb = std::move(cb); }
     void setVerifyCallback(VerifyCallback cb) { verifyCb = std::move(cb); }
+    void
+    setWriteCompleteCallback(WriteCompleteCallback cb)
+    {
+        writeCompleteCb = std::move(cb);
+    }
 
     /**
      * Attach the run's trace recorder (null detaches).  Propagated to
@@ -330,6 +336,7 @@ class MemoryController : private ReadWindowModel
 
     RetryCallback retryCb;
     VerifyCallback verifyCb;
+    WriteCompleteCallback writeCompleteCb;
 
     ControllerStats counters;
     std::vector<IrlpTracker> irlpTrackers;

@@ -31,10 +31,9 @@ MemoryController::issueRead(const ReadPlan &plan)
     reserveChips(loc.rank, plan.chips, loc.bank, loc.row, plan.start,
                  plan.end, false);
     if (scheduler->closesRowAfterAccess()) {
-        for (unsigned c = 0; c < kChipsPerRank; ++c) {
-            if (plan.chips & (1u << c))
-                ranks[loc.rank].closeRow(c, loc.bank);
-        }
+        forEachSetBit(plan.chips, [&](unsigned c) {
+            ranks[loc.rank].closeRow(c, loc.bank);
+        });
     }
     unsigned num_cmds = plan.rowHit ? 1 : 2;
     if (cfg.fineGrained && plan.speculative) {

@@ -26,6 +26,10 @@ MemoryController::completeSilentWrite(WriteEntry entry, WordMask essential)
     const Tick now = eventq.now();
     counters.writeLatencyHist.sample(now - entry.req.enqueueTick);
     counters.queueResidencyHist.sample(now - entry.req.enqueueTick);
+    if (writeCompleteCb) {
+        writeCompleteCb(entry.req.id, entry.req.coreId,
+                        entry.req.enqueueTick, now);
+    }
     PCMAP_OBS_TRACE(trace, obs::TracePoint::WriteComplete,
                     entry.req.enqueueTick, now - entry.req.enqueueTick,
                     entry.line,
@@ -47,8 +51,10 @@ MemoryController::scheduleWriteCompletion(const WriteEntry &entry,
     const Tick enq = entry.req.enqueueTick;
     const unsigned w_rank = entry.loc.rank;
     const unsigned w_bank = entry.loc.bank;
+    const ReqId w_id = entry.req.id;
+    const unsigned w_core = entry.req.coreId;
     return eventq.schedule(done, [this, line, data, track_active, enq,
-                                  kind, w_rank, w_bank]() {
+                                  kind, w_rank, w_bank, w_id, w_core]() {
         // Recompute the change mask at commit time: an earlier write
         // to the same line may have committed since this one was
         // planned, and correctness requires applying every word that
@@ -85,6 +91,8 @@ MemoryController::scheduleWriteCompletion(const WriteEntry &entry,
         ++counters.writesCompleted;
         const Tick commit = eventq.now();
         counters.writeLatencyHist.sample(commit - enq);
+        if (writeCompleteCb)
+            writeCompleteCb(w_id, w_core, enq, commit);
         PCMAP_OBS_TRACE(trace, obs::TracePoint::WriteComplete, enq,
                         commit - enq, line,
                         static_cast<std::uint64_t>(kind), 0, channelId,
@@ -465,12 +473,10 @@ MemoryController::tryIssueWrites(Tick now, Tick &earliest)
     // occupied data chips busy in parallel.
     const unsigned group_busy = chipCount(occupied);
     for (const WriteGroupMember &m : group) {
-        for (unsigned c = 0; c < kChipsPerRank; ++c) {
-            if (m.chips & (1u << c)) {
-                ranks[loc.rank].reserveChip(c, loc.bank, m.row, s,
-                                            e_first, true);
-            }
-        }
+        forEachSetBit(m.chips, [&](unsigned c) {
+            ranks[loc.rank].reserveChip(c, loc.bank, m.row, s,
+                                        e_first, true);
+        });
         irlpTrackers[loc.rank].addOp(now, s, e_first, m.chips, true);
         counters.writeIrlpHist.sample(group_busy);
         counters.queueResidencyHist.sample(s - m.entry.req.enqueueTick);
@@ -528,12 +534,10 @@ MemoryController::tryIssueWrites(Tick now, Tick &earliest)
                 ++counters.writeRoundPauses;
             const Tick re = rs + pulse;
             for (const WriteGroupMember &m : *members) {
-                for (unsigned c = 0; c < kChipsPerRank; ++c) {
-                    if (m.chips & (1u << c)) {
-                        ranks[w_rank].reserveChip(c, w_bank, m.row, rs,
-                                                  re, true);
-                    }
-                }
+                forEachSetBit(m.chips, [&](unsigned c) {
+                    ranks[w_rank].reserveChip(c, w_bank, m.row, rs,
+                                              re, true);
+                });
                 irlpTrackers[w_rank].addOp(t0, rs, re, m.chips, true);
             }
             if (round + 1 >= rounds) {

@@ -22,6 +22,7 @@
 #ifndef PCMAP_CORE_LAYOUT_H
 #define PCMAP_CORE_LAYOUT_H
 
+#include <bit>
 #include <cstdint>
 
 #include "mem/line.h"
@@ -117,11 +118,12 @@ class ChipLayout
     chipsForWords(std::uint64_t line_addr, WordMask words) const
     {
         ChipMask mask = 0;
-        for (unsigned w = 0; w < kWordsPerLine; ++w) {
-            if (words & (1u << w)) {
-                mask |= static_cast<ChipMask>(
-                    1u << chipForWord(line_addr, w));
-            }
+        for (WordMask m = words; m != 0;
+             m = static_cast<WordMask>(m & (m - 1))) {
+            const unsigned w =
+                static_cast<unsigned>(std::countr_zero(m));
+            mask |= static_cast<ChipMask>(
+                1u << chipForWord(line_addr, w));
         }
         return mask;
     }

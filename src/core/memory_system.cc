@@ -43,6 +43,13 @@ MainMemory::setVerifyCallback(VerifyCallback cb)
         mc->setVerifyCallback(cb);
 }
 
+void
+MainMemory::setWriteCompleteCallback(WriteCompleteCallback cb)
+{
+    for (auto &mc : controllers)
+        mc->setWriteCompleteCallback(cb);
+}
+
 bool
 MainMemory::idle() const
 {

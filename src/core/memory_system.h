@@ -39,6 +39,7 @@ class MainMemory : public MemoryPort
     bool enqueueWrite(const MemRequest &req) override;
     void setRetryCallback(RetryCallback cb) override;
     void setVerifyCallback(VerifyCallback cb) override;
+    void setWriteCompleteCallback(WriteCompleteCallback cb) override;
 
     /**
      * Attach one trace recorder shared by every controller (null

@@ -93,15 +93,15 @@ FrFcfsScheduler::planRead(ReadQueue &read_queue,
         bool delayed_by_write = false;
         if (blocked) {
             // Blocked: is a write responsible?
-            for (unsigned c = 0; c < kChipsPerRank; ++c) {
-                if (!(inline_mask & (1u << c)))
-                    continue;
+            for (ChipMask m = inline_mask; m != 0 && !delayed_by_write;
+                 m = static_cast<ChipMask>(m & (m - 1))) {
+                const unsigned c =
+                    static_cast<unsigned>(std::countr_zero(m));
                 const ChipBankState &s =
                     banks.state(loc.rank, c, loc.bank);
                 if (s.busyUntil > now && s.busyWithWrite) {
                     entry.delayedByWrite = true;
                     delayed_by_write = true;
-                    break;
                 }
             }
         }

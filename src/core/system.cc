@@ -5,6 +5,8 @@
 #include <ostream>
 
 #include "core/policy/controller_policy.h"
+#include "fabric/link_model.h"
+#include "fabric/tenant.h"
 #include "obs/observer.h"
 #include "sim/log.h"
 #include "workload/profile.h"
@@ -57,6 +59,17 @@ System::System(const SystemConfig &config,
     }
     cfg.geometry.validate();
 
+    const bool fab_on = cfg.fabric.enabled();
+    const unsigned num_tenants =
+        static_cast<unsigned>(cfg.fabric.tenants.size());
+    if (fab_on) {
+        cfg.fabric.validate(cfg.numCores);
+        // Tenants partition the cores into contiguous blocks.
+        coreTenant.resize(cfg.numCores);
+        for (unsigned i = 0; i < cfg.numCores; ++i)
+            coreTenant[i] = i * num_tenants / cfg.numCores;
+    }
+
     // Size the functional stores for the lines this run can actually
     // touch: per core, no more than its footprint and no more than
     // its expected write count (a host-side hint only — results are
@@ -87,11 +100,33 @@ System::System(const SystemConfig &config,
     mc_cfg.footprintLinesHint = footprint_hint;
     mem = std::make_unique<MainMemory>(mc_cfg, cfg.geometry, eventq);
 
+    // All request sources drive one port: MainMemory directly, or the
+    // fabric's link in front of it.
+    MemoryPort *port = mem.get();
+    if (fab_on) {
+        link = std::make_unique<fabric::LinkModel>(cfg.fabric, coreTenant,
+                                                   eventq, *mem);
+        port = link.get();
+    }
+
     // Carve the physical line space into per-core regions for
     // multi-programmed runs; multi-threaded runs share one region.
+    // The carving math is identical with and without a fabric, so a
+    // tenant's address region is exactly its core slots' regions.
     const std::uint64_t total_lines = cfg.geometry.totalLines();
     std::uint64_t next_base = 0;
     Rng seeder(cfg.seed);
+
+    /** Accumulated address region of one open-loop tenant. */
+    struct OpenRegion
+    {
+        bool seen = false;
+        std::uint64_t base = 0;
+        std::uint64_t lines = 0;
+        unsigned firstCore = 0;
+        const workload::AppProfile *prof = nullptr;
+    };
+    std::vector<OpenRegion> openRegions(num_tenants);
 
     for (unsigned i = 0; i < cfg.numCores; ++i) {
         const workload::AppProfile &prof =
@@ -107,29 +142,73 @@ System::System(const SystemConfig &config,
                       " GB memory; shrink the workload");
             }
         }
+
+        const unsigned t = fab_on ? coreTenant[i] : 0;
+        if (fab_on &&
+            cfg.fabric.tenants[t].arrival != fabric::ArrivalKind::Closed) {
+            // Open-loop slot: no generator/core pair; the tenant's
+            // stream injects over the union of its slots' regions.
+            sources.push_back(nullptr);
+            cores.push_back(nullptr);
+            OpenRegion &r = openRegions[t];
+            if (!r.seen) {
+                r.seen = true;
+                r.base = base;
+                r.firstCore = i;
+                r.prof = &prof;
+                r.lines = region;
+            } else if (!spec.sharedAddressSpace) {
+                r.lines += region;
+            }
+            continue;
+        }
+
         sources.push_back(
             std::make_unique<workload::SyntheticGenerator>(
                 prof, mem->backingStore(),
                 cfg.seed * 1000003ull + i * 7919ull, base, region));
+        CoreConfig core_cfg = cfg.core;
+        if (fab_on && cfg.fabric.tenants[t].window > 0)
+            core_cfg.maxOutstandingReads = cfg.fabric.tenants[t].window;
         cores.push_back(std::make_unique<CoreModel>(
-            i, cfg.core, eventq, *mem, *sources.back(),
+            i, core_cfg, eventq, *port, *sources.back(),
             cfg.instructionsPerCore));
     }
 
-    mem->setRetryCallback([this]() {
-        for (auto &c : cores)
-            c->onRetry();
+    if (fab_on) {
+        tenantStreams.resize(num_tenants);
+        for (unsigned t = 0; t < num_tenants; ++t) {
+            const fabric::TenantSpec &ts = cfg.fabric.tenants[t];
+            if (ts.arrival == fabric::ArrivalKind::Closed)
+                continue;
+            const OpenRegion &r = openRegions[t];
+            pcmap_assert(r.seen);
+            tenantStreams[t] = std::make_unique<fabric::TenantStream>(
+                t, ts, eventq, *port, *r.prof, mem->backingStore(),
+                Rng::deriveStream(cfg.seed, t), r.base, r.lines,
+                r.firstCore);
+        }
+    }
+
+    port->setRetryCallback([this]() {
+        for (auto &c : cores) {
+            if (c)
+                c->onRetry();
+        }
     });
-    mem->setVerifyCallback([this](ReqId id, unsigned core_id,
-                                  bool fault) {
-        if (core_id < cores.size())
+    port->setVerifyCallback([this](ReqId id, unsigned core_id,
+                                   bool fault) {
+        if (core_id < cores.size() && cores[core_id])
             cores[core_id]->onVerify(id, fault);
     });
 
     if (cfg.obs.enabled()) {
         obsRun = std::make_unique<obs::RunObserver>(cfg.obs);
-        if (obsRun->recorder() != nullptr)
+        if (obsRun->recorder() != nullptr) {
             mem->setTraceRecorder(obsRun->recorder());
+            if (link)
+                link->setTraceRecorder(obsRun->recorder());
+        }
     }
 }
 
@@ -183,8 +262,14 @@ System::scheduleEpochSample(Tick at)
 SystemResults
 System::run()
 {
-    for (auto &c : cores)
-        c->start();
+    for (auto &c : cores) {
+        if (c)
+            c->start();
+    }
+    for (auto &t : tenantStreams) {
+        if (t)
+            t->start();
+    }
 
     const bool epochs = obsRun && cfg.obs.epochTicks > 0;
     if (epochs) {
@@ -202,7 +287,7 @@ System::run()
     }
 
     for (const auto &c : cores) {
-        if (!c->finished()) {
+        if (c && !c->finished()) {
             pcmap_panic("event queue drained but core ", c->id(),
                         " retired only ", c->stats().instRetired,
                         " instructions (simulator deadlock)");
@@ -226,6 +311,8 @@ System::run()
     // --- Cores ---
     std::uint64_t total_insts = 0;
     for (const auto &c : cores) {
+        if (!c)
+            continue; // open-loop tenant slot
         res.coreIpc.push_back(c->ipc());
         res.ipcSum += c->ipc();
         const CoreStats &cs = c->stats();

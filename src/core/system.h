@@ -17,6 +17,7 @@
 #include "core/controller_config.h"
 #include "core/memory_system.h"
 #include "cpu/core_model.h"
+#include "fabric/fabric.h"
 #include "obs/obs_config.h"
 #include "sim/event_queue.h"
 #include "workload/generator.h"
@@ -27,6 +28,11 @@ namespace pcmap {
 namespace obs {
 class RunObserver;
 } // namespace obs
+
+namespace fabric {
+class LinkModel;
+class TenantStream;
+} // namespace fabric
 
 /** Full parameterization of a simulated system. */
 struct SystemConfig
@@ -65,6 +71,13 @@ struct SystemConfig
     unsigned specReadBufferCap = 8;
     unsigned wowMaxMerge = 8;
     unsigned wowScanDepth = 32;
+
+    /**
+     * Multi-tenant request fabric (front-end streams + link).  Off by
+     * default (no tenants); a disabled fabric constructs nothing and
+     * the system is byte-identical to the pre-fabric code.
+     */
+    fabric::FabricConfig fabric{};
 
     /**
      * Observability (tracing + epoch time-series).  Never affects
@@ -167,6 +180,18 @@ class System
         return static_cast<unsigned>(cores.size());
     }
 
+    /** The request fabric's link, or null when the fabric is off. */
+    fabric::LinkModel *fabricLink() { return link.get(); }
+    const fabric::LinkModel *fabricLink() const { return link.get(); }
+
+    /** Open-loop stream of tenant @p t, or null (closed / fabric off). */
+    const fabric::TenantStream *
+    tenantStream(unsigned t) const
+    {
+        return t < tenantStreams.size() ? tenantStreams[t].get()
+                                        : nullptr;
+    }
+
     /**
      * The run's observer (trace ring + epoch timeline), or null when
      * observability is disabled (cfg.obs.enabled() == false).
@@ -184,8 +209,19 @@ class System
     workload::WorkloadSpec spec;
     EventQueue eventq;
     std::unique_ptr<MainMemory> mem;
+    /** Owning tenant per core (empty when the fabric is off). */
+    std::vector<unsigned> coreTenant;
+    /** Front-end link; null when the fabric is off. */
+    std::unique_ptr<fabric::LinkModel> link;
+    /**
+     * Per-core generator/core pairs.  A core slot owned by an
+     * open-loop tenant holds nullptr in both vectors — its traffic
+     * comes from the tenant's stream instead.
+     */
     std::vector<std::unique_ptr<workload::SyntheticGenerator>> sources;
     std::vector<std::unique_ptr<CoreModel>> cores;
+    /** One stream per open-loop tenant (indexed by tenant id). */
+    std::vector<std::unique_ptr<fabric::TenantStream>> tenantStreams;
     std::unique_ptr<obs::RunObserver> obsRun;
     EventHandle epochEvent;
 };

@@ -1,0 +1,110 @@
+#include "fabric/fabric.h"
+
+#include "sim/config.h"
+#include "sim/log.h"
+
+namespace pcmap::fabric {
+
+void
+FabricConfig::validate(unsigned num_cores) const
+{
+    if (tenants.size() > num_cores) {
+        fatal("fabric: ", tenants.size(), " tenants need at least as "
+              "many cores (have ", num_cores, ")");
+    }
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+        const TenantSpec &spec = tenants[t];
+        const bool open = spec.arrival != ArrivalKind::Closed;
+        if (open && spec.ratePerUs <= 0.0) {
+            fatal("fabric: tenant ", t,
+                  " is open-loop but has rate <= 0");
+        }
+        if (!open && spec.ratePerUs > 0.0) {
+            fatal("fabric: tenant ", t,
+                  " is closed-loop but has a nonzero rate");
+        }
+        if (spec.burst < 1.0)
+            fatal("fabric: tenant ", t, " burst must be >= 1");
+        if (spec.arrival == ArrivalKind::Bursty && spec.burst <= 1.0) {
+            fatal("fabric: tenant ", t,
+                  " bursty arrival needs burst > 1");
+        }
+        if (open && spec.requests == 0)
+            fatal("fabric: tenant ", t, " has a zero request budget");
+    }
+    if (queueCap == 0)
+        fatal("fabric: linkQueue= must be at least 1");
+    if (linkGbps < 0.0)
+        fatal("fabric: linkGbps= must be >= 0");
+    if (linkNs < 0.0)
+        fatal("fabric: linkNs= must be >= 0");
+}
+
+double
+jainIndex(const std::vector<double> &xs)
+{
+    double sum = 0.0;
+    double sq = 0.0;
+    for (const double x : xs) {
+        sum += x;
+        sq += x * x;
+    }
+    if (xs.empty() || sq <= 0.0)
+        return 1.0;
+    return (sum * sum) / (static_cast<double>(xs.size()) * sq);
+}
+
+const char *
+qosClassName(QosClass q)
+{
+    switch (q) {
+    case QosClass::LatencySensitive: return "ls";
+    case QosClass::BestEffort: return "be";
+    }
+    return "unknown";
+}
+
+const char *
+arrivalKindName(ArrivalKind k)
+{
+    switch (k) {
+    case ArrivalKind::Closed: return "closed";
+    case ArrivalKind::Poisson: return "poisson";
+    case ArrivalKind::Bursty: return "bursty";
+    }
+    return "unknown";
+}
+
+const char *
+linkArbName(LinkArb a)
+{
+    switch (a) {
+    case LinkArb::StrictPriority: return "prio";
+    case LinkArb::WeightedRoundRobin: return "wrr";
+    }
+    return "unknown";
+}
+
+QosClass
+qosClassFromName(const std::string &name)
+{
+    if (name == "ls")
+        return QosClass::LatencySensitive;
+    if (name == "be")
+        return QosClass::BestEffort;
+    fatalUnknown("unknown QoS class", name, {"ls", "be", "mixed"},
+                 "known: ls, be (or qos=mixed to alternate)");
+}
+
+LinkArb
+linkArbFromName(const std::string &name)
+{
+    if (name == "prio")
+        return LinkArb::StrictPriority;
+    if (name == "wrr")
+        return LinkArb::WeightedRoundRobin;
+    fatalUnknown("unknown link arbiter", name, {"prio", "wrr"},
+                 "known: prio, wrr");
+}
+
+} // namespace pcmap::fabric

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Multi-tenant request-fabric configuration.
+ *
+ * The fabric sits between the request sources and MainMemory: N
+ * tenant streams — each with its own arrival process, read/write mix
+ * (inherited from its workload slots), QoS class and address region —
+ * are multiplexed through a LinkModel onto the unmodified memory
+ * controllers.  The whole subsystem is off by default (no tenants):
+ * a disabled fabric constructs nothing and every legacy run is
+ * byte-identical to the pre-fabric code.
+ *
+ * Backward compatibility by construction: tenants partition the
+ * existing cores into contiguous blocks, closed-loop tenants reuse
+ * the per-core CoreModel/SyntheticGenerator pair with their legacy
+ * seeds, and a zero-delay link forwards synchronously — so a
+ * tenants=1 closed-loop run executes the identical event sequence as
+ * the legacy cpu::source path (fabric_compat_test pins this).
+ */
+
+#ifndef PCMAP_FABRIC_FABRIC_H
+#define PCMAP_FABRIC_FABRIC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pcmap::fabric {
+
+/** Service class used by the link arbiter. */
+enum class QosClass : std::uint8_t {
+    LatencySensitive, ///< arbitration priority ("ls")
+    BestEffort,       ///< background bandwidth ("be")
+};
+
+/** How a tenant generates requests. */
+enum class ArrivalKind : std::uint8_t {
+    Closed,  ///< windowed closed loop: the tenant's CoreModels drive it
+    Poisson, ///< open loop, exponential inter-arrivals at ratePerUs
+    Bursty,  ///< open loop, Markov-modulated on/off at burst x rate
+};
+
+/** Link arbitration policy between tenant queues. */
+enum class LinkArb : std::uint8_t {
+    StrictPriority,    ///< LS strictly before BE, round-robin within
+    WeightedRoundRobin,///< deterministic credits, LS weight 4, BE 1
+};
+
+/** One tenant's traffic contract. */
+struct TenantSpec
+{
+    ArrivalKind arrival = ArrivalKind::Closed;
+    QosClass qos = QosClass::LatencySensitive;
+    /** Open-loop mean injection rate in requests per microsecond. */
+    double ratePerUs = 0.0;
+    /** On/off modulation factor; >1 selects the bursty arrival. */
+    double burst = 1.0;
+    /** Closed-loop outstanding-read cap; 0 keeps the core default. */
+    unsigned window = 0;
+    /** Open-loop injection budget (requests, then the stream stops). */
+    std::uint64_t requests = 20'000;
+};
+
+/** Full fabric parameterization (part of SystemConfig). */
+struct FabricConfig
+{
+    /** One spec per tenant; empty = fabric disabled entirely. */
+    std::vector<TenantSpec> tenants;
+    LinkArb arb = LinkArb::StrictPriority;
+    /** Link bandwidth in GB/s; <= 0 disables serialization delay. */
+    double linkGbps = 0.0;
+    /** One-way propagation delay in nanoseconds. */
+    double linkNs = 0.0;
+    /** Per-tenant link queue depth (requests). */
+    unsigned queueCap = 256;
+
+    bool enabled() const { return !tenants.empty(); }
+
+    /**
+     * True when the link adds no timing at all: requests forward
+     * synchronously and the fabric only observes (per-tenant stats).
+     */
+    bool
+    bypassLink() const
+    {
+        return linkGbps <= 0.0 && linkNs <= 0.0;
+    }
+
+    /** fatal() when the shape is unusable for @p num_cores cores. */
+    void validate(unsigned num_cores) const;
+};
+
+/**
+ * Jain's fairness index J(x) = (sum x)^2 / (n * sum x^2) over
+ * per-tenant throughputs: exactly 1.0 when all tenants achieve the
+ * same rate, approaching 1/n as one tenant starves the rest.
+ * Returns 1.0 for empty or all-zero input (nothing to be unfair
+ * about).
+ */
+double jainIndex(const std::vector<double> &xs);
+
+/** Stable lower-case names ("ls", "poisson", "wrr", ...). */
+const char *qosClassName(QosClass q);
+const char *arrivalKindName(ArrivalKind k);
+const char *linkArbName(LinkArb a);
+
+/**
+ * Parse a QoS class name ("ls" / "be", case-sensitive).  fatal() on
+ * anything else, with a closest-match suggestion.
+ */
+QosClass qosClassFromName(const std::string &name);
+
+/** Parse an arbiter name ("prio" / "wrr"); fatal() with suggestion. */
+LinkArb linkArbFromName(const std::string &name);
+
+} // namespace pcmap::fabric
+
+#endif // PCMAP_FABRIC_FABRIC_H

@@ -1,0 +1,117 @@
+#include "fabric/fabric_stats.h"
+
+#include <ostream>
+#include <string>
+
+namespace pcmap::fabric {
+
+/** One tenant's stat objects plus the refresh logic. */
+struct FabricStatExport::TenantMirror
+{
+    explicit TenantMirror(const std::string &name)
+        : group(name),
+          read(group, "read", "fabric read latency percentiles (ns)"),
+          linkWait(group, "linkWait",
+                   "arrival-to-link-grant percentiles (ns)"),
+          device(group, "device",
+                 "link-handoff-to-completion percentiles (ns)"),
+          write(group, "write",
+                "write enqueue-to-commit percentiles (ns)"),
+          readsAccepted(group, "readsAccepted",
+                        "reads the fabric accepted"),
+          writesAccepted(group, "writesAccepted",
+                         "writes the fabric accepted"),
+          readsCompleted(group, "readsCompleted", "reads completed"),
+          writesCommitted(group, "writesCommitted",
+                          "write-backs committed to the array"),
+          rejected(group, "rejected",
+                   "enqueue attempts refused (queue full)"),
+          throughput(group, "throughputMops",
+                     "completed requests per microsecond")
+    {
+    }
+
+    /** Summary -> Percentiles values, ticks exported as ns. */
+    static stats::Percentiles::Values
+    percentileValuesNs(const obs::LogHistogram &h)
+    {
+        const obs::LogHistogram::Summary s = h.summary();
+        stats::Percentiles::Values v;
+        v.p50 = s.p50 * 1e-3;
+        v.p90 = s.p90 * 1e-3;
+        v.p99 = s.p99 * 1e-3;
+        v.p999 = s.p999 * 1e-3;
+        v.max = s.max * 1e-3;
+        v.mean = s.mean * 1e-3;
+        v.samples = static_cast<double>(s.samples);
+        return v;
+    }
+
+    /** @return completed requests per microsecond of @p sim_ticks. */
+    double
+    refresh(const TenantCounters &c, Tick sim_ticks)
+    {
+        read.set(percentileValuesNs(c.readTotal));
+        linkWait.set(percentileValuesNs(c.linkWait));
+        device.set(percentileValuesNs(c.deviceRead));
+        write.set(percentileValuesNs(c.writeDevice));
+        readsAccepted.set(static_cast<double>(c.readsAccepted));
+        writesAccepted.set(static_cast<double>(c.writesAccepted));
+        readsCompleted.set(static_cast<double>(c.readsCompleted));
+        writesCommitted.set(static_cast<double>(c.writesCommitted));
+        rejected.set(static_cast<double>(c.rejected));
+        const double done = static_cast<double>(c.readsCompleted) +
+                            static_cast<double>(c.writesCommitted);
+        const double tput =
+            sim_ticks > 0 ? done / (static_cast<double>(sim_ticks) * 1e-6)
+                          : 0.0;
+        throughput.set(tput);
+        return tput;
+    }
+
+    stats::StatGroup group;
+    stats::Percentiles read;
+    stats::Percentiles linkWait;
+    stats::Percentiles device;
+    stats::Percentiles write;
+    stats::Scalar readsAccepted;
+    stats::Scalar writesAccepted;
+    stats::Scalar readsCompleted;
+    stats::Scalar writesCommitted;
+    stats::Scalar rejected;
+    stats::Scalar throughput;
+};
+
+FabricStatExport::FabricStatExport(const LinkModel &link_model)
+    : link(link_model)
+{
+    for (unsigned t = 0; t < link.tenantCount(); ++t) {
+        mirrors.push_back(std::make_unique<TenantMirror>(
+            "tenant" + std::to_string(t)));
+        rootGroup.addChild(&mirrors.back()->group);
+    }
+}
+
+FabricStatExport::~FabricStatExport() = default;
+
+void
+FabricStatExport::refresh(Tick sim_ticks)
+{
+    std::vector<double> tputs(mirrors.size());
+    for (unsigned t = 0; t < link.tenantCount(); ++t)
+        tputs[t] = mirrors[t]->refresh(link.tenant(t), sim_ticks);
+    jain.set(jainIndex(tputs));
+    linkUtil.set(sim_ticks > 0
+                     ? static_cast<double>(link.busyTicks()) /
+                           static_cast<double>(sim_ticks)
+                     : 0.0);
+}
+
+void
+FabricStatExport::dump(std::ostream &os, Tick sim_ticks)
+{
+    refresh(sim_ticks);
+    rootGroup.dump(os);
+}
+
+} // namespace pcmap::fabric

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Stats-framework export of the fabric's per-tenant accounting.
+ *
+ * Mirrors LinkModel's TenantCounters into a "fabric" StatGroup:
+ * per-tenant child groups ("tenant0", "tenant1", ...) carrying latency
+ * percentile summaries and throughput, plus fabric-level aggregates
+ * (Jain fairness index over per-tenant throughputs, link utilization).
+ * Flattened keys look like "fabric.tenant0.read.p99" and ride the
+ * same JSONL/CSV sweep aggregation as the pcm tree.
+ */
+
+#ifndef PCMAP_FABRIC_FABRIC_STATS_H
+#define PCMAP_FABRIC_FABRIC_STATS_H
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "fabric/link_model.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace pcmap::fabric {
+
+/** Snapshot-and-dump bridge from LinkModel counters to stats. */
+class FabricStatExport
+{
+  public:
+    /** @param link Must outlive this exporter. */
+    explicit FabricStatExport(const LinkModel &link);
+    ~FabricStatExport();
+
+    FabricStatExport(const FabricStatExport &) = delete;
+    FabricStatExport &operator=(const FabricStatExport &) = delete;
+
+    /**
+     * Copy the current fabric counters into the stat objects.
+     * @param sim_ticks Run length, for throughput and utilization.
+     */
+    void refresh(Tick sim_ticks);
+
+    /** refresh() then write the full listing to @p os. */
+    void dump(std::ostream &os, Tick sim_ticks);
+
+    /** The stat tree (valid between refreshes). */
+    const stats::StatGroup &root() const { return rootGroup; }
+
+  private:
+    struct TenantMirror;
+
+    const LinkModel &link;
+    stats::StatGroup rootGroup{"fabric"};
+    stats::Scalar jain{rootGroup, "jainIndex",
+                       "Jain fairness index of tenant throughputs"};
+    stats::Scalar linkUtil{rootGroup, "linkUtilization",
+                           "fraction of sim time the link serialized"};
+    std::vector<std::unique_ptr<TenantMirror>> mirrors;
+};
+
+} // namespace pcmap::fabric
+
+#endif // PCMAP_FABRIC_FABRIC_STATS_H

@@ -1,0 +1,111 @@
+#include "fabric/tenant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.h"
+
+namespace pcmap::fabric {
+
+namespace {
+
+/** Mean arrivals per on-burst of the Markov-modulated process. */
+constexpr double kMeanBurstLen = 8.0;
+
+} // namespace
+
+TenantStream::TenantStream(unsigned tenant_id, const TenantSpec &spec,
+                           EventQueue &eq, MemoryPort &mem_port,
+                           const workload::AppProfile &profile,
+                           BackingStore &store, std::uint64_t seed,
+                           std::uint64_t base_line,
+                           std::uint64_t region_lines, unsigned core_id)
+    : tenantId(tenant_id), tenantSpec(spec), eventq(eq), port(mem_port),
+      gen(profile, store, seed, base_line, region_lines),
+      arrivals(Rng::deriveStream(seed, 1)), coreId(core_id)
+{
+    pcmap_assert(spec.arrival != ArrivalKind::Closed);
+    pcmap_assert(spec.ratePerUs > 0.0);
+    // 1 us = 1e6 ticks.  Bursty tenants inject burst x faster while
+    // on; the off gaps below restore the long-run average.
+    const double on_rate = spec.arrival == ArrivalKind::Bursty
+                               ? spec.ratePerUs * spec.burst
+                               : spec.ratePerUs;
+    meanGapOn = 1e6 / on_rate;
+    if (spec.arrival == ArrivalKind::Bursty) {
+        // Duty cycle 1/burst: a mean burst of kMeanBurstLen arrivals
+        // spans (kMeanBurstLen * meanGapOn) on-time, so the off gap
+        // must average (burst - 1) x that.
+        offMean = kMeanBurstLen * meanGapOn * (spec.burst - 1.0);
+    }
+}
+
+void
+TenantStream::start()
+{
+    if (tenantSpec.requests == 0)
+        return;
+    scheduleNext();
+}
+
+Tick
+TenantStream::expGap(double mean_ticks)
+{
+    const double u = arrivals.uniform(); // in [0, 1)
+    const double gap = -mean_ticks * std::log(1.0 - u);
+    return std::max<Tick>(1, static_cast<Tick>(std::llround(gap)));
+}
+
+void
+TenantStream::scheduleNext()
+{
+    Tick gap;
+    if (tenantSpec.arrival == ArrivalKind::Bursty) {
+        if (burstLeft == 0) {
+            // Entering a new on-burst after an off period.
+            burstLeft =
+                arrivals.geometric(1.0 / kMeanBurstLen) + 1;
+            gap = expGap(offMean);
+        } else {
+            gap = expGap(meanGapOn);
+        }
+        --burstLeft;
+    } else {
+        gap = expGap(meanGapOn);
+    }
+    eventq.scheduleIn(gap, [this]() { inject(); });
+}
+
+void
+TenantStream::inject()
+{
+    MemOp op;
+    if (!gen.next(op)) {
+        // Profile streams are unbounded in practice; treat exhaustion
+        // as the end of this tenant's run.
+        return;
+    }
+    MemRequest req;
+    req.id = nextId++;
+    req.type = op.isWrite ? ReqType::Write : ReqType::Read;
+    req.addr = op.addr;
+    req.coreId = coreId;
+    if (op.isWrite)
+        req.data = op.data;
+
+    // Open loop: nothing waits on the response; the LinkModel's
+    // wrapper does the latency accounting.
+    const bool ok = op.isWrite
+                        ? port.enqueueWrite(req)
+                        : port.enqueueRead(req, MemoryPort::ReadCallback{});
+    if (ok)
+        ++numInjected;
+    else
+        ++numDropped;
+
+    if (numInjected + numDropped <
+        static_cast<std::uint64_t>(tenantSpec.requests))
+        scheduleNext();
+}
+
+} // namespace pcmap::fabric

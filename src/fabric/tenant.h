@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Open-loop tenant traffic streams.
+ *
+ * A TenantStream injects requests into the fabric on its own clock —
+ * the arrival process of the TenantSpec — independent of completions
+ * (open loop: load does not self-throttle, which is what exposes
+ * queueing tails).  Addresses, read/write mix and write payloads come
+ * from the same SyntheticGenerator a closed-loop core would use, so a
+ * tenant's traffic shape is the workload profile's; only the timing is
+ * the arrival process's.
+ *
+ * Two arrival processes:
+ *  - Poisson: exponential inter-arrival gaps with mean 1/ratePerUs.
+ *  - Bursty (Markov-modulated on/off): bursts of geometrically many
+ *    arrivals (mean 8) spaced at burst x ratePerUs, separated by off
+ *    gaps sized so the long-run average rate is still ratePerUs.
+ *
+ * Requests a full link queue rejects are dropped (and counted by the
+ * LinkModel), as an overloaded open-loop host's would be.
+ */
+
+#ifndef PCMAP_FABRIC_TENANT_H
+#define PCMAP_FABRIC_TENANT_H
+
+#include <cstdint>
+
+#include "fabric/fabric.h"
+#include "mem/backing_store.h"
+#include "mem/request.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "workload/generator.h"
+#include "workload/profile.h"
+
+namespace pcmap::fabric {
+
+/** One open-loop tenant's request injector. */
+class TenantStream
+{
+  public:
+    /**
+     * @param tenant_id    Tenant index (stats / trace labelling).
+     * @param spec         Arrival process parameters.
+     * @param eq           Shared event queue.
+     * @param port         Where requests go (the LinkModel).
+     * @param profile      Workload shape for addresses and payloads.
+     * @param store        Functional memory (write payload synthesis).
+     * @param seed         Tenant stream seed (deriveStream of the run
+     *                     seed and the tenant id).
+     * @param base_line    First line of the tenant's address region.
+     * @param region_lines Region size; 0 uses the profile footprint.
+     * @param core_id      Core id stamped on requests (first core slot
+     *                     this tenant owns; routes completions/stats).
+     */
+    TenantStream(unsigned tenant_id, const TenantSpec &spec,
+                 EventQueue &eq, MemoryPort &port,
+                 const workload::AppProfile &profile, BackingStore &store,
+                 std::uint64_t seed, std::uint64_t base_line,
+                 std::uint64_t region_lines, unsigned core_id);
+
+    /** Schedule the first arrival (call once, before the run starts). */
+    void start();
+
+    // Introspection ----------------------------------------------------
+    std::uint64_t injected() const { return numInjected; }
+    std::uint64_t dropped() const { return numDropped; }
+    const TenantSpec &spec() const { return tenantSpec; }
+
+  private:
+    void inject();
+    void scheduleNext();
+    /** Exponential gap with the given mean, clamped to >= 1 tick. */
+    Tick expGap(double mean_ticks);
+
+    unsigned tenantId;
+    TenantSpec tenantSpec;
+    EventQueue &eventq;
+    MemoryPort &port;
+    workload::SyntheticGenerator gen;
+    Rng arrivals;
+    unsigned coreId;
+    ReqId nextId = 1;
+
+    /** Mean inter-arrival gap in ticks while on (1 us = 1e6 ticks). */
+    double meanGapOn;
+    /** Mean off gap between bursts (bursty only). */
+    double offMean = 0.0;
+    /** Arrivals left in the current burst (bursty only). */
+    std::uint64_t burstLeft = 0;
+
+    std::uint64_t numInjected = 0;
+    std::uint64_t numDropped = 0;
+};
+
+} // namespace pcmap::fabric
+
+#endif // PCMAP_FABRIC_TENANT_H

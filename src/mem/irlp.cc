@@ -24,9 +24,7 @@ IrlpTracker::addOp(Tick sched_now, Tick start, Tick end,
 void
 IrlpTracker::applyEdge(const Edge &e)
 {
-    for (unsigned c = 0; c < kChipsPerRank; ++c) {
-        if (!(e.chips & (1u << c)))
-            continue;
+    forEachSetBit(e.chips, [&](unsigned c) {
         const int before = chipRefs[c];
         chipRefs[c] += e.delta;
         pcmap_assert(chipRefs[c] >= 0);
@@ -34,7 +32,7 @@ IrlpTracker::applyEdge(const Edge &e)
             ++activeChips;
         else if (before > 0 && chipRefs[c] == 0)
             --activeChips;
-    }
+    });
     writesInService += e.dWrites;
     pcmap_assert(writesInService >= 0);
 }

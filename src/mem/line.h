@@ -56,6 +56,20 @@ chipCount(ChipMask m)
 }
 
 /**
+ * Visit each set bit of @p mask in ascending order — the bit-iteration
+ * replacement for "loop 0..N, test membership" chip/word-set scans.
+ * Masks are at most 10 bits, so the callback-per-bit shape inlines to
+ * a tzcnt + blsr loop with no branch per absent member.
+ */
+template <typename Mask, typename Fn>
+constexpr void
+forEachSetBit(Mask mask, Fn &&fn)
+{
+    for (Mask m = mask; m != 0; m = static_cast<Mask>(m & (m - 1)))
+        fn(static_cast<unsigned>(std::countr_zero(m)));
+}
+
+/**
  * A 64-byte cache line viewed as eight 64-bit words.
  * Word 0 holds bytes 0-7, word 1 bytes 8-15, and so on.
  */

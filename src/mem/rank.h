@@ -21,6 +21,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -99,9 +100,10 @@ class Rank
     freeAt(ChipMask chips, unsigned bank) const
     {
         Tick latest = 0;
-        for (unsigned c = 0; c < kChipsPerRank; ++c) {
-            if (!(chips & (1u << c)))
-                continue;
+        for (ChipMask m = chips; m != 0;
+             m = static_cast<ChipMask>(m & (m - 1))) {
+            const unsigned c =
+                static_cast<unsigned>(std::countr_zero(m));
             pcmap_assert(pccPresent || c != kPccSlot);
             latest = std::max(latest, chipFreeAt(c, bank));
         }
@@ -120,9 +122,12 @@ class Rank
     bool
     rowOpenAll(ChipMask chips, unsigned bank, std::uint64_t row) const
     {
-        for (unsigned c = 0; c < kChipsPerRank; ++c) {
-            if ((chips & (1u << c)) && !rowOpen(c, bank, row))
+        for (ChipMask m = chips; m != 0;
+             m = static_cast<ChipMask>(m & (m - 1))) {
+            if (!rowOpen(static_cast<unsigned>(std::countr_zero(m)),
+                         bank, row)) {
                 return false;
+            }
         }
         return true;
     }
@@ -171,6 +176,10 @@ class Rank
     ChipMask
     busyChips(unsigned bank, Tick now) const
     {
+        // The monotone ceiling is never stale low, so at-or-below now
+        // means every chip of the bank is already free.
+        if (busyCeiling(bank) <= now)
+            return 0;
         ChipMask mask = 0;
         for (unsigned c = 0; c < kChipsPerRank; ++c) {
             if (chipFreeAt(c, bank) > now)
@@ -183,6 +192,8 @@ class Rank
     ChipMask
     busyWriteChips(unsigned bank, Tick now) const
     {
+        if (busyCeiling(bank) <= now)
+            return 0;
         ChipMask mask = 0;
         for (unsigned c = 0; c < kChipsPerRank; ++c) {
             const ChipBankState &s = state(c, bank);

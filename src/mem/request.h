@@ -81,6 +81,13 @@ class MemoryPort
     using VerifyCallback =
         std::function<void(ReqId id, unsigned core_id, bool fault)>;
     using RetryCallback = std::function<void()>;
+    /**
+     * Commit notice for a write-back that actually reached the array:
+     * the request's identity plus its controller enqueue and commit
+     * ticks.  Writes absorbed by in-queue coalescing never fire.
+     */
+    using WriteCompleteCallback = std::function<void(
+        ReqId id, unsigned core_id, Tick enqueue, Tick commit)>;
 
     /** Try to enqueue a read; @p cb fires at completion. */
     virtual bool enqueueRead(const MemRequest &req, ReadCallback cb) = 0;
@@ -99,6 +106,16 @@ class MemoryPort
      * speculatively delivered read completes (Section IV-B3).
      */
     virtual void setVerifyCallback(VerifyCallback cb) = 0;
+
+    /**
+     * Register a callback fired when a write-back commits to the
+     * array.  Optional: the default implementation discards it, so
+     * ports that have no write-side observers need not override.
+     */
+    virtual void setWriteCompleteCallback(WriteCompleteCallback cb)
+    {
+        (void)cb;
+    }
 };
 
 } // namespace pcmap

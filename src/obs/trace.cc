@@ -36,6 +36,9 @@ tracePointName(TracePoint p)
     case TracePoint::BgIssue: return "bg.issue";
     case TracePoint::QueueDepth: return "queue_depth";
     case TracePoint::LaneOccupancy: return "lane_occupancy";
+    case TracePoint::LinkEnqueue: return "link.enqueue";
+    case TracePoint::LinkIssue: return "link.issue";
+    case TracePoint::LinkDrop: return "link.drop";
     }
     return "unknown";
 }
@@ -49,6 +52,7 @@ tracePointPhase(TracePoint p)
     case TracePoint::WriteIssue:
     case TracePoint::WriteComplete:
     case TracePoint::BgIssue:
+    case TracePoint::LinkIssue:
         return 'X';
     case TracePoint::QueueDepth:
     case TracePoint::LaneOccupancy:
@@ -88,6 +92,10 @@ tracePointCategory(TracePoint p)
     case TracePoint::QueueDepth:
     case TracePoint::LaneOccupancy:
         return "counter";
+    case TracePoint::LinkEnqueue:
+    case TracePoint::LinkIssue:
+    case TracePoint::LinkDrop:
+        return "link";
     }
     return "other";
 }
@@ -160,9 +168,14 @@ appendChromeEvent(std::string &out, const TraceEvent &e)
     }
     // pid = channel so Perfetto shows one process row per channel;
     // tid = bank so lifecycle events land on their bank's track
-    // (counters go on tid 0 to keep one series per channel).
+    // (counters go on tid 0 to keep one series per channel).  Link
+    // events reuse the channel field for the tenant id and sit in
+    // their own 1000+ pid range so tenants get per-tenant rows.
+    const bool is_link = e.point == TracePoint::LinkEnqueue ||
+                         e.point == TracePoint::LinkIssue ||
+                         e.point == TracePoint::LinkDrop;
     out += ",\"pid\":";
-    appendU64(out, e.channel);
+    appendU64(out, is_link ? 1000u + e.channel : e.channel);
     out += ",\"tid\":";
     appendU64(out, ph == 'C' ? 0 : e.bank);
     if (ph == 'i')

@@ -49,6 +49,10 @@ enum class TracePoint : std::uint8_t {
     // --- Counters ---
     QueueDepth,     ///< C: arg0 = read queue, arg1 = write queue
     LaneOccupancy,  ///< C: arg0 = busy chip lanes at ts
+    // --- Fabric link (channel field carries the tenant id) ---
+    LinkEnqueue,    ///< i: request queued at the link (arg0 = depth after)
+    LinkIssue,      ///< X: serialization window (arg0 = queueing wait)
+    LinkDrop,       ///< i: tenant queue full; request dropped
 };
 
 /** Why a WoW merge candidate was not added to the group. */

@@ -225,4 +225,17 @@ closestMatch(const std::string &word,
     return best;
 }
 
+void
+fatalUnknown(const char *what, const std::string &value,
+             const std::vector<std::string> &candidates,
+             const std::string &known_summary)
+{
+    const std::string suggestion = closestMatch(value, candidates);
+    if (!suggestion.empty()) {
+        fatal(what, " '", value, "'; did you mean '", suggestion,
+              "'? (", known_summary, ")");
+    }
+    fatal(what, " '", value, "' (", known_summary, ")");
+}
+
 } // namespace pcmap

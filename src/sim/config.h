@@ -73,6 +73,17 @@ class Config
 std::string closestMatch(const std::string &word,
                          const std::vector<std::string> &candidates);
 
+/**
+ * fatal() for an unrecognized enumerated value or key: names the
+ * offender, adds a "did you mean 'X'?" clause when closestMatch()
+ * finds a candidate near @p value, and closes with a parenthesised
+ * @p known_summary telling the user where the valid spellings live
+ * (e.g. "known: baseline, row, ..." or "help=1 lists every key").
+ */
+[[noreturn]] void fatalUnknown(const char *what, const std::string &value,
+                               const std::vector<std::string> &candidates,
+                               const std::string &known_summary);
+
 } // namespace pcmap
 
 #endif // PCMAP_SIM_CONFIG_H

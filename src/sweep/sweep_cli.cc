@@ -58,14 +58,9 @@ parseModes(const std::string &arg)
             std::vector<std::string> known{"all", "pcmap"};
             for (const SystemMode m : kAllModes)
                 known.emplace_back(systemModeName(m));
-            const std::string suggestion = closestMatch(name, known);
-            if (!suggestion.empty()) {
-                fatal("unknown system mode '", name,
-                      "'; did you mean '", suggestion, "'? (known: ",
-                      systemModeNames(), ", all, pcmap)");
-            }
-            fatal("unknown system mode '", name, "' (known: ",
-                  systemModeNames(), ", all, pcmap)");
+            fatalUnknown("unknown system mode", name, known,
+                         std::string("known: ") + systemModeNames() +
+                             ", all, pcmap");
         }
         modes.push_back(*mode);
     }
@@ -130,20 +125,109 @@ parseOrgs(const std::string &arg)
             std::vector<std::string> known{"all"};
             for (const DeviceOrg o : kAllOrgs)
                 known.emplace_back(deviceOrgName(o));
-            const std::string suggestion = closestMatch(name, known);
-            if (!suggestion.empty()) {
-                fatal("unknown device organization '", name,
-                      "'; did you mean '", suggestion, "'? (known: ",
-                      deviceOrgNames(), ", all)");
-            }
-            fatal("unknown device organization '", name, "' (known: ",
-                  deviceOrgNames(), ", all)");
+            fatalUnknown("unknown device organization", name, known,
+                         std::string("known: ") + deviceOrgNames() +
+                             ", all");
         }
         orgs.push_back(*org);
     }
     if (orgs.empty())
         fatal("org= needs at least one organization");
     return orgs;
+}
+
+namespace {
+
+/**
+ * Per-tenant value list for fabric key @p key: one entry broadcasts
+ * to every tenant, otherwise exactly @p n entries are required.
+ */
+std::vector<double>
+perTenantDoubles(const Config &args, const char *key, double fallback,
+                 unsigned n)
+{
+    std::vector<double> out(n, fallback);
+    if (!args.has(key))
+        return out;
+    const std::vector<std::string> toks =
+        splitCommas(args.requireString(key));
+    if (toks.size() != 1 && toks.size() != n) {
+        fatal(key, "= needs 1 or tenants= (", n, ") values, got ",
+              toks.size());
+    }
+    for (unsigned t = 0; t < n; ++t) {
+        const std::string &tok = toks[toks.size() == 1 ? 0 : t];
+        char *end = nullptr;
+        const double v = std::strtod(tok.c_str(), &end);
+        if (end == tok.c_str() || *end != '\0')
+            fatal(key, "=: '", tok, "' is not a number");
+        out[t] = v;
+    }
+    return out;
+}
+
+} // namespace
+
+fabric::FabricConfig
+fabricFromConfig(const Config &args)
+{
+    fabric::FabricConfig fab;
+    const auto n =
+        static_cast<unsigned>(args.getUint("tenants", 0));
+    if (n == 0)
+        return fab; // fabric off; every other key is ignored
+    fab.tenants.resize(n);
+
+    const std::vector<double> rates =
+        perTenantDoubles(args, "rate", 0.0, n);
+    const std::vector<double> bursts =
+        perTenantDoubles(args, "burst", 1.0, n);
+    const std::vector<double> windows =
+        perTenantDoubles(args, "window", 0.0, n);
+
+    const std::string qos_arg = args.getString("qos", "ls");
+    std::vector<std::string> qos_toks = splitCommas(qos_arg);
+    if (qos_arg == "mixed") {
+        // Alternate ls, be, ls, be, ... across the tenants.
+        qos_toks.clear();
+        for (unsigned t = 0; t < n; ++t)
+            qos_toks.emplace_back(t % 2 == 0 ? "ls" : "be");
+    }
+    if (qos_toks.size() != 1 && qos_toks.size() != n) {
+        fatal("qos= needs 1 or tenants= (", n, ") values, got ",
+              qos_toks.size());
+    }
+
+    const std::uint64_t reqs = args.getUint("reqs", 20'000);
+    if (reqs == 0)
+        fatal("reqs= must be at least 1");
+
+    for (unsigned t = 0; t < n; ++t) {
+        fabric::TenantSpec &spec = fab.tenants[t];
+        spec.ratePerUs = rates[t];
+        spec.burst = bursts[t];
+        if (windows[t] < 0.0 ||
+            windows[t] != static_cast<double>(
+                              static_cast<unsigned>(windows[t])))
+            fatal("window=: '", windows[t],
+                  "' is not a non-negative integer");
+        spec.window = static_cast<unsigned>(windows[t]);
+        spec.qos = fabric::qosClassFromName(
+            qos_toks[qos_toks.size() == 1 ? 0 : t]);
+        spec.requests = reqs;
+        if (spec.ratePerUs > 0.0) {
+            spec.arrival = spec.burst > 1.0
+                               ? fabric::ArrivalKind::Bursty
+                               : fabric::ArrivalKind::Poisson;
+        }
+    }
+
+    fab.arb = fabric::linkArbFromName(args.getString("arb", "prio"));
+    fab.linkGbps = args.getDouble("linkGbps", 0.0);
+    fab.linkNs = args.getDouble("linkNs", 0.0);
+    fab.queueCap =
+        static_cast<unsigned>(args.getUint("linkQueue", fab.queueCap));
+    return fab;
 }
 
 std::vector<std::uint64_t>
@@ -199,6 +283,7 @@ specFromConfig(const Config &args)
         args.getUint("insts", 200'000);
     spec.configs[0].base.numCores = static_cast<unsigned>(
         args.getUint("cores", spec.configs[0].base.numCores));
+    spec.configs[0].base.fabric = fabricFromConfig(args);
     return spec;
 }
 

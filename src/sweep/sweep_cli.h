@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/policy/controller_policy.h"
+#include "fabric/fabric.h"
 #include "obs/obs_config.h"
 #include "sim/config.h"
 #include "sweep/sweep_spec.h"
@@ -80,6 +81,27 @@ std::vector<DeviceOrg> parseOrgs(const std::string &arg);
  * default mode axis rather than adding all six presets to it.
  */
 SweepSpec specFromConfig(const Config &args);
+
+/**
+ * Parse the multi-tenant fabric keys into a FabricConfig:
+ *
+ *   tenants=N      number of tenants (0 = fabric off, the default)
+ *   rate=R[,R...]  per-tenant open-loop rate in requests/us; 0 keeps
+ *                  the tenant closed-loop (one value broadcasts)
+ *   burst=B[,B..]  on/off burstiness factor; >1 with a rate selects
+ *                  the bursty arrival process
+ *   qos=Q[,Q...]   per-tenant class, "ls" or "be"; "mixed" alternates
+ *   window=W[,W.]  closed-loop outstanding-read cap (0 = core default)
+ *   reqs=N         open-loop per-tenant request budget
+ *   arb=A          link arbiter, "prio" or "wrr"
+ *   linkGbps=G     link bandwidth (0 = no serialization delay)
+ *   linkNs=D       one-way link propagation delay
+ *   linkQueue=N    per-tenant link queue depth
+ *
+ * Per-tenant lists must have either one entry (applied to every
+ * tenant) or exactly tenants= entries.  fatal() on malformed values.
+ */
+fabric::FabricConfig fabricFromConfig(const Config &args);
 
 /**
  * Parse the observability keys: trace=PREFIX (request-lifecycle

@@ -183,6 +183,21 @@ stableSerialize(const SweepSpec &spec)
             os << "org=" << deviceOrgName(c.timing.org) << ","
                << c.timing.writeRounds << "\n";
         }
+        // Same append-only rule for the request fabric: a disabled
+        // fabric (no tenants) serializes nothing.
+        if (c.fabric.enabled()) {
+            os << "fabric=" << static_cast<int>(c.fabric.arb) << ","
+               << fmtDouble(c.fabric.linkGbps) << ","
+               << fmtDouble(c.fabric.linkNs) << "," << c.fabric.queueCap
+               << "\n";
+            for (const fabric::TenantSpec &ts : c.fabric.tenants) {
+                os << "tenant=" << static_cast<int>(ts.arrival) << ","
+                   << static_cast<int>(ts.qos) << ","
+                   << fmtDouble(ts.ratePerUs) << ","
+                   << fmtDouble(ts.burst) << "," << ts.window << ","
+                   << ts.requests << "\n";
+            }
+        }
     }
     os << "modes=";
     for (std::size_t i = 0; i < spec.modes.size(); ++i)

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "core/stat_export.h"
+#include "fabric/fabric_stats.h"
 #include "obs/observer.h"
 #include "obs/trace.h"
 #include "sim/log.h"
@@ -75,6 +76,14 @@ SweepRunner::SweepRunner(Options options) : opts(std::move(options))
             SystemStatExport exporter(sys.memory());
             exporter.refresh();
             rec.stats = exporter.root().flattened();
+            // Per-tenant fabric stats ride the same flat listing;
+            // absent entirely when the fabric is off, so legacy rows
+            // keep their exact column set.
+            if (sys.fabricLink() != nullptr) {
+                fabric::FabricStatExport fex(*sys.fabricLink());
+                fex.refresh(rec.results.simTicks);
+                fex.root().collect(rec.stats);
+            }
         }
         const obs::RunObserver *ob = sys.observer();
         if (ob != nullptr && !obs_prefix.empty()) {

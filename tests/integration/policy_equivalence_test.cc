@@ -29,6 +29,7 @@
 #include <string>
 
 #include "core/policy/controller_policy.h"
+#include "fabric/fabric.h"
 #include "sweep/sweep_io.h"
 #include "sweep/sweep_runner.h"
 
@@ -108,9 +109,46 @@ goldenSpec()
     return spec;
 }
 
+/**
+ * Fabric rows appended to the snapshot: a 4-tenant mixed-QoS
+ * open-loop sweep over a real link, two presets x one workload.
+ * These rows ride after the legacy matrix so they are pure insertions
+ * — the pre-fabric bytes of golden_sweep.jsonl are untouched.
+ */
+sweep::SweepSpec
+fabricGoldenSpec()
+{
+    sweep::SweepSpec spec;
+    spec.workloads = {"MP1"};
+    spec.seeds = {1};
+    spec.modes = {SystemMode::Baseline, SystemMode::RWoW_RDE};
+    spec.configs[0].name = "fabric";
+    fabric::FabricConfig &fab = spec.configs[0].base.fabric;
+    fab.tenants.resize(4);
+    for (unsigned t = 0; t < 4; ++t) {
+        fab.tenants[t].arrival = fabric::ArrivalKind::Poisson;
+        fab.tenants[t].ratePerUs = 8.0;
+        fab.tenants[t].qos = t % 2 == 0
+                                 ? fabric::QosClass::LatencySensitive
+                                 : fabric::QosClass::BestEffort;
+        fab.tenants[t].requests = 2'000;
+    }
+    fab.arb = fabric::LinkArb::WeightedRoundRobin;
+    fab.linkGbps = 16.0;
+    fab.linkNs = 20.0;
+    return spec;
+}
+
+/** The full snapshot: legacy preset matrix, then the fabric rows. */
+std::string
+goldenJsonl()
+{
+    return runJsonl(goldenSpec()) + runJsonl(fabricGoldenSpec());
+}
+
 TEST(PolicyEquivalence, SixPresetJsonlMatchesGoldenSnapshot)
 {
-    const std::string actual = runJsonl(goldenSpec());
+    const std::string actual = goldenJsonl();
     ASSERT_FALSE(actual.empty());
 
     const std::string path = PCMAP_GOLDEN_SWEEP_FILE;
@@ -136,6 +174,17 @@ TEST(PolicyEquivalence, SixPresetJsonlMatchesGoldenSnapshot)
         << "preset JSONL drifted from the snapshot; if intentional, "
            "regenerate with PCMAP_UPDATE_GOLDEN=1 "
            "./build/tests/policy_equivalence_test";
+}
+
+TEST(PolicyEquivalence, FabricGoldenRowsArePureInsertions)
+{
+    // The legacy matrix must be a byte-exact prefix of the combined
+    // snapshot: adding the fabric rows is not allowed to perturb (or
+    // reorder around) a single pre-fabric row.
+    const std::string legacy = runJsonl(goldenSpec());
+    const std::string full = goldenJsonl();
+    ASSERT_GT(full.size(), legacy.size());
+    EXPECT_EQ(full.substr(0, legacy.size()), legacy);
 }
 
 TEST(PolicyEquivalence, SlcGoldenPrefixEqualsLegacySixPresetSweep)

@@ -131,5 +131,39 @@ TEST(ConfigDeath, NegativeUintIsFatal)
                 "non-negative");
 }
 
+TEST(ClosestMatch, SuggestsNearbyCandidatesOnly)
+{
+    const std::vector<std::string> names = {"baseline", "row", "wow",
+                                           "rde"};
+    // One edit away, and case folds before comparing.
+    EXPECT_EQ(closestMatch("baselin", names), "baseline");
+    EXPECT_EQ(closestMatch("ROW", names), "row");
+    EXPECT_EQ(closestMatch("woww", names), "wow");
+    // Distance must stay within half the word's length (min 2):
+    // unrelated words get no misleading pointer.
+    EXPECT_EQ(closestMatch("qlcorg", names), "");
+    EXPECT_EQ(closestMatch("", names), "");
+    EXPECT_EQ(closestMatch("row", {}), "");
+}
+
+TEST(ClosestMatch, PrefersTheCloserCandidate)
+{
+    EXPECT_EQ(closestMatch("prios", {"prio", "wrr"}), "prio");
+    EXPECT_EQ(closestMatch("wr", {"prio", "wrr"}), "wrr");
+}
+
+TEST(ConfigDeath, FatalUnknownNamesOffenderAndSuggestion)
+{
+    EXPECT_EXIT(fatalUnknown("unknown mode", "baselin",
+                             {"baseline", "row"}, "known: ..."),
+                ::testing::ExitedWithCode(1),
+                "unknown mode 'baselin'; did you mean 'baseline'\\?");
+    // No near candidate: plain message, no suggestion clause.
+    EXPECT_EXIT(fatalUnknown("unknown mode", "zzzzzz",
+                             {"baseline", "row"}, "known: ..."),
+                ::testing::ExitedWithCode(1),
+                "unknown mode 'zzzzzz' \\(known: \\.\\.\\.\\)");
+}
+
 } // namespace
 } // namespace pcmap

@@ -56,6 +56,10 @@ usage()
         "  label=STR       label recorded in the JSON measurement\n"
         "                  (default \"run\")\n"
         "  table=BOOL      per-point summary lines (default true)\n"
+        "  tenants=N, rate=, burst=, qos=, window=, reqs=, arb=,\n"
+        "  linkGbps=, linkNs=, linkQueue=\n"
+        "                  multi-tenant request fabric, same syntax as\n"
+        "                  pcmap-sweep; off unless tenants= is given\n"
         "  help=1          print this reference and exit");
 }
 
@@ -63,13 +67,14 @@ usage()
 perf::RunMetrics
 measurePoint(SystemMode mode, const std::string &workload,
              std::uint64_t insts, unsigned cores, std::uint64_t seed,
-             DeviceOrg org)
+             DeviceOrg org, const fabric::FabricConfig &fab)
 {
     SystemConfig cfg;
     cfg.mode = mode;
     cfg.numCores = cores;
     cfg.instructionsPerCore = insts;
     cfg.seed = seed;
+    cfg.fabric = fab;
     if (org != DeviceOrg::Slc)
         cfg.timing = cfg.timing.withOrg(org);
 
@@ -162,6 +167,7 @@ main(int argc, char **argv)
     }
     if (repeat == 0)
         fatal("repeat= must be at least 1");
+    const fabric::FabricConfig fab = sweep::fabricFromConfig(args);
 
     const std::size_t points =
         modes.size() * workloads.size() * repeat;
@@ -178,8 +184,9 @@ main(int argc, char **argv)
     for (std::uint64_t rep = 0; rep < repeat; ++rep) {
         for (const SystemMode mode : modes) {
             for (const std::string &w : workloads) {
-                perf::RunMetrics m =
-                    measurePoint(mode, w, insts, cores, seed, org);
+                perf::RunMetrics m = measurePoint(mode, w, insts,
+                                                  cores, seed, org,
+                                                  fab);
                 if (table) {
                     std::printf("  %-18s %s\n", m.label.c_str(),
                                 perf::summaryLine(m).c_str());

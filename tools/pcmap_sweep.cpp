@@ -68,6 +68,25 @@ usage()
         "  insts=N         instructions per core per run (default 200000)\n"
         "  cores=N         cores per simulated system (default 8)\n"
         "\n"
+        "request fabric (multi-tenant host streams; off by default):\n"
+        "  tenants=N       partition the cores among N tenant streams\n"
+        "  rate=LIST       open-loop injection rate per tenant in\n"
+        "                  requests/us (one value broadcasts; 0 = keep\n"
+        "                  that tenant closed-loop)\n"
+        "  burst=LIST      burstiness per tenant: B>1 turns Poisson\n"
+        "                  arrivals into on/off bursts at B x rate with\n"
+        "                  duty 1/B (default 1 = smooth Poisson)\n"
+        "  qos=LIST        per-tenant class, ls | be, or 'mixed' to\n"
+        "                  alternate (default ls for every tenant)\n"
+        "  window=N        closed-loop tenants' max outstanding reads\n"
+        "                  (default 0 = the core model's MSHR count)\n"
+        "  arb=NAME        link arbiter: prio | wrr (default prio)\n"
+        "  linkGbps=G      link bandwidth cap in GB/s (0 = no link\n"
+        "                  model: requests pass through untimed)\n"
+        "  linkNs=N        one-way link propagation delay in ns\n"
+        "  reqs=N          open-loop requests per tenant (default 20000)\n"
+        "  linkQueue=N     per-tenant link queue depth (default 256)\n"
+        "\n"
         "execution:\n"
         "  threads=N       worker threads in this process (default 1)\n"
         "  procs=N         orchestrate N shard worker processes of this\n"
@@ -116,7 +135,9 @@ const std::vector<std::string> kKnownKeys = {
     "retries",   "workerTimeout", "shard",    "resume",
     "jsonl",     "csv",      "table",         "progress",
     "help",      "trace",    "obsEpoch",      "obsOut",
-    "traceCap",
+    "traceCap",  "tenants",  "rate",          "burst",
+    "qos",       "window",   "arb",           "linkGbps",
+    "linkNs",    "reqs",     "linkQueue",
 };
 
 /** Reject unknown keys, suggesting the closest known one. */
@@ -128,12 +149,8 @@ validateKeys(const Config &args)
             kKnownKeys.end()) {
             continue;
         }
-        const std::string suggestion = closestMatch(key, kKnownKeys);
-        if (!suggestion.empty()) {
-            fatal("unknown key '", key, "'; did you mean '", suggestion,
-                  "'? (help=1 lists every key)");
-        }
-        fatal("unknown key '", key, "' (help=1 lists every key)");
+        fatalUnknown("unknown key", key, kKnownKeys,
+                     "help=1 lists every key");
     }
 }
 
