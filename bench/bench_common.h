@@ -23,6 +23,10 @@
  *               multi-tenant request fabric, same syntax as
  *               pcmap-sweep (see sweep::fabricFromConfig); off unless
  *               tenants= is given
+ *   tier=SPEC, tierHitNs=, tierMshr=, tierWbBatch=, tierWbBuffer=
+ *               DRAM cache tier, same syntax as pcmap-sweep (see
+ *               sweep::tierFromConfig); off unless tier=dram:... is
+ *               given
  * plus harness-specific keys documented in each binary.
  *
  * The figure harnesses no longer loop over (mode, workload) by hand:
@@ -103,6 +107,8 @@ struct HarnessConfig
     sweep::ObsCliOptions obs;
     /** Multi-tenant fabric (tenants=/rate=/qos=/...; off by default). */
     fabric::FabricConfig fabric;
+    /** DRAM cache tier (tier=/tierHitNs=/...; off by default). */
+    cache::TierConfig tier;
     Config raw;
 
     static HarnessConfig
@@ -117,6 +123,7 @@ struct HarnessConfig
         hc.jsonl = hc.raw.getString("jsonl", hc.jsonl);
         hc.obs = sweep::obsFromConfig(hc.raw);
         hc.fabric = sweep::fabricFromConfig(hc.raw);
+        hc.tier = sweep::tierFromConfig(hc.raw);
         if (hc.raw.has("policy")) {
             for (const ControllerPolicy &p : sweep::parsePolicies(
                      hc.raw.requireString("policy"))) {
@@ -138,6 +145,7 @@ struct HarnessConfig
         cfg.instructionsPerCore = insts;
         cfg.seed = seed;
         cfg.fabric = fabric;
+        cfg.tier = tier;
         return cfg;
     }
 

@@ -3,9 +3,10 @@
  * End-to-end demo of the cache substrate: a raw CPU load/store stream
  * flows through the L2 + DRAM-cache hierarchy, condenses into
  * few-dirty-word PCM write-backs (the Figure 2 phenomenon), and then
- * drives a core against the full PCMap memory system — composing the
- * library's public pieces (HierarchySource, CoreModel, MainMemory)
- * by hand instead of using the prebuilt System.
+ * drives a core through the timed CacheTier in front of the PCMap
+ * memory system — hand-composing the same MemoryPort stack that
+ * System builds for tier=dram:... configurations (CoreModel ->
+ * CacheTier -> MainMemory) instead of using the prebuilt System.
  *
  * Usage:
  *   cache_hierarchy [accesses=300000] [stores=0.3] [silent=0.2]
@@ -17,6 +18,7 @@
 
 #include "cache/hierarchy.h"
 #include "cache/raw_stream.h"
+#include "cache/tier.h"
 #include "core/memory_system.h"
 #include "cpu/core_model.h"
 #include "sim/config.h"
@@ -103,23 +105,30 @@ main(int argc, char **argv)
         std::printf("\n\n");
     }
 
-    // --- Pass 2: drive a core + the PCM memory with the same stream.
+    // --- Pass 2: drive a core through the timed tier + PCM memory.
     {
         EventQueue eq;
         MemGeometry geom;
         MainMemory memory(ControllerConfig::forMode(mode), geom, eq);
 
+        // The DRAM cache is the timed CacheTier here, so the
+        // functional hierarchy keeps only its L2 level — the DRAM
+        // level shrinks to a single line (effectively disabled).
+        cache::TierConfig tcfg;
+        tcfg.sizeBytes = 2ull << 20;
+        cache::CacheTier tier(tcfg, eq, memory);
+
         cache::SyntheticRawStream raw(rcfg);
         cache::HierarchyConfig hcfg;
         hcfg.l2 = cache::CacheConfig{1ull << 20, 8, true};
-        hcfg.dramCache = cache::CacheConfig{2ull << 20, 8, true};
+        hcfg.dramCache = cache::CacheConfig{kLineBytes, 1, true};
         cache::HierarchySource hier(raw, memory.backingStore(), hcfg);
 
         CoreConfig core_cfg;
-        CoreModel core(0, core_cfg, eq, memory, hier,
+        CoreModel core(0, core_cfg, eq, tier, hier,
                        /*target_insts=*/rcfg.accesses * 20);
-        memory.setRetryCallback([&core] { core.onRetry(); });
-        memory.setVerifyCallback(
+        tier.setRetryCallback([&core] { core.onRetry(); });
+        tier.setVerifyCallback(
             [&core](ReqId id, unsigned, bool fault) {
                 core.onVerify(id, fault);
             });
@@ -131,17 +140,26 @@ main(int argc, char **argv)
         double irlp = 0.0;
         double span = 0.0;
         std::uint64_t reads = 0;
+        std::uint64_t writes = 0;
         for (unsigned ch = 0; ch < memory.channels(); ++ch) {
             const MemoryController &mc = memory.controller(ch);
             irlp += mc.irlpArea();
             span += mc.irlpWindowTicks();
             reads += mc.stats().readsCompleted;
+            writes += mc.stats().writesCompleted;
         }
-        std::printf("timed run on %s: IPC %.3f, %llu PCM reads, "
+        const cache::TierCounters &tc = tier.counters();
+        std::printf("timed run on %s through a 2 MB tier: IPC %.3f, "
                     "IRLP %.2f\n",
                     systemModeName(mode), core.ipc(),
-                    static_cast<unsigned long long>(reads),
                     span > 0.0 ? irlp / span : 0.0);
+        std::printf("tier hit rate %.1f%%, %llu fills, %llu "
+                    "write-backs -> %llu PCM reads, %llu PCM writes\n",
+                    100.0 * tc.hitRate(),
+                    static_cast<unsigned long long>(tc.fills),
+                    static_cast<unsigned long long>(tc.writebacks),
+                    static_cast<unsigned long long>(reads),
+                    static_cast<unsigned long long>(writes));
     }
     return 0;
 }

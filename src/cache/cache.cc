@@ -23,6 +23,14 @@ SetAssocCache::SetAssocCache(const CacheConfig &config) : cfg(config)
 {
     cfg.validate();
     ways.resize(cfg.numSets() * cfg.associativity);
+    repl = makeReplacementPolicy(cfg.repl, cfg.numSets(),
+                                 cfg.associativity);
+}
+
+std::uint64_t
+SetAssocCache::indexOf(const Way &way) const
+{
+    return static_cast<std::uint64_t>(&way - ways.data());
 }
 
 std::uint64_t
@@ -59,15 +67,19 @@ SetAssocCache::lookup(std::uint64_t line_addr) const
 SetAssocCache::Way &
 SetAssocCache::victimFor(std::uint64_t set)
 {
-    Way *victim = nullptr;
+    // Snapshot the per-way state the policy may rank on, then let it
+    // choose.  kMaxAssoc keeps the snapshot off the heap.
+    constexpr unsigned kMaxAssoc = 64;
+    pcmap_assert(cfg.associativity <= kMaxAssoc);
+    ReplacementPolicy::WayState views[kMaxAssoc];
     for (unsigned w = 0; w < cfg.associativity; ++w) {
-        Way &way = ways[set * cfg.associativity + w];
-        if (!way.valid)
-            return way;
-        if (!victim || way.lastUse < victim->lastUse)
-            victim = &way;
+        const Way &way = ways[set * cfg.associativity + w];
+        views[w] = ReplacementPolicy::WayState{way.valid,
+                                               way.dirty != 0};
     }
-    return *victim;
+    const unsigned w = repl->victim(set, views, cfg.associativity);
+    pcmap_assert(w < cfg.associativity);
+    return ways[set * cfg.associativity + w];
 }
 
 AccessResult
@@ -78,7 +90,7 @@ SetAssocCache::access(std::uint64_t line_addr, bool is_store,
     if (Way *way = lookup(line_addr)) {
         res.hit = true;
         ++levelStats.hits;
-        way->lastUse = ++useCounter;
+        repl->onHit(indexOf(*way));
         if (is_store) {
             pcmap_assert(store_data != nullptr || store_mask == 0);
             for (unsigned i = 0; i < kWordsPerLine; ++i) {
@@ -122,7 +134,7 @@ SetAssocCache::fill(std::uint64_t line_addr, const CacheLine &data,
     way.tag = tagOf(line_addr);
     way.data = data;
     way.dirty = 0;
-    way.lastUse = ++useCounter;
+    repl->onInstall(indexOf(way));
     if (store_mask != 0) {
         pcmap_assert(store_data != nullptr);
         for (unsigned i = 0; i < kWordsPerLine; ++i) {

@@ -14,9 +14,11 @@
 #define PCMAP_CACHE_CACHE_H
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "cache/replacement.h"
 #include "mem/line.h"
 
 namespace pcmap::cache {
@@ -27,6 +29,7 @@ struct CacheConfig
     std::uint64_t sizeBytes = 8ull << 20; ///< 8 MB (the paper's L2).
     unsigned associativity = 8;
     bool writeBack = true; ///< false = write-through, no dirty state.
+    ReplPolicy repl = ReplPolicy::Lru;
 
     std::uint64_t numSets() const
     {
@@ -119,7 +122,6 @@ class SetAssocCache
         bool valid = false;
         WordMask dirty = 0;
         CacheLine data{};
-        std::uint64_t lastUse = 0;
     };
 
     Way *lookup(std::uint64_t line_addr);
@@ -127,10 +129,11 @@ class SetAssocCache
     Way &victimFor(std::uint64_t set);
     std::uint64_t setOf(std::uint64_t line_addr) const;
     std::uint64_t tagOf(std::uint64_t line_addr) const;
+    std::uint64_t indexOf(const Way &way) const;
 
     CacheConfig cfg;
     std::vector<Way> ways; ///< [set * assoc + way]
-    std::uint64_t useCounter = 0;
+    std::unique_ptr<ReplacementPolicy> repl;
     CacheLevelStats levelStats;
 };
 

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Swappable replacement policies for the set-associative cache array.
+ *
+ * The policy owns all recency/level metadata (the array itself keeps
+ * only tag/valid/dirty/data state), so swapping policies cannot touch
+ * the functional behaviour of hits and fills — only which way gets
+ * evicted.  Two implementations:
+ *
+ *  - Lru: one global use counter, victim is the least-recently-used
+ *    way.  Bit-identical to the original hard-coded behaviour.
+ *  - Mac: a MAC-style multilevel policy (PAPERS.md, "MAC: a novel
+ *    systematically multilevel cache replacement policy for PCM
+ *    memory"): each way carries a small level counter — fills insert
+ *    in the middle, hits promote, victim search demotes the whole set
+ *    — and among the lowest level, clean lines are evicted before
+ *    dirty ones.  Keeping dirty lines resident longer gives them more
+ *    chances to coalesce stores, which is what cuts PCM write traffic
+ *    relative to LRU.
+ */
+
+#ifndef PCMAP_CACHE_REPLACEMENT_H
+#define PCMAP_CACHE_REPLACEMENT_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace pcmap::cache {
+
+/** Which replacement policy a cache structure runs. */
+enum class ReplPolicy : std::uint8_t { Lru, Mac };
+
+/** Canonical lower-case name ("lru", "mac"). */
+const char *replPolicyName(ReplPolicy p);
+
+/** Parse a policy name; fatal()s with suggestions on unknown input. */
+ReplPolicy replPolicyFromName(const std::string &name);
+
+/**
+ * Victim selection + recency bookkeeping for one cache structure.
+ * Way indices are global (set * assoc + way); victim() returns the
+ * way offset within the set.
+ */
+class ReplacementPolicy
+{
+  public:
+    /** The per-way state a policy may consult when picking a victim. */
+    struct WayState
+    {
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    virtual ~ReplacementPolicy() = default;
+
+    /** A resident way was accessed (load or store hit). */
+    virtual void onHit(std::uint64_t way_index) = 0;
+
+    /** A line was just installed into the way. */
+    virtual void onInstall(std::uint64_t way_index) = 0;
+
+    /**
+     * Pick the victim way of @p set given the @p assoc way states
+     * (indexed by way offset).  Invalid ways must win over any valid
+     * way; beyond that the choice is the policy's.
+     */
+    virtual unsigned victim(std::uint64_t set, const WayState *ways,
+                            unsigned assoc) = 0;
+};
+
+/** Construct the policy instance for a sets x assoc structure. */
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(ReplPolicy p, std::uint64_t sets, unsigned assoc);
+
+} // namespace pcmap::cache
+
+#endif // PCMAP_CACHE_REPLACEMENT_H

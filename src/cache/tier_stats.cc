@@ -1,0 +1,74 @@
+#include "cache/tier_stats.h"
+
+#include <ostream>
+
+namespace pcmap::cache {
+
+namespace {
+
+/** Summary -> Percentiles values, ticks exported as ns. */
+stats::Percentiles::Values
+percentileValuesNs(const obs::LogHistogram &h)
+{
+    const obs::LogHistogram::Summary s = h.summary();
+    stats::Percentiles::Values v;
+    v.p50 = s.p50 * 1e-3;
+    v.p90 = s.p90 * 1e-3;
+    v.p99 = s.p99 * 1e-3;
+    v.p999 = s.p999 * 1e-3;
+    v.max = s.max * 1e-3;
+    v.mean = s.mean * 1e-3;
+    v.samples = static_cast<double>(s.samples);
+    return v;
+}
+
+/** Summary -> Percentiles values in natural units (batch sizes). */
+stats::Percentiles::Values
+percentileValues(const obs::LogHistogram &h)
+{
+    const obs::LogHistogram::Summary s = h.summary();
+    stats::Percentiles::Values v;
+    v.p50 = static_cast<double>(s.p50);
+    v.p90 = static_cast<double>(s.p90);
+    v.p99 = static_cast<double>(s.p99);
+    v.p999 = static_cast<double>(s.p999);
+    v.max = static_cast<double>(s.max);
+    v.mean = s.mean;
+    v.samples = static_cast<double>(s.samples);
+    return v;
+}
+
+} // namespace
+
+CacheStatExport::CacheStatExport(const CacheTier &tier_) : tier(tier_)
+{
+}
+
+void
+CacheStatExport::refresh()
+{
+    const TierCounters &c = tier.counters();
+    hitRate.set(c.hitRate());
+    readHits.set(static_cast<double>(c.readHits));
+    readMisses.set(static_cast<double>(c.readMisses));
+    writeHits.set(static_cast<double>(c.writeHits));
+    writeMisses.set(static_cast<double>(c.writeMisses));
+    fills.set(static_cast<double>(c.fills));
+    writebacks.set(static_cast<double>(c.writebacks));
+    dirtyWordsWrittenBack.set(
+        static_cast<double>(c.dirtyWordsWrittenBack));
+    mshrMerges.set(static_cast<double>(c.mshrMerges));
+    mshrRejects.set(static_cast<double>(c.mshrRejects));
+    wbRejects.set(static_cast<double>(c.wbRejects));
+    missLatency.set(percentileValuesNs(c.missLatency));
+    writebackBatch.set(percentileValues(c.writebackBatch));
+}
+
+void
+CacheStatExport::dump(std::ostream &os)
+{
+    refresh();
+    rootGroup.dump(os);
+}
+
+} // namespace pcmap::cache

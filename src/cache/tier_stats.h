@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Stats-framework export of the DRAM cache tier's accounting.
+ *
+ * Mirrors CacheTier's TierCounters into a "cache" StatGroup: hit/miss
+ * counts and rate, MSHR/write-back pressure counters, and latency /
+ * batch-size percentile summaries.  Flattened keys look like
+ * "cache.hitRate" and "cache.missLatency.p99" and ride the same
+ * JSONL/CSV sweep aggregation as the pcm and fabric trees.
+ */
+
+#ifndef PCMAP_CACHE_TIER_STATS_H
+#define PCMAP_CACHE_TIER_STATS_H
+
+#include <iosfwd>
+
+#include "cache/tier.h"
+#include "sim/stats.h"
+
+namespace pcmap::cache {
+
+/** Snapshot-and-dump bridge from CacheTier counters to stats. */
+class CacheStatExport
+{
+  public:
+    /** @param tier Must outlive this exporter. */
+    explicit CacheStatExport(const CacheTier &tier);
+
+    CacheStatExport(const CacheStatExport &) = delete;
+    CacheStatExport &operator=(const CacheStatExport &) = delete;
+
+    /** Copy the current tier counters into the stat objects. */
+    void refresh();
+
+    /** refresh() then write the full listing to @p os. */
+    void dump(std::ostream &os);
+
+    /** The stat tree (valid between refreshes). */
+    const stats::StatGroup &root() const { return rootGroup; }
+
+  private:
+    const CacheTier &tier;
+    stats::StatGroup rootGroup{"cache"};
+    stats::Scalar hitRate{rootGroup, "hitRate",
+                          "tier hit fraction over all accesses"};
+    stats::Scalar readHits{rootGroup, "readHits", "tier read hits"};
+    stats::Scalar readMisses{rootGroup, "readMisses",
+                             "tier read misses"};
+    stats::Scalar writeHits{rootGroup, "writeHits",
+                            "writes absorbed by a resident line"};
+    stats::Scalar writeMisses{rootGroup, "writeMisses",
+                              "writes installed without a fetch"};
+    stats::Scalar fills{rootGroup, "fills",
+                        "lines fetched from PCM and installed"};
+    stats::Scalar writebacks{rootGroup, "writebacks",
+                             "dirty victims handed to the PCM side"};
+    stats::Scalar dirtyWordsWrittenBack{
+        rootGroup, "dirtyWordsWrittenBack",
+        "dirty words carried by those victims"};
+    stats::Scalar mshrMerges{rootGroup, "mshrMerges",
+                             "secondary misses merged onto an MSHR"};
+    stats::Scalar mshrRejects{rootGroup, "mshrRejects",
+                              "enqueues refused: MSHR file full"};
+    stats::Scalar wbRejects{rootGroup, "wbRejects",
+                            "enqueues refused: write-back buffer full"};
+    stats::Percentiles missLatency{
+        rootGroup, "missLatency",
+        "read-miss arrival-to-delivery percentiles (ns)"};
+    stats::Percentiles writebackBatch{
+        rootGroup, "writebackBatch",
+        "lines handed to PCM per drain burst"};
+};
+
+} // namespace pcmap::cache
+
+#endif // PCMAP_CACHE_TIER_STATS_H

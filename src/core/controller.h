@@ -65,6 +65,7 @@
 #include "mem/wear.h"
 #include "obs/trace_event.h"
 #include "sim/event_queue.h"
+#include "sim/slab_pool.h"
 #include "sim/types.h"
 
 namespace pcmap {
@@ -342,6 +343,13 @@ class MemoryController : private ReadWindowModel
     std::vector<IrlpTracker> irlpTrackers;
     EnergyModel energyModel;
     WearTracker wearTracker;
+
+    /**
+     * Slab pool behind the write scheduler's short-lived shared
+     * state (continuation chains, parked entries, group member
+     * lists): free-list reuse instead of a malloc per write.
+     */
+    SlabArena slabArena;
 
     /** Run-level trace recorder; null when tracing is off. */
     obs::TraceRecorder *trace = nullptr;

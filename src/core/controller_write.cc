@@ -299,8 +299,11 @@ MemoryController::tryIssueWrites(Tick now, Tick &earliest)
 
         // Later steps chain as events so their chips stay visibly
         // free (for RoW reads) until each step actually begins.
-        auto chain = std::make_shared<std::function<void(std::size_t)>>();
-        auto entry_ptr = std::make_shared<WriteEntry>(std::move(head));
+        using ChainFn = std::function<void(std::size_t)>;
+        auto chain = std::allocate_shared<ChainFn>(
+            SlabAllocator<ChainFn>(slabArena));
+        auto entry_ptr = std::allocate_shared<WriteEntry>(
+            SlabAllocator<WriteEntry>(slabArena), std::move(head));
         // The chain function must not own itself (shared_ptr cycle =
         // leak); each scheduled step re-acquires ownership from the
         // weak ref, and the pending event holds the only strong one.
@@ -507,14 +510,16 @@ MemoryController::tryIssueWrites(Tick now, Tick &earliest)
     writeSlotFreeAt[loc.rank] = e;
 
     if (chain_rounds) {
-        auto members =
-            std::make_shared<std::vector<WriteGroupMember>>(
-                std::move(group));
+        using Members = std::vector<WriteGroupMember>;
+        auto members = std::allocate_shared<Members>(
+            SlabAllocator<Members>(slabArena), std::move(group));
         const unsigned w_rank = loc.rank;
         const unsigned w_bank = loc.bank;
         // Same weak-ref chain shape as the multi-step path: each
         // pending event holds the only strong ref to the chain fn.
-        auto chain = std::make_shared<std::function<void(unsigned)>>();
+        using RoundFn = std::function<void(unsigned)>;
+        auto chain = std::allocate_shared<RoundFn>(
+            SlabAllocator<RoundFn>(slabArena));
         std::weak_ptr<std::function<void(unsigned)>> weak_chain = chain;
         *chain = [this, members, w_rank, w_bank, pulse, rounds,
                   weak_chain](unsigned round) {

@@ -100,12 +100,18 @@ System::System(const SystemConfig &config,
     mc_cfg.footprintLinesHint = footprint_hint;
     mem = std::make_unique<MainMemory>(mc_cfg, cfg.geometry, eventq);
 
-    // All request sources drive one port: MainMemory directly, or the
-    // fabric's link in front of it.
+    // All request sources drive one port; the stack composes
+    // outermost-last: [fabric link ->] [cache tier ->] MainMemory.
     MemoryPort *port = mem.get();
+    if (cfg.tier.enabled()) {
+        cfg.tier.validate();
+        tier = std::make_unique<cache::CacheTier>(cfg.tier, eventq,
+                                                  *mem);
+        port = tier.get();
+    }
     if (fab_on) {
         link = std::make_unique<fabric::LinkModel>(cfg.fabric, coreTenant,
-                                                   eventq, *mem);
+                                                   eventq, *port);
         port = link.get();
     }
 
@@ -206,6 +212,8 @@ System::System(const SystemConfig &config,
         obsRun = std::make_unique<obs::RunObserver>(cfg.obs);
         if (obsRun->recorder() != nullptr) {
             mem->setTraceRecorder(obsRun->recorder());
+            if (tier)
+                tier->setTraceRecorder(obsRun->recorder());
             if (link)
                 link->setTraceRecorder(obsRun->recorder());
         }
@@ -412,6 +420,17 @@ System::run()
         res.wpki = 1000.0 * static_cast<double>(res.writesCompleted) /
                    static_cast<double>(total_insts);
     }
+    // --- DRAM cache tier (all zero when tier=none) ---
+    if (tier) {
+        const cache::TierCounters &tc = tier->counters();
+        res.cacheHits = tc.hits();
+        res.cacheMisses = tc.misses();
+        res.cacheFills = tc.fills;
+        res.cacheWritebacks = tc.writebacks;
+        res.cacheDirtyWordsWrittenBack = tc.dirtyWordsWrittenBack;
+        res.cacheHitRate = tc.hitRate();
+    }
+
     res.instRetired = total_insts;
     res.hostEventsExecuted = eventq.counters().eventsExecuted;
     res.hostScheduleCalls = eventq.counters().scheduleCalls;
@@ -483,6 +502,24 @@ dumpResults(const SystemResults &r, std::ostream &os)
          "consolidated write groups");
     line(os, "wow.mergedWrites", static_cast<double>(r.wowMergedWrites),
          "", "writes that joined a group");
+    if (r.cacheHits + r.cacheMisses > 0) {
+        // DRAM cache tier only; absent for tier=none so the default
+        // dump stays byte-identical.
+        line(os, "cache.hitRate", r.cacheHitRate, "",
+             "tier hit fraction over all accesses");
+        line(os, "cache.hits", static_cast<double>(r.cacheHits), "",
+             "tier hits (read + write)");
+        line(os, "cache.misses", static_cast<double>(r.cacheMisses), "",
+             "tier misses (read + write)");
+        line(os, "cache.fills", static_cast<double>(r.cacheFills), "",
+             "lines fetched from PCM and installed");
+        line(os, "cache.writebacks",
+             static_cast<double>(r.cacheWritebacks), "",
+             "dirty victims handed to the PCM side");
+        line(os, "cache.dirtyWordsWB",
+             static_cast<double>(r.cacheDirtyWordsWrittenBack), "",
+             "dirty words carried by those victims");
+    }
     if (r.writeRoundsIssued > 0) {
         // Multi-round (MLC+) organizations only; absent for org=slc so
         // the default dump stays byte-identical.

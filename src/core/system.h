@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/tier.h"
 #include "core/controller_config.h"
 #include "core/memory_system.h"
 #include "cpu/core_model.h"
@@ -80,6 +81,14 @@ struct SystemConfig
     fabric::FabricConfig fabric{};
 
     /**
+     * DRAM cache tier between the request sources (or fabric link)
+     * and the PCM controller.  Off by default (sizeBytes 0); a
+     * disabled tier constructs nothing at all, so tier=none is
+     * byte-identical to the pre-tier code by construction.
+     */
+    cache::TierConfig tier{};
+
+    /**
      * Observability (tracing + epoch time-series).  Never affects
      * simulated behaviour and is excluded from sweep fingerprints and
      * serialized results.
@@ -127,6 +136,16 @@ struct SystemResults
     // writeRoundsIssued > 0 and org=slc output is unchanged.
     std::uint64_t writeRoundsIssued = 0;
     std::uint64_t writeRoundPauses = 0;
+
+    // DRAM cache tier; all zero when tier=none, so downstream
+    // reporting gates on cacheHits + cacheMisses > 0 and the default
+    // dump is unchanged.
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t cacheFills = 0;
+    std::uint64_t cacheWritebacks = 0;
+    std::uint64_t cacheDirtyWordsWrittenBack = 0;
+    double cacheHitRate = 0.0;
 
     // --- Energy (microjoules) and endurance ---
     double energyUj = 0.0;
@@ -184,6 +203,10 @@ class System
     fabric::LinkModel *fabricLink() { return link.get(); }
     const fabric::LinkModel *fabricLink() const { return link.get(); }
 
+    /** The DRAM cache tier, or null when tier=none. */
+    cache::CacheTier *cacheTier() { return tier.get(); }
+    const cache::CacheTier *cacheTier() const { return tier.get(); }
+
     /** Open-loop stream of tenant @p t, or null (closed / fabric off). */
     const fabric::TenantStream *
     tenantStream(unsigned t) const
@@ -209,6 +232,8 @@ class System
     workload::WorkloadSpec spec;
     EventQueue eventq;
     std::unique_ptr<MainMemory> mem;
+    /** DRAM cache tier in front of mem; null when tier=none. */
+    std::unique_ptr<cache::CacheTier> tier;
     /** Owning tenant per core (empty when the fabric is off). */
     std::vector<unsigned> coreTenant;
     /** Front-end link; null when the fabric is off. */

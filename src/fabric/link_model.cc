@@ -35,8 +35,9 @@ wrrWeight(QosClass q)
 LinkModel::LinkModel(const FabricConfig &config,
                      std::vector<unsigned> core_tenant, EventQueue &eq,
                      MemoryPort &downstream)
-    : cfg(config), coreTenant(std::move(core_tenant)), eventq(eq),
-      down(downstream), passThrough(cfg.bypassLink()),
+    : ForwardingPort(downstream), cfg(config),
+      coreTenant(std::move(core_tenant)), eventq(eq),
+      passThrough(cfg.bypassLink()),
       tenants(cfg.tenants.size()), queues(cfg.tenants.size()),
       credits(cfg.tenants.size())
 {
@@ -156,13 +157,6 @@ LinkModel::setRetryCallback(RetryCallback cb)
         return;
     }
     upstreamRetry = std::move(cb);
-}
-
-void
-LinkModel::setVerifyCallback(VerifyCallback cb)
-{
-    // Verification is a device-side concern; the link never delays it.
-    down.setVerifyCallback(std::move(cb));
 }
 
 std::size_t

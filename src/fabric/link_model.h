@@ -65,7 +65,7 @@ struct TenantCounters
 };
 
 /** The multiplexing link between request sources and MainMemory. */
-class LinkModel : public MemoryPort
+class LinkModel : public ForwardingPort
 {
   public:
     /**
@@ -78,11 +78,21 @@ class LinkModel : public MemoryPort
               std::vector<unsigned> core_tenant, EventQueue &eq,
               MemoryPort &downstream);
 
-    // MemoryPort interface --------------------------------------------
+    // MemoryPort interface (verification forwards via ForwardingPort:
+    // it is a device-side concern the link never delays) --------------
     bool enqueueRead(const MemRequest &req, ReadCallback cb) override;
     bool enqueueWrite(const MemRequest &req) override;
     void setRetryCallback(RetryCallback cb) override;
-    void setVerifyCallback(VerifyCallback cb) override;
+
+    /**
+     * The link samples per-tenant write commits itself (registered on
+     * the downstream port at construction); an upstream registration
+     * would clobber that, so it keeps MemoryPort's discard semantics.
+     */
+    void setWriteCompleteCallback(WriteCompleteCallback cb) override
+    {
+        (void)cb;
+    }
 
     /** Attach the run's trace recorder (null detaches). */
     void setTraceRecorder(obs::TraceRecorder *rec) { trace = rec; }
@@ -128,7 +138,6 @@ class LinkModel : public MemoryPort
     FabricConfig cfg;
     std::vector<unsigned> coreTenant;
     EventQueue &eventq;
-    MemoryPort &down;
     bool passThrough;
     /** Serialization ticks per request (72 B at linkGbps GB/s). */
     Tick serTicks = 0;

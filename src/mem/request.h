@@ -118,6 +118,53 @@ class MemoryPort
     }
 };
 
+/**
+ * A MemoryPort layered on top of another: every operation forwards to
+ * the downstream port verbatim.  Intermediate tiers (the fabric link,
+ * the DRAM cache tier) and test shims derive from this and override
+ * only the faces they actually intercept — a tier that leaves, say,
+ * verification untouched inherits exact pass-through behaviour, so
+ * stacking a transparent tier cannot perturb the event sequence.
+ */
+class ForwardingPort : public MemoryPort
+{
+  public:
+    explicit ForwardingPort(MemoryPort &downstream) : down(downstream) {}
+
+    bool
+    enqueueRead(const MemRequest &req, ReadCallback cb) override
+    {
+        return down.enqueueRead(req, std::move(cb));
+    }
+
+    bool
+    enqueueWrite(const MemRequest &req) override
+    {
+        return down.enqueueWrite(req);
+    }
+
+    void
+    setRetryCallback(RetryCallback cb) override
+    {
+        down.setRetryCallback(std::move(cb));
+    }
+
+    void
+    setVerifyCallback(VerifyCallback cb) override
+    {
+        down.setVerifyCallback(std::move(cb));
+    }
+
+    void
+    setWriteCompleteCallback(WriteCompleteCallback cb) override
+    {
+        down.setWriteCompleteCallback(std::move(cb));
+    }
+
+  protected:
+    MemoryPort &down;
+};
+
 } // namespace pcmap
 
 #endif // PCMAP_MEM_REQUEST_H

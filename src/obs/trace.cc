@@ -39,6 +39,10 @@ tracePointName(TracePoint p)
     case TracePoint::LinkEnqueue: return "link.enqueue";
     case TracePoint::LinkIssue: return "link.issue";
     case TracePoint::LinkDrop: return "link.drop";
+    case TracePoint::CacheHit: return "cache.hit";
+    case TracePoint::CacheMiss: return "cache.miss";
+    case TracePoint::CacheFill: return "cache.fill";
+    case TracePoint::CacheWriteback: return "cache.writeback";
     }
     return "unknown";
 }
@@ -53,6 +57,7 @@ tracePointPhase(TracePoint p)
     case TracePoint::WriteComplete:
     case TracePoint::BgIssue:
     case TracePoint::LinkIssue:
+    case TracePoint::CacheHit:
         return 'X';
     case TracePoint::QueueDepth:
     case TracePoint::LaneOccupancy:
@@ -96,6 +101,11 @@ tracePointCategory(TracePoint p)
     case TracePoint::LinkIssue:
     case TracePoint::LinkDrop:
         return "link";
+    case TracePoint::CacheHit:
+    case TracePoint::CacheMiss:
+    case TracePoint::CacheFill:
+    case TracePoint::CacheWriteback:
+        return "cache";
     }
     return "other";
 }
@@ -171,11 +181,19 @@ appendChromeEvent(std::string &out, const TraceEvent &e)
     // (counters go on tid 0 to keep one series per channel).  Link
     // events reuse the channel field for the tenant id and sit in
     // their own 1000+ pid range so tenants get per-tenant rows.
+    // Cache-tier events sit in their own 2000 pid row for the same
+    // reason.
     const bool is_link = e.point == TracePoint::LinkEnqueue ||
                          e.point == TracePoint::LinkIssue ||
                          e.point == TracePoint::LinkDrop;
+    const bool is_cache = e.point == TracePoint::CacheHit ||
+                          e.point == TracePoint::CacheMiss ||
+                          e.point == TracePoint::CacheFill ||
+                          e.point == TracePoint::CacheWriteback;
     out += ",\"pid\":";
-    appendU64(out, is_link ? 1000u + e.channel : e.channel);
+    appendU64(out, is_link    ? 1000u + e.channel
+              : is_cache ? 2000u
+                         : e.channel);
     out += ",\"tid\":";
     appendU64(out, ph == 'C' ? 0 : e.bank);
     if (ph == 'i')

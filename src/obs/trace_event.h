@@ -53,6 +53,11 @@ enum class TracePoint : std::uint8_t {
     LinkEnqueue,    ///< i: request queued at the link (arg0 = depth after)
     LinkIssue,      ///< X: serialization window (arg0 = queueing wait)
     LinkDrop,       ///< i: tenant queue full; request dropped
+    // --- DRAM cache tier ---
+    CacheHit,       ///< X: hit service window (arg0 = line addr)
+    CacheMiss,      ///< i: miss (arg0 = line addr, arg1 = 1 if merged)
+    CacheFill,      ///< i: line installed (arg0 = line, arg1 = waiters)
+    CacheWriteback, ///< i: victim to PCM (arg0=dirty words, arg1=depth)
 };
 
 /** Why a WoW merge candidate was not added to the group. */

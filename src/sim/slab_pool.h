@@ -1,0 +1,177 @@
+/**
+ * @file
+ * A small size-class slab arena for high-churn shared-ptr control
+ * blocks on the simulator's hot paths.
+ *
+ * The write scheduler allocates a handful of short-lived
+ * shared-state objects per multi-step or multi-round write (the
+ * continuation chain, the parked entry, the group member list).
+ * Routing those through std::allocate_shared with a SlabAllocator
+ * turns each one into a free-list pop/push against per-size-class
+ * slabs instead of a malloc/free round trip.
+ *
+ * Properties:
+ *  - blocks are power-of-two size classes from 16 B to 1 KiB; larger
+ *    requests fall through to operator new (counted, never pooled);
+ *  - freed blocks go back on their class's free list, so steady-state
+ *    simulation stops hitting the system allocator entirely;
+ *  - single-threaded by design, like the EventQueue it serves: one
+ *    arena belongs to one controller, never shared across threads;
+ *  - block alignment is 16 B (the size-class floor), which covers
+ *    every pooled type here (pointers, ticks, std::function).
+ */
+
+#ifndef PCMAP_SIM_SLAB_POOL_H
+#define PCMAP_SIM_SLAB_POOL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace pcmap {
+
+/** Chunked free-list arena over power-of-two size classes. */
+class SlabArena
+{
+  public:
+    /** Host-side accounting (never part of simulated results). */
+    struct Counters
+    {
+        std::uint64_t poolAllocs = 0;   ///< served from a slab class
+        std::uint64_t poolReuses = 0;   ///< of those, free-list pops
+        std::uint64_t oversized = 0;    ///< fell through to new/delete
+    };
+
+    SlabArena() = default;
+    SlabArena(const SlabArena &) = delete;
+    SlabArena &operator=(const SlabArena &) = delete;
+
+    void *
+    allocate(std::size_t bytes)
+    {
+        const unsigned cls = classOf(bytes);
+        if (cls >= kClasses) {
+            ++stats.oversized;
+            return ::operator new(bytes);
+        }
+        ++stats.poolAllocs;
+        if (free_[cls] != nullptr) {
+            ++stats.poolReuses;
+            FreeNode *node = free_[cls];
+            free_[cls] = node->next;
+            return node;
+        }
+        return carve(cls);
+    }
+
+    void
+    deallocate(void *p, std::size_t bytes)
+    {
+        const unsigned cls = classOf(bytes);
+        if (cls >= kClasses) {
+            ::operator delete(p);
+            return;
+        }
+        auto *node = static_cast<FreeNode *>(p);
+        node->next = free_[cls];
+        free_[cls] = node;
+    }
+
+    const Counters &counters() const { return stats; }
+
+  private:
+    struct FreeNode
+    {
+        FreeNode *next;
+    };
+
+    static constexpr unsigned kMinShift = 4;  ///< 16 B floor
+    static constexpr unsigned kMaxShift = 10; ///< 1 KiB ceiling
+    static constexpr unsigned kClasses = kMaxShift - kMinShift + 1;
+    /** Blocks carved per chunk when a class's free list runs dry. */
+    static constexpr std::size_t kBlocksPerChunk = 64;
+
+    /** Size class of @p bytes, or kClasses when it must not pool. */
+    static unsigned
+    classOf(std::size_t bytes)
+    {
+        std::size_t size = std::size_t{1} << kMinShift;
+        unsigned cls = 0;
+        while (size < bytes && cls < kClasses) {
+            size <<= 1;
+            ++cls;
+        }
+        return cls;
+    }
+
+    /** Allocate a fresh chunk for @p cls and hand out its first block. */
+    void *
+    carve(unsigned cls)
+    {
+        const std::size_t block = std::size_t{1} << (kMinShift + cls);
+        auto chunk =
+            std::make_unique<std::byte[]>(block * kBlocksPerChunk);
+        std::byte *base = chunk.get();
+        chunks.push_back(std::move(chunk));
+        // Thread blocks [1, n) onto the free list; block 0 is returned.
+        for (std::size_t i = kBlocksPerChunk; i-- > 1;) {
+            auto *node =
+                reinterpret_cast<FreeNode *>(base + i * block);
+            node->next = free_[cls];
+            free_[cls] = node;
+        }
+        return base;
+    }
+
+    std::vector<std::unique_ptr<std::byte[]>> chunks;
+    FreeNode *free_[kClasses] = {};
+    Counters stats;
+};
+
+/**
+ * Minimal std::allocator-compatible handle over a SlabArena, for
+ * std::allocate_shared and allocator-aware containers.  The arena
+ * must outlive every allocation made through it.
+ */
+template <typename T>
+class SlabAllocator
+{
+  public:
+    using value_type = T;
+
+    explicit SlabAllocator(SlabArena &arena_) : arena(&arena_) {}
+
+    template <typename U>
+    SlabAllocator(const SlabAllocator<U> &other) : arena(other.arena)
+    {
+    }
+
+    T *
+    allocate(std::size_t n)
+    {
+        static_assert(alignof(T) <= 16,
+                      "slab blocks are 16-byte aligned");
+        return static_cast<T *>(arena->allocate(n * sizeof(T)));
+    }
+
+    void
+    deallocate(T *p, std::size_t n)
+    {
+        arena->deallocate(p, n * sizeof(T));
+    }
+
+    template <typename U>
+    bool
+    operator==(const SlabAllocator<U> &other) const
+    {
+        return arena == other.arena;
+    }
+
+    SlabArena *arena;
+};
+
+} // namespace pcmap
+
+#endif // PCMAP_SIM_SLAB_POOL_H

@@ -230,6 +230,24 @@ fabricFromConfig(const Config &args)
     return fab;
 }
 
+cache::TierConfig
+tierFromConfig(const Config &args)
+{
+    cache::TierConfig tier =
+        cache::tierConfigFromString(args.getString("tier", "none"));
+    if (!tier.enabled())
+        return tier; // tier off; every other tier key is ignored
+    tier.hitTicks = args.getUint("tierHitNs", 40) * 1000ull;
+    tier.mshrCap =
+        static_cast<unsigned>(args.getUint("tierMshr", tier.mshrCap));
+    tier.writebackBatch = static_cast<unsigned>(
+        args.getUint("tierWbBatch", tier.writebackBatch));
+    tier.wbBufferCap = static_cast<unsigned>(
+        args.getUint("tierWbBuffer", tier.wbBufferCap));
+    tier.validate();
+    return tier;
+}
+
 std::vector<std::uint64_t>
 parseSeeds(const std::string &arg)
 {
@@ -284,6 +302,7 @@ specFromConfig(const Config &args)
     spec.configs[0].base.numCores = static_cast<unsigned>(
         args.getUint("cores", spec.configs[0].base.numCores));
     spec.configs[0].base.fabric = fabricFromConfig(args);
+    spec.configs[0].base.tier = tierFromConfig(args);
     return spec;
 }
 

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/tier.h"
 #include "core/policy/controller_policy.h"
 #include "fabric/fabric.h"
 #include "obs/obs_config.h"
@@ -102,6 +103,22 @@ SweepSpec specFromConfig(const Config &args);
  * tenant) or exactly tenants= entries.  fatal() on malformed values.
  */
 fabric::FabricConfig fabricFromConfig(const Config &args);
+
+/**
+ * Parse the DRAM cache tier keys into a TierConfig:
+ *
+ *   tier=SPEC        "none" (the default) or
+ *                    "dram:<size>[KMG]:<ways>:<repl>" with repl one of
+ *                    lru, mac (e.g. tier=dram:256M:8:lru)
+ *   tierHitNs=N      DRAM hit service time in ns (default 40)
+ *   tierMshr=N       outstanding distinct-line misses (default 16)
+ *   tierWbBatch=N    dirty victims per drain burst (default 4)
+ *   tierWbBuffer=N   parked victims before back-pressure (default 32)
+ *
+ * tier=none ignores every other tier key.  fatal() on malformed
+ * values (tierConfigFromString / TierConfig::validate diagnostics).
+ */
+cache::TierConfig tierFromConfig(const Config &args);
 
 /**
  * Parse the observability keys: trace=PREFIX (request-lifecycle

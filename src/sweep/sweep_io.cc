@@ -198,6 +198,14 @@ stableSerialize(const SweepSpec &spec)
                    << ts.requests << "\n";
             }
         }
+        // Same append-only rule for the DRAM cache tier: tier=none
+        // serializes nothing.
+        if (c.tier.enabled()) {
+            os << "tier=" << cache::tierConfigToString(c.tier) << ","
+               << c.tier.hitTicks << "," << c.tier.mshrCap << ","
+               << c.tier.writebackBatch << "," << c.tier.wbBufferCap
+               << "\n";
+        }
     }
     os << "modes=";
     for (std::size_t i = 0; i < spec.modes.size(); ++i)

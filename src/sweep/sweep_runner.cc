@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "cache/tier_stats.h"
 #include "core/stat_export.h"
 #include "fabric/fabric_stats.h"
 #include "obs/observer.h"
@@ -83,6 +84,13 @@ SweepRunner::SweepRunner(Options options) : opts(std::move(options))
                 fabric::FabricStatExport fex(*sys.fabricLink());
                 fex.refresh(rec.results.simTicks);
                 fex.root().collect(rec.stats);
+            }
+            // Cache-tier stats follow the same rule: tier=none rows
+            // carry no cache.* keys at all.
+            if (sys.cacheTier() != nullptr) {
+                cache::CacheStatExport cex(*sys.cacheTier());
+                cex.refresh();
+                cex.root().collect(rec.stats);
             }
         }
         const obs::RunObserver *ob = sys.observer();

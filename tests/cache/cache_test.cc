@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "cache/cache.h"
+#include "sim/log.h"
 #include "sim/rng.h"
 
 namespace pcmap::cache {
@@ -202,6 +203,108 @@ TEST(Cache, ManyLinesRandomizedConsistency)
         ASSERT_NE(c.peek(line), nullptr);
         ASSERT_EQ(*c.peek(line), sh) << "iteration " << i;
     }
+}
+
+TEST(Cache, WriteThroughEvictionCarriesNoWriteback)
+{
+    // Direct-mapped write-through: stores update the resident copy but
+    // never mark it dirty, so evicting a stored-to line must not
+    // produce a write-back (the store already propagated below).
+    SetAssocCache c(smallCache(1, 8, /*write_back=*/false));
+    c.access(0, false);
+    c.fill(0, patternLine(0));
+    CacheLine s;
+    s.w[5] = 123;
+    c.access(0, true, 0b100000, &s);
+
+    c.access(8, false);
+    const auto ev = c.fill(8, patternLine(8));
+    EXPECT_FALSE(ev.has_value());
+    EXPECT_EQ(c.stats().writebacks, 0u);
+    EXPECT_TRUE(c.flush().empty());
+}
+
+TEST(Cache, WriteThroughStoreMissStillReportsFill)
+{
+    SetAssocCache c(smallCache(2, 16, /*write_back=*/false));
+    CacheLine s;
+    s.w[1] = 77;
+    const AccessResult miss = c.access(4, true, 0b10, &s);
+    EXPECT_FALSE(miss.hit);
+    EXPECT_TRUE(miss.needsFill);
+    c.fill(4, patternLine(4), 0b10, &s);
+    EXPECT_EQ(c.peek(4)->w[1], 77u);
+    EXPECT_EQ(c.dirtyMask(4), 0u); // write-through is never dirty
+}
+
+TEST(Cache, RefillAfterDirtyEvictionStartsClean)
+{
+    // Dirty-word masks must not survive eviction: after a dirty line
+    // is pushed out, re-filling the same line restarts its mask from
+    // whatever the re-filling access wrote, not the old history.
+    SetAssocCache c(smallCache(1, 8));
+    c.access(0, false);
+    c.fill(0, patternLine(0));
+    CacheLine s;
+    s.w[2] = 5;
+    c.access(0, true, 0b100, &s);
+    c.access(8, false);
+    const auto ev = c.fill(8, patternLine(8)); // evicts dirty line 0
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->dirtyWords, 0b100);
+
+    s.w[7] = 9;
+    c.access(0, true, 0b10000000, &s);
+    c.fill(0, patternLine(0), 0b10000000, &s);
+    EXPECT_EQ(c.dirtyMask(0), 0b10000000);
+    // ...and accumulation still works on top of the fresh mask.
+    s.w[0] = 1;
+    c.access(0, true, 0b1, &s);
+    EXPECT_EQ(c.dirtyMask(0), 0b10000001);
+}
+
+TEST(Cache, MacEvictsCleanBeforeDirty)
+{
+    // 2-way, 1 set, one clean and one dirty resident: the MAC-style
+    // policy must sacrifice the clean line even when the dirty one is
+    // older (LRU would evict the dirty one here).
+    CacheConfig cfg = smallCache(2, 2);
+    cfg.repl = ReplPolicy::Mac;
+    SetAssocCache c(cfg);
+    c.access(0, false);
+    c.fill(0, patternLine(0));
+    CacheLine s;
+    s.w[0] = 1;
+    c.access(0, true, 0b1, &s); // line 0 dirty
+    c.access(1, false);
+    c.fill(1, patternLine(1)); // line 1 clean, newer
+    c.access(2, false);
+    const auto ev = c.fill(2, patternLine(2));
+    EXPECT_FALSE(ev.has_value()) << "victim must be the clean line";
+    EXPECT_NE(c.peek(0), nullptr);
+    EXPECT_EQ(c.peek(1), nullptr);
+}
+
+TEST(CacheConfigValidate, RejectsUnusableShapes)
+{
+    ScopedErrorTrap trap;
+
+    CacheConfig zero_size;
+    zero_size.sizeBytes = 0;
+    EXPECT_THROW(zero_size.validate(), SimError);
+
+    CacheConfig zero_assoc = smallCache();
+    zero_assoc.associativity = 0;
+    EXPECT_THROW(zero_assoc.validate(), SimError);
+
+    CacheConfig not_multiple = smallCache(2);
+    not_multiple.sizeBytes = 3 * kLineBytes; // not assoc * line aligned
+    EXPECT_THROW(not_multiple.validate(), SimError);
+
+    CacheConfig non_pow2_sets = smallCache(1, 12);
+    EXPECT_THROW(non_pow2_sets.validate(), SimError);
+
+    EXPECT_NO_THROW(smallCache().validate());
 }
 
 TEST(CacheDeath, BadGeometryIsFatal)

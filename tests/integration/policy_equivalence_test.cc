@@ -28,6 +28,7 @@
 #include <sstream>
 #include <string>
 
+#include "cache/tier.h"
 #include "core/policy/controller_policy.h"
 #include "fabric/fabric.h"
 #include "sweep/sweep_io.h"
@@ -139,11 +140,36 @@ fabricGoldenSpec()
     return spec;
 }
 
-/** The full snapshot: legacy preset matrix, then the fabric rows. */
+/**
+ * Cache-tier rows appended after the fabric rows: two presets x one
+ * workload behind a 256K DRAM tier, once per replacement policy.
+ * Like the fabric rows these are pure insertions — everything before
+ * them in golden_sweep.jsonl stays byte-identical.
+ */
+sweep::SweepSpec
+cacheGoldenSpec()
+{
+    sweep::SweepSpec spec;
+    spec.workloads = {"MP1"};
+    spec.seeds = {1};
+    spec.modes = {SystemMode::Baseline, SystemMode::RWoW_RDE};
+    spec.configs[0].name = "cache-lru";
+    spec.configs[0].base.instructionsPerCore = 15'000;
+    spec.configs[0].base.tier =
+        cache::tierConfigFromString("dram:256K:8:lru");
+    sweep::ConfigVariant mac = spec.configs[0];
+    mac.name = "cache-mac";
+    mac.base.tier.repl = cache::ReplPolicy::Mac;
+    spec.configs.push_back(mac);
+    return spec;
+}
+
+/** The full snapshot: legacy matrix, fabric rows, then cache rows. */
 std::string
 goldenJsonl()
 {
-    return runJsonl(goldenSpec()) + runJsonl(fabricGoldenSpec());
+    return runJsonl(goldenSpec()) + runJsonl(fabricGoldenSpec()) +
+           runJsonl(cacheGoldenSpec());
 }
 
 TEST(PolicyEquivalence, SixPresetJsonlMatchesGoldenSnapshot)
@@ -185,6 +211,18 @@ TEST(PolicyEquivalence, FabricGoldenRowsArePureInsertions)
     const std::string full = goldenJsonl();
     ASSERT_GT(full.size(), legacy.size());
     EXPECT_EQ(full.substr(0, legacy.size()), legacy);
+}
+
+TEST(PolicyEquivalence, CacheGoldenRowsArePureInsertions)
+{
+    // Everything that predates the cache tier — the legacy matrix and
+    // the fabric rows — must be a byte-exact prefix of the combined
+    // snapshot: the tier=dram rows ride strictly behind them.
+    const std::string pre_cache =
+        runJsonl(goldenSpec()) + runJsonl(fabricGoldenSpec());
+    const std::string full = goldenJsonl();
+    ASSERT_GT(full.size(), pre_cache.size());
+    EXPECT_EQ(full.substr(0, pre_cache.size()), pre_cache);
 }
 
 TEST(PolicyEquivalence, SlcGoldenPrefixEqualsLegacySixPresetSweep)

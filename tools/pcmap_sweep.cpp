@@ -87,6 +87,17 @@ usage()
         "  reqs=N          open-loop requests per tenant (default 20000)\n"
         "  linkQueue=N     per-tenant link queue depth (default 256)\n"
         "\n"
+        "DRAM cache tier (off by default; composes with org= and the\n"
+        "fabric keys above):\n"
+        "  tier=SPEC       none (default), or dram:<size>:<ways>:<repl>\n"
+        "                  with a K/M/G size suffix and repl lru | mac\n"
+        "                  (e.g. tier=dram:256M:8:lru)\n"
+        "  tierHitNs=N     DRAM hit service time in ns (default 40)\n"
+        "  tierMshr=N      outstanding distinct-line misses (default 16)\n"
+        "  tierWbBatch=N   dirty victims per drain burst (default 4)\n"
+        "  tierWbBuffer=N  parked victims before back-pressure\n"
+        "                  (default 32)\n"
+        "\n"
         "execution:\n"
         "  threads=N       worker threads in this process (default 1)\n"
         "  procs=N         orchestrate N shard worker processes of this\n"
@@ -138,6 +149,8 @@ const std::vector<std::string> kKnownKeys = {
     "traceCap",  "tenants",  "rate",          "burst",
     "qos",       "window",   "arb",           "linkGbps",
     "linkNs",    "reqs",     "linkQueue",
+    "tier",      "tierHitNs", "tierMshr",     "tierWbBatch",
+    "tierWbBuffer",
 };
 
 /** Reject unknown keys, suggesting the closest known one. */
