@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "obs/attrib.h"
 #include "obs/trace.h"
 #include "sim/log.h"
 
@@ -179,8 +180,13 @@ CacheTier::scheduleHit(const Waiter &w, const CacheLine &data)
 {
     const Tick when = eventq.now() + cfg.hitTicks;
     eventq.schedule(
-        when, [id = w.req.id, addr = w.req.addr, core = w.req.coreId,
-               cb = w.cb, data, when]() {
+        when, [this, id = w.req.id, addr = w.req.addr,
+               core = w.req.coreId, cb = w.cb, data, when,
+               led = w.req.ledger]() {
+            if (led != nullptr) {
+                led->account(obs::attrib::Phase::CacheLookup, when);
+                attrib->close(led, when);
+            }
             ReadResponse resp;
             resp.id = id;
             resp.addr = addr;
@@ -204,7 +210,10 @@ CacheTier::enqueueRead(const MemRequest &req, ReadCallback cb)
         ++tierStats.readHits;
         PCMAP_OBS_TRACE(trace, obs::TracePoint::CacheHit, now,
                         cfg.hitTicks, req.id, line);
-        scheduleHit(Waiter{req, std::move(cb), now}, pw->ev.data);
+        Waiter w{req, std::move(cb), now};
+        if (attrib != nullptr)
+            attrib->ensure(w.req, now, obs::attrib::AttribOp::Read);
+        scheduleHit(w, pw->ev.data);
         return true;
     }
 
@@ -213,8 +222,10 @@ CacheTier::enqueueRead(const MemRequest &req, ReadCallback cb)
         ++tierStats.readHits;
         PCMAP_OBS_TRACE(trace, obs::TracePoint::CacheHit, now,
                         cfg.hitTicks, req.id, line);
-        scheduleHit(Waiter{req, std::move(cb), now},
-                    *array.peek(line));
+        Waiter w{req, std::move(cb), now};
+        if (attrib != nullptr)
+            attrib->ensure(w.req, now, obs::attrib::AttribOp::Read);
+        scheduleHit(w, *array.peek(line));
         return true;
     }
 
@@ -224,7 +235,10 @@ CacheTier::enqueueRead(const MemRequest &req, ReadCallback cb)
         ++tierStats.mshrMerges;
         PCMAP_OBS_TRACE(trace, obs::TracePoint::CacheMiss, now, 0,
                         req.id, line, /*merged=*/1);
-        m->waiters.push_back(Waiter{req, std::move(cb), now});
+        Waiter w{req, std::move(cb), now};
+        if (attrib != nullptr)
+            attrib->ensure(w.req, now, obs::attrib::AttribOp::Read);
+        m->waiters.push_back(std::move(w));
         return true;
     }
 
@@ -246,7 +260,10 @@ CacheTier::enqueueRead(const MemRequest &req, ReadCallback cb)
     ++tierStats.readMisses;
     PCMAP_OBS_TRACE(trace, obs::TracePoint::CacheMiss, now, 0, req.id,
                     line, /*merged=*/0);
-    mshrs.push_back(Mshr{line, false, {Waiter{req, std::move(cb), now}}});
+    Waiter w{req, std::move(cb), now};
+    if (attrib != nullptr)
+        attrib->ensure(w.req, now, obs::attrib::AttribOp::Read);
+    mshrs.push_back(Mshr{line, false, {std::move(w)}});
     issueFetch(mshrs.back()); // a refusal retries on downstream wake
     return true;
 }
@@ -267,6 +284,8 @@ CacheTier::enqueueWrite(const MemRequest &req)
         pw->ev.dirtyWords |= pw->ev.data.diffMask(req.data);
         pw->ev.data = req.data;
         pw->coreId = req.coreId;
+        if (attrib != nullptr)
+            attrib->discard(req.ledger); // absorbed; never completes
         return true;
     }
 
@@ -278,6 +297,8 @@ CacheTier::enqueueWrite(const MemRequest &req)
                         req.id, line);
         if (mask != 0)
             lastWriter[line] = req.coreId;
+        if (attrib != nullptr)
+            attrib->discard(req.ledger); // absorbed; never completes
         return true;
     }
 
@@ -297,6 +318,8 @@ CacheTier::enqueueWrite(const MemRequest &req)
     PCMAP_OBS_TRACE(trace, obs::TracePoint::CacheMiss, now, 0, req.id,
                     line, /*merged=*/0);
     lastWriter[line] = req.coreId;
+    if (attrib != nullptr)
+        attrib->discard(req.ledger); // absorbed; never completes
     install(line, req.data, kAllWords, &req.data);
     return true;
 }
@@ -326,6 +349,12 @@ CacheTier::issueFetch(Mshr &m)
     const MemRequest &req = m.waiters.front().req;
     m.issued = down.enqueueRead(
         req, [this](const ReadResponse &resp) { onFillResponse(resp); });
+    if (m.issued) {
+        // The span the fetch sat unissued (MSHR allocated, PCM queue
+        // full) is MSHR wait; downstream phases start here.
+        if (obs::attrib::PhaseLedger *led = req.ledger)
+            led->account(obs::attrib::Phase::MshrWait, eventq.now());
+    }
     return m.issued;
 }
 
@@ -372,6 +401,14 @@ CacheTier::onFillResponse(const ReadResponse &resp)
     // the array install happens in parallel.
     for (const Waiter &w : waiters) {
         tierStats.missLatency.sample(resp.completionTick - w.arrival);
+        if (obs::attrib::PhaseLedger *led = w.req.ledger) {
+            // Merged waiters rode the primary's fetch: their whole
+            // wait was MSHR time.  The primary's ledger went
+            // downstream and is already closed — both calls no-op.
+            led->account(obs::attrib::Phase::MshrWait,
+                         resp.completionTick);
+            attrib->close(led, resp.completionTick);
+        }
         ReadResponse out;
         out.id = w.req.id;
         out.addr = w.req.addr;
@@ -399,7 +436,12 @@ CacheTier::install(std::uint64_t line, const CacheLine &data,
         core = it->second;
         lastWriter.erase(it);
     }
-    wbBuffer.push_back(PendingWriteback{*ev, core});
+    obs::attrib::PhaseLedger *led = nullptr;
+    if (attrib != nullptr) {
+        led = attrib->open(obs::attrib::AttribOp::Writeback, core, 0,
+                           eventq.now());
+    }
+    wbBuffer.push_back(PendingWriteback{*ev, core, led});
     if (wbBuffer.size() >= cfg.writebackBatch)
         drainWritebacks();
 }
@@ -417,9 +459,16 @@ CacheTier::drainWritebacks()
         w.addr = pw.ev.lineAddr * kLineBytes;
         w.coreId = pw.coreId;
         w.data = pw.ev.data;
+        w.ledger = pw.ledger;
         if (!down.enqueueWrite(w)) {
             wbStalled = true;
             break;
+        }
+        if (pw.ledger != nullptr) {
+            // The span parked in the buffer (including drain stalls on
+            // a full PCM write queue) is write-back buffer time.
+            pw.ledger->setReqId(w.id);
+            pw.ledger->account(obs::attrib::Phase::WbBufferStall, now);
         }
         PCMAP_OBS_TRACE(trace, obs::TracePoint::CacheWriteback, now, 0,
                         w.id, wordCount(pw.ev.dirtyWords),
@@ -470,7 +519,12 @@ CacheTier::flushDirty()
             core = it->second;
             lastWriter.erase(it);
         }
-        wbBuffer.push_back(PendingWriteback{ev, core});
+        obs::attrib::PhaseLedger *led = nullptr;
+        if (attrib != nullptr) {
+            led = attrib->open(obs::attrib::AttribOp::Writeback, core,
+                               0, eventq.now());
+        }
+        wbBuffer.push_back(PendingWriteback{ev, core, led});
     }
     lastWriter.clear();
     wbStalled = true; // keep draining across downstream retries

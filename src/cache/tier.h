@@ -44,6 +44,9 @@
 
 namespace pcmap::obs {
 class TraceRecorder;
+namespace attrib {
+class AttribCollector;
+} // namespace attrib
 } // namespace pcmap::obs
 
 namespace pcmap::cache {
@@ -146,6 +149,13 @@ class CacheTier : public ForwardingPort
     /** Attach the run's trace recorder (null detaches). */
     void setTraceRecorder(obs::TraceRecorder *rec) { trace = rec; }
 
+    /** Attach the run's latency-attribution collector (null detaches). */
+    void
+    setAttrib(obs::attrib::AttribCollector *collector)
+    {
+        attrib = collector;
+    }
+
     /**
      * Push every resident dirty line into the write-back buffer and
      * start draining it toward PCM (finishing on downstream retries).
@@ -182,6 +192,8 @@ class CacheTier : public ForwardingPort
     {
         Eviction ev;
         unsigned coreId = 0; ///< last writer, for attribution
+        /** Writeback phase ledger, opened at park (null: attrib off). */
+        obs::attrib::PhaseLedger *ledger = nullptr;
     };
 
     std::uint64_t lineOf(std::uint64_t addr) const;
@@ -227,6 +239,7 @@ class CacheTier : public ForwardingPort
     RetryCallback upstreamRetry;
     VerifyCallback upstreamVerify;
     obs::TraceRecorder *trace = nullptr;
+    obs::attrib::AttribCollector *attrib = nullptr;
 };
 
 } // namespace pcmap::cache

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 
+#include "obs/attrib.h"
 #include "obs/trace.h"
 #include "sim/log.h"
 
@@ -92,8 +93,13 @@ MemoryController::enqueueRead(const MemRequest &req, ReadCallback cb)
             now + cfg.timing.readColTicks() + cfg.timing.burstTicks();
         PCMAP_OBS_TRACE(trace, obs::TracePoint::ReadForwarded, now, 0,
                         req.id, 0, 0, channelId);
+        obs::attrib::PhaseLedger *led = req.ledger;
+        if (led == nullptr && attrib != nullptr)
+            led = attrib->open(obs::attrib::AttribOp::Read, req.coreId,
+                               req.id, now);
         ++inFlight;
-        eventq.schedule(done, [this, resp, cb, enq = now]() mutable {
+        eventq.schedule(done, [this, resp, cb, led,
+                               enq = now]() mutable {
             resp.completionTick = eventq.now();
             ++counters.readsCompleted;
             const double lat =
@@ -105,6 +111,13 @@ MemoryController::enqueueRead(const MemRequest &req, ReadCallback cb)
             PCMAP_OBS_TRACE(trace, obs::TracePoint::ReadComplete, enq,
                             resp.completionTick - enq, resp.id,
                             obs::kReadFlagForwarded, 0, channelId);
+            if (led != nullptr) {
+                // WQ-forwarded service counts as the device phase:
+                // it replaces the array access.
+                led->account(obs::attrib::Phase::ArrayAccess,
+                             resp.completionTick);
+                attrib->close(led, resp.completionTick);
+            }
             --inFlight;
             cb(resp);
             kick();
@@ -124,6 +137,8 @@ MemoryController::enqueueRead(const MemRequest &req, ReadCallback cb)
     entry.req.enqueueTick = now;
     entry.cb = std::move(cb);
     entry.prime(addrMap, *lineLayout);
+    if (attrib != nullptr)
+        attrib->ensure(entry.req, now, obs::attrib::AttribOp::Read);
     if (trace != nullptr) {
         trace->record(obs::TracePoint::ReadEnqueue, now, 0, req.id,
                       readQ.size() + 1, 0, channelId, entry.loc.rank,
@@ -146,6 +161,11 @@ MemoryController::enqueueWrite(const MemRequest &req)
     for (WriteEntry &w : writeQ) {
         if (w.line == req_line) {
             w.req.data = req.data;
+            // The absorbed write never completes as its own request;
+            // drop its ledger unsampled so the attribution population
+            // stays identical to the WriteComplete trace points.
+            if (attrib != nullptr)
+                attrib->discard(req.ledger);
             ++counters.writesCoalesced;
             PCMAP_OBS_TRACE(trace, obs::TracePoint::WriteCoalesced,
                             eventq.now(), 0, req_line, 0, 0, channelId,
@@ -179,6 +199,9 @@ MemoryController::enqueueWrite(const MemRequest &req)
         return false;
     }
 
+    if (attrib != nullptr)
+        attrib->ensure(entry.req, eventq.now(),
+                       obs::attrib::AttribOp::Write);
     const DecodedAddr loc = entry.loc;
     writeQ.push_back(std::move(entry));
     ++counters.writesEnqueued;

@@ -72,6 +72,9 @@ namespace pcmap {
 
 namespace obs {
 class TraceRecorder;
+namespace attrib {
+class AttribCollector;
+} // namespace attrib
 } // namespace obs
 
 /**
@@ -123,6 +126,12 @@ class MemoryController : private ReadWindowModel
      * the composed scheduler/coalescer so policy decisions trace too.
      */
     void setTraceRecorder(obs::TraceRecorder *rec);
+
+    /** Attach the run's attribution collector (null detaches). */
+    void setAttrib(obs::attrib::AttribCollector *collector)
+    {
+        attrib = collector;
+    }
 
     /** Counters (live; finalize() closes time-weighted windows). */
     const ControllerStats &stats() const { return counters; }
@@ -353,6 +362,9 @@ class MemoryController : private ReadWindowModel
 
     /** Run-level trace recorder; null when tracing is off. */
     obs::TraceRecorder *trace = nullptr;
+
+    /** Run-level attribution collector; null when attribution is off. */
+    obs::attrib::AttribCollector *attrib = nullptr;
 
     /** Age beyond which a background code update goes foreground. */
     static constexpr Tick kBgForceAge = 3 * kMicrosecond;

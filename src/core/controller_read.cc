@@ -10,6 +10,7 @@
 
 #include <algorithm>
 
+#include "obs/attrib.h"
 #include "obs/trace.h"
 #include "sim/log.h"
 
@@ -27,6 +28,17 @@ MemoryController::issueRead(const ReadPlan &plan)
     const DecodedAddr loc = entry.loc;
     const std::uint64_t line = entry.line;
     const ChipMask data_mask = entry.dataMask;
+
+    if (obs::attrib::PhaseLedger *led = entry.req.ledger) {
+        // Decompose the queue wait before this issue's reservation
+        // lands: the span the planned chips were busy is bankWait,
+        // the residual (scheduler order, bus/lane/turnaround slack)
+        // is queueResidency.
+        const Tick bank_free = std::min(
+            ranks[loc.rank].freeAt(plan.chips, loc.bank), plan.start);
+        led->account(obs::attrib::Phase::BankWait, bank_free);
+        led->account(obs::attrib::Phase::QueueResidency, plan.start);
+    }
 
     reserveChips(loc.rank, plan.chips, loc.bank, loc.row, plan.start,
                  plan.end, false);
@@ -128,6 +140,15 @@ MemoryController::issueRead(const ReadPlan &plan)
                           flags, 0, channelId, loc.rank, loc.bank);
         }
 
+        if (obs::attrib::PhaseLedger *led = entry.req.ledger) {
+            led->account(obs::attrib::Phase::ArrayAccess, done);
+            // A speculative read completes now but its attribution
+            // waits for the deferred verify verdict (annex phases).
+            if (plan.speculative)
+                attrib->holdForVerify(led);
+            attrib->close(led, done);
+        }
+
         if (plan.speculative)
             queueVerifyOp(plan, entry.req, loc, fault);
 
@@ -163,7 +184,8 @@ MemoryController::queueVerifyOp(const ReadPlan &plan, const MemRequest &req,
                     id, chips, 0, channelId, loc.rank, loc.bank);
     const unsigned v_rank = loc.rank;
     const unsigned v_bank = loc.bank;
-    op.onDone = [this, id, core, fault, v_rank, v_bank]() {
+    obs::attrib::PhaseLedger *led = req.ledger;
+    op.onDone = [this, id, core, fault, v_rank, v_bank, led]() {
         ++counters.verifiesCompleted;
         pcmap_assert(pendingVerifies > 0);
         --pendingVerifies;
@@ -174,6 +196,8 @@ MemoryController::queueVerifyOp(const ReadPlan &plan, const MemRequest &req,
                               : obs::TracePoint::SpecVerify,
                         eventq.now(), 0, id, 0, 0, channelId, v_rank,
                         v_bank);
+        if (attrib != nullptr)
+            attrib->finishSpec(led, eventq.now(), fault);
         if (verifyCb)
             verifyCb(id, core, fault);
     };

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/attrib.h"
 #include "obs/trace.h"
 #include "sim/log.h"
 
@@ -26,6 +27,12 @@ MemoryController::completeSilentWrite(WriteEntry entry, WordMask essential)
     const Tick now = eventq.now();
     counters.writeLatencyHist.sample(now - entry.req.enqueueTick);
     counters.queueResidencyHist.sample(now - entry.req.enqueueTick);
+    if (obs::attrib::PhaseLedger *led = entry.req.ledger) {
+        // A silent write never touches the array: its whole life was
+        // queue residency.
+        led->account(obs::attrib::Phase::QueueResidency, now);
+        attrib->close(led, now);
+    }
     if (writeCompleteCb) {
         writeCompleteCb(entry.req.id, entry.req.coreId,
                         entry.req.enqueueTick, now);
@@ -53,8 +60,10 @@ MemoryController::scheduleWriteCompletion(const WriteEntry &entry,
     const unsigned w_bank = entry.loc.bank;
     const ReqId w_id = entry.req.id;
     const unsigned w_core = entry.req.coreId;
+    obs::attrib::PhaseLedger *const led = entry.req.ledger;
     return eventq.schedule(done, [this, line, data, track_active, enq,
-                                  kind, w_rank, w_bank, w_id, w_core]() {
+                                  kind, w_rank, w_bank, w_id, w_core,
+                                  led]() {
         // Recompute the change mask at commit time: an earlier write
         // to the same line may have committed since this one was
         // planned, and correctness requires applying every word that
@@ -91,6 +100,10 @@ MemoryController::scheduleWriteCompletion(const WriteEntry &entry,
         ++counters.writesCompleted;
         const Tick commit = eventq.now();
         counters.writeLatencyHist.sample(commit - enq);
+        if (led != nullptr) {
+            led->account(obs::attrib::Phase::ArrayAccess, commit);
+            attrib->close(led, commit);
+        }
         if (writeCompleteCb)
             writeCompleteCb(w_id, w_core, enq, commit);
         PCMAP_OBS_TRACE(trace, obs::TracePoint::WriteComplete, enq,
@@ -216,6 +229,11 @@ MemoryController::tryIssueWrites(Tick now, Tick &earliest)
         irlpTrackers[loc.rank].addOp(now, s, e, busy_data, true);
         counters.writeIrlpHist.sample(chipCount(busy_data));
         counters.queueResidencyHist.sample(s - head.req.enqueueTick);
+        if (obs::attrib::PhaseLedger *led = head.req.ledger) {
+            led->account(obs::attrib::Phase::QueueResidency, now);
+            led->account(obs::attrib::Phase::BankWait, lower);
+            led->account(obs::attrib::Phase::QueueResidency, s);
+        }
         PCMAP_OBS_TRACE(trace, obs::TracePoint::WriteIssue, s, e - s,
                         line, chips,
                         static_cast<std::uint64_t>(
@@ -291,6 +309,11 @@ MemoryController::tryIssueWrites(Tick now, Tick &earliest)
         // One chip pulses at a time throughout the serialized chain.
         counters.writeIrlpHist.sample(1);
         counters.queueResidencyHist.sample(s0 - head.req.enqueueTick);
+        if (obs::attrib::PhaseLedger *led = head.req.ledger) {
+            led->account(obs::attrib::Phase::QueueResidency, now);
+            led->account(obs::attrib::Phase::BankWait, lower);
+            led->account(obs::attrib::Phase::QueueResidency, s0);
+        }
         PCMAP_OBS_TRACE(trace, obs::TracePoint::WriteIssue, s0, e0 - s0,
                         line, first,
                         static_cast<std::uint64_t>(
@@ -418,6 +441,11 @@ MemoryController::tryIssueWrites(Tick now, Tick &earliest)
         irlpTrackers[loc.rank].addOp(now, s1, e1, data_chips, true);
         counters.writeIrlpHist.sample(chipCount(data_chips));
         counters.queueResidencyHist.sample(s1 - head.req.enqueueTick);
+        if (obs::attrib::PhaseLedger *led = head.req.ledger) {
+            led->account(obs::attrib::Phase::QueueResidency, now);
+            led->account(obs::attrib::Phase::BankWait, lower);
+            led->account(obs::attrib::Phase::QueueResidency, s1);
+        }
         PCMAP_OBS_TRACE(trace, obs::TracePoint::WriteIssue, s1, e1 - s1,
                         line, step1,
                         static_cast<std::uint64_t>(
@@ -483,6 +511,13 @@ MemoryController::tryIssueWrites(Tick now, Tick &earliest)
         irlpTrackers[loc.rank].addOp(now, s, e_first, m.chips, true);
         counters.writeIrlpHist.sample(group_busy);
         counters.queueResidencyHist.sample(s - m.entry.req.enqueueTick);
+        if (obs::attrib::PhaseLedger *led = m.entry.req.ledger) {
+            // The group window is derived from the head's chips; the
+            // same-bank members share its bank-wait decomposition.
+            led->account(obs::attrib::Phase::QueueResidency, now);
+            led->account(obs::attrib::Phase::BankWait, lower);
+            led->account(obs::attrib::Phase::QueueResidency, s);
+        }
         PCMAP_OBS_TRACE(trace, obs::TracePoint::WriteIssue, s, e - s,
                         m.line, m.chips,
                         static_cast<std::uint64_t>(
@@ -544,6 +579,14 @@ MemoryController::tryIssueWrites(Tick now, Tick &earliest)
                                               re, true);
                 });
                 irlpTrackers[w_rank].addOp(t0, rs, re, m.chips, true);
+                if (obs::attrib::PhaseLedger *led =
+                        m.entry.req.ledger) {
+                    // The previous round's pulse ended at this round
+                    // boundary; the gap until the chips come free
+                    // again is a round pause.
+                    led->account(obs::attrib::Phase::ArrayAccess, t0);
+                    led->account(obs::attrib::Phase::RoundPause, rs);
+                }
             }
             if (round + 1 >= rounds) {
                 writeSlotFreeAt[w_rank] =
@@ -628,6 +671,14 @@ MemoryController::maybeCancelActiveWrite(Tick now)
                     activeWrite.entry.line, activeWrite.entry.cancels,
                     0, channelId, activeWrite.rank, activeWrite.bank);
     ++activeWrite.entry.cancels;
+    if (obs::attrib::PhaseLedger *led = activeWrite.entry.req.ledger) {
+        // Rounds already programmed are kept (array time); an aborted
+        // SLC pulse is pure redo cost — the write starts over.
+        if (rounds_kept > 0)
+            led->account(obs::attrib::Phase::ArrayAccess, release);
+        else
+            led->account(obs::attrib::Phase::RollbackRedo, release);
+    }
     writeQ.push_front(std::move(activeWrite.entry));
     writeSlotFreeAt[activeWrite.rank] = release;
     activeWrite.valid = false;

@@ -53,6 +53,17 @@ class MainMemory : public MemoryPort
             mc->setTraceRecorder(rec);
     }
 
+    /**
+     * Attach one latency-attribution collector shared by every
+     * controller (null detaches).
+     */
+    void
+    setAttrib(obs::attrib::AttribCollector *collector)
+    {
+        for (auto &mc : controllers)
+            mc->setAttrib(collector);
+    }
+
     // Introspection ----------------------------------------------------
     unsigned channels() const
     {

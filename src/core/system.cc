@@ -217,6 +217,17 @@ System::System(const SystemConfig &config,
             if (link)
                 link->setTraceRecorder(obsRun->recorder());
         }
+        if (obs::attrib::AttribCollector *col =
+                obsRun->attribCollector()) {
+            // Without a fabric every core is tenant 0 (coreTenant is
+            // empty and tenantOf falls back to 0).
+            col->configureTenants(fab_on ? num_tenants : 1, coreTenant);
+            mem->setAttrib(col);
+            if (tier)
+                tier->setAttrib(col);
+            if (link)
+                link->setAttrib(col);
+        }
     }
 }
 
@@ -304,6 +315,13 @@ System::run()
 
     const Tick end = eventq.now();
     mem->finalize(end);
+    if (obsRun != nullptr) {
+        // Drop ledgers still open (parked dirty victims, in-flight
+        // requests at the instruction target): every sample must have
+        // a matching completion.
+        if (obs::attrib::AttribCollector *col = obsRun->attribCollector())
+            col->finalize();
+    }
 
     // Final exact sample: taken after finalize() closed the
     // time-weighted windows, so the last timeline row restates the

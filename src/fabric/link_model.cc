@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/attrib.h"
 #include "obs/trace.h"
 #include "sim/log.h"
 
@@ -116,6 +117,10 @@ LinkModel::enqueueRead(const MemRequest &req, ReadCallback cb)
     PCMAP_OBS_TRACE(trace, obs::TracePoint::LinkEnqueue, now, 0, req.id,
                     queues[t].size() + 1, 0, t);
     queues[t].push_back(Pending{req, std::move(cb), now, t, false});
+    if (attrib != nullptr) {
+        attrib->ensure(queues[t].back().req, now,
+                       obs::attrib::AttribOp::Read);
+    }
     pump();
     return true;
 }
@@ -143,6 +148,10 @@ LinkModel::enqueueWrite(const MemRequest &req)
     PCMAP_OBS_TRACE(trace, obs::TracePoint::LinkEnqueue, now, 0, req.id,
                     queues[t].size() + 1, 0, t);
     queues[t].push_back(Pending{req, ReadCallback{}, now, t, false});
+    if (attrib != nullptr) {
+        attrib->ensure(queues[t].back().req, now,
+                       obs::attrib::AttribOp::Write);
+    }
     pump();
     return true;
 }
@@ -211,6 +220,11 @@ LinkModel::pickTenant()
 bool
 LinkModel::tryDeliver(Pending &p)
 {
+    // Everything up to the downstream handoff — queueing behind the
+    // arbiter, serialization, propagation, stash retries — is link
+    // wait; a refused delivery advances the span on the next attempt.
+    if (obs::attrib::PhaseLedger *led = p.req.ledger)
+        led->account(obs::attrib::Phase::LinkWait, eventq.now());
     if (p.req.type == ReqType::Read) {
         if (!p.wrapped) {
             // The handoff tick is the first delivery attempt: from

@@ -41,6 +41,9 @@
 
 namespace pcmap::obs {
 class TraceRecorder;
+namespace attrib {
+class AttribCollector;
+} // namespace attrib
 } // namespace pcmap::obs
 
 namespace pcmap::fabric {
@@ -96,6 +99,16 @@ class LinkModel : public ForwardingPort
 
     /** Attach the run's trace recorder (null detaches). */
     void setTraceRecorder(obs::TraceRecorder *rec) { trace = rec; }
+
+    /**
+     * Attach the run's latency-attribution collector.  Only the
+     * queued link opens ledgers (bypass adds no timing to explain).
+     */
+    void
+    setAttrib(obs::attrib::AttribCollector *collector)
+    {
+        attrib = collector;
+    }
 
     // Introspection (stat export / tests) -----------------------------
     unsigned
@@ -159,6 +172,7 @@ class LinkModel : public ForwardingPort
 
     RetryCallback upstreamRetry;
     obs::TraceRecorder *trace = nullptr;
+    obs::attrib::AttribCollector *attrib = nullptr;
 };
 
 } // namespace pcmap::fabric

@@ -15,6 +15,10 @@
 
 namespace pcmap {
 
+namespace obs::attrib {
+class PhaseLedger;
+} // namespace obs::attrib
+
 /** Kind of main-memory access. */
 enum class ReqType : std::uint8_t { Read, Write };
 
@@ -37,6 +41,13 @@ struct MemRequest
     std::uint64_t addr = 0;      ///< Byte address, line aligned.
     unsigned coreId = 0;         ///< Issuing core (for callbacks/stats).
     Tick enqueueTick = 0;        ///< Filled by the controller.
+    /**
+     * Latency-attribution ledger (null unless obs attrib is on).
+     * Owned by the run's AttribCollector; layers attach ledgers only
+     * to request copies they store themselves, and copying a request
+     * copies the pointer so the ledger follows the request downstream.
+     */
+    obs::attrib::PhaseLedger *ledger = nullptr;
     CacheLine data{};            ///< Write payload (writes only).
 };
 

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Cross-layer latency attribution: per-request phase ledgers.
+ *
+ * When enabled (obs attrib=true) every request that completes through
+ * the stack carries a PhaseLedger that splits its enqueue->completion
+ * latency into exact, non-overlapping phase spans:
+ *
+ *   linkWait       fabric arrival -> link grant (queued links only)
+ *   cacheLookup    DRAM-tier hit window (enqueue -> hit delivery)
+ *   mshrWait       parked behind an in-flight tier fill
+ *   wbBufferStall  dirty victim parked in the tier's wb buffer
+ *   queueResidency controller queue wait not explained by bank state
+ *   bankWait       controller wait for the planned chips/bank to free
+ *   arrayAccess    issue -> array completion (the device service time)
+ *   roundPause     MLC+ group-write wait at round boundaries
+ *   verifyDefer    annex: completion -> clean deferred-ECC verdict
+ *   rollbackRedo   annex: faulted verify / cancelled-write redo time
+ *
+ * Accounting is cursor-based: account(p, until) charges [cursor,
+ * until) to phase p and advances the cursor, so the core phases
+ * partition [start, close] exactly — whatever no layer claimed lands
+ * in an internal "unattributed" bucket that tests pin to zero.  The
+ * two annex phases extend past the completion tick (a speculative
+ * read completes before its deferred check), so the conservation rule
+ * is: core phases + unattributed == close - start, always.
+ *
+ * Ledgers are owned by the AttribCollector and referenced from
+ * MemRequest by pointer; layers attach ledgers only to request copies
+ * they store themselves.  Zero cost when disabled: no collector is
+ * constructed, and every instrumentation site is one null check.
+ */
+
+#ifndef PCMAP_OBS_ATTRIB_H
+#define PCMAP_OBS_ATTRIB_H
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "sim/types.h"
+
+namespace pcmap::obs::attrib {
+
+/** Where one slice of a request's latency was spent. */
+enum class Phase : std::uint8_t
+{
+    LinkWait,
+    CacheLookup,
+    MshrWait,
+    WbBufferStall,
+    QueueResidency,
+    BankWait,
+    ArrayAccess,
+    RoundPause,
+    VerifyDefer,
+    RollbackRedo,
+    Unattributed, ///< residual; conservation tests pin this to zero
+};
+
+constexpr std::size_t kPhaseCount = 11;
+/** Phases that partition [start, close]; annex phases come after. */
+constexpr std::size_t kCorePhaseCount = 8;
+
+/** Stable lower-camel phase key used in stats, JSONL and tools. */
+const char *phaseName(Phase p);
+
+/** Operation class a ledger is attributed under. */
+enum class AttribOp : std::uint8_t
+{
+    Read,
+    Write,
+    Writeback, ///< DRAM-tier dirty-victim drain toward PCM
+};
+
+constexpr std::size_t kOpCount = 3;
+
+const char *attribOpName(AttribOp op);
+
+/**
+ * One request's phase accounting.  Created/attached by the collector;
+ * instrumentation sites only ever call account().
+ */
+class PhaseLedger
+{
+  public:
+    /**
+     * Charge [cursor, until) to @p p.  Clamped: a site may pass a
+     * tick the cursor has already reached (another layer claimed the
+     * span first) and the call is a no-op.  Closed ledgers ignore it.
+     */
+    void
+    account(Phase p, Tick until)
+    {
+        if (closed || until <= cursor)
+            return;
+        spans[static_cast<std::size_t>(p)] += until - cursor;
+        cursor = until;
+    }
+
+    Tick startTick() const { return start; }
+    Tick closeTick() const { return closedAt; }
+    Tick span(Phase p) const
+    {
+        return spans[static_cast<std::size_t>(p)];
+    }
+    std::uint64_t reqId() const { return id; }
+    /** Late identity: a tier write-back learns its id at drain time. */
+    void setReqId(std::uint64_t v) { id = v; }
+    unsigned tenantId() const { return tenant; }
+    AttribOp op() const { return opKind; }
+
+  private:
+    friend class AttribCollector;
+
+    Tick start = 0;
+    Tick cursor = 0;
+    Tick closedAt = 0;
+    std::array<Tick, kPhaseCount> spans{};
+    std::uint64_t id = 0;
+    unsigned tenant = 0;
+    AttribOp opKind = AttribOp::Read;
+    bool closed = false;  ///< completion reached; spans frozen (annex aside)
+    bool held = false;    ///< sampling deferred until the verify verdict
+    bool sampled = false; ///< folded into the histograms already
+};
+
+/** One of the K slowest requests, with its full ledger. */
+struct TailExemplar
+{
+    Tick start = 0;
+    Tick total = 0; ///< enqueue -> completion (annex excluded)
+    std::uint64_t id = 0;
+    unsigned tenant = 0;
+    AttribOp op = AttribOp::Read;
+    std::array<Tick, kPhaseCount> spans{};
+};
+
+/**
+ * Owns every ledger of one run plus the per-(tenant, op, phase)
+ * histograms and the bounded tail-exemplar reservoir.
+ */
+class AttribCollector
+{
+  public:
+    /** Per-(tenant, op) family: one histogram per phase + the total. */
+    struct PhaseHists
+    {
+        std::array<LogHistogram, kPhaseCount> phase;
+        std::array<std::uint64_t, kPhaseCount> sumTicks{};
+        LogHistogram total;
+        std::uint64_t totalSumTicks = 0;
+    };
+
+    /** @param exemplars Reservoir size K (0 disables exemplars). */
+    explicit AttribCollector(unsigned exemplars);
+
+    AttribCollector(const AttribCollector &) = delete;
+    AttribCollector &operator=(const AttribCollector &) = delete;
+
+    /**
+     * Declare the tenant space: @p tenant_count tenants with
+     * @p core_tenant mapping core id -> tenant id (the fabric's
+     * contiguous-block partition; one tenant when the fabric is off).
+     */
+    void configureTenants(unsigned tenant_count,
+                          std::vector<unsigned> core_tenant);
+
+    /**
+     * The ledger for @p req: the one it already carries, or a fresh
+     * one opened at @p now (start = cursor = now) and attached to
+     * @p req.  @p Req is any struct with coreId/id/ledger members
+     * (MemRequest; templated so this header stays below mem/).
+     */
+    template <typename Req>
+    PhaseLedger *
+    ensure(Req &req, Tick now, AttribOp op)
+    {
+        if (req.ledger == nullptr)
+            req.ledger = open(op, req.coreId, req.id, now);
+        return req.ledger;
+    }
+
+    /** Open a ledger with no request to attach it to (tier wb). */
+    PhaseLedger *open(AttribOp op, unsigned core_id, std::uint64_t id,
+                      Tick now);
+
+    /**
+     * Close at the completion tick @p at: charge the residual to
+     * Unattributed, freeze the core spans and fold the ledger into
+     * the histograms — unless held for a deferred verify, in which
+     * case sampling waits for finishSpec().  Idempotent: later calls
+     * (a fill fan-out re-closing the primary waiter) are no-ops.
+     */
+    void close(PhaseLedger *led, Tick at);
+
+    /** Defer sampling until the deferred-ECC verdict (RoW reads). */
+    void
+    holdForVerify(PhaseLedger *led)
+    {
+        if (led != nullptr && !led->sampled)
+            led->held = true;
+    }
+
+    /**
+     * The deferred verify of a held ledger resolved at @p now:
+     * charge [close, now) to the annex phase (VerifyDefer when clean,
+     * RollbackRedo when faulted) and sample.
+     */
+    void finishSpec(PhaseLedger *led, Tick now, bool fault);
+
+    /**
+     * Drop a ledger that will never complete as its own request (a
+     * write absorbed by coalescing); it is never sampled, keeping the
+     * histogram populations identical to the completion trace points.
+     */
+    void discard(PhaseLedger *led);
+
+    /** End of run: drop still-open ledgers (parked dirty victims). */
+    void finalize();
+
+    unsigned tenants() const { return tenantCount; }
+    unsigned
+    tenantOf(unsigned core_id) const
+    {
+        return core_id < coreTenant.size() ? coreTenant[core_id] : 0;
+    }
+
+    const PhaseHists &
+    hists(unsigned tenant, AttribOp op) const
+    {
+        return families[tenant * kOpCount +
+                        static_cast<std::size_t>(op)];
+    }
+
+    /** Exemplars, slowest first (deterministic total/start/id order). */
+    std::vector<TailExemplar> exemplars() const;
+
+    std::uint64_t sampledCount() const { return numSampled; }
+    std::uint64_t discardedCount() const { return numDiscarded; }
+
+  private:
+    void sampleInto(PhaseLedger &led);
+    void offerExemplar(const PhaseLedger &led);
+
+    unsigned tenantCount = 1;
+    std::vector<unsigned> coreTenant;
+    std::deque<PhaseLedger> ledgers; ///< stable addresses, bulk-freed
+    std::vector<PhaseHists> families; ///< [tenant * kOpCount + op]
+    std::vector<TailExemplar> reservoir;
+    unsigned reservoirCap;
+    std::uint64_t numSampled = 0;
+    std::uint64_t numDiscarded = 0;
+};
+
+/**
+ * The collector's results as JSONL: one "phase" row per (tenant, op,
+ * phase), one "total" row per (tenant, op), then "exemplar" rows
+ * slowest-first.  All values are exact integers (ticks), so the text
+ * is bit-reproducible across hosts and thread counts.
+ */
+std::string attribJsonl(const AttribCollector &collector);
+
+} // namespace pcmap::obs::attrib
+
+#endif // PCMAP_OBS_ATTRIB_H

@@ -1,0 +1,126 @@
+#include "obs/attrib_stats.h"
+
+#include <ostream>
+#include <string>
+
+namespace pcmap::obs {
+
+using attrib::AttribCollector;
+using attrib::AttribOp;
+using attrib::kOpCount;
+using attrib::kPhaseCount;
+using attrib::Phase;
+
+/** One (tenant, op) family's stat objects plus the refresh logic. */
+struct AttribStatExport::OpMirror
+{
+    OpMirror(AttribOp op_kind, unsigned tenant_id)
+        : group(attrib::attribOpName(op_kind)), op(op_kind),
+          tenant(tenant_id)
+    {
+        for (std::size_t p = 0; p < kPhaseCount; ++p) {
+            const char *name =
+                attrib::phaseName(static_cast<Phase>(p));
+            phase.push_back(std::make_unique<stats::Percentiles>(
+                group, name,
+                std::string(name) + " phase latency share (ns)"));
+            sumNs.push_back(std::make_unique<stats::Scalar>(
+                group, std::string(name) + "SumNs",
+                std::string("exact ") + name +
+                    " ticks summed over all requests (ns)"));
+        }
+        total = std::make_unique<stats::Percentiles>(
+            group, "total", "enqueue-to-completion latency (ns)");
+        totalSumNs = std::make_unique<stats::Scalar>(
+            group, "totalSumNs",
+            "exact completion latency summed over all requests (ns)");
+    }
+
+    /** Summary -> Percentiles values, ticks exported as ns. */
+    static stats::Percentiles::Values
+    percentileValuesNs(const LogHistogram &h)
+    {
+        const LogHistogram::Summary s = h.summary();
+        stats::Percentiles::Values v;
+        v.p50 = s.p50 * 1e-3;
+        v.p90 = s.p90 * 1e-3;
+        v.p99 = s.p99 * 1e-3;
+        v.p999 = s.p999 * 1e-3;
+        v.max = s.max * 1e-3;
+        v.mean = s.mean * 1e-3;
+        v.samples = static_cast<double>(s.samples);
+        return v;
+    }
+
+    void
+    refresh(const AttribCollector &col)
+    {
+        const AttribCollector::PhaseHists &fam = col.hists(tenant, op);
+        for (std::size_t p = 0; p < kPhaseCount; ++p) {
+            phase[p]->set(percentileValuesNs(fam.phase[p]));
+            sumNs[p]->set(static_cast<double>(fam.sumTicks[p]) * 1e-3);
+        }
+        total->set(percentileValuesNs(fam.total));
+        totalSumNs->set(static_cast<double>(fam.totalSumTicks) * 1e-3);
+    }
+
+    stats::StatGroup group;
+    AttribOp op;
+    unsigned tenant;
+    std::vector<std::unique_ptr<stats::Percentiles>> phase;
+    std::vector<std::unique_ptr<stats::Scalar>> sumNs;
+    std::unique_ptr<stats::Percentiles> total;
+    std::unique_ptr<stats::Scalar> totalSumNs;
+};
+
+/** One tenant's child group holding its non-empty op families. */
+struct AttribStatExport::TenantMirror
+{
+    explicit TenantMirror(unsigned tenant_id)
+        : group("t" + std::to_string(tenant_id))
+    {
+    }
+
+    stats::StatGroup group;
+    std::vector<std::unique_ptr<OpMirror>> ops;
+};
+
+AttribStatExport::AttribStatExport(
+    const attrib::AttribCollector &collector)
+    : col(collector)
+{
+    for (unsigned t = 0; t < col.tenants(); ++t) {
+        auto mirror = std::make_unique<TenantMirror>(t);
+        for (std::size_t o = 0; o < kOpCount; ++o) {
+            const auto op = static_cast<AttribOp>(o);
+            if (col.hists(t, op).total.samples() == 0)
+                continue;
+            mirror->ops.push_back(std::make_unique<OpMirror>(op, t));
+            mirror->group.addChild(&mirror->ops.back()->group);
+        }
+        if (mirror->ops.empty())
+            continue;
+        mirrors.push_back(std::move(mirror));
+        rootGroup.addChild(&mirrors.back()->group);
+    }
+}
+
+AttribStatExport::~AttribStatExport() = default;
+
+void
+AttribStatExport::refresh()
+{
+    for (const auto &mirror : mirrors) {
+        for (const auto &op : mirror->ops)
+            op->refresh(col);
+    }
+}
+
+void
+AttribStatExport::dump(std::ostream &os)
+{
+    refresh();
+    rootGroup.dump(os);
+}
+
+} // namespace pcmap::obs

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Stats-framework export of the latency-attribution histograms.
+ *
+ * Mirrors an AttribCollector into an "attrib" StatGroup: per-tenant
+ * child groups ("t0", "t1", ...), each with one child per op class
+ * ("read"/"write"/"writeback") carrying a Percentiles summary plus an
+ * exact sum (ns) per phase and for the total.  Flattened keys look
+ * like "attrib.t0.read.linkWait.p99" and join the JSONL/CSV sweep
+ * aggregation only when attribution is enabled — the same append-only
+ * discipline as the fabric.* and cache.* families.  Only (tenant, op)
+ * families that sampled at least one request get groups, so the key
+ * set is lean and still deterministic (it depends only on simulation
+ * results, which are thread-count invariant).
+ */
+
+#ifndef PCMAP_OBS_ATTRIB_STATS_H
+#define PCMAP_OBS_ATTRIB_STATS_H
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "obs/attrib.h"
+#include "sim/stats.h"
+
+namespace pcmap::obs {
+
+/** Snapshot-and-dump bridge from AttribCollector to stats. */
+class AttribStatExport
+{
+  public:
+    /** @param collector Must outlive this exporter. */
+    explicit AttribStatExport(const attrib::AttribCollector &collector);
+    ~AttribStatExport();
+
+    AttribStatExport(const AttribStatExport &) = delete;
+    AttribStatExport &operator=(const AttribStatExport &) = delete;
+
+    /** Copy the collector's histograms into the stat objects. */
+    void refresh();
+
+    /** refresh() then write the full listing to @p os. */
+    void dump(std::ostream &os);
+
+    /** The stat tree (valid between refreshes). */
+    const stats::StatGroup &root() const { return rootGroup; }
+
+  private:
+    struct OpMirror;
+    struct TenantMirror;
+
+    const attrib::AttribCollector &col;
+    stats::StatGroup rootGroup{"attrib"};
+    std::vector<std::unique_ptr<TenantMirror>> mirrors;
+};
+
+} // namespace pcmap::obs
+
+#endif // PCMAP_OBS_ATTRIB_STATS_H

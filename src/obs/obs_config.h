@@ -27,11 +27,17 @@ struct ObsConfig
     /** Timeline sampling period in sim ticks; 0 disables the timeline. */
     Tick epochTicks = 0;
 
+    /** Collect per-request phase ledgers (latency attribution). */
+    bool attrib = false;
+
+    /** Tail-exemplar reservoir size (K slowest requests kept). */
+    unsigned attribExemplars = 8;
+
     /** Anything enabled at all? */
     bool
     enabled() const
     {
-        return trace || epochTicks > 0;
+        return trace || epochTicks > 0 || attrib;
     }
 };
 

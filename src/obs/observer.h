@@ -12,6 +12,7 @@
 
 #include <memory>
 
+#include "obs/attrib.h"
 #include "obs/epoch.h"
 #include "obs/obs_config.h"
 #include "obs/trace.h"
@@ -25,6 +26,9 @@ class RunObserver
     {
         if (cfg.trace)
             rec = std::make_unique<TraceRecorder>(cfg.traceCapacity);
+        if (cfg.attrib)
+            col = std::make_unique<attrib::AttribCollector>(
+                cfg.attribExemplars);
     }
 
     const ObsConfig &config() const { return cfg; }
@@ -33,12 +37,21 @@ class RunObserver
     TraceRecorder *recorder() { return rec.get(); }
     const TraceRecorder *recorder() const { return rec.get(); }
 
+    /** Null when attribution is off. */
+    attrib::AttribCollector *attribCollector() { return col.get(); }
+    const attrib::AttribCollector *
+    attribCollector() const
+    {
+        return col.get();
+    }
+
     Timeline &timeline() { return tl; }
     const Timeline &timeline() const { return tl; }
 
   private:
     ObsConfig cfg;
     std::unique_ptr<TraceRecorder> rec;
+    std::unique_ptr<attrib::AttribCollector> col;
     Timeline tl;
 };
 

@@ -85,13 +85,19 @@ obsFromConfig(const Config &args)
     if (cap < 2)
         fatal("traceCap= must be at least 2 events");
     out.obs.traceCapacity = static_cast<std::size_t>(cap);
-    if (out.obs.epochTicks > 0 && out.pathPrefix.empty() &&
-        !args.has("trace")) {
-        // Timeline-only runs still need somewhere to write.
+    out.obs.attrib = args.getUint("attrib", 0) != 0;
+    const std::uint64_t exemplars =
+        args.getUint("attribK", out.obs.attribExemplars);
+    out.obs.attribExemplars = static_cast<unsigned>(exemplars);
+    if (out.pathPrefix.empty()) {
+        // Timeline/attribution-only runs still need somewhere to
+        // write; without a prefix attribution flows into the stats
+        // columns only.
         out.pathPrefix = args.getString("obsOut", "");
-        if (out.pathPrefix.empty())
-            fatal("obsEpoch= needs trace=PREFIX or obsOut=PREFIX for "
-                  "the timeline files");
+    }
+    if (out.obs.epochTicks > 0 && out.pathPrefix.empty()) {
+        fatal("obsEpoch= needs trace=PREFIX or obsOut=PREFIX for "
+              "the timeline files");
     }
     return out;
 }

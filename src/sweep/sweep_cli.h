@@ -125,7 +125,10 @@ cache::TierConfig tierFromConfig(const Config &args);
  * tracing to "<PREFIX>.point<I>.trace.json"), obsEpoch=TICKS (epoch
  * timeline to "<PREFIX>.point<I>.timeline.jsonl"; needs trace= or
  * obsOut= for the prefix), traceCap=N (ring capacity, events; rounded
- * up to a power of two).  fatal() on malformed values.
+ * up to a power of two), attrib=0|1 (per-request latency attribution:
+ * attrib.* stat columns, plus "<PREFIX>.point<I>.attrib.jsonl" when a
+ * prefix is given), attribK=N (tail-exemplar reservoir size, default
+ * 8).  fatal() on malformed values.
  */
 ObsCliOptions obsFromConfig(const Config &args);
 

@@ -9,6 +9,8 @@
 #include "cache/tier_stats.h"
 #include "core/stat_export.h"
 #include "fabric/fabric_stats.h"
+#include "obs/attrib.h"
+#include "obs/attrib_stats.h"
 #include "obs/observer.h"
 #include "obs/trace.h"
 #include "sim/log.h"
@@ -73,6 +75,9 @@ SweepRunner::SweepRunner(Options options) : opts(std::move(options))
         System sys(cfg,
                    workload::makeWorkload(p.workload, cfg.numCores));
         rec.results = sys.run();
+        const obs::RunObserver *ob = sys.observer();
+        const obs::attrib::AttribCollector *attrib =
+            ob != nullptr ? ob->attribCollector() : nullptr;
         if (collect_stats) {
             SystemStatExport exporter(sys.memory());
             exporter.refresh();
@@ -92,8 +97,14 @@ SweepRunner::SweepRunner(Options options) : opts(std::move(options))
                 cex.refresh();
                 cex.root().collect(rec.stats);
             }
+            // Latency-attribution stats again follow the rule:
+            // attrib-off rows carry no attrib.* keys at all.
+            if (attrib != nullptr) {
+                obs::AttribStatExport aex(*attrib);
+                aex.refresh();
+                aex.root().collect(rec.stats);
+            }
         }
-        const obs::RunObserver *ob = sys.observer();
         if (ob != nullptr && !obs_prefix.empty()) {
             const std::string base =
                 obs_prefix + ".point" + std::to_string(p.index);
@@ -106,6 +117,11 @@ SweepRunner::SweepRunner(Options options) : opts(std::move(options))
                 dist::atomicWriteFile(
                     base + ".timeline.jsonl",
                     obs::timelineJsonl(ob->timeline()));
+            }
+            if (attrib != nullptr) {
+                dist::atomicWriteFile(
+                    base + ".attrib.jsonl",
+                    obs::attrib::attribJsonl(*attrib));
             }
         }
     };

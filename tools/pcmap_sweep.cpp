@@ -134,6 +134,12 @@ usage()
         "  obsOut=PREFIX   output prefix for obsEpoch= without trace=\n"
         "  traceCap=N      trace ring capacity in events (default 2^18;\n"
         "                  oldest events are overwritten beyond it)\n"
+        "  attrib=0|1      per-request latency attribution: attrib.*\n"
+        "                  stat columns per tenant/op/phase, plus\n"
+        "                  PREFIX.point<I>.attrib.jsonl when trace= or\n"
+        "                  obsOut= gives a prefix (default 0)\n"
+        "  attribK=N       tail exemplars kept per run, the N slowest\n"
+        "                  requests with full phase ledgers (default 8)\n"
         "\n"
         "exit status: 0 when every run succeeded (plain/procs modes) or\n"
         "the partial was written (shard mode); non-zero otherwise.");
@@ -146,7 +152,8 @@ const std::vector<std::string> kKnownKeys = {
     "retries",   "workerTimeout", "shard",    "resume",
     "jsonl",     "csv",      "table",         "progress",
     "help",      "trace",    "obsEpoch",      "obsOut",
-    "traceCap",  "tenants",  "rate",          "burst",
+    "traceCap",  "attrib",   "attribK",
+    "tenants",   "rate",     "burst",
     "qos",       "window",   "arb",           "linkGbps",
     "linkNs",    "reqs",     "linkQueue",
     "tier",      "tierHitNs", "tierMshr",     "tierWbBatch",

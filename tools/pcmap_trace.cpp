@@ -7,9 +7,15 @@
  *   pcmap-trace check FILE...            validate schemas; exit 1 on
  *                                        the first malformed file
  *   pcmap-trace summary FILE [top=N]     event counts, the N slowest
- *                                        requests, per-bank conflict
- *                                        attribution (trace files) or
- *                                        run-level rates (timelines)
+ *                                        requests, per-layer link and
+ *                                        cache activity, per-bank
+ *                                        conflict attribution (trace
+ *                                        files) or run-level rates
+ *                                        (timelines)
+ *   pcmap-trace attrib FILE [top=N]      latency attribution: phase
+ *                                        breakdown, per-tenant p99
+ *                                        decomposition and the top-N
+ *                                        tail exemplars
  *   pcmap-trace merge out=PATH FILE...   combine Chrome traces into
  *                                        one Perfetto-loadable file
  *                                        (per-input pid offset keeps
@@ -17,7 +23,8 @@
  *
  * File kind is sniffed from content, not extension: a document whose
  * root object carries `traceEvents` is a Chrome trace; JSONL whose
- * rows carry `tick` is a timeline; rows with `pt` are trace JSONL.
+ * rows carry `tick` is a timeline; rows with `pt` are trace JSONL;
+ * rows with `kind` are attribution JSONL.
  */
 
 #include <algorithm>
@@ -45,18 +52,24 @@ usage()
         "pcmap-trace: inspect pcmap observability files\n"
         "\n"
         "usage:\n"
-        "  pcmap-trace check FILE...          validate trace/timeline\n"
-        "                                     schemas\n"
-        "  pcmap-trace summary FILE [top=N]   counts, slowest requests\n"
+        "  pcmap-trace check FILE...          validate trace/timeline/\n"
+        "                                     attribution schemas\n"
+        "  pcmap-trace summary FILE [top=N]   counts, slowest requests,\n"
+        "                                     link/cache layer activity\n"
         "                                     and per-bank conflict\n"
         "                                     attribution (default\n"
-        "                                     top=10)\n"
+        "                                     top=10; top=0 skips the\n"
+        "                                     rankings)\n"
+        "  pcmap-trace attrib FILE [top=N]    phase breakdown, per-\n"
+        "                                     tenant p99 decomposition\n"
+        "                                     and top-N tail exemplars\n"
+        "                                     of an .attrib.jsonl file\n"
         "  pcmap-trace merge out=PATH FILE... combine Chrome traces\n"
         "                                     into one file");
 }
 
 /** What one input file turned out to contain. */
-enum class FileKind { ChromeTrace, Timeline, TraceJsonl };
+enum class FileKind { ChromeTrace, Timeline, TraceJsonl, AttribJsonl };
 
 /** Non-empty lines of a JSONL body. */
 std::vector<std::string>
@@ -139,6 +152,56 @@ checkTraceJsonlRow(const std::string &path, std::size_t lineno,
     }
 }
 
+/** Validate one attribution-JSONL row; fatal() on violations. */
+void
+checkAttribRow(const std::string &path, std::size_t lineno,
+               const obs::JsonValue &row)
+{
+    const std::string &kind = row.get("kind")->asString();
+    if (kind == "phase" || kind == "total") {
+        if (kind == "phase") {
+            const obs::JsonValue *p = row.get("phase");
+            if (p == nullptr || !p->isString())
+                fatal(path, ":", lineno,
+                      ": 'phase' missing or not a string");
+        }
+        const obs::JsonValue *op = row.get("op");
+        if (op == nullptr || !op->isString())
+            fatal(path, ":", lineno, ": 'op' missing or not a string");
+        for (const char *key : {"tenant", "samples", "sumTicks", "p50",
+                                "p90", "p99", "p999", "max"}) {
+            const obs::JsonValue *v = row.get(key);
+            if (v == nullptr || !v->isNumber())
+                fatal(path, ":", lineno, ": '", key,
+                      "' missing or not a number");
+        }
+        return;
+    }
+    if (kind == "exemplar") {
+        const obs::JsonValue *op = row.get("op");
+        if (op == nullptr || !op->isString())
+            fatal(path, ":", lineno, ": 'op' missing or not a string");
+        for (const char *key :
+             {"rank", "tenant", "id", "startTick", "totalTicks"}) {
+            const obs::JsonValue *v = row.get(key);
+            if (v == nullptr || !v->isNumber())
+                fatal(path, ":", lineno, ": '", key,
+                      "' missing or not a number");
+        }
+        const obs::JsonValue *phases = row.get("phases");
+        if (phases == nullptr || !phases->isObject())
+            fatal(path, ":", lineno, ": missing phases object");
+        for (const auto &[name, span] : phases->members()) {
+            if (!span.isNumber())
+                fatal(path, ":", lineno, ": phases.", name,
+                      " is not a number");
+        }
+        return;
+    }
+    fatal(path, ":", lineno, ": unknown kind '", kind,
+          "' (expected phase, total, or exemplar)");
+}
+
 /** Parse @p path, classify it, and validate; fatal() when invalid. */
 FileKind
 checkFile(const std::string &path, std::size_t &rows)
@@ -176,10 +239,14 @@ checkFile(const std::string &path, std::size_t &rows)
         } else if (row->has("pt")) {
             kind = FileKind::TraceJsonl;
             checkTraceJsonlRow(path, i + 1, *row);
+        } else if (row->has("kind")) {
+            kind = FileKind::AttribJsonl;
+            checkAttribRow(path, i + 1, *row);
         } else {
             fatal(path, ":", i + 1,
-                  ": row is neither a timeline sample (tick=) nor a "
-                  "trace event (pt=)");
+                  ": row is neither a timeline sample (tick=), a "
+                  "trace event (pt=), nor an attribution row "
+                  "(kind=)");
         }
     }
     rows = lines.size();
@@ -194,11 +261,13 @@ checkMain(const std::vector<std::string> &files)
     for (const std::string &path : files) {
         std::size_t rows = 0;
         const FileKind kind = checkFile(path, rows);
-        const char *what = kind == FileKind::ChromeTrace
-                               ? "chrome-trace events"
-                               : (kind == FileKind::Timeline
-                                      ? "timeline samples"
-                                      : "trace-jsonl events");
+        const char *what = "trace-jsonl events";
+        if (kind == FileKind::ChromeTrace)
+            what = "chrome-trace events";
+        else if (kind == FileKind::Timeline)
+            what = "timeline samples";
+        else if (kind == FileKind::AttribJsonl)
+            what = "attribution rows";
         std::printf("OK %s: %zu %s\n", path.c_str(), rows, what);
     }
     return 0;
@@ -246,6 +315,12 @@ summaryMain(const std::vector<std::string> &files, std::size_t top_n)
     if (files.size() != 1)
         fatal("summary: needs exactly one file");
     const std::string &path = files[0];
+    // An empty capture (obs off, zero epochs) is an answer, not an
+    // error: report it and succeed, unlike `check` which stays strict.
+    if (splitLines(sweep::dist::readFile(path)).empty()) {
+        std::printf("summary %s: no events\n", path.c_str());
+        return 0;
+    }
     std::size_t rows = 0;
     const FileKind kind = checkFile(path, rows);
 
@@ -277,6 +352,9 @@ summaryMain(const std::vector<std::string> &files, std::size_t top_n)
     if (kind == FileKind::TraceJsonl)
         fatal("summary: expects a Chrome trace (.trace.json) or a "
               "timeline (.timeline.jsonl), not trace JSONL");
+    if (kind == FileKind::AttribJsonl)
+        fatal("summary: ", path, " is an attribution file; use "
+              "`pcmap-trace attrib` on it");
 
     const auto doc = obs::parseJson(sweep::dist::readFile(path));
     const obs::JsonValue *events = doc->get("traceEvents");
@@ -285,9 +363,30 @@ summaryMain(const std::vector<std::string> &files, std::size_t top_n)
     std::vector<Completion> completions;
     // Conflict attribution: reads flagged delayed-by-write, per bank.
     std::map<std::string, std::size_t> conflicts;
+    // Per-layer activity pulled alongside the counts: link.issue
+    // carries its queue wait in arg0 (ticks); cache.hit's dur is the
+    // lookup-to-response window.
+    std::size_t link_issues = 0;
+    double link_wait_sum_us = 0.0;
+    double link_wait_max_us = 0.0;
+    std::size_t cache_hits = 0;
+    double hit_sum_us = 0.0;
+    double hit_max_us = 0.0;
     for (const obs::JsonValue &e : events->items()) {
         const std::string &name = e.get("name")->asString();
         ++by_name[name];
+        if (name == "link.issue") {
+            const double wait_us =
+                e.get("args")->numberOr("arg0", 0.0) / 1e6;
+            ++link_issues;
+            link_wait_sum_us += wait_us;
+            link_wait_max_us = std::max(link_wait_max_us, wait_us);
+        } else if (name == "cache.hit") {
+            const double dur_us = e.numberOr("dur", 0.0);
+            ++cache_hits;
+            hit_sum_us += dur_us;
+            hit_max_us = std::max(hit_max_us, dur_us);
+        }
         if (name != "read" && name != "write")
             continue;
         const obs::JsonValue *args = e.get("args");
@@ -322,8 +421,44 @@ summaryMain(const std::vector<std::string> &files, std::size_t top_n)
                 static_cast<unsigned long long>(
                     other->get("dropped")->asU64()));
     std::printf("events by name:\n");
+    if (by_name.empty())
+        std::printf("  none\n");
     for (const auto &[name, count] : by_name)
         std::printf("  %-18s %8zu\n", name.c_str(), count);
+
+    // Layer sections appear only when the trace has those layers'
+    // events, so memory-only traces keep their exact legacy output.
+    const auto named = [&by_name](const char *n) {
+        const auto it = by_name.find(n);
+        return it == by_name.end() ? std::size_t{0} : it->second;
+    };
+    if (named("link.enqueue") + named("link.issue") +
+            named("link.drop") >
+        0) {
+        std::printf("link layer: enqueued=%zu issued=%zu "
+                    "dropped=%zu\n",
+                    named("link.enqueue"), named("link.issue"),
+                    named("link.drop"));
+        if (link_issues > 0) {
+            std::printf("  queue wait: mean=%.3f us  max=%.3f us\n",
+                        link_wait_sum_us /
+                            static_cast<double>(link_issues),
+                        link_wait_max_us);
+        }
+    }
+    if (named("cache.hit") + named("cache.miss") + named("cache.fill") +
+            named("cache.writeback") >
+        0) {
+        std::printf("cache tier: hits=%zu misses=%zu fills=%zu "
+                    "writebacks=%zu\n",
+                    named("cache.hit"), named("cache.miss"),
+                    named("cache.fill"), named("cache.writeback"));
+        if (cache_hits > 0) {
+            std::printf("  hit window: mean=%.3f us  max=%.3f us\n",
+                        hit_sum_us / static_cast<double>(cache_hits),
+                        hit_max_us);
+        }
+    }
 
     std::stable_sort(completions.begin(), completions.end(),
                      [](const Completion &a, const Completion &b) {
@@ -355,6 +490,219 @@ summaryMain(const std::vector<std::string> &files, std::size_t top_n)
     for (std::size_t i = 0; i < ranked.size() && i < top_n; ++i) {
         std::printf("  %-20s %8zu\n", ranked[i].first.c_str(),
                     ranked[i].second);
+    }
+    return 0;
+}
+
+// --- attrib ----------------------------------------------------------
+
+/** Canonical phase order (matches obs::attrib::phaseName()). */
+constexpr const char *kAttribPhases[] = {
+    "linkWait",       "cacheLookup", "mshrWait",    "wbBufferStall",
+    "queueResidency", "bankWait",    "arrayAccess", "roundPause",
+    "verifyDefer",    "rollbackRedo", "unattributed",
+};
+
+/** One phase/total histogram row of an attribution file. */
+struct AttribRow
+{
+    std::uint64_t samples = 0;
+    std::uint64_t sumTicks = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p99 = 0;
+};
+
+/** Histograms of one (tenant, op) family. */
+struct AttribFamily
+{
+    std::map<std::string, AttribRow> phase;
+    AttribRow total;
+};
+
+/** One tail exemplar: a full per-request ledger. */
+struct AttribExemplar
+{
+    std::uint64_t rank = 0;
+    std::uint64_t tenant = 0;
+    std::uint64_t id = 0;
+    std::uint64_t totalTicks = 0;
+    std::string op;
+    std::vector<std::pair<std::string, std::uint64_t>> phases;
+};
+
+double
+ticksToUs(std::uint64_t ticks)
+{
+    return static_cast<double>(ticks) / 1e6;
+}
+
+AttribRow
+parseAttribRow(const obs::JsonValue &row)
+{
+    AttribRow out;
+    out.samples = row.get("samples")->asU64();
+    out.sumTicks = row.get("sumTicks")->asU64();
+    out.p50 = row.get("p50")->asU64();
+    out.p99 = row.get("p99")->asU64();
+    return out;
+}
+
+int
+attribMain(const std::vector<std::string> &files, std::size_t top_n)
+{
+    if (files.size() != 1)
+        fatal("attrib: needs exactly one file");
+    const std::string &path = files[0];
+    // Attribution on a run that completed no requests writes an empty
+    // file; like summary, report that and succeed.
+    const std::vector<std::string> lines =
+        splitLines(sweep::dist::readFile(path));
+    if (lines.empty()) {
+        std::printf("attrib %s: no rows\n", path.c_str());
+        return 0;
+    }
+    std::size_t rows = 0;
+    if (checkFile(path, rows) != FileKind::AttribJsonl)
+        fatal("attrib: ", path,
+              " is not an attribution JSONL file (expected rows with "
+              "kind=phase|total|exemplar)");
+
+    std::map<std::pair<std::uint64_t, std::string>, AttribFamily> fams;
+    std::vector<AttribExemplar> exemplars;
+    for (const std::string &line : lines) {
+        const auto row = obs::parseJson(line);
+        const std::string &kind = row->get("kind")->asString();
+        if (kind == "exemplar") {
+            AttribExemplar ex;
+            ex.rank = row->get("rank")->asU64();
+            ex.tenant = row->get("tenant")->asU64();
+            ex.id = row->get("id")->asU64();
+            ex.totalTicks = row->get("totalTicks")->asU64();
+            ex.op = row->get("op")->asString();
+            for (const auto &[name, span] :
+                 row->get("phases")->members())
+                ex.phases.emplace_back(name, span.asU64());
+            exemplars.push_back(std::move(ex));
+            continue;
+        }
+        AttribFamily &fam = fams[{row->get("tenant")->asU64(),
+                                  row->get("op")->asString()}];
+        if (kind == "total")
+            fam.total = parseAttribRow(*row);
+        else
+            fam.phase[row->get("phase")->asString()] =
+                parseAttribRow(*row);
+    }
+
+    std::printf("attribution %s: %zu (tenant, op) families, "
+                "%zu exemplars\n",
+                path.c_str(), fams.size(), exemplars.size());
+
+    // Aggregate phase breakdown: where did the time go, across every
+    // tenant and op?  Shares are of the summed request latency, so
+    // annex phases (verify holds past completion) can push the column
+    // past 100%.
+    std::uint64_t total_sum = 0;
+    for (const auto &[key, fam] : fams)
+        total_sum += fam.total.sumTicks;
+    std::printf("phase breakdown (all tenants, all ops):\n");
+    std::printf("  %-15s %10s %14s %8s\n", "phase", "samples",
+                "time(ms)", "share");
+    for (const char *phase : kAttribPhases) {
+        std::uint64_t samples = 0;
+        std::uint64_t sum = 0;
+        for (const auto &[key, fam] : fams) {
+            const auto it = fam.phase.find(phase);
+            if (it == fam.phase.end())
+                continue;
+            samples += it->second.samples;
+            sum += it->second.sumTicks;
+        }
+        if (samples == 0 && sum == 0)
+            continue;
+        std::printf("  %-15s %10llu %14.3f %7.1f%%\n", phase,
+                    static_cast<unsigned long long>(samples),
+                    static_cast<double>(sum) / 1e9,
+                    total_sum > 0 ? 100.0 * static_cast<double>(sum) /
+                                        static_cast<double>(total_sum)
+                                  : 0.0);
+    }
+    std::printf("  %-15s %10llu %14.3f %7.1f%%\n", "total",
+                static_cast<unsigned long long>([&fams] {
+                    std::uint64_t n = 0;
+                    for (const auto &[key, fam] : fams)
+                        n += fam.total.samples;
+                    return n;
+                }()),
+                static_cast<double>(total_sum) / 1e9,
+                total_sum > 0 ? 100.0 : 0.0);
+
+    // Per-family decomposition: the exact tick sums let a reader (or
+    // a test) confirm conservation against the exported histograms.
+    std::printf("per-tenant decomposition:\n");
+    for (const auto &[key, fam] : fams) {
+        std::uint64_t phase_sum = 0;
+        for (const auto &[name, row] : fam.phase)
+            phase_sum += row.sumTicks;
+        std::printf("  tenant %llu %-9s samples=%llu  p50=%.3f us  "
+                    "p99=%.3f us  phaseSumTicks=%llu  "
+                    "totalSumTicks=%llu\n",
+                    static_cast<unsigned long long>(key.first),
+                    key.second.c_str(),
+                    static_cast<unsigned long long>(fam.total.samples),
+                    ticksToUs(fam.total.p50), ticksToUs(fam.total.p99),
+                    static_cast<unsigned long long>(phase_sum),
+                    static_cast<unsigned long long>(
+                        fam.total.sumTicks));
+        for (const char *phase : kAttribPhases) {
+            const auto it = fam.phase.find(phase);
+            if (it == fam.phase.end() || it->second.sumTicks == 0)
+                continue;
+            const AttribRow &row = it->second;
+            std::printf("    %-15s p99=%10.3f us  share=%5.1f%%\n",
+                        phase, ticksToUs(row.p99),
+                        fam.total.sumTicks > 0
+                            ? 100.0 *
+                                  static_cast<double>(row.sumTicks) /
+                                  static_cast<double>(
+                                      fam.total.sumTicks)
+                            : 0.0);
+        }
+    }
+
+    // Tail exemplars, dominant phase first: the critical-path story
+    // of each of the slowest requests the reservoir kept.
+    std::printf("slowest %zu exemplars:\n",
+                std::min(top_n, exemplars.size()));
+    if (exemplars.empty() || top_n == 0)
+        std::printf("  none\n");
+    for (std::size_t i = 0; i < exemplars.size() && i < top_n; ++i) {
+        const AttribExemplar &ex = exemplars[i];
+        const char *dominant = "-";
+        std::uint64_t dom_span = 0;
+        for (const auto &[name, span] : ex.phases) {
+            if (span > dom_span) {
+                dom_span = span;
+                dominant = name.c_str();
+            }
+        }
+        std::printf("  #%-3llu %-9s tenant=%llu id=%llu  "
+                    "total=%.3f us  dominant=%s (%.1f%%)\n",
+                    static_cast<unsigned long long>(ex.rank),
+                    ex.op.c_str(),
+                    static_cast<unsigned long long>(ex.tenant),
+                    static_cast<unsigned long long>(ex.id),
+                    ticksToUs(ex.totalTicks), dominant,
+                    ex.totalTicks > 0
+                        ? 100.0 * static_cast<double>(dom_span) /
+                              static_cast<double>(ex.totalTicks)
+                        : 0.0);
+        for (const auto &[name, span] : ex.phases) {
+            if (span == 0)
+                continue;
+            std::printf("       %-15s %10.3f us\n", name.c_str(),
+                        ticksToUs(span));
+        }
     }
     return 0;
 }
@@ -433,10 +781,13 @@ appendJson(std::string &out, const obs::JsonValue &v)
 }
 
 /**
- * Each input's channels land on their own pid band so merged points
- * stay side by side in Perfetto; comfortably above any channel count.
+ * Each input's pids land on their own band so merged points stay side
+ * by side in Perfetto.  The stride must clear every band a single
+ * trace uses — plain channels, the fabric's per-tenant link rows at
+ * pid 1000+tenant, and the cache tier at pid 2000 — or two inputs'
+ * rows would interleave under one pid.
  */
-constexpr std::uint64_t kMergePidStride = 100;
+constexpr std::uint64_t kMergePidStride = 10000;
 
 int
 mergeMain(const std::string &out_path,
@@ -510,10 +861,10 @@ main(int argc, char **argv)
     for (int i = 2; i < argc; ++i) {
         const std::string token = argv[i];
         if (token.rfind("top=", 0) == 0) {
+            // top=0 is allowed: counts and layer sections only, no
+            // per-request rankings.
             top_n = static_cast<std::size_t>(
                 std::strtoull(token.c_str() + 4, nullptr, 10));
-            if (top_n == 0)
-                fatal("top= must be positive");
         } else if (token.rfind("out=", 0) == 0) {
             out_path = token.substr(4);
         } else {
@@ -524,6 +875,8 @@ main(int argc, char **argv)
         return checkMain(files);
     if (cmd == "summary")
         return summaryMain(files, top_n);
+    if (cmd == "attrib")
+        return attribMain(files, top_n);
     if (cmd == "merge")
         return mergeMain(out_path, files);
     if (cmd == "help" || cmd == "--help" || cmd == "-h") {
@@ -531,5 +884,5 @@ main(int argc, char **argv)
         return 0;
     }
     fatal("unknown subcommand '", cmd,
-          "' (expected check, summary, or merge)");
+          "' (expected check, summary, attrib, or merge)");
 }
